@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same series the corresponding paper figure plots:
+// the modeled 2009-hardware numbers (GTX 280 / 8800 GT via simgpu, Mac Pro
+// via cpu::XeonModel) and, where a real code path exists on the host, a
+// measured host series. Pass --csv to any bench for machine-readable
+// output.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/table_printer.h"
+
+namespace extnc::bench {
+
+// The paper's block-size sweep: 128 bytes to 32 KB.
+inline const std::vector<std::size_t>& block_size_sweep() {
+  static const std::vector<std::size_t> sweep{128,  256,  512,   1024, 2048,
+                                              4096, 8192, 16384, 32768};
+  return sweep;
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void print_table(const TablePrinter& table, bool csv) {
+  if (csv) {
+    table.print_csv(stdout);
+  } else {
+    table.print(stdout);
+  }
+}
+
+inline std::string block_size_label(std::size_t k) {
+  if (k >= 1024 && k % 1024 == 0) return std::to_string(k / 1024) + " KB";
+  return std::to_string(k) + " B";
+}
+
+}  // namespace extnc::bench

@@ -1,0 +1,90 @@
+// Fig. 10: CPU full-block vs partitioned-block encoding (Sec. 5.3).
+// Prints the modeled 2009 Mac Pro series (the paper's figure) and a
+// measured series for the same two schemes running on this host with the
+// library's real multi-threaded SIMD encoder.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "cpu/cpu_encoder.h"
+#include "cpu/xeon_model.h"
+#include "gf256/region.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace extnc;
+
+double measure_host(cpu::EncodePartitioning partitioning, std::size_t n,
+                    std::size_t k, ThreadPool& pool, Rng& rng) {
+  const coding::Params params{.n = n, .k = k};
+  const coding::Segment segment = coding::Segment::random(params, rng);
+  const cpu::CpuEncoder encoder(segment, pool, partitioning);
+  // Size the batch for a ~50 ms measurement window.
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(4, (1 << 24) / params.segment_bytes());
+  coding::CodedBatch batch(params, batch_blocks);
+  Rng coeff_rng(7);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    for (auto& c : batch.coefficients(j)) c = coeff_rng.next_nonzero_byte();
+  }
+  encoder.encode_into(batch);  // warm-up
+  Timer timer;
+  encoder.encode_into(batch);
+  return mb_per_second(static_cast<double>(batch.payload_bytes()),
+                       timer.elapsed_seconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace extnc::bench;
+  const bool csv = has_flag(argc, argv, "--csv");
+  const bool skip_host = has_flag(argc, argv, "--no-host");
+  const cpu::XeonModel xeon;
+
+  std::printf(
+      "Fig. 10: CPU encoding, full-block (FB) vs partitioned-block (PB) "
+      "(MB/s)\n\n");
+  std::printf("Modeled 2009 Mac Pro (8-core Xeon, 8 threads, SIMD):\n");
+  TablePrinter model({"block size", "FB n=128", "FB n=256", "FB n=512",
+                      "PB n=128", "PB n=256", "PB n=512"});
+  for (std::size_t k : block_size_sweep()) {
+    std::vector<std::string> row{block_size_label(k)};
+    for (auto scheme : {cpu::EncodePartitioning::kFullBlock,
+                        cpu::EncodePartitioning::kPartitionedBlock}) {
+      for (std::size_t n : {128u, 256u, 512u}) {
+        row.push_back(
+            TablePrinter::num(xeon.encode_mb_per_s({.n = n, .k = k}, scheme)));
+      }
+    }
+    model.add_row(std::move(row));
+  }
+  print_table(model, csv);
+
+  if (!skip_host) {
+    std::printf("\nMeasured on this host (%u hardware threads, %s SIMD):\n",
+                std::thread::hardware_concurrency(), gf256::ops().name);
+    ThreadPool pool;
+    Rng rng(1);
+    TablePrinter host({"block size", "FB n=128", "PB n=128", "FB n=256",
+                       "PB n=256"});
+    for (std::size_t k : block_size_sweep()) {
+      std::vector<std::string> row{block_size_label(k)};
+      for (std::size_t n : {128u, 256u}) {
+        row.push_back(TablePrinter::num(measure_host(
+            cpu::EncodePartitioning::kFullBlock, n, k, pool, rng)));
+        row.push_back(TablePrinter::num(measure_host(
+            cpu::EncodePartitioning::kPartitionedBlock, n, k, pool, rng)));
+      }
+      host.add_row(std::move(row));
+    }
+    print_table(host, csv);
+    std::printf(
+        "\nExpected shape: FB flat across block sizes; PB catches up as "
+        "blocks grow (Sec. 5.3).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 4(a): loop-based GPU encoding bandwidth vs block size, for n = 128,
+// 256, 512 blocks, on the GTX 280 and the 8800 GT — plus the Sec. 4.3
+// arithmetic (GF-multiplications/s, instruction rate vs peak, memory rate).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpu/gpu_model.h"
+#include "simgpu/device_spec.h"
+
+namespace {
+
+using namespace extnc;
+using namespace extnc::bench;
+using namespace extnc::gpu;
+
+void print_analysis(double mb_per_s, const coding::Params& params) {
+  // The paper's Sec. 4.3 sanity arithmetic at (n=128, k=4 KB, 133 MB/s).
+  const double bytes_per_s = mb_per_s * 1024 * 1024;
+  const double words_per_s = bytes_per_s / 4;
+  const double gf_muls_per_s = words_per_s * static_cast<double>(params.n);
+  const double instr_per_mul = 7.0 * 10.5;  // avg iterations x instr/iter
+  const double gips = gf_muls_per_s * instr_per_mul / 1e9;
+  const double peak_gips = simgpu::gtx280().peak_ips() / 1e9;
+  // 5n + 4 bytes of traffic per generated word (Sec. 4.3).
+  const double gb_per_s =
+      words_per_s * (5.0 * static_cast<double>(params.n) + 4.0) / 1e9;
+  std::printf("\nSec. 4.3 analysis at (n=%zu, k=%zu), %.1f MB/s:\n", params.n,
+              params.k, mb_per_s);
+  std::printf("  GF-multiplications/s : %.0f million (paper: 4463 million)\n",
+              gf_muls_per_s / 1e6);
+  std::printf("  instruction rate     : %.0f GIPS = %.0f%% of %.0f GIPS peak "
+              "(paper: ~91%%)\n",
+              gips, 100.0 * gips / peak_gips, peak_gips);
+  std::printf("  memory traffic       : %.1f GB/s of %.0f GB/s available\n",
+              gb_per_s, simgpu::gtx280().mem_bandwidth_bytes_per_s / 1e9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  std::printf("Fig. 4(a): loop-based GPU encoding bandwidth (MB/s)\n\n");
+  TablePrinter table({"block size", "GTX280 n=128", "GTX280 n=256",
+                      "GTX280 n=512", "8800GT n=128", "8800GT n=256",
+                      "8800GT n=512"});
+  for (std::size_t k : block_size_sweep()) {
+    std::vector<std::string> row{block_size_label(k)};
+    for (const simgpu::DeviceSpec* spec :
+         {&simgpu::gtx280(), &simgpu::geforce_8800gt()}) {
+      for (std::size_t n : {128u, 256u, 512u}) {
+        row.push_back(TablePrinter::num(
+            model_encode_bandwidth(*spec, EncodeScheme::kLoopBased,
+                                   {.n = n, .k = k})
+                .mb_per_s));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table, csv);
+
+  if (!csv) {
+    const coding::Params anchor{.n = 128, .k = 4096};
+    print_analysis(
+        model_encode_bandwidth(simgpu::gtx280(), EncodeScheme::kLoopBased,
+                               anchor)
+            .mb_per_s,
+        anchor);
+  }
+  return 0;
+}

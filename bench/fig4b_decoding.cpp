@@ -1,0 +1,43 @@
+// Fig. 4(b): single-segment decoding bandwidth vs block size — GPU
+// (GTX 280, modeled) against the 8-core Mac Pro (modeled) for n = 128,
+// 256, 512. The paper's qualitative claims to look for in the output: the
+// CPU wins below 8 KB, the GPU wins at 8 KB and above, and both rise with
+// block size.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cpu/xeon_model.h"
+#include "gpu/gpu_model.h"
+
+int main(int argc, char** argv) {
+  using namespace extnc;
+  using namespace extnc::bench;
+  const bool csv = has_flag(argc, argv, "--csv");
+  const cpu::XeonModel xeon;
+
+  std::printf("Fig. 4(b): single-segment decoding bandwidth (MB/s)\n\n");
+  TablePrinter table({"block size", "GTX280 n=128", "GTX280 n=256",
+                      "GTX280 n=512", "MacPro n=128", "MacPro n=256",
+                      "MacPro n=512"});
+  for (std::size_t k : block_size_sweep()) {
+    std::vector<std::string> row{block_size_label(k)};
+    for (std::size_t n : {128u, 256u, 512u}) {
+      row.push_back(TablePrinter::num(
+          gpu::model_single_segment_decode(simgpu::gtx280(), {.n = n, .k = k})
+              .mb_per_s));
+    }
+    for (std::size_t n : {128u, 256u, 512u}) {
+      row.push_back(TablePrinter::num(
+          xeon.decode_single_segment_mb_per_s({.n = n, .k = k})));
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table, csv);
+
+  if (!csv) {
+    std::printf(
+        "\nCrossover check (n=128): GPU decode should first beat the Mac Pro "
+        "at 8 KB blocks (paper Sec. 4.3).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 6: the optimized table-based encoding scheme (Sec. 5.1.1/5.1.2,
+// "Table-based-1") against the loop-based scheme, both on the GTX 280,
+// across block sizes and n = 128/256/512. The paper reports "at least 30%"
+// improvement across all settings.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpu/gpu_model.h"
+
+int main(int argc, char** argv) {
+  using namespace extnc;
+  using namespace extnc::bench;
+  using namespace extnc::gpu;
+  const bool csv = has_flag(argc, argv, "--csv");
+
+  std::printf(
+      "Fig. 6: table-based (TB) vs loop-based (LB) encoding on GTX 280 "
+      "(MB/s)\n\n");
+  TablePrinter table({"block size", "TB n=128", "TB n=256", "TB n=512",
+                      "LB n=128", "LB n=256", "LB n=512", "gain n=128"});
+  for (std::size_t k : block_size_sweep()) {
+    std::vector<std::string> row{block_size_label(k)};
+    double tb128 = 0;
+    double lb128 = 0;
+    for (std::size_t n : {128u, 256u, 512u}) {
+      const double rate = model_encode_bandwidth(
+                              simgpu::gtx280(), EncodeScheme::kTable1,
+                              {.n = n, .k = k})
+                              .mb_per_s;
+      if (n == 128) tb128 = rate;
+      row.push_back(TablePrinter::num(rate));
+    }
+    for (std::size_t n : {128u, 256u, 512u}) {
+      const double rate = model_encode_bandwidth(
+                              simgpu::gtx280(), EncodeScheme::kLoopBased,
+                              {.n = n, .k = k})
+                              .mb_per_s;
+      if (n == 128) lb128 = rate;
+      row.push_back(TablePrinter::num(rate));
+    }
+    row.push_back(TablePrinter::num(100.0 * (tb128 / lb128 - 1.0), 0) + "%");
+    table.add_row(std::move(row));
+  }
+  print_table(table, csv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 7: the full optimization ladder at n = 128 on the GTX 280 — from
+// the loop-based baseline through Table-based-0..5 (Sec. 5.1.3). Also
+// prints the measured shared-memory conflict degree per scheme, the
+// quantity the TB-4 -> TB-5 step exists to reduce.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/segment.h"
+#include "gpu/gpu_encoder.h"
+#include "gpu/gpu_model.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace extnc;
+  using namespace extnc::bench;
+  using namespace extnc::gpu;
+  const bool csv = has_flag(argc, argv, "--csv");
+  const coding::Params params{.n = 128, .k = 4096};
+
+  struct Row {
+    EncodeScheme scheme;
+    double paper_mb_per_s;
+  };
+  const Row rows[] = {
+      {EncodeScheme::kLoopBased, 133.0}, {EncodeScheme::kTable0, 106.0},
+      {EncodeScheme::kTable1, 172.0},    {EncodeScheme::kTable2, 193.0},
+      {EncodeScheme::kTable3, 208.0},    {EncodeScheme::kTable4, 239.0},
+      {EncodeScheme::kTable5, 294.0},
+  };
+
+  std::printf("Fig. 7: encoding schemes at n = 128, k = 4 KB on GTX 280\n\n");
+  TablePrinter table({"scheme", "model MB/s", "paper MB/s", "vs loop-based",
+                      "shared conflict degree"});
+  const double loop_rate =
+      model_encode_bandwidth(simgpu::gtx280(), EncodeScheme::kLoopBased,
+                             params)
+          .mb_per_s;
+  Rng rng(1);
+  const coding::Segment segment =
+      coding::Segment::random({.n = 128, .k = 512}, rng);
+  for (const Row& row : rows) {
+    const double rate =
+        model_encode_bandwidth(simgpu::gtx280(), row.scheme, params).mb_per_s;
+    // Measure the conflict degree from a real (small) kernel run.
+    GpuEncoder encoder(simgpu::gtx280(), segment, row.scheme);
+    (void)encoder.encode_batch(16, rng);
+    table.add_row({scheme_name(row.scheme), TablePrinter::num(rate),
+                   TablePrinter::num(row.paper_mb_per_s),
+                   TablePrinter::num(rate / loop_rate, 2) + "x",
+                   TablePrinter::num(
+                       encoder.encode_metrics().shared_conflict_degree(), 2)});
+  }
+  print_table(table, csv);
+
+  if (!csv) {
+    std::printf(
+        "\nHeadline: table-based-5 / loop-based should be ~2.2x (paper "
+        "Sec. 5.1.3).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 8: the best (table-based-5) encoding scheme across block sizes for
+// n = 128, 256, 512, 1024 on the GTX 280. Paper labels at k = 4 KB:
+// 298.5 / 146.9 / 73.5 / 36.6 MB/s.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpu/gpu_model.h"
+
+int main(int argc, char** argv) {
+  using namespace extnc;
+  using namespace extnc::bench;
+  using namespace extnc::gpu;
+  const bool csv = has_flag(argc, argv, "--csv");
+
+  std::printf("Fig. 8: highly optimized encoding on GTX 280 (MB/s)\n\n");
+  TablePrinter table(
+      {"block size", "n=128", "n=256", "n=512", "n=1024"});
+  for (std::size_t k : block_size_sweep()) {
+    std::vector<std::string> row{block_size_label(k)};
+    for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+      row.push_back(TablePrinter::num(
+          model_encode_bandwidth(simgpu::gtx280(), EncodeScheme::kTable5,
+                                 {.n = n, .k = k})
+              .mb_per_s));
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table, csv);
+  if (!csv) {
+    std::printf(
+        "\nPaper anchors at k = 4 KB: 298.5 / 146.9 / 73.5 / 36.6 MB/s.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 9: parallel multi-segment decoding — GTX 280 with 3 and 6 segments
+// in flight vs the Mac Pro decoding 8 segments (one per core), across
+// block sizes and n. Stage-1 (matrix inversion) share annotations are
+// printed alongside, as on the paper's figure.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cpu/xeon_model.h"
+#include "gpu/gpu_model.h"
+
+int main(int argc, char** argv) {
+  using namespace extnc;
+  using namespace extnc::bench;
+  const bool csv = has_flag(argc, argv, "--csv");
+  const cpu::XeonModel xeon;
+
+  std::printf(
+      "Fig. 9: parallel multi-segment decoding (MB/s); s1%% = stage-1 share "
+      "of decode time\n\n");
+  TablePrinter table({"block size", "GTX 6seg n=128", "s1%", "GTX 3seg n=128",
+                      "s1%", "GTX 3seg n=256", "GTX 3seg n=512",
+                      "MacPro n=128", "MacPro n=256", "MacPro n=512"});
+  for (std::size_t k : block_size_sweep()) {
+    const auto six =
+        gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = 128, .k = k}, 6);
+    const auto three =
+        gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = 128, .k = k}, 3);
+    std::vector<std::string> row{block_size_label(k)};
+    row.push_back(TablePrinter::num(six.mb_per_s));
+    row.push_back(TablePrinter::num(100 * six.stage1_share, 0));
+    row.push_back(TablePrinter::num(three.mb_per_s));
+    row.push_back(TablePrinter::num(100 * three.stage1_share, 0));
+    for (std::size_t n : {256u, 512u}) {
+      row.push_back(TablePrinter::num(
+          gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = n, .k = k}, 3)
+              .mb_per_s));
+    }
+    for (std::size_t n : {128u, 256u, 512u}) {
+      row.push_back(TablePrinter::num(
+          xeon.decode_multi_segment_mb_per_s({.n = n, .k = k})));
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table, csv);
+
+  if (!csv) {
+    std::printf(
+        "\nChecks: 6-seg n=128 peaks near 254 MB/s; the Mac Pro curves drop "
+        "once 8 segments outgrow the 24 MB L2 (32 KB blocks for n=128, "
+        "16 KB for n=256, 8 KB for n=512); multi-segment GPU decode beats "
+        "the Mac Pro for blocks above 256 B.\n");
+  }
+  return 0;
+}

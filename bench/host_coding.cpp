@@ -1,0 +1,153 @@
+// Host-measured end-to-end coding throughput: the real multi-threaded SIMD
+// encoder/decoder of this library on this machine (the "measured"
+// counterpart to the modeled 2009-hardware figures). google-benchmark
+// binary.
+#include <benchmark/benchmark.h>
+
+#include "coding/block_decoder.h"
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "cpu/cpu_decoder.h"
+#include "cpu/cpu_encoder.h"
+#include "cpu/multi_segment_decoder.h"
+#include "util/rng.h"
+
+namespace extnc {
+namespace {
+
+using coding::CodedBatch;
+using coding::Params;
+using coding::Segment;
+
+void BM_CpuEncode(benchmark::State& state) {
+  const Params params{.n = static_cast<std::size_t>(state.range(0)),
+                      .k = static_cast<std::size_t>(state.range(1))};
+  const auto partitioning = state.range(2) == 0
+                                ? cpu::EncodePartitioning::kFullBlock
+                                : cpu::EncodePartitioning::kPartitionedBlock;
+  state.SetLabel(partitioning == cpu::EncodePartitioning::kFullBlock
+                     ? "full-block"
+                     : "partitioned");
+  Rng rng(1);
+  const Segment segment = Segment::random(params, rng);
+  ThreadPool pool;
+  const cpu::CpuEncoder encoder(segment, pool, partitioning);
+  CodedBatch batch(params, 64);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    for (auto& c : batch.coefficients(j)) c = rng.next_nonzero_byte();
+  }
+  for (auto _ : state) {
+    encoder.encode_into(batch);
+    benchmark::DoNotOptimize(batch.payloads_data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.payload_bytes()));
+}
+BENCHMARK(BM_CpuEncode)
+    ->ArgsProduct({{128, 256}, {1024, 4096, 16384}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SerialDecode(benchmark::State& state) {
+  const Params params{.n = static_cast<std::size_t>(state.range(0)),
+                      .k = static_cast<std::size_t>(state.range(1))};
+  Rng rng(2);
+  const Segment segment = Segment::random(params, rng);
+  const coding::Encoder encoder(segment);
+  // Pre-generate enough independent blocks outside the timed region.
+  std::vector<coding::CodedBlock> blocks;
+  {
+    coding::ProgressiveDecoder probe(params);
+    while (!probe.is_complete()) {
+      coding::CodedBlock block = encoder.encode(rng);
+      if (probe.add(block) ==
+          coding::ProgressiveDecoder::Result::kAccepted) {
+        blocks.push_back(std::move(block));
+      }
+    }
+  }
+  for (auto _ : state) {
+    coding::ProgressiveDecoder decoder(params);
+    for (const auto& block : blocks) decoder.add(block);
+    benchmark::DoNotOptimize(decoder.is_complete());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.segment_bytes()));
+}
+BENCHMARK(BM_SerialDecode)
+    ->ArgsProduct({{64, 128}, {1024, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDecode(benchmark::State& state) {
+  const Params params{.n = static_cast<std::size_t>(state.range(0)),
+                      .k = static_cast<std::size_t>(state.range(1))};
+  Rng rng(3);
+  const Segment segment = Segment::random(params, rng);
+  const coding::Encoder encoder(segment);
+  std::vector<coding::CodedBlock> blocks;
+  {
+    coding::ProgressiveDecoder probe(params);
+    while (!probe.is_complete()) {
+      coding::CodedBlock block = encoder.encode(rng);
+      if (probe.add(block) ==
+          coding::ProgressiveDecoder::Result::kAccepted) {
+        blocks.push_back(std::move(block));
+      }
+    }
+  }
+  ThreadPool pool;
+  for (auto _ : state) {
+    cpu::CpuDecoder decoder(params, pool);
+    for (const auto& block : blocks) decoder.add(block);
+    benchmark::DoNotOptimize(decoder.is_complete());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.segment_bytes()));
+}
+BENCHMARK(BM_ParallelDecode)
+    ->ArgsProduct({{64, 128}, {4096, 16384}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiSegmentDecode(benchmark::State& state) {
+  const Params params{.n = static_cast<std::size_t>(state.range(0)),
+                      .k = static_cast<std::size_t>(state.range(1))};
+  const auto segments = static_cast<std::size_t>(state.range(2));
+  Rng rng(4);
+  std::vector<CodedBatch> batches;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const Segment segment = Segment::random(params, rng);
+    const coding::Encoder encoder(segment);
+    coding::BlockDecoder probe(params);
+    CodedBatch batch(params, params.n);
+    std::size_t stored = 0;
+    while (stored < params.n) {
+      coding::CodedBlock block = encoder.encode(rng);
+      if (!probe.add(block)) continue;
+      std::copy(block.coefficients().begin(), block.coefficients().end(),
+                batch.coefficients(stored).begin());
+      std::copy(block.payload().begin(), block.payload().end(),
+                batch.payload(stored).begin());
+      ++stored;
+    }
+    batches.push_back(std::move(batch));
+  }
+  ThreadPool pool;
+  const cpu::MultiSegmentDecoder decoder(params, pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode_all(batches));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(segments * params.segment_bytes()));
+}
+BENCHMARK(BM_MultiSegmentDecode)
+    ->Args({64, 4096, 8})
+    ->Args({128, 4096, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace extnc
+
+BENCHMARK_MAIN();

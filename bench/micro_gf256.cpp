@@ -1,0 +1,112 @@
+// Microbenchmarks of the GF(2^8) primitives: scalar multiply variants,
+// every region-op backend available on this host, and dense matrix
+// operations. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "gf256/gf.h"
+#include "gf256/matrix.h"
+#include "gf256/region.h"
+#include "gf256/swar.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace extnc::gf256 {
+namespace {
+
+void BM_MulTable(benchmark::State& state) {
+  Rng rng(1);
+  std::uint8_t x = rng.next_byte();
+  std::uint8_t y = rng.next_byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = mul(x, static_cast<std::uint8_t>(y | 1)));
+  }
+}
+BENCHMARK(BM_MulTable);
+
+void BM_MulLoop(benchmark::State& state) {
+  Rng rng(2);
+  std::uint8_t x = rng.next_byte();
+  std::uint8_t y = rng.next_byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = mul_loop(x, static_cast<std::uint8_t>(y | 1)));
+  }
+}
+BENCHMARK(BM_MulLoop);
+
+void BM_MulPreprocessed(benchmark::State& state) {
+  const Tables& t = tables();
+  Rng rng(3);
+  std::uint8_t log_x = t.log[rng.next_nonzero_byte()];
+  const std::uint8_t log_y = t.log[rng.next_nonzero_byte()];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log_x = mul_preprocessed(log_x | 1, log_y));
+  }
+}
+BENCHMARK(BM_MulPreprocessed);
+
+void BM_MulByteWord64(benchmark::State& state) {
+  Rng rng(4);
+  std::uint64_t w = rng.next();
+  const std::uint8_t c = rng.next_nonzero_byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w = mul_byte_word(c, w));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_MulByteWord64);
+
+void BM_MulAddRegion(benchmark::State& state) {
+  const auto& backends = available_backends();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= backends.size()) {
+    state.SkipWithError("backend not available on this host");
+    return;
+  }
+  const Ops& ops = *backends[index];
+  state.SetLabel(ops.name);
+  const auto len = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  AlignedBuffer src(len);
+  AlignedBuffer dst(len);
+  for (auto& b : src.span()) b = rng.next_byte();
+  for (auto _ : state) {
+    ops.mul_add_region(dst.data(), src.data(), 0x53, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_MulAddRegion)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {4096, 65536}});
+
+void BM_MatrixInvert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Matrix m = Matrix::random_invertible(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.inverted());
+  }
+}
+BENCHMARK(BM_MatrixInvert)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MatrixMultiplyRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 4096;
+  Rng rng(7);
+  const Matrix coeffs = Matrix::random_dense(n, n, rng);
+  AlignedBuffer payload(n * k);
+  AlignedBuffer out(n * k);
+  for (auto& b : payload.span()) b = rng.next_byte();
+  for (auto _ : state) {
+    coeffs.multiply_rows(payload.data(), k, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * k));
+}
+BENCHMARK(BM_MatrixMultiplyRows)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace extnc::gf256
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// The butterfly network: the textbook example of why network coding
+// exists. Both sinks want the full generation; the bottleneck edge can
+// carry only one block per round. Coding at the relay achieves the
+// multicast capacity of 2 blocks/round per sink; even optimal routing
+// (fractional Steiner-tree packing) caps at 1.5.
+#include <cstdio>
+
+#include "net/butterfly.h"
+
+int main() {
+  using namespace extnc;
+  const coding::Params params{.n = 60, .k = 128};
+
+  std::printf("Butterfly multicast of %zu blocks to two sinks\n\n", params.n);
+
+  const net::ButterflyResult coded = net::run_butterfly_coded(params, 1);
+  std::printf("With network coding at the relay:\n");
+  std::printf("  rounds     : %zu\n", coded.rounds);
+  std::printf("  rate/sink  : %.2f blocks/round (capacity: 2.0)\n",
+              coded.blocks_per_round(params));
+  std::printf("  redundant  : %zu deliveries\n", coded.redundant_blocks);
+  std::printf("  decoded OK : %s\n\n", coded.decoded_correctly ? "yes" : "NO");
+
+  const net::ButterflyResult routed = net::run_butterfly_routed(params, 1);
+  std::printf("With optimal routing (3-tree packing):\n");
+  std::printf("  rounds     : %zu\n", routed.rounds);
+  std::printf("  rate/sink  : %.2f blocks/round (routing capacity: 1.5)\n",
+              routed.blocks_per_round(params));
+  std::printf("  decoded OK : %s\n\n",
+              routed.decoded_correctly ? "yes" : "NO");
+
+  std::printf("Coding speedup: %.2fx (theory: 2.0 / 1.5 = 1.33x)\n",
+              static_cast<double>(routed.rounds) /
+                  static_cast<double>(coded.rounds));
+  return coded.decoded_correctly && routed.decoded_correctly ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Avalanche-style bulk content distribution (Gkantsidis & Rodriguez): a
+// server seeds a swarm with coded blocks; peers gossip random linear
+// recombinations. Compares network coding against verbatim forwarding and
+// shows loss resilience — the properties that motivated using RLNC for
+// content distribution in the first place (paper Sec. 2).
+#include <cstdio>
+
+#include "net/swarm.h"
+
+namespace {
+
+void report(const char* title, const extnc::net::SwarmResult& result) {
+  std::printf("%s\n", title);
+  std::printf("  completed            : %s in %.1f s\n",
+              result.all_completed ? "all peers" : "TIMED OUT",
+              result.completion_seconds);
+  std::printf("  blocks sent / lost   : %zu / %zu\n", result.blocks_sent,
+              result.blocks_lost);
+  std::printf("  innovative/dependent : %zu / %zu (overhead %.1f%%)\n",
+              result.blocks_innovative, result.blocks_dependent,
+              100 * result.dependent_overhead());
+  std::printf("  decode integrity     : %s\n\n",
+              result.all_decoded_correctly ? "verified" : "FAILED");
+}
+
+}  // namespace
+
+int main() {
+  using namespace extnc::net;
+
+  SwarmConfig config;
+  config.params = {.n = 16, .k = 256};  // 4 KB generation
+  config.peers = 24;
+  config.neighbors = 4;
+  config.server_blocks_per_second = 4.0;  // a weak seed: peers must gossip
+  config.peer_blocks_per_second = 2.0;
+  config.seed = 2009;
+  config.max_seconds = 20000;
+
+  std::printf("Swarm: %zu peers, generation of %zu x %zu B, weak seed "
+              "(%.0f blk/s)\n\n",
+              config.peers, config.params.n, config.params.k,
+              config.server_blocks_per_second);
+
+  config.use_recoding = true;
+  report("With network coding (peers recode):", run_swarm(config));
+
+  config.use_recoding = false;
+  report("Without coding (peers forward verbatim):", run_swarm(config));
+
+  config.use_recoding = true;
+  config.loss_probability = 0.25;
+  report("Network coding under 25% packet loss:", run_swarm(config));
+
+  std::printf(
+      "Expected: recoding completes fastest with near-zero overhead; "
+      "forwarding wastes a large fraction of transmissions on duplicates; "
+      "loss delays but never breaks completion (no retransmission protocol "
+      "needed).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: encode a segment with random linear network coding, lose
+// some blocks, recode at a relay, and decode at a sink.
+//
+// Build & run:   ./examples/quickstart
+#include <cstdio>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "coding/recoder.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace extnc;
+  using namespace extnc::coding;
+
+  // A generation ("segment") of n = 32 blocks, 1 KB each.
+  const Params params{.n = 32, .k = 1024};
+  Rng rng(2009);
+  const Segment original = Segment::random(params, rng);
+  std::printf("Source segment: %zu blocks x %zu bytes = %zu KB\n", params.n,
+              params.k, params.segment_bytes() / 1024);
+
+  // The source emits coded blocks: random GF(2^8) combinations of all n
+  // source blocks. Any n linearly independent coded blocks suffice to
+  // decode; which ones arrive does not matter.
+  const Encoder encoder(original);
+
+  // A relay that never decodes: it buffers whatever it receives and emits
+  // fresh random combinations of it (the defining operation of *network*
+  // coding).
+  Recoder relay(params);
+  int lost = 0;
+  for (std::size_t i = 0; i < params.n + 6; ++i) {
+    CodedBlock block = encoder.encode(rng);
+    if (rng.next_double() < 0.15) {  // 15% loss on the source->relay link
+      ++lost;
+      continue;
+    }
+    relay.add(block);
+  }
+  std::printf("Relay received %zu coded blocks (%d lost in transit)\n",
+              relay.buffered(), lost);
+
+  // The sink decodes progressively with Gauss-Jordan elimination; a
+  // linearly dependent block is detected for free and discarded.
+  ProgressiveDecoder sink(params);
+  std::size_t received = 0;
+  while (!sink.is_complete()) {
+    const CodedBlock block = relay.recode(rng);
+    ++received;
+    if (sink.add(block) == ProgressiveDecoder::Result::kLinearlyDependent) {
+      std::printf("  block %zu was linearly dependent, discarded\n", received);
+    }
+  }
+  std::printf("Sink decoded after %zu recoded blocks (rank %zu/%zu)\n",
+              received, sink.rank(), params.n);
+
+  const Segment decoded = sink.decoded_segment();
+  std::printf("Decoded segment matches original: %s\n",
+              decoded == original ? "yes" : "NO (bug!)");
+  return decoded == original ? 0 : 1;
+}

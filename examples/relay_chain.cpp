@@ -1,0 +1,45 @@
+// Multi-hop relay chain under loss: why coding must happen *inside* the
+// network. A source pushes one packet per round through a chain of relays
+// whose links each drop packets independently; the sink decodes a full
+// generation. Recoding relays sustain the min-cut rate (1 - loss) however
+// long the chain gets; store-and-forward decays as (1 - loss)^hops.
+#include <cstdio>
+#include <initializer_list>
+
+#include "net/line_network.h"
+
+int main() {
+  using namespace extnc;
+  net::LineNetworkConfig config;
+  config.params = {.n = 32, .k = 64};
+  config.loss_probability = 0.2;
+  config.seed = 7;
+  config.max_rounds = 1000000;
+
+  std::printf("Relay chain, 20%% loss per link, generation of %zu blocks\n\n",
+              config.params.n);
+  std::printf("%-6s %-22s %-22s %s\n", "hops", "recoding (blk/round)",
+              "forwarding (blk/round)", "coding gain");
+  for (std::size_t hops : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    config.hops = hops;
+    config.recode_at_relays = true;
+    const auto coded = net::run_line_network(config);
+    config.recode_at_relays = false;
+    const auto forwarded = net::run_line_network(config);
+    if (!coded.completed || !forwarded.completed) {
+      std::printf("%-6zu (did not complete within the round limit)\n", hops);
+      continue;
+    }
+    std::printf("%-6zu %-22.2f %-22.2f %.2fx\n", hops,
+                coded.goodput(config.params),
+                forwarded.goodput(config.params),
+                static_cast<double>(forwarded.rounds) /
+                    static_cast<double>(coded.rounds));
+  }
+  std::printf(
+      "\nTheory: recoding holds ~%.2f blocks/round at any depth; forwarding "
+      "falls as 0.8^hops. Both sinks decode bit-exact data (verified "
+      "internally).\n",
+      1 - config.loss_probability);
+  return 0;
+}

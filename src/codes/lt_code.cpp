@@ -1,0 +1,146 @@
+#include "codes/lt_code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc::codes {
+
+SolitonDistribution::SolitonDistribution(const LtParams& params) {
+  const std::size_t k = params.source_blocks;
+  EXTNC_CHECK(k >= 1);
+  // Ideal soliton: rho(1) = 1/k, rho(d) = 1/(d(d-1)).
+  std::vector<double> mass(k + 1, 0.0);
+  mass[1] = 1.0 / static_cast<double>(k);
+  for (std::size_t d = 2; d <= k; ++d) {
+    mass[d] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  // Robust spike: tau(d) = R/(d k) for d < k/R, tau(k/R) = R ln(R/delta)/k,
+  // with R = c ln(k/delta) sqrt(k).
+  const double r = params.c *
+                   std::log(static_cast<double>(k) / params.delta) *
+                   std::sqrt(static_cast<double>(k));
+  if (r > 1.0) {
+    const auto spike = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(k), std::floor(k / r)));
+    for (std::size_t d = 1; d < spike && d <= k; ++d) {
+      mass[d] += r / (static_cast<double>(d) * static_cast<double>(k));
+    }
+    if (spike >= 1 && spike <= k) {
+      mass[spike] += r * std::log(r / params.delta) / static_cast<double>(k);
+    }
+  }
+  double total = 0;
+  for (std::size_t d = 1; d <= k; ++d) total += mass[d];
+  cdf_.resize(k);
+  double acc = 0;
+  for (std::size_t d = 1; d <= k; ++d) {
+    acc += mass[d] / total;
+    cdf_[d - 1] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t SolitonDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double SolitonDistribution::pmf(std::size_t degree) const {
+  EXTNC_CHECK(degree >= 1 && degree <= cdf_.size());
+  const double hi = cdf_[degree - 1];
+  const double lo = degree >= 2 ? cdf_[degree - 2] : 0.0;
+  return hi - lo;
+}
+
+LtEncoder::LtEncoder(LtParams params, std::vector<std::uint8_t> data)
+    : params_(params), distribution_(params), data_(std::move(data)) {
+  EXTNC_CHECK(data_.size() == params_.source_blocks * params_.block_bytes);
+}
+
+LtEncoder LtEncoder::random(LtParams params, Rng& rng) {
+  std::vector<std::uint8_t> data(params.source_blocks * params.block_bytes);
+  for (auto& b : data) b = rng.next_byte();
+  return LtEncoder(params, std::move(data));
+}
+
+LtPacket LtEncoder::encode(Rng& rng) const {
+  const std::size_t k = params_.source_blocks;
+  const std::size_t degree = distribution_.sample(rng);
+  LtPacket packet;
+  packet.payload = AlignedBuffer(params_.block_bytes);
+  packet.sources.reserve(degree);
+  while (packet.sources.size() < degree) {
+    const auto pick = static_cast<std::uint32_t>(rng.next_below(k));
+    if (std::find(packet.sources.begin(), packet.sources.end(), pick) !=
+        packet.sources.end()) {
+      continue;
+    }
+    packet.sources.push_back(pick);
+    const std::uint8_t* row = data_.data() + pick * params_.block_bytes;
+    for (std::size_t i = 0; i < params_.block_bytes; ++i) {
+      packet.payload[i] ^= row[i];
+    }
+  }
+  return packet;
+}
+
+LtDecoder::LtDecoder(LtParams params)
+    : params_(params),
+      have_(params.source_blocks, false),
+      data_(params.source_blocks * params.block_bytes, 0) {}
+
+void LtDecoder::add(LtPacket packet) {
+  if (is_complete()) return;
+  ++packets_received_;
+  pending_.push_back(std::move(packet));
+  peel();
+}
+
+void LtDecoder::peel() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& packet : pending_) {
+      // Strip already-decoded sources out of the packet.
+      for (std::size_t s = 0; s < packet.sources.size();) {
+        const std::uint32_t index = packet.sources[s];
+        if (!have_[index]) {
+          ++s;
+          continue;
+        }
+        const std::uint8_t* row =
+            data_.data() + index * params_.block_bytes;
+        for (std::size_t i = 0; i < params_.block_bytes; ++i) {
+          packet.payload[i] ^= row[i];
+        }
+        packet.sources[s] = packet.sources.back();
+        packet.sources.pop_back();
+      }
+      // A degree-1 packet reveals a source block.
+      if (packet.sources.size() == 1) {
+        const std::uint32_t index = packet.sources.front();
+        EXTNC_DASSERT(!have_[index]);
+        std::memcpy(data_.data() + index * params_.block_bytes,
+                    packet.payload.data(), params_.block_bytes);
+        have_[index] = true;
+        ++decoded_count_;
+        packet.sources.clear();
+        progress = true;
+      }
+    }
+    // Drop fully consumed packets.
+    std::erase_if(pending_,
+                  [](const LtPacket& p) { return p.sources.empty(); });
+  }
+}
+
+const std::vector<std::uint8_t>& LtDecoder::decoded() const {
+  EXTNC_CHECK(is_complete());
+  return data_;
+}
+
+}  // namespace extnc::codes

@@ -1,0 +1,92 @@
+// LT fountain code (Luby transform) — the rateless comparator the paper's
+// Sec. 2 cites via Luby et al. [8].
+//
+// Encoding: draw a degree d from the robust soliton distribution, XOR d
+// uniformly chosen source blocks. Decoding: belief-propagation "peeling" —
+// resolve degree-1 packets, substitute into the rest, repeat. Linear-time
+// decoding, but with reception overhead (k + O(sqrt(k) ln^2(k/delta))
+// packets needed) that random linear coding does not have, and — the
+// property the paper's systems care about — XORing two LT packets does NOT
+// yield a packet with the right degree distribution, so relays cannot
+// recode without wrecking the decoder's performance model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace extnc::codes {
+
+struct LtParams {
+  std::size_t source_blocks = 64;  // k
+  std::size_t block_bytes = 64;
+  // Robust soliton parameters (Luby's c and delta).
+  double c = 0.1;
+  double delta = 0.5;
+};
+
+// Degree distribution: robust soliton (ideal soliton + spike), tabulated.
+class SolitonDistribution {
+ public:
+  explicit SolitonDistribution(const LtParams& params);
+
+  std::size_t sample(Rng& rng) const;
+  // Probability mass of degree d (1-based; for tests).
+  double pmf(std::size_t degree) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[d-1] = P(degree <= d)
+};
+
+struct LtPacket {
+  std::vector<std::uint32_t> sources;  // indices XORed into the payload
+  AlignedBuffer payload;
+};
+
+class LtEncoder {
+ public:
+  // data: k rows of block_bytes, row-major, copied in.
+  LtEncoder(LtParams params, std::vector<std::uint8_t> data);
+
+  static LtEncoder random(LtParams params, Rng& rng);
+
+  const LtParams& params() const { return params_; }
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+  LtPacket encode(Rng& rng) const;
+
+ private:
+  LtParams params_;
+  SolitonDistribution distribution_;
+  std::vector<std::uint8_t> data_;
+};
+
+class LtDecoder {
+ public:
+  explicit LtDecoder(LtParams params);
+
+  // Returns true if the packet advanced decoding (was not redundant at the
+  // time of arrival — peeling may later still discard it).
+  void add(LtPacket packet);
+
+  bool is_complete() const { return decoded_count_ == params_.source_blocks; }
+  std::size_t decoded_count() const { return decoded_count_; }
+  std::size_t packets_received() const { return packets_received_; }
+
+  // Row-major k x block_bytes; valid when complete.
+  const std::vector<std::uint8_t>& decoded() const;
+
+ private:
+  void peel();
+
+  LtParams params_;
+  std::vector<LtPacket> pending_;
+  std::vector<bool> have_;
+  std::vector<std::uint8_t> data_;
+  std::size_t decoded_count_ = 0;
+  std::size_t packets_received_ = 0;
+};
+
+}  // namespace extnc::codes

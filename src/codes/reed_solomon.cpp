@@ -1,0 +1,100 @@
+#include "codes/reed_solomon.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::codes {
+
+ReedSolomon::ReedSolomon(RsParams params)
+    : params_(params),
+      cauchy_(params.parity_blocks, params.data_blocks) {
+  EXTNC_CHECK(params_.data_blocks >= 1);
+  EXTNC_CHECK(params_.parity_blocks >= 1);
+  EXTNC_CHECK(params_.block_bytes >= 1);
+  // Cauchy matrix needs k + m distinct field points split into two sets.
+  EXTNC_CHECK(params_.data_blocks + params_.parity_blocks <= 256);
+  // cauchy[j][i] = 1 / (x_j ^ y_i) with x_j = j, y_i = m + i: all sums are
+  // nonzero because the point sets are disjoint. Every square submatrix of
+  // a Cauchy matrix is invertible, which is what makes the code MDS.
+  for (std::size_t j = 0; j < params_.parity_blocks; ++j) {
+    for (std::size_t i = 0; i < params_.data_blocks; ++i) {
+      const auto x = static_cast<std::uint8_t>(j);
+      const auto y = static_cast<std::uint8_t>(params_.parity_blocks + i);
+      cauchy_.set(j, i, gf256::inv(x ^ y));
+    }
+  }
+}
+
+std::vector<AlignedBuffer> ReedSolomon::encode(
+    std::span<const std::uint8_t> data) const {
+  const std::size_t k = params_.data_blocks;
+  const std::size_t bytes = params_.block_bytes;
+  EXTNC_CHECK(data.size() == k * bytes);
+  std::vector<AlignedBuffer> parity;
+  parity.reserve(params_.parity_blocks);
+  const gf256::Ops& ops = gf256::ops();
+  for (std::size_t j = 0; j < params_.parity_blocks; ++j) {
+    AlignedBuffer row(bytes);
+    for (std::size_t i = 0; i < k; ++i) {
+      ops.mul_add_region(row.data(), data.data() + i * bytes,
+                         cauchy_.at(j, i), bytes);
+    }
+    parity.push_back(std::move(row));
+  }
+  return parity;
+}
+
+std::optional<std::vector<AlignedBuffer>> ReedSolomon::decode(
+    const std::vector<std::span<const std::uint8_t>>& shards) const {
+  const std::size_t k = params_.data_blocks;
+  const std::size_t m = params_.parity_blocks;
+  const std::size_t bytes = params_.block_bytes;
+  EXTNC_CHECK(shards.size() == k + m);
+
+  // Pick the first k surviving shards; build the matrix mapping data to
+  // them (unit rows for data shards, Cauchy rows for parity shards).
+  std::vector<std::size_t> chosen;
+  for (std::size_t s = 0; s < shards.size() && chosen.size() < k; ++s) {
+    if (shards[s].empty()) continue;
+    EXTNC_CHECK(shards[s].size() == bytes);
+    chosen.push_back(s);
+  }
+  if (chosen.size() < k) return std::nullopt;
+
+  gf256::Matrix mapping(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const std::size_t s = chosen[r];
+    if (s < k) {
+      mapping.set(r, s, 1);
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        mapping.set(r, i, cauchy_.at(s - k, i));
+      }
+    }
+  }
+  const auto inverse = mapping.inverted();
+  // Any k x k submatrix of [I ; Cauchy] is invertible (MDS).
+  EXTNC_CHECK(inverse.has_value());
+
+  // data = inverse * survivors.
+  AlignedBuffer survivors(k * bytes);
+  for (std::size_t r = 0; r < k; ++r) {
+    std::memcpy(survivors.data() + r * bytes, shards[chosen[r]].data(), bytes);
+  }
+  AlignedBuffer recovered(k * bytes);
+  inverse->multiply_rows(survivors.data(), bytes, recovered.data());
+
+  std::vector<AlignedBuffer> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    AlignedBuffer row(bytes);
+    std::memcpy(row.data(), recovered.data() + i * bytes, bytes);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace extnc::codes

@@ -1,0 +1,50 @@
+// Systematic Reed-Solomon erasure code over GF(2^8) (Cauchy construction)
+// — the "traditional" comparator the paper's Sec. 2 cites.
+//
+// k data blocks generate m parity blocks; ANY k of the k+m blocks recover
+// the data (MDS property) with zero decoding overhead — strictly better
+// than random coding on that axis. What it cannot do is the thing the
+// paper's systems need: an intermediate node holding RS blocks cannot
+// generate new useful blocks without fully decoding first, and the code is
+// fixed-rate (k and m chosen up front, no rateless stream of fresh
+// blocks). bench/ablation_codes measures both sides of the trade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf256/matrix.h"
+#include "util/aligned_buffer.h"
+
+namespace extnc::codes {
+
+struct RsParams {
+  std::size_t data_blocks = 8;    // k
+  std::size_t parity_blocks = 4;  // m; k + m <= 256 (Cauchy over GF(2^8))
+  std::size_t block_bytes = 64;
+};
+
+class ReedSolomon {
+ public:
+  explicit ReedSolomon(RsParams params);
+
+  const RsParams& params() const { return params_; }
+
+  // data: k rows of block_bytes, row-major. Returns m parity rows.
+  std::vector<AlignedBuffer> encode(
+      std::span<const std::uint8_t> data) const;
+
+  // Shards indexed 0..k-1 (data) and k..k+m-1 (parity); a missing shard is
+  // an empty span. Returns the reconstructed k data rows, or nullopt if
+  // fewer than k shards survive.
+  std::optional<std::vector<AlignedBuffer>> decode(
+      const std::vector<std::span<const std::uint8_t>>& shards) const;
+
+ private:
+  RsParams params_;
+  gf256::Matrix cauchy_;  // m x k parity-generator rows
+};
+
+}  // namespace extnc::codes

@@ -1,0 +1,75 @@
+#include "coding/block_decoder.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+BlockDecoder::BlockDecoder(Params params)
+    : params_(params),
+      coeffs_(params.n, params.n),
+      payloads_(params.n * params.k),
+      echelon_(params.n, params.n),
+      pivot_present_(params.n, false) {
+  params_.validate();
+}
+
+bool BlockDecoder::add(const CodedBlock& block) {
+  EXTNC_CHECK(block.params() == params_);
+  return add(block.coefficients(), block.payload());
+}
+
+bool BlockDecoder::add(std::span<const std::uint8_t> coefficients,
+                       std::span<const std::uint8_t> payload) {
+  EXTNC_CHECK(coefficients.size() == params_.n);
+  EXTNC_CHECK(payload.size() == params_.k);
+  if (is_ready()) return false;
+
+  const std::size_t n = params_.n;
+  const gf256::Ops& ops = gf256::ops();
+
+  // Reduce a copy of the coefficients against the running echelon basis.
+  AlignedBuffer reduced(n);
+  std::memcpy(reduced.data(), coefficients.data(), n);
+  // One increasing-column pass; the pivot is the first nonzero column with
+  // no echelon row, but elimination continues past it so the stored row is
+  // fully reduced against every existing pivot (see the matching comment
+  // in ProgressiveDecoder::add).
+  std::size_t pivot = n;
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::uint8_t value = reduced[col];
+    if (value == 0) continue;
+    if (pivot_present_[col]) {
+      ops.mul_add_region(reduced.data(), echelon_.row(col).data(), value, n);
+    } else if (pivot == n) {
+      pivot = col;
+    }
+  }
+  if (pivot == n) return false;  // dependent
+
+  const std::uint8_t scale = gf256::inv(reduced[pivot]);
+  ops.scale_region(reduced.data(), scale, n);
+  std::memcpy(echelon_.row(pivot).data(), reduced.data(), n);
+  pivot_present_[pivot] = true;
+
+  // Store the *original* row; inversion happens once at decode time.
+  std::memcpy(coeffs_.row(rank_).data(), coefficients.data(), n);
+  std::memcpy(payloads_.data() + rank_ * params_.k, payload.data(), params_.k);
+  ++rank_;
+  return true;
+}
+
+Segment BlockDecoder::decode() const {
+  EXTNC_CHECK(is_ready());
+  const auto inverse = coeffs_.inverted();
+  // Stored rows are independent by construction, so inversion succeeds.
+  EXTNC_CHECK(inverse.has_value());
+  Segment segment(params_);
+  inverse->multiply_rows(payloads_.data(), params_.k, segment.data());
+  return segment;
+}
+
+}  // namespace extnc::coding

@@ -1,0 +1,43 @@
+// A coded block x_j = sum_i c_ji * b_i together with its coefficient
+// vector [c_j1 .. c_jn] (Eq. 1 of the paper). The coefficients travel with
+// the payload, exactly as they would in a packet header on the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coding/params.h"
+#include "util/aligned_buffer.h"
+
+namespace extnc::coding {
+
+class CodedBlock {
+ public:
+  CodedBlock() = default;
+  explicit CodedBlock(Params params)
+      : params_(params), coefficients_(params.n), payload_(params.k) {}
+
+  const Params& params() const { return params_; }
+
+  std::span<std::uint8_t> coefficients() { return coefficients_.span(); }
+  std::span<const std::uint8_t> coefficients() const {
+    return coefficients_.span();
+  }
+  std::span<std::uint8_t> payload() { return payload_.span(); }
+  std::span<const std::uint8_t> payload() const { return payload_.span(); }
+
+  // Bytes this block occupies on the wire (header + payload).
+  std::size_t wire_size() const { return params_.n + params_.k; }
+
+  friend bool operator==(const CodedBlock& a, const CodedBlock& b) {
+    return a.params_ == b.params_ && a.coefficients_ == b.coefficients_ &&
+           a.payload_ == b.payload_;
+  }
+
+ private:
+  Params params_;
+  AlignedBuffer coefficients_;
+  AlignedBuffer payload_;
+};
+
+}  // namespace extnc::coding

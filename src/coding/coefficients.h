@@ -1,0 +1,51 @@
+// Coefficient-drawing policies.
+//
+// The paper evaluates with fully dense matrices (every coefficient
+// nonzero) and notes that "the performance will be even higher with
+// sparser matrices": a zero coefficient costs nothing in a region
+// operation and terminates the loop-based multiply immediately. Sparse
+// draws trade a slightly higher linear-dependence probability for that
+// speed; the sweet spot is workload-dependent and bench/ablation_density
+// measures it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+
+class CoefficientModel {
+ public:
+  // Every coefficient uniform over [1, 255] — the paper's setup.
+  static CoefficientModel dense() { return CoefficientModel(1.0); }
+  // Uniform over all of GF(2^8) (zeros appear with probability 1/256).
+  static CoefficientModel uniform() {
+    return CoefficientModel(255.0 / 256.0);
+  }
+  // Each coefficient is nonzero with probability `density`, else zero.
+  static CoefficientModel sparse(double density) {
+    EXTNC_CHECK(density > 0.0 && density <= 1.0);
+    return CoefficientModel(density);
+  }
+
+  double density() const { return density_; }
+
+  void draw(Rng& rng, std::span<std::uint8_t> coefficients) const {
+    if (density_ == 1.0) {
+      for (auto& c : coefficients) c = rng.next_nonzero_byte();
+      return;
+    }
+    for (auto& c : coefficients) {
+      c = rng.next_double() < density_ ? rng.next_nonzero_byte() : 0;
+    }
+  }
+
+ private:
+  explicit CoefficientModel(double density) : density_(density) {}
+  double density_;
+};
+
+}  // namespace extnc::coding

@@ -1,0 +1,37 @@
+#include "coding/encoder.h"
+
+#include <cstring>
+
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+CodedBlock Encoder::encode(Rng& rng) const {
+  CodedBlock block(params());
+  draw_coefficients(rng, block.coefficients());
+  encode_with_coefficients(block.coefficients(), block.payload());
+  return block;
+}
+
+void Encoder::encode_with_coefficients(
+    std::span<const std::uint8_t> coefficients,
+    std::span<std::uint8_t> payload) const {
+  const Params& p = params();
+  EXTNC_CHECK(coefficients.size() == p.n);
+  EXTNC_CHECK(payload.size() == p.k);
+  std::memset(payload.data(), 0, payload.size());
+  const gf256::Ops& ops = gf256::ops();
+  for (std::size_t i = 0; i < p.n; ++i) {
+    ops.mul_add_region(payload.data(), segment_->block(i).data(),
+                       coefficients[i], p.k);
+  }
+}
+
+void Encoder::draw_coefficients(Rng& rng,
+                                std::span<std::uint8_t> coefficients) const {
+  EXTNC_CHECK(coefficients.size() == params().n);
+  model_.draw(rng, coefficients);
+}
+
+}  // namespace extnc::coding

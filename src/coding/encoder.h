@@ -1,0 +1,46 @@
+// Reference (single-threaded) RLNC encoder.
+//
+// Produces coded blocks x_j = sum_i c_ji * b_i with coefficients drawn by
+// a CoefficientModel (fully dense by default, matching the paper's
+// evaluation setup). Multi-threaded and GPU encoders live in src/cpu and
+// src/gpu and are validated against this one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coding/coded_block.h"
+#include "coding/coefficients.h"
+#include "coding/segment.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+
+class Encoder {
+ public:
+  // The encoder keeps a reference to the segment; the segment must outlive
+  // the encoder (source blocks are large; we never copy them).
+  explicit Encoder(const Segment& segment,
+                   CoefficientModel model = CoefficientModel::dense())
+      : segment_(&segment), model_(model) {}
+
+  const Params& params() const { return segment_->params(); }
+
+  // Draw a fresh random coefficient vector and produce one coded block.
+  CodedBlock encode(Rng& rng) const;
+
+  // Encode with caller-provided coefficients (used by the recoder, the
+  // tests, and every alternative backend for bit-exact comparison).
+  void encode_with_coefficients(std::span<const std::uint8_t> coefficients,
+                                std::span<std::uint8_t> payload) const;
+
+  // Fill `coefficients` with a fresh random draw.
+  void draw_coefficients(Rng& rng,
+                         std::span<std::uint8_t> coefficients) const;
+
+ private:
+  const Segment* segment_;
+  CoefficientModel model_;
+};
+
+}  // namespace extnc::coding

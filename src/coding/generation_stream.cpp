@@ -1,0 +1,112 @@
+#include "coding/generation_stream.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+GenerationEncoder::GenerationEncoder(Params params,
+                                     std::span<const std::uint8_t> content,
+                                     bool systematic)
+    : params_(params),
+      content_bytes_(content.size()),
+      use_systematic_(systematic) {
+  params_.validate();
+  const std::size_t per_generation = params_.segment_bytes();
+  const std::size_t count =
+      content.empty() ? 1 : (content.size() + per_generation - 1) / per_generation;
+  segments_.reserve(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::size_t offset = g * per_generation;
+    const std::size_t len =
+        std::min(per_generation, content.size() - std::min(content.size(), offset));
+    segments_.push_back(
+        Segment::from_bytes(params_, content.subspan(offset, len)));
+  }
+  // Encoders hold pointers into segments_; construct only after the vector
+  // is final.
+  systematic_.reserve(count);
+  coded_.reserve(count);
+  for (const Segment& segment : segments_) {
+    systematic_.emplace_back(segment);
+    coded_.emplace_back(segment);
+  }
+}
+
+std::vector<std::uint8_t> GenerationEncoder::encode_packet(
+    std::uint32_t generation, Rng& rng) {
+  EXTNC_CHECK(generation < segments_.size());
+  const CodedBlock block = use_systematic_
+                               ? systematic_[generation].next(rng)
+                               : coded_[generation].encode(rng);
+  return serialize(generation, block);
+}
+
+std::vector<std::uint8_t> GenerationEncoder::encode_next_packet(Rng& rng) {
+  const auto generation = round_robin_;
+  round_robin_ = (round_robin_ + 1) % static_cast<std::uint32_t>(generations());
+  return encode_packet(generation, rng);
+}
+
+GenerationDecoder::GenerationDecoder(Params params, std::size_t generations)
+    : params_(params) {
+  params_.validate();
+  EXTNC_CHECK(generations >= 1);
+  decoders_.reserve(generations);
+  for (std::size_t g = 0; g < generations; ++g) {
+    decoders_.push_back(std::make_unique<ProgressiveDecoder>(params_));
+  }
+}
+
+GenerationDecoder::Accept GenerationDecoder::add_packet(
+    std::span<const std::uint8_t> wire_bytes) {
+  ParseResult result = parse(wire_bytes);
+  if (!result.ok()) {
+    ++rejected_;
+    return Accept::kRejected;
+  }
+  Packet packet = result.take_packet();
+  if (packet.generation >= decoders_.size() ||
+      !(packet.block.params() == params_)) {
+    ++rejected_;
+    return Accept::kRejected;
+  }
+  ProgressiveDecoder& decoder = *decoders_[packet.generation];
+  const auto outcome = decoder.add(packet.block);
+  switch (outcome) {
+    case ProgressiveDecoder::Result::kAccepted:
+      if (decoder.is_complete()) {
+        ++completed_;
+        return Accept::kGenerationComplete;
+      }
+      return Accept::kInnovative;
+    case ProgressiveDecoder::Result::kLinearlyDependent:
+    case ProgressiveDecoder::Result::kAlreadyComplete:
+      return Accept::kDependent;
+  }
+  return Accept::kRejected;
+}
+
+std::size_t GenerationDecoder::generation_rank(std::size_t generation) const {
+  EXTNC_CHECK(generation < decoders_.size());
+  return decoders_[generation]->rank();
+}
+
+bool GenerationDecoder::generation_complete(std::size_t generation) const {
+  EXTNC_CHECK(generation < decoders_.size());
+  return decoders_[generation]->is_complete();
+}
+
+std::vector<std::uint8_t> GenerationDecoder::reassemble() const {
+  EXTNC_CHECK(is_complete());
+  std::vector<std::uint8_t> out;
+  out.reserve(decoders_.size() * params_.segment_bytes());
+  for (const auto& decoder : decoders_) {
+    const Segment segment = decoder->decoded_segment();
+    out.insert(out.end(), segment.bytes().begin(), segment.bytes().end());
+  }
+  return out;
+}
+
+}  // namespace extnc::coding

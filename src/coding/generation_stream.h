@@ -1,0 +1,88 @@
+// Generation-level framing: coding an arbitrarily long byte stream.
+//
+// RLNC complexity is quadratic-ish in n, so real systems (the paper's
+// streaming servers, Avalanche) never code a whole file as one generation
+// — they split it into segments ("generations") and code within each.
+// GenerationEncoder owns that split on the sender side; GenerationDecoder
+// reassembles on the receiver side, tracking one progressive decoder per
+// generation and discarding traffic for finished ones. Packets carry the
+// generation id in their wire header (coding/wire.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "coding/systematic.h"
+#include "coding/wire.h"
+
+namespace extnc::coding {
+
+class GenerationEncoder {
+ public:
+  // Splits `content` into ceil(size / (n*k)) generations of shape
+  // `params`; the last generation is zero-padded (the original length
+  // travels out of band — callers typically know it from a manifest).
+  GenerationEncoder(Params params, std::span<const std::uint8_t> content,
+                    bool systematic = false);
+
+  std::size_t generations() const { return segments_.size(); }
+  const Params& params() const { return params_; }
+  std::size_t content_bytes() const { return content_bytes_; }
+
+  // One coded block of generation g (wire-ready bytes).
+  std::vector<std::uint8_t> encode_packet(std::uint32_t generation, Rng& rng);
+
+  // Round-robin across generations (a simple sender schedule).
+  std::vector<std::uint8_t> encode_next_packet(Rng& rng);
+
+ private:
+  Params params_;
+  std::size_t content_bytes_;
+  std::vector<Segment> segments_;
+  std::vector<SystematicEncoder> systematic_;
+  std::vector<Encoder> coded_;
+  bool use_systematic_;
+  std::uint32_t round_robin_ = 0;
+};
+
+class GenerationDecoder {
+ public:
+  GenerationDecoder(Params params, std::size_t generations);
+
+  // Feed one wire packet. Malformed packets, shape mismatches and unknown
+  // generation ids are counted and dropped, never fatal.
+  enum class Accept {
+    kInnovative,
+    kDependent,
+    kGenerationComplete,  // this packet completed its generation
+    kRejected,
+  };
+  Accept add_packet(std::span<const std::uint8_t> wire_bytes);
+
+  bool is_complete() const { return completed_ == decoders_.size(); }
+  std::size_t generations_complete() const { return completed_; }
+  std::size_t packets_rejected() const { return rejected_; }
+  std::size_t generations() const { return decoders_.size(); }
+
+  // Per-generation progress (rank out of n) — the metadata peers gossip
+  // when choosing what to send each other.
+  std::size_t generation_rank(std::size_t generation) const;
+  bool generation_complete(std::size_t generation) const;
+
+  // Reassembled content (length generations * n * k, including the final
+  // generation's padding); only valid when is_complete().
+  std::vector<std::uint8_t> reassemble() const;
+
+ private:
+  Params params_;
+  std::vector<std::unique_ptr<ProgressiveDecoder>> decoders_;
+  std::size_t completed_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace extnc::coding

@@ -1,0 +1,25 @@
+// Coding configuration: a generation ("segment" in the paper) of n source
+// blocks of k bytes each, coded over GF(2^8).
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+struct Params {
+  std::size_t n = 128;  // blocks per segment (the paper sweeps 128..1024)
+  std::size_t k = 4096; // bytes per block (the paper sweeps 128 B..32 KB)
+
+  std::size_t segment_bytes() const { return n * k; }
+
+  void validate() const {
+    EXTNC_CHECK(n >= 1);
+    EXTNC_CHECK(k >= 1);
+  }
+
+  friend bool operator==(const Params&, const Params&) = default;
+};
+
+}  // namespace extnc::coding

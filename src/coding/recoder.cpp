@@ -1,0 +1,29 @@
+#include "coding/recoder.h"
+
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+Recoder::Recoder(Params params) : params_(params) { params_.validate(); }
+
+void Recoder::add(const CodedBlock& block) {
+  EXTNC_CHECK(block.params() == params_);
+  blocks_.push_back(block);
+}
+
+CodedBlock Recoder::recode(Rng& rng) const {
+  EXTNC_CHECK(!blocks_.empty());
+  CodedBlock out(params_);
+  const gf256::Ops& ops = gf256::ops();
+  for (const CodedBlock& block : blocks_) {
+    const std::uint8_t weight = rng.next_nonzero_byte();
+    ops.mul_add_region(out.coefficients().data(), block.coefficients().data(),
+                       weight, params_.n);
+    ops.mul_add_region(out.payload().data(), block.payload().data(), weight,
+                       params_.k);
+  }
+  return out;
+}
+
+}  // namespace extnc::coding

@@ -1,0 +1,38 @@
+// Recoder: the defining operation of *network* coding. An intermediate
+// node holds coded blocks (not sources) and emits fresh random linear
+// combinations of them; the combination applies to coefficient vectors and
+// payloads alike, so downstream decoders are oblivious to recoding depth.
+// Random linear codes permit this "recode without decoding" property that
+// the paper contrasts against RS/fountain codes (Sec. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+
+class Recoder {
+ public:
+  explicit Recoder(Params params);
+
+  // Buffer a received coded block. Dependent blocks are buffered too (a
+  // real relay cannot cheaply know better and they do not hurt: the output
+  // span is unchanged).
+  void add(const CodedBlock& block);
+
+  std::size_t buffered() const { return blocks_.size(); }
+  const Params& params() const { return params_; }
+
+  // Emit a random combination of everything buffered. Requires at least
+  // one buffered block.
+  CodedBlock recode(Rng& rng) const;
+
+ private:
+  Params params_;
+  std::vector<CodedBlock> blocks_;
+};
+
+}  // namespace extnc::coding

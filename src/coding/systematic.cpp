@@ -1,0 +1,17 @@
+#include "coding/systematic.h"
+
+#include <algorithm>
+
+namespace extnc::coding {
+
+CodedBlock SystematicEncoder::next(Rng& rng) {
+  if (!in_systematic_phase()) return coded_.encode(rng);
+  CodedBlock block(params());
+  block.coefficients()[next_] = 1;
+  const auto source = segment_->block(next_);
+  std::copy(source.begin(), source.end(), block.payload().begin());
+  ++next_;
+  return block;
+}
+
+}  // namespace extnc::coding

@@ -1,0 +1,97 @@
+#include "coding/wire.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+const char* parse_error_name(ParseError error) {
+  switch (error) {
+    case ParseError::kTooShort: return "too short";
+    case ParseError::kBadMagic: return "bad magic";
+    case ParseError::kBadShape: return "bad shape";
+    case ParseError::kLengthMismatch: return "length mismatch";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> serialize(std::uint32_t generation,
+                                    const CodedBlock& block) {
+  std::vector<std::uint8_t> out(wire_size(block.params()));
+  serialize_into(generation, block, out);
+  return out;
+}
+
+void serialize_into(std::uint32_t generation, const CodedBlock& block,
+                    std::span<std::uint8_t> out) {
+  const Params& p = block.params();
+  EXTNC_CHECK(out.size() == wire_size(p));
+  put_u32(out.data(), kWireMagic);
+  put_u32(out.data() + 4, generation);
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(p.n));
+  put_u32(out.data() + 12, static_cast<std::uint32_t>(p.k));
+  std::memcpy(out.data() + kWireHeaderBytes, block.coefficients().data(), p.n);
+  std::memcpy(out.data() + kWireHeaderBytes + p.n, block.payload().data(),
+              p.k);
+}
+
+ParseResult ParseResult::success(Packet packet) {
+  ParseResult result;
+  result.packet_ = std::move(packet);
+  return result;
+}
+
+ParseResult ParseResult::failure(ParseError error) {
+  ParseResult result;
+  result.error_ = error;
+  return result;
+}
+
+ParseResult parse(std::span<const std::uint8_t> data,
+                  const WireLimits& limits) {
+  if (data.size() < kWireHeaderBytes) {
+    return ParseResult::failure(ParseError::kTooShort);
+  }
+  if (get_u32(data.data()) != kWireMagic) {
+    return ParseResult::failure(ParseError::kBadMagic);
+  }
+  const std::uint32_t generation = get_u32(data.data() + 4);
+  const std::uint32_t n = get_u32(data.data() + 8);
+  const std::uint32_t k = get_u32(data.data() + 12);
+  if (n == 0 || k == 0 || n > limits.max_n || k > limits.max_k) {
+    return ParseResult::failure(ParseError::kBadShape);
+  }
+  const Params params{.n = n, .k = k};
+  if (data.size() != wire_size(params)) {
+    return ParseResult::failure(ParseError::kLengthMismatch);
+  }
+  Packet packet;
+  packet.generation = generation;
+  packet.block = CodedBlock(params);
+  std::memcpy(packet.block.coefficients().data(),
+              data.data() + kWireHeaderBytes, n);
+  std::memcpy(packet.block.payload().data(),
+              data.data() + kWireHeaderBytes + n, k);
+  return ParseResult::success(std::move(packet));
+}
+
+}  // namespace extnc::coding

@@ -1,0 +1,89 @@
+// Wire format for coded blocks.
+//
+// A coded block travels as a self-describing packet so that receivers can
+// route it to the right generation decoder and validate its shape before
+// touching the payload:
+//
+//   offset  size  field
+//   0       4     magic "XNC1"
+//   4       4     generation id (little-endian u32)
+//   8       4     n  (blocks per segment)
+//   12      4     k  (block size, bytes)
+//   16      n     coefficient vector
+//   16+n    k     coded payload
+//
+// Fixed little-endian encoding; total size 16 + n + k. Parsing never
+// trusts the input: every field is validated against caller-provided
+// limits and truncated/oversized buffers are rejected (no EXTNC_CHECK on
+// network input — malformed packets return errors, they must not abort a
+// server).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coding/coded_block.h"
+
+namespace extnc::coding {
+
+inline constexpr std::uint32_t kWireMagic = 0x31434e58;  // "XNC1"
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+struct WireLimits {
+  std::size_t max_n = 4096;
+  std::size_t max_k = 1 << 20;
+};
+
+struct Packet {
+  std::uint32_t generation = 0;
+  CodedBlock block;
+};
+
+// Serialized size of a block for the given parameters.
+constexpr std::size_t wire_size(const Params& params) {
+  return kWireHeaderBytes + params.n + params.k;
+}
+
+// Serialize into a fresh buffer.
+std::vector<std::uint8_t> serialize(std::uint32_t generation,
+                                    const CodedBlock& block);
+
+// Serialize into a caller buffer of exactly wire_size(block.params());
+// aborts on wrong buffer size (a programming error, not a network one).
+void serialize_into(std::uint32_t generation, const CodedBlock& block,
+                    std::span<std::uint8_t> out);
+
+enum class ParseError {
+  kTooShort,
+  kBadMagic,
+  kBadShape,      // n or k of zero or above limits
+  kLengthMismatch // buffer length != 16 + n + k
+};
+
+const char* parse_error_name(ParseError error);
+
+// Parse one packet. Returns the packet or the reason it was rejected.
+// (std::variant-free result type: check error() first.)
+class ParseResult {
+ public:
+  static ParseResult success(Packet packet);
+  static ParseResult failure(ParseError error);
+
+  bool ok() const { return !error_.has_value(); }
+  ParseError error() const { return *error_; }
+  const Packet& packet() const { return packet_; }
+  Packet take_packet() { return std::move(packet_); }
+
+ private:
+  ParseResult() = default;
+  Packet packet_;
+  std::optional<ParseError> error_;
+};
+
+ParseResult parse(std::span<const std::uint8_t> data,
+                  const WireLimits& limits = {});
+
+}  // namespace extnc::coding

@@ -1,0 +1,113 @@
+#include "cpu/cpu_decoder.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::cpu {
+
+CpuDecoder::CpuDecoder(coding::Params params, ThreadPool& pool)
+    : params_(params),
+      pool_(&pool),
+      coeffs_(params.n * params.n),
+      payloads_(params.n * params.k),
+      present_(params.n, false),
+      scratch_coeffs_(params.n),
+      scratch_payload_(params.k) {
+  params_.validate();
+}
+
+CpuDecoder::Result CpuDecoder::add(const coding::CodedBlock& block) {
+  EXTNC_CHECK(block.params() == params_);
+  return add(block.coefficients(), block.payload());
+}
+
+CpuDecoder::Result CpuDecoder::add(std::span<const std::uint8_t> coefficients,
+                                   std::span<const std::uint8_t> payload) {
+  EXTNC_CHECK(coefficients.size() == params_.n);
+  EXTNC_CHECK(payload.size() == params_.k);
+  if (is_complete()) return Result::kAlreadyComplete;
+
+  const std::size_t n = params_.n;
+  const std::size_t k = params_.k;
+  const gf256::Ops& ops = gf256::ops();
+  std::uint8_t* sc = scratch_coeffs_.data();
+  std::uint8_t* sp = scratch_payload_.data();
+  std::memcpy(sc, coefficients.data(), n);
+  std::memcpy(sp, payload.data(), k);
+
+  // Coefficient-side forward elimination first (serial, n bytes per op);
+  // remember which rows contributed so the payload side can replay them in
+  // one parallel sweep without re-deriving factors.
+  std::vector<std::pair<std::size_t, std::uint8_t>> eliminations;
+  eliminations.reserve(n);
+  std::size_t pivot = n;
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::uint8_t value = sc[col];
+    if (value == 0) continue;
+    if (present_[col]) {
+      eliminations.emplace_back(col, value);
+      ops.mul_add_region(sc, coeff_row(col), value, n);
+    } else if (pivot == n) {
+      pivot = col;
+    }
+  }
+  if (pivot == n) return Result::kLinearlyDependent;
+
+  const std::uint8_t scale = gf256::inv(sc[pivot]);
+  ops.scale_region(sc, scale, n);
+
+  // Payload-side replay: each worker applies every elimination to its own
+  // slice, one pass over the data (this is where the k-dimension
+  // parallelism lives).
+  auto payloads = payloads_.data();
+  pool_->parallel_for_chunks(
+      k, [this, sp, payloads, scale, &eliminations](std::size_t begin,
+                                                    std::size_t end) {
+        const gf256::Ops& o = gf256::ops();
+        const std::size_t len = end - begin;
+        for (const auto& [row, factor] : eliminations) {
+          o.mul_add_region(sp + begin, payloads + row * params_.k + begin,
+                           factor, len);
+        }
+        o.scale_region(sp + begin, scale, len);
+      });
+
+  // Back-eliminate the new pivot column from stored rows; rows are
+  // independent, so parallelize across them.
+  std::vector<std::size_t> to_update;
+  to_update.reserve(rank_);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (present_[p] && coeff_row(p)[pivot] != 0) to_update.push_back(p);
+  }
+  pool_->parallel_for_chunks(
+      to_update.size(),
+      [this, sc, sp, pivot, &to_update](std::size_t begin, std::size_t end) {
+        const gf256::Ops& o = gf256::ops();
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t p = to_update[idx];
+          const std::uint8_t factor = coeff_row(p)[pivot];
+          o.mul_add_region(coeff_row(p), sc, factor, params_.n);
+          o.mul_add_region(payload_row(p), sp, factor, params_.k);
+        }
+      });
+
+  std::memcpy(coeff_row(pivot), sc, n);
+  std::memcpy(payload_row(pivot), sp, k);
+  present_[pivot] = true;
+  ++rank_;
+  return Result::kAccepted;
+}
+
+coding::Segment CpuDecoder::decoded_segment() const {
+  EXTNC_CHECK(is_complete());
+  coding::Segment segment(params_);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    std::memcpy(segment.block(i).data(), payload_row(i), params_.k);
+  }
+  return segment;
+}
+
+}  // namespace extnc::cpu

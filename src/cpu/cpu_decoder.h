@@ -1,0 +1,59 @@
+// Multi-threaded progressive decoder (the paper's CPU decoding baseline).
+//
+// Gauss-Jordan progressive decoding is serial across coded blocks — block
+// j+1 cannot start before block j is reduced — so the only parallelism is
+// *within* each row operation: workers each own a contiguous slice of the
+// k-byte payload (coefficient rows, only n bytes, stay on one thread).
+// This mirrors the threaded decoder of the authors' prior work [5] whose
+// synchronization-per-row structure the paper calls out as the obstacle
+// that motivates multi-segment decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment.h"
+#include "util/aligned_buffer.h"
+#include "util/thread_pool.h"
+
+namespace extnc::cpu {
+
+class CpuDecoder {
+ public:
+  enum class Result { kAccepted, kLinearlyDependent, kAlreadyComplete };
+
+  CpuDecoder(coding::Params params, ThreadPool& pool);
+
+  Result add(const coding::CodedBlock& block);
+  Result add(std::span<const std::uint8_t> coefficients,
+             std::span<const std::uint8_t> payload);
+
+  const coding::Params& params() const { return params_; }
+  std::size_t rank() const { return rank_; }
+  bool is_complete() const { return rank_ == params_.n; }
+
+  coding::Segment decoded_segment() const;
+
+ private:
+  std::uint8_t* coeff_row(std::size_t pivot) {
+    return coeffs_.data() + pivot * params_.n;
+  }
+  std::uint8_t* payload_row(std::size_t pivot) {
+    return payloads_.data() + pivot * params_.k;
+  }
+  const std::uint8_t* payload_row(std::size_t pivot) const {
+    return payloads_.data() + pivot * params_.k;
+  }
+
+  coding::Params params_;
+  ThreadPool* pool_;
+  AlignedBuffer coeffs_;
+  AlignedBuffer payloads_;
+  std::vector<bool> present_;
+  AlignedBuffer scratch_coeffs_;
+  AlignedBuffer scratch_payload_;
+  std::size_t rank_ = 0;
+};
+
+}  // namespace extnc::cpu

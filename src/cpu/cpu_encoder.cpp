@@ -1,0 +1,83 @@
+#include "cpu/cpu_encoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::cpu {
+
+CpuEncoder::CpuEncoder(const coding::Segment& segment, ThreadPool& pool,
+                       EncodePartitioning partitioning)
+    : segment_(&segment), pool_(&pool), partitioning_(partitioning) {}
+
+coding::CodedBatch CpuEncoder::encode_batch(std::size_t count, Rng& rng) const {
+  coding::CodedBatch batch(params(), count);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (auto& c : batch.coefficients(j)) c = rng.next_nonzero_byte();
+  }
+  encode_into(batch);
+  return batch;
+}
+
+void CpuEncoder::encode_into(coding::CodedBatch& batch) const {
+  EXTNC_CHECK(batch.params() == params());
+  if (batch.count() == 0) return;
+  if (partitioning_ == EncodePartitioning::kFullBlock) {
+    encode_full_block(batch);
+  } else {
+    encode_partitioned(batch);
+  }
+}
+
+void CpuEncoder::encode_full_block(coding::CodedBatch& batch) const {
+  // Each worker owns a contiguous range of coded blocks and encodes them
+  // start to finish.
+  const coding::Params p = params();
+  const coding::Segment& segment = *segment_;
+  pool_->parallel_for_chunks(
+      batch.count(), [&batch, &segment, p](std::size_t begin, std::size_t end) {
+        const gf256::Ops& ops = gf256::ops();
+        for (std::size_t j = begin; j < end; ++j) {
+          std::uint8_t* out = batch.payload(j).data();
+          const std::uint8_t* coeffs = batch.coefficients(j).data();
+          std::memset(out, 0, p.k);
+          for (std::size_t i = 0; i < p.n; ++i) {
+            ops.mul_add_region(out, segment.block(i).data(), coeffs[i], p.k);
+          }
+        }
+      });
+}
+
+void CpuEncoder::encode_partitioned(coding::CodedBatch& batch) const {
+  // All workers cooperate on one coded block at a time, each covering a
+  // contiguous byte range of the payload. Ranges are 64-byte aligned so
+  // SIMD region ops stay on full vectors.
+  const coding::Params p = params();
+  const coding::Segment& segment = *segment_;
+  const std::size_t workers = std::max<std::size_t>(1, pool_->num_threads());
+  const std::size_t slice =
+      std::max<std::size_t>(64, (p.k + workers - 1) / workers);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    std::uint8_t* out = batch.payload(j).data();
+    const std::uint8_t* coeffs = batch.coefficients(j).data();
+    pool_->parallel_for_chunks(
+        (p.k + slice - 1) / slice,
+        [out, coeffs, &segment, p, slice](std::size_t begin, std::size_t end) {
+          const gf256::Ops& ops = gf256::ops();
+          for (std::size_t s = begin; s < end; ++s) {
+            const std::size_t offset = s * slice;
+            const std::size_t len = std::min(slice, p.k - offset);
+            std::memset(out + offset, 0, len);
+            for (std::size_t i = 0; i < p.n; ++i) {
+              ops.mul_add_region(out + offset,
+                                 segment.block(i).data() + offset, coeffs[i],
+                                 len);
+            }
+          }
+        });
+  }
+}
+
+}  // namespace extnc::cpu

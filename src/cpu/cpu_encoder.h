@@ -1,0 +1,57 @@
+// Multi-threaded CPU encoder with the paper's two task-partitioning
+// schemes (Sec. 5.3):
+//
+//  * kPartitionedBlock — the original scheme of the authors' IWQoS'07 /
+//    INFOCOM'09 work: all threads cooperate on one coded block at a time,
+//    each thread encoding a contiguous byte range of it. Minimizes latency
+//    to the *first* coded block (on-demand generation).
+//  * kFullBlock — the streaming-server scheme this paper introduces: each
+//    thread encodes whole coded blocks independently. Maximizes sustained
+//    throughput; the paper shows it wins at small block sizes thanks to
+//    long sequential reads that keep the prefetcher busy.
+//
+// Both schemes compute bit-identical output for identical coefficient
+// draws; tests verify this against the single-threaded coding::Encoder.
+#pragma once
+
+#include <cstddef>
+
+#include "coding/batch.h"
+#include "coding/segment.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace extnc::cpu {
+
+enum class EncodePartitioning {
+  kPartitionedBlock,
+  kFullBlock,
+};
+
+class CpuEncoder {
+ public:
+  // The pool is borrowed and may be shared with other components; the
+  // paper's testbed runs one thread per core (8 on the Mac Pro).
+  CpuEncoder(const coding::Segment& segment, ThreadPool& pool,
+             EncodePartitioning partitioning = EncodePartitioning::kFullBlock);
+
+  const coding::Params& params() const { return segment_->params(); }
+  EncodePartitioning partitioning() const { return partitioning_; }
+
+  // Generate `count` coded blocks with fresh random dense coefficients.
+  coding::CodedBatch encode_batch(std::size_t count, Rng& rng) const;
+
+  // Encode into a caller-prepared batch whose coefficient rows are already
+  // filled (used by tests and by the hybrid GPU+CPU bench).
+  void encode_into(coding::CodedBatch& batch) const;
+
+ private:
+  void encode_full_block(coding::CodedBatch& batch) const;
+  void encode_partitioned(coding::CodedBatch& batch) const;
+
+  const coding::Segment* segment_;
+  ThreadPool* pool_;
+  EncodePartitioning partitioning_;
+};
+
+}  // namespace extnc::cpu

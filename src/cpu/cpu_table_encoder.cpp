@@ -1,0 +1,64 @@
+#include "cpu/cpu_table_encoder.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "util/assert.h"
+
+namespace extnc::cpu {
+
+CpuTableEncoder::CpuTableEncoder(const coding::Segment& segment,
+                                 ThreadPool& pool)
+    : params_(segment.params()),
+      pool_(&pool),
+      log_segment_(params_.segment_bytes()) {
+  const gf256::Tables& t = gf256::tables();
+  const std::uint8_t* src = segment.data();
+  std::uint8_t* dst = log_segment_.data();
+  for (std::size_t i = 0; i < log_segment_.size(); ++i) dst[i] = t.log[src[i]];
+}
+
+coding::CodedBatch CpuTableEncoder::encode_batch(std::size_t count,
+                                                 Rng& rng) const {
+  coding::CodedBatch batch(params_, count);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (auto& c : batch.coefficients(j)) c = rng.next_nonzero_byte();
+  }
+  encode_into(batch);
+  return batch;
+}
+
+void CpuTableEncoder::encode_into(coding::CodedBatch& batch) const {
+  EXTNC_CHECK(batch.params() == params_);
+  const coding::Params p = params_;
+  const std::uint8_t* log_blocks = log_segment_.data();
+  pool_->parallel_for_chunks(
+      batch.count(), [&batch, log_blocks, p](std::size_t begin,
+                                             std::size_t end) {
+        const gf256::Tables& t = gf256::tables();
+        // Step 2: transform this worker's coefficient rows to log domain.
+        AlignedBuffer log_coeffs(p.n);
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::uint8_t* coeffs = batch.coefficients(j).data();
+          for (std::size_t i = 0; i < p.n; ++i) {
+            log_coeffs[i] = t.log[coeffs[i]];
+          }
+          // Step 3: exp[log_c + log_b] accumulation (Fig. 5 inner loop).
+          std::uint8_t* out = batch.payload(j).data();
+          std::memset(out, 0, p.k);
+          for (std::size_t i = 0; i < p.n; ++i) {
+            const std::uint8_t log_c = log_coeffs[i];
+            if (log_c == gf256::kLogZero) continue;
+            const std::uint8_t* row = log_blocks + i * p.k;
+            for (std::size_t byte = 0; byte < p.k; ++byte) {
+              const std::uint8_t log_b = row[byte];
+              if (log_b != gf256::kLogZero) {
+                out[byte] ^= t.exp[log_c + log_b];
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace extnc::cpu

@@ -1,0 +1,39 @@
+// Parallel multi-segment CPU decoding (Sec. 5.2).
+//
+// When coded blocks from S segments are available at once (bulk content
+// distribution a la Avalanche, or a VoD peer draining several segments),
+// the degree of parallelism grows linearly with S: each worker thread owns
+// one whole segment and decodes it serially, with no cross-thread
+// synchronization at all. The paper runs S = 8 on the 8-core Mac Pro and
+// observes a cache cliff once the aggregate working set outgrows the 24 MB
+// of combined L2 — visible on the host too when 8 * n * k exceeds LLC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/batch.h"
+#include "coding/segment.h"
+#include "util/thread_pool.h"
+
+namespace extnc::cpu {
+
+class MultiSegmentDecoder {
+ public:
+  // One independent decode job per segment: n coded blocks (coefficients +
+  // payloads, e.g. a CodedBatch of exactly n independent rows).
+  MultiSegmentDecoder(coding::Params params, ThreadPool& pool);
+
+  // Decodes every batch (each must hold exactly n independent coded
+  // blocks) in parallel, one worker per segment. Aborts if any batch is
+  // rank-deficient — callers are expected to have collected independent
+  // blocks, as the paper's offline-decoding scenario does.
+  std::vector<coding::Segment> decode_all(
+      const std::vector<coding::CodedBatch>& segments) const;
+
+ private:
+  coding::Params params_;
+  ThreadPool* pool_;
+};
+
+}  // namespace extnc::cpu

@@ -1,0 +1,68 @@
+#include "cpu/xeon_model.h"
+
+#include <algorithm>
+
+namespace extnc::cpu {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+}  // namespace
+
+double XeonModel::encode_mb_per_s(const coding::Params& p,
+                                  EncodePartitioning partitioning) const {
+  // Each coded byte costs n source bytes of mul_add work.
+  const double full_block =
+      encode_row_throughput_mb / static_cast<double>(p.n);
+  if (partitioning == EncodePartitioning::kFullBlock) return full_block;
+  // The partitioned scheme pays a cooperative dispatch per coded block;
+  // amortized over k payload bytes it vanishes for large blocks and
+  // dominates for small ones — exactly the Fig. 10 gap.
+  const double dk = static_cast<double>(p.k);
+  return full_block * dk / (dk + partitioned_overhead_bytes);
+}
+
+double XeonModel::encode_table_mb_per_s(const coding::Params& p) const {
+  return encode_mb_per_s(p, EncodePartitioning::kFullBlock) *
+         table_encode_factor;
+}
+
+double XeonModel::decode_single_segment_mb_per_s(
+    const coding::Params& p) const {
+  const double n = static_cast<double>(p.n);
+  const double k = static_cast<double>(p.k);
+  // Gauss-Jordan performs ~n^2 cooperative row operations over rows of
+  // n + k bytes; every row operation is a synchronized dispatch across the
+  // 8 threads.
+  const double work_bytes = n * n * (n + k);
+  const double compute_s = work_bytes / (decode_row_throughput_mb * kMb);
+  const double dispatch_s = n * n * row_dispatch_seconds;
+  const double useful_bytes = n * k;
+  return useful_bytes / kMb / (compute_s + dispatch_s);
+}
+
+double XeonModel::decode_multi_segment_mb_per_s(const coding::Params& p,
+                                                std::size_t segments) const {
+  const double n = static_cast<double>(p.n);
+  const double k = static_cast<double>(p.k);
+  const double s = static_cast<double>(segments);
+  // One segment per core: serial Gauss-Jordan per thread, no dispatch
+  // cost, full per-core throughput.
+  const double per_core_mb = decode_per_core_mb;
+  // Cache cliff: the aggregate working set is the coded payloads of all
+  // in-flight segments (the paper's accounting: "4 MB per segment and
+  // 32 MB for the 8 active segments" at n=128, k=32 KB).
+  const double working_set = s * n * k;
+  double throughput = per_core_mb;
+  if (working_set > l2_bytes) {
+    throughput /= 1.0 + cache_cliff_alpha * (working_set / l2_bytes - 1.0);
+  }
+  // All s segments decode concurrently (s <= cores), so the batch takes
+  // one per-segment decode time and yields s segments of useful bytes.
+  const double work_bytes = n * n * (n + k);
+  const double per_segment_s = work_bytes / (throughput * kMb);
+  return s * n * k / kMb / per_segment_s;
+}
+
+}  // namespace extnc::cpu

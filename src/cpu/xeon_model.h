@@ -1,0 +1,63 @@
+// Calibrated throughput model of the paper's CPU testbed: a dual
+// quad-core 2.8 GHz Intel Xeon "Mac Pro" (8 cores, SSE2 SIMD, 24 MB
+// aggregate L2), running the authors' 8-threaded loop-based coder.
+//
+// The host this library runs on is not that machine, so benches print two
+// CPU series: (a) real measurements of our SIMD implementation on the
+// host, and (b) this model, which reproduces the paper's Mac Pro curves so
+// that GPU-vs-CPU comparisons can be read in the paper's own units. The
+// model is analytic (work-bytes / effective-bandwidth + dispatch
+// overheads) with constants calibrated once against the figures; every
+// constant is documented at its definition and the calibration targets are
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+
+#include "coding/params.h"
+#include "cpu/cpu_encoder.h"
+
+namespace extnc::cpu {
+
+struct XeonModel {
+  // --- calibration constants -------------------------------------------
+  // Aggregate mul_add row-op throughput of 8 SSE2 threads (MB of source
+  // bytes processed per second). Calibrated so full-block encoding at
+  // n=128 yields the paper's 67.2 MB/s (Fig. 10): 67.2 * 128 = 8601.6.
+  double encode_row_throughput_mb = 8601.6;
+  // Aggregate throughput of *cooperative* (8 threads on one row op)
+  // decoding. Lower than the encode figure: row ops read-modify-write two
+  // matrices and the per-op barrier limits scaling. Calibrated against the
+  // Fig. 4(b) Mac Pro curve (~35 MB/s at n=128, k=16 KB).
+  double decode_row_throughput_mb = 4600.0;
+  // Throughput of one core decoding a whole segment serially (no barriers,
+  // private working set). 8 such cores beat the cooperative aggregate —
+  // that asymmetry is the entire multi-segment win on the CPU (Fig. 9's
+  // ~1.3x at n=128, k=16 KB).
+  double decode_per_core_mb = 800.0;
+  // Cost of dispatching one cooperative (all-threads) row operation,
+  // seconds; dominates decoding of small blocks (Fig. 4(b) left side).
+  double row_dispatch_seconds = 0.2e-6;
+  // Per-coded-block dispatch cost of the partitioned encode scheme,
+  // expressed as equivalent payload bytes (Fig. 10's small-k gap).
+  double partitioned_overhead_bytes = 384.0;
+  // Aggregate L2 budget and the cache-cliff slope for multi-segment
+  // decoding (Fig. 9's Mac Pro drop at large block sizes).
+  double l2_bytes = 24.0 * 1024 * 1024;
+  double cache_cliff_alpha = 0.35;
+  // Table-based encoding on the CPU cannot vectorize its lookups; the
+  // paper measures "up to 43%" loss vs the SIMD loop-based scheme.
+  double table_encode_factor = 0.57;
+
+  // --- modeled bandwidths, MB/s (paper convention: MB of coded/decoded
+  // --- payload per second) ----------------------------------------------
+  double encode_mb_per_s(const coding::Params& p,
+                         EncodePartitioning partitioning) const;
+  double encode_table_mb_per_s(const coding::Params& p) const;
+  double decode_single_segment_mb_per_s(const coding::Params& p) const;
+  // segments in flight == worker threads (8 on the Mac Pro).
+  double decode_multi_segment_mb_per_s(const coding::Params& p,
+                                       std::size_t segments = 8) const;
+};
+
+}  // namespace extnc::cpu

@@ -1,0 +1,102 @@
+// Scalar GF(2^8) arithmetic in Rijndael's field (x^8 + x^4 + x^3 + x + 1).
+//
+// The paper uses two multiplication strategies and we implement both:
+//  * table-based: exp[log[x] + log[y]], three memory reads (Fig. 1), plus
+//    the log-domain "preprocessed" variant of Fig. 5 and the shifted-log
+//    variant of Sec. 5.1.3 whose zero sentinel is 0x00 instead of 0xff;
+//  * loop-based: Russian-peasant multiplication with xtime reduction,
+//    which vectorizes (SWAR / SIMD) because it needs no table lookups.
+#pragma once
+
+#include <cstdint>
+
+namespace extnc::gf256 {
+
+// Rijndael reduction polynomial x^8+x^4+x^3+x+1 (0x11b), low byte.
+inline constexpr std::uint8_t kPolyLow = 0x1b;
+// Generator used to build log/exp tables; 0x03 generates the full
+// multiplicative group of Rijndael's field.
+inline constexpr std::uint8_t kGenerator = 0x03;
+// log(0) sentinel in the classic table layout (Fig. 1 of the paper).
+inline constexpr std::uint8_t kLogZero = 0xff;
+
+// Addition and subtraction in GF(2^8) are both XOR.
+constexpr std::uint8_t add(std::uint8_t x, std::uint8_t y) {
+  return static_cast<std::uint8_t>(x ^ y);
+}
+
+// xtime: multiply by the polynomial x (i.e. 0x02), reducing mod 0x11b.
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(x << 1) ^ ((x & 0x80) ? kPolyLow : 0));
+}
+
+// Loop-based ("Russian peasant") multiplication; the scalar form of the
+// kernel inner loop in the paper's prior work and of all SIMD backends.
+constexpr std::uint8_t mul_loop(std::uint8_t x, std::uint8_t y) {
+  std::uint8_t r = 0;
+  while (x != 0) {
+    if (x & 1) r = add(r, y);
+    y = xtime(y);
+    x >>= 1;
+  }
+  return r;
+}
+
+struct Tables {
+  // log[x] for x != 0 is the discrete log base kGenerator; log[0] = 0xff.
+  std::uint8_t log[256];
+  // exp[i] = kGenerator^i for i in [0, 255); doubled so that
+  // exp[log[x] + log[y]] never needs a modulo (sums reach 508).
+  std::uint8_t exp[512];
+  // Shifted-log layout (paper Sec. 5.1.3, "Table-based-3"): zero maps to
+  // 0x00 and every nonzero log is shifted up by one, so the zero test in
+  // the multiply kernel becomes a compare-against-zero that GPUs fold into
+  // predicated instructions. exp_shifted compensates: for sums s >= 2,
+  // exp_shifted[s] == exp[s - 2].
+  std::uint8_t log_shifted[256];
+  std::uint8_t exp_shifted[512];
+  // Full 256x256 product table; mul[x << 8 | y] == x*y. Used by the CPU
+  // table baseline and to derive per-coefficient nibble tables for SIMD.
+  std::uint8_t mul[256 * 256];
+  // inv[x] for x != 0; inv[0] = 0.
+  std::uint8_t inv[256];
+};
+
+// Immutable process-wide tables, built once on first use.
+const Tables& tables();
+
+// Table-based multiplication exactly as the paper's Fig. 1.
+inline std::uint8_t mul(std::uint8_t x, std::uint8_t y) {
+  const Tables& t = tables();
+  if (x == 0 || y == 0) return 0;
+  return t.exp[t.log[x] + t.log[y]];
+}
+
+// Fig. 5: inputs already transformed to the log domain (0xff == log(0)).
+inline std::uint8_t mul_preprocessed(std::uint8_t log_x, std::uint8_t log_y) {
+  if (log_x == kLogZero || log_y == kLogZero) return 0;
+  return tables().exp[log_x + log_y];
+}
+
+// Sec. 5.1.3 shifted-log variant: zero sentinel is 0x00.
+inline std::uint8_t mul_preprocessed_shifted(std::uint8_t slog_x,
+                                             std::uint8_t slog_y) {
+  if (slog_x == 0 || slog_y == 0) return 0;
+  return tables().exp_shifted[slog_x + slog_y];
+}
+
+// Multiplicative inverse; inv(0) is defined as 0 for convenience.
+inline std::uint8_t inv(std::uint8_t x) { return tables().inv[x]; }
+
+// x / y with y != 0.
+inline std::uint8_t div(std::uint8_t x, std::uint8_t y) {
+  const Tables& t = tables();
+  if (x == 0) return 0;
+  return t.exp[t.log[x] + 255 - t.log[y]];
+}
+
+// x^e by log/exp; pow(0, 0) == 1 by convention.
+std::uint8_t pow(std::uint8_t x, unsigned e);
+
+}  // namespace extnc::gf256

@@ -1,0 +1,141 @@
+#include "gf256/matrix.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/region.h"
+#include "util/assert.h"
+
+namespace extnc::gf256 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), storage_(rows * cols) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::random_dense(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    m.storage_[i] = rng.next_nonzero_byte();
+  }
+  return m;
+}
+
+Matrix Matrix::random_invertible(std::size_t n, Rng& rng) {
+  for (;;) {
+    Matrix m = random_dense(n, n, rng);
+    if (m.rank() == n) return m;
+  }
+}
+
+std::uint8_t Matrix::at(std::size_t r, std::size_t c) const {
+  EXTNC_DASSERT(r < rows_ && c < cols_);
+  return storage_[r * cols_ + c];
+}
+
+void Matrix::set(std::size_t r, std::size_t c, std::uint8_t value) {
+  EXTNC_DASSERT(r < rows_ && c < cols_);
+  storage_[r * cols_ + c] = value;
+}
+
+std::span<std::uint8_t> Matrix::row(std::size_t r) {
+  EXTNC_DASSERT(r < rows_);
+  return storage_.subspan(r * cols_, cols_);
+}
+
+std::span<const std::uint8_t> Matrix::row(std::size_t r) const {
+  EXTNC_DASSERT(r < rows_);
+  return storage_.subspan(r * cols_, cols_);
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  EXTNC_CHECK(cols_ == other.rows_);
+  Matrix result(rows_, other.cols_);
+  multiply_rows(other.data(), other.cols_, result.data());
+  return result;
+}
+
+void Matrix::multiply_rows(const std::uint8_t* payload,
+                           std::size_t payload_cols, std::uint8_t* out) const {
+  const Ops& o = ops();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint8_t* out_row = out + i * payload_cols;
+    std::memset(out_row, 0, payload_cols);
+    const std::uint8_t* coeff_row = storage_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      o.mul_add_region(out_row, payload + j * payload_cols, coeff_row[j],
+                       payload_cols);
+    }
+  }
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  EXTNC_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  // Reduce the augmented [C | I] to [I | C^-1]; this mirrors the GPU
+  // multi-segment decoder's first stage.
+  Matrix work(*this);
+  Matrix inverse = identity(n);
+  const Ops& o = ops();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting over GF: any nonzero entry works.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.row(col)[c], work.row(pivot)[c]);
+        std::swap(inverse.row(col)[c], inverse.row(pivot)[c]);
+      }
+    }
+    const std::uint8_t scale = inv(work.at(col, col));
+    o.scale_region(work.row(col).data(), scale, n);
+    o.scale_region(inverse.row(col).data(), scale, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      o.mul_add_region(work.row(r).data(), work.row(col).data(), factor, n);
+      o.mul_add_region(inverse.row(r).data(), inverse.row(col).data(), factor,
+                       n);
+    }
+  }
+  return inverse;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix work(*this);
+  const Ops& o = ops();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(work.row(rank)[c], work.row(pivot)[c]);
+      }
+    }
+    const std::uint8_t scale = inv(work.at(rank, col));
+    o.scale_region(work.row(rank).data(), scale, cols_);
+    for (std::size_t r = rank + 1; r < rows_; ++r) {
+      const std::uint8_t factor = work.at(r, col);
+      if (factor != 0) {
+        o.mul_add_region(work.row(r).data(), work.row(rank).data(), factor,
+                         cols_);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.storage_ == b.storage_;
+}
+
+}  // namespace extnc::gf256

@@ -1,0 +1,112 @@
+#include "gf256/region.h"
+
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/swar.h"
+
+namespace extnc::gf256 {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar
+
+void scalar_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+}
+
+void scalar_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void scalar_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  if (c == 0) return;
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void scalar_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) return;
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (std::size_t i = 0; i < len; ++i) dst[i] = row[dst[i]];
+}
+
+// ---------------------------------------------------------------- swar64
+//
+// Loop-based multiplication over 8 packed bytes per step. Head/tail bytes
+// (to reach 8-byte alignment of dst) go through the scalar path.
+
+void swar64_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t d;
+    std::uint64_t s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+void swar64_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t s;
+    std::memcpy(&s, src + i, 8);
+    const std::uint64_t d = mul_byte_word(c, s);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] = mul_loop(c, src[i]);
+}
+
+void swar64_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t d;
+    std::uint64_t s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= mul_byte_word(c, s);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= mul_loop(c, src[i]);
+}
+
+void swar64_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len) {
+  swar64_mul(dst, dst, c, len);
+}
+
+}  // namespace
+
+const Ops& scalar_ops() {
+  static constexpr Ops ops{"scalar", scalar_add, scalar_mul, scalar_mul_add,
+                           scalar_scale};
+  return ops;
+}
+
+const Ops& swar64_ops() {
+  static constexpr Ops ops{"swar64", swar64_add, swar64_mul, swar64_mul_add,
+                           swar64_scale};
+  return ops;
+}
+
+}  // namespace extnc::gf256

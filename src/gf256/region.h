@@ -1,0 +1,52 @@
+// Bulk region operations over GF(2^8): the row operations of network
+// coding (dst ^= c * src, dst = c * src, dst ^= src, dst *= c).
+//
+// One function-pointer dispatch table is selected at startup from the best
+// instruction set the host supports (AVX2 > SSSE3 > SSE2-SWAR > scalar);
+// tests can force any backend to cross-check them against the scalar
+// reference. All backends accept arbitrary lengths and alignments; the
+// vector paths peel unaligned heads/tails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace extnc::gf256 {
+
+struct Ops {
+  const char* name;
+
+  // dst[i] ^= src[i]
+  void (*add_region)(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t len);
+  // dst[i] = c * src[i]
+  void (*mul_region)(std::uint8_t* dst, const std::uint8_t* src,
+                     std::uint8_t c, std::size_t len);
+  // dst[i] ^= c * src[i]   (the network-coding inner loop)
+  void (*mul_add_region)(std::uint8_t* dst, const std::uint8_t* src,
+                         std::uint8_t c, std::size_t len);
+  // dst[i] = c * dst[i]    (row scaling during Gauss-Jordan)
+  void (*scale_region)(std::uint8_t* dst, std::uint8_t c, std::size_t len);
+};
+
+// Best backend for this machine (resolved once).
+const Ops& ops();
+
+// All backends the current machine can run, best first. The scalar backend
+// is always present and always last.
+const std::vector<const Ops*>& available_backends();
+
+// Look up a backend by name ("scalar", "swar64", "ssse3", "avx2");
+// nullptr if unknown or unsupported on this host.
+const Ops* find_backend(std::string_view name);
+
+// Scalar reference backend (table-driven); used by tests as ground truth.
+const Ops& scalar_ops();
+
+// Portable 64-bit SWAR backend (loop-based multiplication, the CPU analog
+// of the paper's GPU kernel inner loop).
+const Ops& swar64_ops();
+
+}  // namespace extnc::gf256

@@ -1,0 +1,64 @@
+#include "gf256/gf.h"
+
+#include "util/assert.h"
+
+namespace extnc::gf256 {
+
+namespace {
+
+Tables build_tables() {
+  Tables t{};
+
+  // Generate exp/log from the group generator.
+  std::uint8_t value = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = value;
+    t.log[value] = static_cast<std::uint8_t>(i);
+    value = mul_loop(value, kGenerator);
+  }
+  EXTNC_CHECK(value == 1);  // kGenerator must have order 255
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = kLogZero;
+
+  // Shifted-log layout: log'(0) = 0, log'(x) = log(x) + 1, and
+  // exp'[s] = exp[s - 2] so that exp'[log'(x) + log'(y)] == x*y for
+  // nonzero x, y (sums range over [2, 510]).
+  t.log_shifted[0] = 0;
+  for (int x = 1; x < 256; ++x) {
+    t.log_shifted[x] = static_cast<std::uint8_t>(t.log[x] + 1);
+  }
+  t.exp_shifted[0] = 0;
+  t.exp_shifted[1] = 0;
+  for (int s = 2; s < 512; ++s) t.exp_shifted[s] = t.exp[s - 2];
+
+  // Full product table and inverses.
+  for (int x = 0; x < 256; ++x) {
+    for (int y = 0; y < 256; ++y) {
+      t.mul[(x << 8) | y] =
+          mul_loop(static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y));
+    }
+  }
+  t.inv[0] = 0;
+  for (int x = 1; x < 256; ++x) {
+    t.inv[x] = t.exp[255 - t.log[x]];
+    EXTNC_CHECK(t.mul[(x << 8) | t.inv[x]] == 1);
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+std::uint8_t pow(std::uint8_t x, unsigned e) {
+  if (e == 0) return 1;
+  if (x == 0) return 0;
+  const Tables& t = tables();
+  const unsigned log_result = (t.log[x] * static_cast<unsigned long long>(e)) % 255;
+  return t.exp[log_result];
+}
+
+}  // namespace extnc::gf256

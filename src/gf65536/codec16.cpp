@@ -1,0 +1,92 @@
+#include "gf65536/codec16.h"
+
+#include <cstring>
+
+#include "gf65536/gf16.h"
+#include "util/assert.h"
+
+namespace extnc::gf65536 {
+
+Encoder16::Encoder16(Params16 params, std::vector<std::uint16_t> sources)
+    : params_(params), sources_(std::move(sources)) {
+  EXTNC_CHECK(params_.n >= 1 && params_.symbols >= 1);
+  EXTNC_CHECK(sources_.size() == params_.n * params_.symbols);
+}
+
+Encoder16 Encoder16::random(Params16 params, Rng& rng) {
+  std::vector<std::uint16_t> sources(params.n * params.symbols);
+  for (auto& s : sources) s = static_cast<std::uint16_t>(rng.next());
+  return Encoder16(params, std::move(sources));
+}
+
+void Encoder16::encode(Rng& rng, std::vector<std::uint16_t>& coefficients,
+                       std::vector<std::uint16_t>& payload) const {
+  coefficients.assign(params_.n, 0);
+  payload.assign(params_.symbols, 0);
+  for (auto& c : coefficients) {
+    // Dense draw over GF(2^16) \ {0}.
+    c = static_cast<std::uint16_t>(1 + rng.next_below(65535));
+  }
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    mul_add_region(payload.data(), sources_.data() + i * params_.symbols,
+                   coefficients[i], params_.symbols);
+  }
+}
+
+Decoder16::Decoder16(Params16 params)
+    : params_(params),
+      coeffs_(params.n * params.n, 0),
+      payloads_(params.n * params.symbols, 0),
+      present_(params.n, false) {}
+
+Decoder16::Result Decoder16::add(
+    const std::vector<std::uint16_t>& coefficients,
+    const std::vector<std::uint16_t>& payload) {
+  EXTNC_CHECK(coefficients.size() == params_.n);
+  EXTNC_CHECK(payload.size() == params_.symbols);
+  if (is_complete()) return Result::kAlreadyComplete;
+
+  std::vector<std::uint16_t> sc(coefficients);
+  std::vector<std::uint16_t> sp(payload);
+  const std::size_t n = params_.n;
+
+  std::size_t pivot = n;
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::uint16_t value = sc[col];
+    if (value == 0) continue;
+    if (present_[col]) {
+      mul_add_region(sc.data(), coeffs_.data() + col * n, value, n);
+      mul_add_region(sp.data(), payloads_.data() + col * params_.symbols,
+                     value, params_.symbols);
+    } else if (pivot == n) {
+      pivot = col;
+    }
+  }
+  if (pivot == n) return Result::kLinearlyDependent;
+
+  const std::uint16_t scale = inv(sc[pivot]);
+  scale_region(sc.data(), scale, n);
+  scale_region(sp.data(), scale, params_.symbols);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!present_[p]) continue;
+    const std::uint16_t factor = coeffs_[p * n + pivot];
+    if (factor == 0) continue;
+    mul_add_region(coeffs_.data() + p * n, sc.data(), factor, n);
+    mul_add_region(payloads_.data() + p * params_.symbols, sp.data(), factor,
+                   params_.symbols);
+  }
+  std::memcpy(coeffs_.data() + pivot * n, sc.data(), n * 2);
+  std::memcpy(payloads_.data() + pivot * params_.symbols, sp.data(),
+              params_.symbols * 2);
+  present_[pivot] = true;
+  ++rank_;
+  return Result::kAccepted;
+}
+
+const std::vector<std::uint16_t>& Decoder16::decoded() const {
+  EXTNC_CHECK(is_complete());
+  return payloads_;
+}
+
+}  // namespace extnc::gf65536

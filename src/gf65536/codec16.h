@@ -1,0 +1,61 @@
+// Minimal RLNC codec over GF(2^16): enough to measure the field-size
+// trade-off against the GF(2^8) pipeline (dependence probability vs
+// table-pressure throughput), not a parallel implementation.
+//
+// Payloads are arrays of 16-bit symbols; a block of k bytes holds k/2
+// symbols (k must be even). Coefficient vectors are n 16-bit symbols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace extnc::gf65536 {
+
+struct Params16 {
+  std::size_t n = 16;       // blocks per generation
+  std::size_t symbols = 32; // 16-bit symbols per block (2 bytes each)
+};
+
+class Encoder16 {
+ public:
+  // sources: n rows of `symbols` u16 each, row-major, copied in.
+  Encoder16(Params16 params, std::vector<std::uint16_t> sources);
+
+  static Encoder16 random(Params16 params, Rng& rng);
+
+  const Params16& params() const { return params_; }
+  const std::vector<std::uint16_t>& sources() const { return sources_; }
+
+  // One coded block: coefficients (n symbols) + payload (symbols).
+  void encode(Rng& rng, std::vector<std::uint16_t>& coefficients,
+              std::vector<std::uint16_t>& payload) const;
+
+ private:
+  Params16 params_;
+  std::vector<std::uint16_t> sources_;
+};
+
+class Decoder16 {
+ public:
+  explicit Decoder16(Params16 params);
+
+  enum class Result { kAccepted, kLinearlyDependent, kAlreadyComplete };
+  Result add(const std::vector<std::uint16_t>& coefficients,
+             const std::vector<std::uint16_t>& payload);
+
+  bool is_complete() const { return rank_ == params_.n; }
+  std::size_t rank() const { return rank_; }
+  // Row-major n x symbols; valid when complete.
+  const std::vector<std::uint16_t>& decoded() const;
+
+ private:
+  Params16 params_;
+  std::vector<std::uint16_t> coeffs_;    // n x n, keyed by pivot
+  std::vector<std::uint16_t> payloads_;  // n x symbols
+  std::vector<bool> present_;
+  std::size_t rank_ = 0;
+};
+
+}  // namespace extnc::gf65536

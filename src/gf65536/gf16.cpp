@@ -1,0 +1,66 @@
+#include "gf65536/gf16.h"
+
+#include <cstring>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace extnc::gf65536 {
+
+namespace {
+
+std::unique_ptr<Tables> build_tables() {
+  auto t = std::make_unique<Tables>();
+  std::uint16_t value = 1;
+  for (std::uint32_t i = 0; i < 65535; ++i) {
+    t->exp[i] = value;
+    t->log[value] = i;
+    value = mul_loop(value, kGenerator);
+  }
+  EXTNC_CHECK(value == 1);  // the generator must have order 2^16 - 1
+  for (std::uint32_t i = 65535; i < 131072; ++i) {
+    t->exp[i] = t->exp[i - 65535];
+  }
+  t->log[0] = 0;  // never read; kept deterministic
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const std::unique_ptr<Tables> t = build_tables();
+  return *t;
+}
+
+std::uint16_t inv(std::uint16_t x) {
+  if (x == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[65535 - t.log[x]];
+}
+
+void mul_add_region(std::uint16_t* dst, const std::uint16_t* src,
+                    std::uint16_t c, std::size_t symbols) {
+  if (c == 0) return;
+  const Tables& t = tables();
+  const std::uint32_t log_c = t.log[c];
+  for (std::size_t i = 0; i < symbols; ++i) {
+    const std::uint16_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[log_c + t.log[s]];
+  }
+}
+
+void scale_region(std::uint16_t* dst, std::uint16_t c, std::size_t symbols) {
+  if (c == 0) {
+    std::memset(dst, 0, symbols * 2);
+    return;
+  }
+  if (c == 1) return;
+  const Tables& t = tables();
+  const std::uint32_t log_c = t.log[c];
+  for (std::size_t i = 0; i < symbols; ++i) {
+    const std::uint16_t s = dst[i];
+    if (s != 0) dst[i] = t.exp[log_c + t.log[s]];
+  }
+}
+
+}  // namespace extnc::gf65536

@@ -1,0 +1,56 @@
+// The encoding-scheme ladder of Sec. 5.1 (Fig. 7).
+//
+// All schemes compute identical coded blocks; they differ in where the
+// GF(2^8) multiply's operands come from and how the zero tests are
+// performed — which is the whole story of the paper's 2.2x encode speedup.
+#pragma once
+
+namespace extnc::gpu {
+
+enum class EncodeScheme {
+  // Loop-based (Russian peasant) byte-by-word multiply; no tables. The
+  // baseline carried over from the authors' Nuclei work (Sec. 4.2.1).
+  kLoopBased,
+  // Table-based-0: log/exp tables cached in shared memory, inputs in the
+  // natural domain (every multiply does two log lookups + one exp lookup).
+  kTable0,
+  // Table-based-1: sources and coefficients preprocessed into the log
+  // domain once (Sec. 5.1.1), encode does one exp lookup per byte.
+  kTable1,
+  // Table-based-2: the four per-byte coefficient tests are folded into a
+  // single per-word test (first optimization of Sec. 5.1.3).
+  kTable2,
+  // Table-based-3: shifted-log tables make the zero sentinel 0x00, so the
+  // tests compile to predicated instructions (second optimization).
+  kTable3,
+  // Table-based-4: exp table moved to texture memory (third optimization).
+  kTable4,
+  // Table-based-5: eight word-width exp tables interleaved across shared
+  // memory banks to cut bank conflicts (fourth optimization).
+  kTable5,
+};
+
+constexpr const char* scheme_name(EncodeScheme scheme) {
+  switch (scheme) {
+    case EncodeScheme::kLoopBased: return "loop-based";
+    case EncodeScheme::kTable0: return "table-based-0";
+    case EncodeScheme::kTable1: return "table-based-1";
+    case EncodeScheme::kTable2: return "table-based-2";
+    case EncodeScheme::kTable3: return "table-based-3";
+    case EncodeScheme::kTable4: return "table-based-4";
+    case EncodeScheme::kTable5: return "table-based-5";
+  }
+  return "?";
+}
+
+constexpr bool scheme_is_preprocessed(EncodeScheme scheme) {
+  return scheme != EncodeScheme::kLoopBased && scheme != EncodeScheme::kTable0;
+}
+
+// Shifted-log (0x00 sentinel) table layout, Sec. 5.1.3.
+constexpr bool scheme_uses_shifted_log(EncodeScheme scheme) {
+  return scheme == EncodeScheme::kTable3 || scheme == EncodeScheme::kTable4 ||
+         scheme == EncodeScheme::kTable5;
+}
+
+}  // namespace extnc::gpu

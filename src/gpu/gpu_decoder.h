@@ -1,0 +1,71 @@
+// Single-segment GPU decoder (Sec. 4.2.2, Fig. 3).
+//
+// Progressive Gauss-Jordan with the paper's task partitioning: CUDA has no
+// global barrier, so the payload is split column-wise across one thread
+// block per SM and every block keeps its own private copy of the
+// coefficient matrix, paying redundant coefficient work to avoid global
+// synchronization. Each arriving coded block costs one kernel launch whose
+// internal structure is: forward-eliminate (one barrier per stored row),
+// search the first nonzero coefficient (one barrier; optionally via
+// atomicMin on shared memory, Sec. 5.4.2), normalize, back-eliminate.
+//
+// Options map to the paper's Sec. 5.4 micro-optimizations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment.h"
+#include "simgpu/executor.h"
+#include "util/aligned_buffer.h"
+
+namespace extnc::gpu {
+
+struct DecodeOptions {
+  // Report each thread's leading nonzero via atomicMin instead of a serial
+  // reduction (Sec. 5.4.2; requires device support, ~0.6% gain).
+  bool use_atomic_min = false;
+  // Cache the private coefficient matrix in shared memory (Sec. 5.4.3;
+  // needs n*n <= 16 KB, i.e. n <= 128; 0.5%-3.4% gain).
+  bool cache_coefficients = false;
+};
+
+class GpuSingleSegmentDecoder {
+ public:
+  enum class Result { kAccepted, kLinearlyDependent, kAlreadyComplete };
+
+  GpuSingleSegmentDecoder(const simgpu::DeviceSpec& spec,
+                          coding::Params params,
+                          DecodeOptions options = {});
+
+  Result add(const coding::CodedBlock& block);
+  Result add(std::span<const std::uint8_t> coefficients,
+             std::span<const std::uint8_t> payload);
+
+  const coding::Params& params() const { return params_; }
+  std::size_t rank() const { return rank_; }
+  bool is_complete() const { return rank_ == params_.n; }
+  coding::Segment decoded_segment() const;
+
+  const simgpu::KernelMetrics& metrics() const { return launcher_.metrics(); }
+  const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
+
+ private:
+  coding::Params params_;
+  DecodeOptions options_;
+  simgpu::Launcher launcher_;
+
+  std::size_t data_blocks_;   // thread blocks (== SMs used)
+  std::size_t slice_bytes_;   // payload bytes owned by one block
+
+  // Stored RREF state. Payload rows are canonical (each block owns a
+  // column slice); coefficient rows are replicated per block, as on the
+  // real device — copy b lives at coeff_copies_[b].
+  std::vector<AlignedBuffer> coeff_copies_;  // data_blocks_ x (n*n)
+  AlignedBuffer payloads_;                   // n*k
+  std::vector<bool> present_;
+  std::size_t rank_ = 0;
+};
+
+}  // namespace extnc::gpu

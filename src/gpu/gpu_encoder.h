@@ -1,0 +1,74 @@
+// GPU network encoder: the paper's encode kernels on the simulated device.
+//
+// Task partitioning follows the paper:
+//  * loop-based (Fig. 2): one thread per 4-byte output word, 256-thread
+//    blocks, each block producing 1 KB of coded data;
+//  * table-based (Sec. 5.1.2): one resident block per SM, threads striding
+//    over output words, so the log/exp tables are loaded into shared
+//    memory (or bound as a texture) once per SM instead of once per block.
+//
+// Preprocessing (Sec. 5.1.1): for the preprocessed schemes the segment is
+// transformed to the log domain once at construction, and each batch's
+// coefficient matrix is transformed before the encode kernel runs; both
+// transforms are themselves simulated kernels whose costs are kept in a
+// separate metrics bucket so benches can amortize them the way the
+// streaming-server scenario does.
+#pragma once
+
+#include <cstdint>
+
+#include "coding/batch.h"
+#include "coding/segment.h"
+#include "gpu/encode_scheme.h"
+#include "simgpu/executor.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace extnc::gpu {
+
+class GpuEncoder {
+ public:
+  GpuEncoder(const simgpu::DeviceSpec& spec, const coding::Segment& segment,
+             EncodeScheme scheme);
+
+  const coding::Params& params() const { return segment_->params(); }
+  EncodeScheme scheme() const { return scheme_; }
+  const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
+
+  // Fill the payloads of `batch` from its (natural-domain) coefficient
+  // rows by running the scheme's kernels functionally.
+  void encode_into(coding::CodedBatch& batch);
+
+  coding::CodedBatch encode_batch(std::size_t count, Rng& rng);
+
+  // Kernel-work metrics for the encode kernels proper.
+  const simgpu::KernelMetrics& encode_metrics() const {
+    return encode_metrics_;
+  }
+  // One-time (per segment / per batch) preprocessing kernel work.
+  const simgpu::KernelMetrics& preprocess_metrics() const {
+    return preprocess_metrics_;
+  }
+  void reset_metrics();
+
+ private:
+  void preprocess_segment();
+  void preprocess_coefficients(const coding::CodedBatch& batch);
+  void run_loop_based(coding::CodedBatch& batch);
+  void run_table_based(coding::CodedBatch& batch);
+
+  const coding::Segment* segment_;
+  EncodeScheme scheme_;
+  simgpu::Launcher launcher_;
+  simgpu::KernelMetrics encode_metrics_;
+  simgpu::KernelMetrics preprocess_metrics_;
+
+  // Device-resident data.
+  AlignedBuffer log_segment_;      // segment in log domain (preprocessed)
+  AlignedBuffer log_coefficients_; // batch coefficients in log domain
+  AlignedBuffer exp_table_bytes_;  // 512-entry exp (plain or shifted)
+  AlignedBuffer log_table_bytes_;  // 256-entry log (kTable0 only)
+  AlignedBuffer exp_table_words_;  // 8 interleaved word tables (kTable5)
+};
+
+}  // namespace extnc::gpu

@@ -1,0 +1,40 @@
+#include "gpu/gpu_recoder.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc::gpu {
+
+coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
+                              const coding::CodedBatch& received,
+                              std::size_t count, Rng& rng,
+                              EncodeScheme scheme) {
+  const coding::Params& p = received.params();
+  EXTNC_CHECK(received.count() >= 1);
+  EXTNC_CHECK(p.n % 4 == 0);
+  EXTNC_CHECK(p.k % 4 == 0);
+
+  // Pseudo-segment: m aggregate rows of n + k bytes.
+  const std::size_t m = received.count();
+  const coding::Params aggregate{.n = m, .k = p.n + p.k};
+  coding::Segment pseudo(aggregate);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::memcpy(pseudo.block(j).data(), received.coefficients(j).data(), p.n);
+    std::memcpy(pseudo.block(j).data() + p.n, received.payload(j).data(),
+                p.k);
+  }
+
+  GpuEncoder encoder(spec, pseudo, scheme);
+  const coding::CodedBatch mixed = encoder.encode_batch(count, rng);
+
+  // Split the aggregate outputs back into coefficient/payload halves.
+  coding::CodedBatch out(p, count);
+  for (std::size_t j = 0; j < count; ++j) {
+    std::memcpy(out.coefficients(j).data(), mixed.payload(j).data(), p.n);
+    std::memcpy(out.payload(j).data(), mixed.payload(j).data() + p.n, p.k);
+  }
+  return out;
+}
+
+}  // namespace extnc::gpu

@@ -1,0 +1,29 @@
+// GPU recoding: fresh random combinations of *coded* blocks, computed with
+// the encode kernels.
+//
+// A relay holding m coded blocks [C | X] (coefficient rows next to
+// payloads) produces outputs [W*C | W*X] for random weight rows W — which
+// is exactly an encode over a pseudo-segment whose "source blocks" are the
+// aggregate rows of n + k bytes. The paper only encodes at sources, but
+// recoding-at-rate is the operation that makes *network* coding a network
+// primitive, and on a relay with a GPU it reuses the same kernels
+// unchanged.
+#pragma once
+
+#include <cstddef>
+
+#include "coding/batch.h"
+#include "gpu/gpu_encoder.h"
+#include "simgpu/device_spec.h"
+#include "util/rng.h"
+
+namespace extnc::gpu {
+
+// Produce `count` recoded blocks from `received` (which holds m >= 1 coded
+// blocks of one generation). Requires n % 4 == 0 and k % 4 == 0.
+coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
+                              const coding::CodedBatch& received,
+                              std::size_t count, Rng& rng,
+                              EncodeScheme scheme = EncodeScheme::kTable5);
+
+}  // namespace extnc::gpu

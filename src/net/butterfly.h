@@ -1,0 +1,49 @@
+// The butterfly network — the canonical example (Ahlswede et al. [1]) of
+// network coding beating routing, run here with real coded blocks.
+//
+//        S
+//       / \ .
+//      A   B        every edge carries one block per round
+//      |\ /|  .
+//      | X |        X = relay R1 -> R2 (the bottleneck edge)
+//      |/ \|  .
+//     T1   T2
+//
+// S sends one block per round to each of A and B. A forwards to T1 and to
+// the relay; B forwards to T2 and to the relay. The relay's single
+// outgoing edge reaches both sinks (via R2 duplicating to T1 and T2).
+// Multicast capacity is 2 blocks/round per sink; routing through the
+// bottleneck can only ever serve one sink a *new* block per round, giving
+// 1.5/round on average — network coding closes exactly that gap, and this
+// module measures it with real RLNC traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "coding/params.h"
+
+namespace extnc::net {
+
+struct ButterflyResult {
+  // Rounds until BOTH sinks decoded the full generation.
+  std::size_t rounds = 0;
+  bool decoded_correctly = false;
+  // Delivered blocks that carried no new information at the sinks.
+  std::size_t redundant_blocks = 0;
+  // Effective per-sink goodput in blocks per round.
+  double blocks_per_round(const coding::Params& params) const {
+    return rounds == 0 ? 0
+                       : static_cast<double>(params.n) /
+                             static_cast<double>(rounds);
+  }
+};
+
+// strategy: coded relays recode at the bottleneck; routed relays forward
+// verbatim (alternating sides, the best routing can do).
+ButterflyResult run_butterfly_coded(const coding::Params& params,
+                                    std::uint64_t seed);
+ButterflyResult run_butterfly_routed(const coding::Params& params,
+                                     std::uint64_t seed);
+
+}  // namespace extnc::net

@@ -1,0 +1,35 @@
+#include "net/event_sim.h"
+
+#include "util/assert.h"
+
+namespace extnc::net {
+
+void EventSim::schedule_at(double at, Callback fn) {
+  EXTNC_CHECK(at >= now_);
+  EXTNC_CHECK(fn != nullptr);
+  queue_.push(Event{at, next_sequence_++, std::move(fn)});
+}
+
+bool EventSim::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before running it: the callback may schedule.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+void EventSim::run_until(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventSim::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace extnc::net

@@ -1,0 +1,55 @@
+// Minimal discrete-event simulator used by the networking layer.
+//
+// Deliberately small: a time-ordered queue of callbacks plus a clock. The
+// swarm and streaming simulations schedule transmission-complete events;
+// nothing here knows about networking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace extnc::net {
+
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedule `fn` at absolute time `at` (>= now). Events at equal times
+  // fire in scheduling order (stable).
+  void schedule_at(double at, Callback fn);
+  void schedule_in(double delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Run a single event; returns false if none remain.
+  bool step();
+  // Run until the queue drains or the clock passes `deadline`.
+  void run_until(double deadline);
+  void run_all();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace extnc::net

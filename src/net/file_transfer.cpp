@@ -1,0 +1,140 @@
+#include "net/file_transfer.h"
+
+#include <cstring>
+
+#include "coding/generation_stream.h"
+#include "util/assert.h"
+
+namespace extnc::net {
+
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x46434e58;  // "XNCF"
+constexpr std::size_t kFileHeaderBytes = 28;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
+                                      const FileEncodeOptions& options) {
+  EXTNC_CHECK(options.redundancy >= 0.0);
+  EXTNC_CHECK(options.loss >= 0.0 && options.loss < 1.0);
+  Rng rng(options.seed);
+  coding::GenerationEncoder encoder(options.params, content,
+                                    options.systematic);
+
+  const std::size_t per_generation = static_cast<std::size_t>(
+      static_cast<double>(options.params.n) * (1.0 + options.redundancy) +
+      0.999);
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::uint32_t g = 0; g < encoder.generations(); ++g) {
+    for (std::size_t i = 0; i < per_generation; ++i) {
+      auto packet = encoder.encode_packet(g, rng);
+      if (rng.next_double() < options.loss) continue;  // dropped in transit
+      packets.push_back(std::move(packet));
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kFileHeaderBytes +
+              packets.size() * coding::wire_size(options.params));
+  put_u32(out, kFileMagic);
+  put_u32(out, static_cast<std::uint32_t>(options.params.n));
+  put_u32(out, static_cast<std::uint32_t>(options.params.k));
+  put_u64(out, content.size());
+  put_u32(out, static_cast<std::uint32_t>(encoder.generations()));
+  put_u32(out, static_cast<std::uint32_t>(packets.size()));
+  for (const auto& packet : packets) {
+    out.insert(out.end(), packet.begin(), packet.end());
+  }
+  return out;
+}
+
+std::optional<FileInfo> describe_file(
+    std::span<const std::uint8_t> container) {
+  if (container.size() < kFileHeaderBytes) return std::nullopt;
+  if (get_u32(container.data()) != kFileMagic) return std::nullopt;
+  FileInfo info;
+  info.params.n = get_u32(container.data() + 4);
+  info.params.k = get_u32(container.data() + 8);
+  info.content_bytes = get_u64(container.data() + 12);
+  info.generations = get_u32(container.data() + 20);
+  info.packets = get_u32(container.data() + 24);
+  if (info.params.n == 0 || info.params.k == 0 || info.generations == 0) {
+    return std::nullopt;
+  }
+  return info;
+}
+
+FileDecodeResult decode_file(std::span<const std::uint8_t> container) {
+  FileDecodeResult result;
+  const auto info = describe_file(container);
+  if (!info.has_value()) {
+    result.error = "not a coded file container";
+    return result;
+  }
+  const std::size_t packet_bytes = coding::wire_size(info->params);
+  coding::GenerationDecoder decoder(info->params, info->generations);
+  std::size_t offset = kFileHeaderBytes;
+  for (std::uint32_t i = 0; i < info->packets; ++i) {
+    if (offset + packet_bytes > container.size()) {
+      result.error = "container truncated";
+      return result;
+    }
+    const auto outcome =
+        decoder.add_packet(container.subspan(offset, packet_bytes));
+    offset += packet_bytes;
+    switch (outcome) {
+      case coding::GenerationDecoder::Accept::kInnovative:
+      case coding::GenerationDecoder::Accept::kGenerationComplete:
+        ++result.packets_used;
+        break;
+      case coding::GenerationDecoder::Accept::kDependent:
+        ++result.packets_dependent;
+        break;
+      case coding::GenerationDecoder::Accept::kRejected:
+        ++result.packets_rejected;
+        break;
+    }
+  }
+  if (!decoder.is_complete()) {
+    result.error = "insufficient independent packets (" +
+                   std::to_string(decoder.generations_complete()) + "/" +
+                   std::to_string(info->generations) +
+                   " generations complete)";
+    return result;
+  }
+  result.content = decoder.reassemble();
+  if (result.content.size() < info->content_bytes) {
+    result.error = "reassembled size inconsistent";
+    return result;
+  }
+  result.content.resize(info->content_bytes);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace extnc::net

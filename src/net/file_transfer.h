@@ -1,0 +1,66 @@
+// Coded file container: a byte stream holding everything a receiver needs
+// to reconstruct a file from RLNC packets.
+//
+//   offset  size  field
+//   0       4     magic "XNCF"
+//   4       4     n
+//   8       4     k
+//   12      8     original content length (little-endian u64)
+//   20      4     generation count
+//   24      4     packet count
+//   28      ...   packets, back to back (coding/wire.h format)
+//
+// The container is loss-tolerant by construction: encode_file can emit
+// redundant packets and drop a simulated loss fraction, and decode_file
+// succeeds whenever every generation still has n independent packets —
+// the property the Avalanche line of work builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coding/params.h"
+#include "util/rng.h"
+
+namespace extnc::net {
+
+struct FileEncodeOptions {
+  coding::Params params{.n = 32, .k = 1024};
+  // Extra coded packets per generation beyond n, as a fraction (0.25 = 25%
+  // overhead). Protects against loss.
+  double redundancy = 0.0;
+  // Fraction of packets dropped before writing (loss simulation).
+  double loss = 0.0;
+  bool systematic = false;
+  std::uint64_t seed = 1;
+};
+
+struct FileInfo {
+  coding::Params params;
+  std::uint64_t content_bytes = 0;
+  std::uint32_t generations = 0;
+  std::uint32_t packets = 0;
+};
+
+// Encode `content` into a coded container.
+std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
+                                      const FileEncodeOptions& options);
+
+// Parse just the container header; nullopt if malformed.
+std::optional<FileInfo> describe_file(std::span<const std::uint8_t> container);
+
+struct FileDecodeResult {
+  bool ok = false;
+  std::string error;  // human-readable reason when !ok
+  std::vector<std::uint8_t> content;
+  std::size_t packets_used = 0;
+  std::size_t packets_dependent = 0;
+  std::size_t packets_rejected = 0;
+};
+
+FileDecodeResult decode_file(std::span<const std::uint8_t> container);
+
+}  // namespace extnc::net

@@ -1,0 +1,86 @@
+#include "net/line_network.h"
+
+#include <deque>
+#include <vector>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "coding/recoder.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace extnc::net {
+
+namespace {
+
+// A relay either recodes (network coding) or forwards each received packet
+// exactly once (store-and-forward; without feedback it cannot know what
+// was lost downstream, so re-sending would just duplicate).
+struct Relay {
+  explicit Relay(const coding::Params& params) : recoder(params) {}
+
+  coding::Recoder recoder;                  // recoding mode buffer
+  std::deque<coding::CodedBlock> queue;     // forwarding mode queue
+};
+
+}  // namespace
+
+LineNetworkResult run_line_network(const LineNetworkConfig& config) {
+  EXTNC_CHECK(config.hops >= 1);
+  EXTNC_CHECK(config.loss_probability >= 0 && config.loss_probability < 1);
+  Rng rng(config.seed);
+  const coding::Params& params = config.params;
+  const coding::Segment source_data = coding::Segment::random(params, rng);
+  const coding::Encoder encoder(source_data);
+
+  std::vector<Relay> relays(config.hops - 1, Relay(params));
+  coding::ProgressiveDecoder sink(params);
+
+  LineNetworkResult result;
+  auto survives = [&] { return rng.next_double() >= config.loss_probability; };
+
+  while (!sink.is_complete() && result.rounds < config.max_rounds) {
+    ++result.rounds;
+    // All links fire "simultaneously": collect this round's emissions
+    // first, deliver after, so a packet advances one hop per round.
+    std::vector<std::pair<std::size_t, coding::CodedBlock>> in_flight;
+
+    // Source emits one fresh coded block onto link 0.
+    in_flight.emplace_back(0, encoder.encode(rng));
+
+    // Each relay emits onto its outgoing link (link index r + 1).
+    for (std::size_t r = 0; r < relays.size(); ++r) {
+      Relay& relay = relays[r];
+      if (config.recode_at_relays) {
+        if (relay.recoder.buffered() > 0) {
+          in_flight.emplace_back(r + 1, relay.recoder.recode(rng));
+        }
+      } else if (!relay.queue.empty()) {
+        in_flight.emplace_back(r + 1, std::move(relay.queue.front()));
+        relay.queue.pop_front();
+      }
+    }
+
+    // Deliver (or drop).
+    for (auto& [link, block] : in_flight) {
+      if (!survives()) continue;
+      if (link == config.hops - 1) {
+        sink.add(block);
+      } else {
+        Relay& next = relays[link];
+        if (config.recode_at_relays) {
+          next.recoder.add(block);
+        } else {
+          next.queue.push_back(std::move(block));
+        }
+      }
+    }
+  }
+
+  result.completed = sink.is_complete();
+  result.decoded_correctly =
+      result.completed && sink.decoded_segment() == source_data;
+  return result;
+}
+
+}  // namespace extnc::net

@@ -1,0 +1,126 @@
+#include "net/live_stream.h"
+
+#include <functional>
+#include <memory>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "net/event_sim.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace extnc::net {
+
+namespace {
+
+struct Viewer {
+  explicit Viewer(const coding::Params& params)
+      : decoder(std::make_unique<coding::ProgressiveDecoder>(params)) {}
+
+  std::size_t current_segment = 0;
+  std::unique_ptr<coding::ProgressiveDecoder> decoder;
+  std::size_t stalls = 0;
+  std::size_t decoded_ok = 0;
+};
+
+}  // namespace
+
+std::size_t stall_free_capacity(const LiveStreamConfig& config) {
+  const double blocks_needed_per_second =
+      static_cast<double>(config.params.n) / config.segment_duration_s;
+  return static_cast<std::size_t>(config.server_blocks_per_second /
+                                  blocks_needed_per_second);
+}
+
+LiveStreamResult run_live_stream(const LiveStreamConfig& config) {
+  EXTNC_CHECK(config.viewers >= 1);
+  EXTNC_CHECK(config.stream_segments >= 1);
+  EXTNC_CHECK(config.server_blocks_per_second > 0);
+  Rng rng(config.seed);
+  const coding::Params& params = config.params;
+
+  // The live content, one segment ahead of playback.
+  std::vector<coding::Segment> segments;
+  std::vector<coding::Encoder> encoders;
+  segments.reserve(config.stream_segments);
+  for (std::size_t s = 0; s < config.stream_segments; ++s) {
+    segments.push_back(coding::Segment::random(params, rng));
+  }
+  encoders.reserve(config.stream_segments);
+  for (const auto& segment : segments) encoders.emplace_back(segment);
+
+  std::vector<Viewer> viewers;
+  viewers.reserve(config.viewers);
+  for (std::size_t v = 0; v < config.viewers; ++v) viewers.emplace_back(params);
+
+  LiveStreamResult result;
+  EventSim sim;
+
+  auto advance_viewer = [&](Viewer& viewer) {
+    if (viewer.decoder->is_complete() &&
+        viewer.decoder->decoded_segment() ==
+            segments[viewer.current_segment]) {
+      ++viewer.decoded_ok;
+    }
+    ++viewer.current_segment;
+    if (viewer.current_segment < config.stream_segments) {
+      viewer.decoder =
+          std::make_unique<coding::ProgressiveDecoder>(params);
+    }
+  };
+
+  // Playback deadlines: segment s must be decoded by (s + 2) * duration
+  // (one segment of startup delay).
+  for (std::size_t s = 0; s < config.stream_segments; ++s) {
+    sim.schedule_at(
+        (static_cast<double>(s) + 2.0) * config.segment_duration_s, [&, s] {
+          for (Viewer& viewer : viewers) {
+            if (viewer.current_segment != s) continue;
+            if (!viewer.decoder->is_complete()) ++viewer.stalls;
+            // Live stream: the broadcast moves on regardless (the stall is
+            // the quality penalty; the viewer skips ahead).
+            advance_viewer(viewer);
+          }
+        });
+  }
+
+  // Server send loop: round-robin over viewers missing their segment.
+  std::size_t cursor = 0;
+  std::function<void()> send_tick = [&] {
+    if (sim.now() >=
+        (static_cast<double>(config.stream_segments) + 2.0) *
+            config.segment_duration_s) {
+      return;  // broadcast over
+    }
+    for (std::size_t probe = 0; probe < viewers.size(); ++probe) {
+      Viewer& viewer = viewers[cursor];
+      cursor = (cursor + 1) % viewers.size();
+      if (viewer.current_segment >= config.stream_segments) continue;
+      if (viewer.decoder->is_complete()) continue;
+      ++result.blocks_sent;
+      if (rng.next_double() >= config.loss_probability) {
+        viewer.decoder->add(
+            encoders[viewer.current_segment].encode(rng));
+      }
+      break;
+    }
+    sim.schedule_in(1.0 / config.server_blocks_per_second, send_tick);
+  };
+  sim.schedule_in(1.0 / config.server_blocks_per_second, send_tick);
+
+  sim.run_until((static_cast<double>(config.stream_segments) + 2.5) *
+                config.segment_duration_s);
+
+  result.all_content_decoded_correctly = true;
+  for (const Viewer& viewer : viewers) {
+    result.rebuffer_events += viewer.stalls;
+    result.segments_played += viewer.current_segment;
+    if (viewer.stalls == 0) ++result.smooth_viewers;
+    if (viewer.decoded_ok + viewer.stalls < viewer.current_segment) {
+      result.all_content_decoded_correctly = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace extnc::net

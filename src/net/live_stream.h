@@ -1,0 +1,53 @@
+// Live-streaming simulation: the dynamic counterpart of the Sec. 5.1.1
+// capacity arithmetic.
+//
+// A server plays out a live stream of segments, each one generation of
+// coded content worth `segment_duration` seconds of video. Every viewer
+// must decode segment s before its playback deadline (a startup delay of
+// one segment duration, then one deadline per segment); a missed deadline
+// is a rebuffering stall. The server's encoder produces coded blocks at a
+// fixed aggregate rate — the coding bandwidths the paper measures — and
+// round-robins them across viewers still missing their current segment.
+// Since any n independent blocks decode a segment, the server needs no
+// per-viewer bookkeeping beyond "which segment are you on" — the property
+// that makes network coding attractive for streaming in the first place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coding/params.h"
+
+namespace extnc::net {
+
+struct LiveStreamConfig {
+  coding::Params params{.n = 8, .k = 64};
+  std::size_t viewers = 8;
+  std::size_t stream_segments = 4;   // length of the broadcast
+  double segment_duration_s = 1.0;   // playout time per segment
+  // Aggregate server encoding+send rate, coded blocks per second (the
+  // coding bandwidth divided by block size).
+  double server_blocks_per_second = 200.0;
+  double loss_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct LiveStreamResult {
+  // Stalls across all viewers (a viewer can stall once per segment).
+  std::size_t rebuffer_events = 0;
+  std::size_t segments_played = 0;   // across all viewers
+  std::size_t blocks_sent = 0;
+  bool all_content_decoded_correctly = false;
+  // Viewers that played the whole stream without a single stall.
+  std::size_t smooth_viewers = 0;
+};
+
+LiveStreamResult run_live_stream(const LiveStreamConfig& config);
+
+// Viewers the configured block rate can serve without stalls on a
+// loss-free link: each needs n blocks per segment duration.
+std::size_t stall_free_capacity(const LiveStreamConfig& config);
+
+}  // namespace extnc::net

@@ -1,0 +1,198 @@
+#include "net/multigen_swarm.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "coding/generation_stream.h"
+#include "coding/recoder.h"
+#include "net/event_sim.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace extnc::net {
+
+namespace {
+
+struct Peer {
+  Peer(const coding::Params& params, std::size_t generations)
+      : decoder(std::make_unique<coding::GenerationDecoder>(params,
+                                                            generations)) {
+    for (std::size_t g = 0; g < generations; ++g) {
+      buffers.emplace_back(params);
+    }
+  }
+
+  std::unique_ptr<coding::GenerationDecoder> decoder;
+  std::vector<coding::Recoder> buffers;  // received blocks per generation
+  std::vector<std::size_t> neighbors;
+  double completed_at = -1;
+};
+
+}  // namespace
+
+MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
+  EXTNC_CHECK(config.peers >= 1);
+  EXTNC_CHECK(config.generations >= 1);
+  Rng rng(config.rng_seed);
+  const coding::Params& params = config.params;
+
+  // The file being distributed.
+  std::vector<std::uint8_t> content(params.segment_bytes() *
+                                    config.generations);
+  for (auto& b : content) b = rng.next_byte();
+  coding::GenerationEncoder seed_encoder(params, content);
+  EXTNC_CHECK(seed_encoder.generations() == config.generations);
+
+  std::vector<Peer> peers;
+  peers.reserve(config.peers);
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    peers.emplace_back(params, config.generations);
+  }
+  const std::size_t degree =
+      std::min(config.neighbors, config.peers > 1 ? config.peers - 1 : 0);
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    while (peers[p].neighbors.size() < degree) {
+      const std::size_t q = rng.next_below(config.peers);
+      if (q == p || std::find(peers[p].neighbors.begin(),
+                              peers[p].neighbors.end(),
+                              q) != peers[p].neighbors.end()) {
+        continue;
+      }
+      peers[p].neighbors.push_back(q);
+    }
+  }
+
+  MultiGenSwarmResult result;
+  std::size_t completed = 0;
+  EventSim sim;
+  // Per-generation completion times across peers (for half-completion).
+  std::vector<std::vector<double>> generation_completions(config.generations);
+
+  auto deliver = [&](std::size_t target,
+                     const std::vector<std::uint8_t>& packet,
+                     std::uint32_t generation) {
+    ++result.packets_sent;
+    if (rng.next_double() < config.loss_probability) {
+      ++result.packets_lost;
+      return;
+    }
+    Peer& peer = peers[target];
+    const bool gen_was_complete = peer.decoder->generation_complete(generation);
+    const auto outcome = peer.decoder->add_packet(packet);
+    if (outcome == coding::GenerationDecoder::Accept::kRejected) {
+      ++result.packets_rejected;
+      return;
+    }
+    // Buffer for relaying (parse once more; a real node would keep the
+    // parsed block from the decode path).
+    const auto parsed = coding::parse(packet);
+    EXTNC_CHECK(parsed.ok());
+    peer.buffers[generation].add(parsed.packet().block);
+    if (!gen_was_complete && peer.decoder->generation_complete(generation)) {
+      generation_completions[generation].push_back(sim.now());
+    }
+    if (peer.completed_at < 0 && peer.decoder->is_complete()) {
+      peer.completed_at = sim.now();
+      ++completed;
+    }
+  };
+
+  // Generation choice for a (sender-capability, receiver-need) pair.
+  auto choose_generation = [&](const std::vector<bool>& sender_has,
+                               const Peer& receiver) -> std::ptrdiff_t {
+    std::vector<std::size_t> candidates;
+    for (std::size_t g = 0; g < config.generations; ++g) {
+      if (sender_has[g] && !receiver.decoder->generation_complete(g)) {
+        candidates.push_back(g);
+      }
+    }
+    if (candidates.empty()) return -1;
+    switch (config.schedule) {
+      case GenerationSchedule::kSequential:
+        return static_cast<std::ptrdiff_t>(candidates.front());
+      case GenerationSchedule::kRarestFirst: {
+        std::size_t best = candidates.front();
+        for (std::size_t g : candidates) {
+          if (receiver.decoder->generation_rank(g) <
+              receiver.decoder->generation_rank(best)) {
+            best = g;
+          }
+        }
+        return static_cast<std::ptrdiff_t>(best);
+      }
+      case GenerationSchedule::kRandom:
+        return static_cast<std::ptrdiff_t>(
+            candidates[rng.next_below(candidates.size())]);
+    }
+    return -1;
+  };
+
+  // Seed loop: can serve every generation.
+  const std::vector<bool> seed_has(config.generations, true);
+  std::function<void()> seed_tick = [&] {
+    if (completed == config.peers) return;
+    const std::size_t target = rng.next_below(config.peers);
+    const auto g = choose_generation(seed_has, peers[target]);
+    if (g >= 0) {
+      deliver(target,
+              seed_encoder.encode_packet(static_cast<std::uint32_t>(g), rng),
+              static_cast<std::uint32_t>(g));
+    }
+    sim.schedule_in(1.0 / config.seed_blocks_per_second, seed_tick);
+  };
+  sim.schedule_in(1.0 / config.seed_blocks_per_second, seed_tick);
+
+  // Peer gossip loops.
+  std::vector<std::function<void()>> peer_ticks(config.peers);
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    peer_ticks[p] = [&, p] {
+      if (completed == config.peers) return;
+      Peer& peer = peers[p];
+      if (!peer.neighbors.empty()) {
+        const std::size_t target =
+            peer.neighbors[rng.next_below(peer.neighbors.size())];
+        std::vector<bool> has(config.generations);
+        for (std::size_t g = 0; g < config.generations; ++g) {
+          has[g] = peer.buffers[g].buffered() > 0;
+        }
+        const auto g = choose_generation(has, peers[target]);
+        if (g >= 0) {
+          const coding::CodedBlock mixed =
+              peer.buffers[static_cast<std::size_t>(g)].recode(rng);
+          deliver(target,
+                  coding::serialize(static_cast<std::uint32_t>(g), mixed),
+                  static_cast<std::uint32_t>(g));
+        }
+      }
+      sim.schedule_in(1.0 / config.peer_blocks_per_second, peer_ticks[p]);
+    };
+    sim.schedule_in(1.0 / config.peer_blocks_per_second, peer_ticks[p]);
+  }
+
+  sim.run_until(config.max_seconds);
+
+  result.all_completed = completed == config.peers;
+  result.content_verified = result.all_completed;
+  for (Peer& peer : peers) {
+    result.completion_seconds =
+        std::max(result.completion_seconds, peer.completed_at);
+    if (peer.decoder->is_complete()) {
+      if (peer.decoder->reassemble() != content) {
+        result.content_verified = false;
+      }
+    }
+  }
+  result.generation_half_completion.assign(config.generations, 0);
+  for (std::size_t g = 0; g < config.generations; ++g) {
+    auto& times = generation_completions[g];
+    std::sort(times.begin(), times.end());
+    const std::size_t half = (config.peers + 1) / 2;
+    if (times.size() >= half && half > 0) {
+      result.generation_half_completion[g] = times[half - 1];
+    }
+  }
+  return result;
+}
+
+}  // namespace extnc::net

@@ -1,0 +1,69 @@
+// Multi-generation swarm: Avalanche-shaped bulk distribution of a whole
+// file.
+//
+// The content is split into G generations (coding/generation_stream.h);
+// the seed and all peers exchange *wire packets* (coding/wire.h), exactly
+// the bytes a UDP socket would carry. Peers run one GenerationDecoder
+// each and gossip recoded packets for a generation chosen by the
+// configured scheduling policy — the piece-selection question of
+// BitTorrent-era systems, transplanted to generations:
+//
+//  * kRandom       — uniform among generations the sender can contribute to;
+//  * kSequential   — lowest-index incomplete generation first (streaming
+//                    order; prone to end-game stalls on the last pieces);
+//  * kRarestFirst  — the generation the *receiver* has made the least
+//                    progress on (needs receiver state; modeled as the
+//                    gossip metadata exchange real systems do).
+//
+// Network coding removes the block-level rarest-piece problem entirely
+// (any n independent packets do), but generation selection still matters —
+// this simulation measures how much.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coding/params.h"
+
+namespace extnc::net {
+
+enum class GenerationSchedule { kRandom, kSequential, kRarestFirst };
+
+constexpr const char* schedule_name(GenerationSchedule schedule) {
+  switch (schedule) {
+    case GenerationSchedule::kRandom: return "random";
+    case GenerationSchedule::kSequential: return "sequential";
+    case GenerationSchedule::kRarestFirst: return "rarest-first";
+  }
+  return "?";
+}
+
+struct MultiGenSwarmConfig {
+  coding::Params params{.n = 8, .k = 32};
+  std::size_t generations = 4;
+  std::size_t peers = 10;
+  std::size_t neighbors = 3;
+  double seed_blocks_per_second = 8.0;
+  double peer_blocks_per_second = 4.0;
+  double loss_probability = 0.0;
+  GenerationSchedule schedule = GenerationSchedule::kRandom;
+  std::uint64_t rng_seed = 1;
+  double max_seconds = 20000.0;
+};
+
+struct MultiGenSwarmResult {
+  bool all_completed = false;
+  double completion_seconds = 0;
+  std::size_t packets_sent = 0;
+  std::size_t packets_lost = 0;
+  std::size_t packets_rejected = 0;   // malformed/unknown (must stay 0 here)
+  bool content_verified = false;      // every peer reassembled the file
+  // Mean time by which HALF the peers finished each generation — low for
+  // sequential (earlier generations land sooner), useful for streaming.
+  std::vector<double> generation_half_completion;
+};
+
+MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config);
+
+}  // namespace extnc::net

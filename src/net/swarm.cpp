@@ -1,0 +1,128 @@
+#include "net/swarm.h"
+
+#include <algorithm>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "coding/recoder.h"
+#include "net/event_sim.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace extnc::net {
+
+namespace {
+
+struct Peer {
+  explicit Peer(const coding::Params& params) : decoder(params) {}
+
+  coding::ProgressiveDecoder decoder;
+  // Everything received, for relaying (recoded or verbatim).
+  std::vector<coding::CodedBlock> received;
+  double completed_at = 0;
+  std::vector<std::size_t> neighbors;
+};
+
+}  // namespace
+
+SwarmResult run_swarm(const SwarmConfig& config) {
+  EXTNC_CHECK(config.peers >= 1);
+  EXTNC_CHECK(config.server_blocks_per_second > 0);
+  Rng rng(config.seed);
+  const coding::Params& params = config.params;
+  const coding::Segment source = coding::Segment::random(params, rng);
+  const coding::Encoder encoder(source);
+
+  std::vector<Peer> peers(config.peers, Peer(params));
+  const std::size_t degree =
+      std::min(config.neighbors, config.peers > 1 ? config.peers - 1 : 0);
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    while (peers[p].neighbors.size() < degree) {
+      const std::size_t q = rng.next_below(config.peers);
+      if (q == p) continue;
+      if (std::find(peers[p].neighbors.begin(), peers[p].neighbors.end(), q) !=
+          peers[p].neighbors.end()) {
+        continue;
+      }
+      peers[p].neighbors.push_back(q);
+    }
+  }
+
+  SwarmResult result;
+  result.peer_completion_seconds.assign(config.peers, 0);
+  std::size_t completed = 0;
+  EventSim sim;
+
+  auto deliver = [&](std::size_t target, const coding::CodedBlock& block) {
+    ++result.blocks_sent;
+    if (rng.next_double() < config.loss_probability) {
+      ++result.blocks_lost;
+      return;
+    }
+    Peer& peer = peers[target];
+    peer.received.push_back(block);
+    const bool was_complete = peer.decoder.is_complete();
+    const auto outcome = peer.decoder.add(block);
+    if (was_complete) {
+      ++result.blocks_after_completion;
+    } else if (outcome == coding::ProgressiveDecoder::Result::kAccepted) {
+      ++result.blocks_innovative;
+    } else {
+      ++result.blocks_dependent;
+    }
+    if (!was_complete && peer.decoder.is_complete()) {
+      peer.completed_at = sim.now();
+      result.peer_completion_seconds[target] = sim.now();
+      ++completed;
+    }
+  };
+
+  // Server upload loop: a fresh coded block to a uniformly random peer.
+  std::function<void()> server_tick = [&] {
+    if (completed == config.peers) return;
+    deliver(rng.next_below(config.peers), encoder.encode(rng));
+    sim.schedule_in(1.0 / config.server_blocks_per_second, server_tick);
+  };
+  sim.schedule_in(1.0 / config.server_blocks_per_second, server_tick);
+
+  // Peer gossip loops.
+  std::vector<std::function<void()>> peer_ticks(config.peers);
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    peer_ticks[p] = [&, p] {
+      if (completed == config.peers) return;
+      Peer& peer = peers[p];
+      if (!peer.received.empty() && !peer.neighbors.empty()) {
+        const std::size_t target =
+            peer.neighbors[rng.next_below(peer.neighbors.size())];
+        if (config.use_recoding) {
+          coding::Recoder recoder(params);
+          for (const auto& block : peer.received) recoder.add(block);
+          deliver(target, recoder.recode(rng));
+        } else {
+          deliver(target,
+                  peer.received[rng.next_below(peer.received.size())]);
+        }
+      }
+      sim.schedule_in(1.0 / config.peer_blocks_per_second, peer_ticks[p]);
+    };
+    sim.schedule_in(1.0 / config.peer_blocks_per_second, peer_ticks[p]);
+  }
+
+  sim.run_until(config.max_seconds);
+
+  result.all_completed = completed == config.peers;
+  result.completion_seconds = 0;
+  result.all_decoded_correctly = result.all_completed;
+  for (std::size_t p = 0; p < config.peers; ++p) {
+    result.completion_seconds =
+        std::max(result.completion_seconds, result.peer_completion_seconds[p]);
+    if (peers[p].decoder.is_complete()) {
+      if (!(peers[p].decoder.decoded_segment() == source)) {
+        result.all_decoded_correctly = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace extnc::net

@@ -1,0 +1,227 @@
+#include "simgpu/executor.h"
+
+#include <algorithm>
+#include <array>
+
+namespace extnc::simgpu {
+
+// ------------------------------------------------------------ TextureCache
+
+TextureCache::TextureCache(std::size_t cache_bytes, std::size_t line_bytes)
+    : num_lines_(std::max<std::size_t>(1, cache_bytes / line_bytes)),
+      line_bytes_(line_bytes),
+      tags_(num_lines_, 0) {}
+
+bool TextureCache::access(std::uintptr_t address) {
+  const std::uintptr_t line = address / line_bytes_;
+  const std::size_t set = line % num_lines_;
+  // Tag 0 marks an empty line; real line ids are offset by 1 so address 0
+  // cannot alias "empty".
+  const std::uintptr_t tag = line + 1;
+  if (tags_[set] == tag) return true;
+  tags_[set] = tag;
+  return false;
+}
+
+void TextureCache::invalidate() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+}
+
+// --------------------------------------------------------------- ThreadCtx
+
+std::size_t ThreadCtx::block_index() const { return block_->block_index(); }
+std::size_t ThreadCtx::threads_per_block() const {
+  return block_->num_threads();
+}
+std::size_t ThreadCtx::global_index() const {
+  return block_->block_index() * block_->num_threads() + lane_;
+}
+
+std::uint8_t ThreadCtx::gload_u8(const std::uint8_t* p) {
+  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
+  block_->metrics_->global_load_bytes += 1;
+  return *p;
+}
+
+std::uint32_t ThreadCtx::gload_u32(const void* p) {
+  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
+  block_->metrics_->global_load_bytes += 4;
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void ThreadCtx::gstore_u8(std::uint8_t* p, std::uint8_t v) {
+  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
+  block_->metrics_->global_store_bytes += 1;
+  *p = v;
+}
+
+void ThreadCtx::gstore_u32(void* p, std::uint32_t v) {
+  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
+  block_->metrics_->global_store_bytes += 4;
+  std::memcpy(p, &v, 4);
+}
+
+std::uint8_t ThreadCtx::sload_u8(std::size_t offset) {
+  block_->record_shared(seq_++, offset, 1);
+  return block_->shared().read_u8(offset);
+}
+
+std::uint32_t ThreadCtx::sload_u32(std::size_t offset) {
+  block_->record_shared(seq_++, offset, 4);
+  return block_->shared().read_u32(offset);
+}
+
+void ThreadCtx::sstore_u8(std::size_t offset, std::uint8_t v) {
+  block_->record_shared(seq_++, offset, 1);
+  block_->shared().write_u8(offset, v);
+}
+
+void ThreadCtx::sstore_u32(std::size_t offset, std::uint32_t v) {
+  block_->record_shared(seq_++, offset, 4);
+  block_->shared().write_u32(offset, v);
+}
+
+std::uint32_t ThreadCtx::atomic_min_shared(std::size_t offset,
+                                           std::uint32_t v) {
+  EXTNC_CHECK(block_->spec().has_shared_atomics);
+  block_->record_shared(seq_++, offset, 4);
+  block_->metrics_->atomic_ops += 1;
+  const std::uint32_t old = block_->shared().read_u32(offset);
+  block_->shared().write_u32(offset, std::min(old, v));
+  return old;
+}
+
+std::uint32_t ThreadCtx::tex1d_u32(const std::uint32_t* base,
+                                   std::size_t index) {
+  ++seq_;  // a texture fetch occupies an access slot like any load
+  block_->record_texture(reinterpret_cast<std::uintptr_t>(base + index), 4);
+  return base[index];
+}
+
+std::uint8_t ThreadCtx::tex1d_u8(const std::uint8_t* base, std::size_t index) {
+  ++seq_;
+  block_->record_texture(reinterpret_cast<std::uintptr_t>(base + index), 1);
+  return base[index];
+}
+
+void ThreadCtx::count_alu(double ops) { block_->metrics_->alu_ops += ops; }
+
+// ---------------------------------------------------------------- BlockCtx
+
+void BlockCtx::step(const std::function<void(ThreadCtx&)>& fn) {
+  step_partial(config_.threads_per_block, fn);
+}
+
+void BlockCtx::step_partial(std::size_t count,
+                            const std::function<void(ThreadCtx&)>& fn) {
+  EXTNC_CHECK(count <= config_.threads_per_block);
+  const std::size_t half = static_cast<std::size_t>(spec_->half_warp);
+  current_half_warp_ = 0;
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const std::size_t hw = lane / half;
+    if (hw != current_half_warp_) {
+      flush_half_warp();
+      current_half_warp_ = hw;
+    }
+    ThreadCtx thread;
+    thread.block_ = this;
+    thread.lane_ = lane;
+    thread.seq_ = 0;
+    fn(thread);
+  }
+  flush_half_warp();
+  metrics_->barriers += 1;
+}
+
+void BlockCtx::record_global(std::uint32_t seq, std::uintptr_t addr,
+                             std::size_t size) {
+  const std::uint64_t seg_bytes = spec_->coalesce_segment_bytes;
+  GlobalGroup& group = global_groups_[seq];
+  const std::uint64_t first = addr / seg_bytes;
+  const std::uint64_t last = (addr + size - 1) / seg_bytes;
+  for (std::uint64_t seg = first; seg <= last; ++seg) {
+    if (std::find(group.segments.begin(), group.segments.end(), seg) ==
+        group.segments.end()) {
+      group.segments.push_back(seg);
+    }
+  }
+  // Memory instructions occupy issue slots like ALU instructions do.
+  metrics_->alu_ops += 1;
+}
+
+void BlockCtx::record_shared(std::uint32_t seq, std::size_t offset,
+                             std::size_t size) {
+  // Bank of a shared access is determined by its 32-bit word address.
+  const std::uintptr_t word = offset / 4;
+  const std::uint32_t bank =
+      static_cast<std::uint32_t>(word % spec_->shared_banks);
+  shared_groups_[seq].accesses.emplace_back(bank, word);
+  (void)size;
+  metrics_->shared_accesses += 1;
+  metrics_->alu_ops += 1;
+}
+
+void BlockCtx::record_texture(std::uintptr_t addr, std::size_t size) {
+  metrics_->texture_fetches += 1;
+  metrics_->alu_ops += 1;
+  if (!texture_->access(addr)) metrics_->texture_misses += 1;
+  (void)size;
+}
+
+void BlockCtx::flush_half_warp() {
+  for (auto& [seq, group] : global_groups_) {
+    metrics_->global_transactions += group.segments.size();
+  }
+  global_groups_.clear();
+  for (auto& [seq, group] : shared_groups_) {
+    // Serialized cycles for one half-warp access step: the worst bank must
+    // serve one cycle per *distinct word* addressed in it (lanes reading
+    // the same word are satisfied by one broadcast).
+    std::array<std::vector<std::uintptr_t>, 32> words_per_bank;
+    std::uint64_t degree = 1;
+    for (const auto& [bank, word] : group.accesses) {
+      auto& words = words_per_bank[bank % 32];
+      if (std::find(words.begin(), words.end(), word) == words.end()) {
+        words.push_back(word);
+        degree = std::max<std::uint64_t>(degree, words.size());
+      }
+    }
+    metrics_->shared_access_events += 1;
+    metrics_->shared_serialized_cycles += degree;
+  }
+  shared_groups_.clear();
+}
+
+// ---------------------------------------------------------------- Launcher
+
+Launcher::Launcher(const DeviceSpec& spec)
+    : spec_(&spec),
+      texture_cache_(spec.texture_cache_bytes, spec.texture_cache_line_bytes) {}
+
+void Launcher::launch(const LaunchConfig& config,
+                      const std::function<void(BlockCtx&)>& kernel) {
+  EXTNC_CHECK(config.blocks >= 1);
+  EXTNC_CHECK(config.threads_per_block >= 1);
+  EXTNC_CHECK(config.threads_per_block <=
+              static_cast<std::size_t>(spec_->max_threads_per_block));
+  metrics_.kernel_launches += 1;
+  metrics_.blocks = config.blocks;
+  metrics_.threads_per_block = config.threads_per_block;
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    SharedMemory shared(spec_->shared_mem_per_sm);
+    BlockCtx ctx;
+    ctx.spec_ = spec_;
+    ctx.config_ = config;
+    ctx.block_index_ = b;
+    ctx.shared_ = &shared;
+    ctx.texture_ = &texture_cache_;
+    ctx.metrics_ = &metrics_;
+    kernel(ctx);
+  }
+}
+
+void Launcher::invalidate_texture_cache() { texture_cache_.invalidate(); }
+
+}  // namespace extnc::simgpu

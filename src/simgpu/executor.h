@@ -1,0 +1,216 @@
+// Functional CUDA-like executor with memory-system accounting.
+//
+// Kernels are written against a BlockCtx and executed bit-exactly on the
+// host. The execution model is "barrier-segmented": BlockCtx::step runs a
+// callable for every thread of the block in lane order, and the boundary
+// between two steps is a __syncthreads(). This keeps kernels deterministic
+// and single-threaded while preserving exactly the synchronization
+// structure the paper's kernels have (per-block barriers only — CUDA has
+// no global barrier, which is what forces the decoder's task-partitioning
+// scheme in Sec. 4.2.2).
+//
+// Every memory access goes through ThreadCtx, which aggregates accesses at
+// half-warp granularity (16 lanes, the GT200 coalescing/bank-conflict
+// unit):
+//  * global accesses are grouped by access sequence number and counted as
+//    one transaction per distinct 64-byte segment the half-warp touches —
+//    a broadcast (all lanes, same address) is one transaction, a fully
+//    coalesced sweep is four;
+//  * shared accesses are resolved into bank conflicts: an access step
+//    costs max-over-banks(distinct 32-bit words addressed in that bank)
+//    serialized cycles, so a layout change (e.g. the TB-5 replicated exp
+//    tables) shows up in the metrics with no model changes;
+//  * texture fetches run through a direct-mapped cache model.
+//
+// Aggregation by sequence number assumes lanes of a half-warp execute the
+// same access sequence, which holds for all kernels in this library
+// (divergent kernels would see slightly misattributed grouping, never
+// wrong functional results).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "simgpu/device_spec.h"
+#include "simgpu/metrics.h"
+#include "util/aligned_buffer.h"
+#include "util/assert.h"
+
+namespace extnc::simgpu {
+
+struct LaunchConfig {
+  std::size_t blocks = 1;
+  std::size_t threads_per_block = 256;
+};
+
+// Per-block scratchpad (the 16 KB on-chip shared memory of one SM).
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t size) : storage_(size) {}
+
+  std::size_t size() const { return storage_.size(); }
+  std::uint8_t* data() { return storage_.data(); }
+
+  std::uint8_t read_u8(std::size_t offset) const {
+    EXTNC_DASSERT(offset < storage_.size());
+    return storage_[offset];
+  }
+  void write_u8(std::size_t offset, std::uint8_t value) {
+    EXTNC_DASSERT(offset < storage_.size());
+    storage_[offset] = value;
+  }
+  std::uint32_t read_u32(std::size_t offset) const {
+    EXTNC_DASSERT(offset + 4 <= storage_.size());
+    std::uint32_t v;
+    std::memcpy(&v, storage_.data() + offset, 4);
+    return v;
+  }
+  void write_u32(std::size_t offset, std::uint32_t value) {
+    EXTNC_DASSERT(offset + 4 <= storage_.size());
+    std::memcpy(storage_.data() + offset, &value, 4);
+  }
+
+ private:
+  AlignedBuffer storage_;
+};
+
+// Direct-mapped read-only texture cache model.
+class TextureCache {
+ public:
+  TextureCache(std::size_t cache_bytes, std::size_t line_bytes);
+
+  // Returns true on hit; records the line on miss.
+  bool access(std::uintptr_t address);
+  void invalidate();
+
+ private:
+  std::size_t num_lines_;
+  std::size_t line_bytes_;
+  std::vector<std::uintptr_t> tags_;  // 0 == empty
+};
+
+class BlockCtx;
+
+// Handle through which kernel code touches memory; one per logical thread.
+class ThreadCtx {
+ public:
+  std::size_t lane() const { return lane_; }
+  std::size_t block_index() const;
+  std::size_t threads_per_block() const;
+  std::size_t global_index() const;
+
+  // --- global memory ----------------------------------------------------
+  std::uint8_t gload_u8(const std::uint8_t* p);
+  std::uint32_t gload_u32(const void* p);
+  void gstore_u8(std::uint8_t* p, std::uint8_t v);
+  void gstore_u32(void* p, std::uint32_t v);
+
+  // --- shared memory ------------------------------------------------------
+  std::uint8_t sload_u8(std::size_t offset);
+  std::uint32_t sload_u32(std::size_t offset);
+  void sstore_u8(std::size_t offset, std::uint8_t v);
+  void sstore_u32(std::size_t offset, std::uint32_t v);
+  // atomicMin on shared memory (GTX 280+, Sec. 5.4.2); returns old value.
+  std::uint32_t atomic_min_shared(std::size_t offset, std::uint32_t v);
+
+  // --- texture ------------------------------------------------------------
+  std::uint32_t tex1d_u32(const std::uint32_t* base, std::size_t index);
+  std::uint8_t tex1d_u8(const std::uint8_t* base, std::size_t index);
+
+  // Charge scalar-instruction work (address math, tests, xors, loop
+  // control). Memory instructions are charged automatically, one per
+  // access.
+  void count_alu(double ops);
+
+  // A lane sitting out a predicated/branched-around access must still
+  // advance its access sequence so that the remaining lanes' accesses stay
+  // grouped with the same instruction site (on hardware, grouping is by
+  // PC; here it is by per-thread sequence number). Call once per skipped
+  // access.
+  void skip_access() { ++seq_; }
+
+ private:
+  friend class BlockCtx;
+  BlockCtx* block_ = nullptr;
+  std::size_t lane_ = 0;
+  std::uint32_t seq_ = 0;  // per-thread access sequence number
+};
+
+class Launcher;
+
+// Context for one thread block; passed to the kernel callable.
+class BlockCtx {
+ public:
+  std::size_t block_index() const { return block_index_; }
+  std::size_t num_blocks() const { return config_.blocks; }
+  std::size_t num_threads() const { return config_.threads_per_block; }
+  SharedMemory& shared() { return *shared_; }
+  const DeviceSpec& spec() const { return *spec_; }
+
+  // Execute fn(thread) for every lane, then a barrier.
+  void step(const std::function<void(ThreadCtx&)>& fn);
+  // Execute fn for lanes [0, count) only (partial step, still a barrier) —
+  // the "if (tid < count)" idiom.
+  void step_partial(std::size_t count,
+                    const std::function<void(ThreadCtx&)>& fn);
+
+ private:
+  friend class Launcher;
+  friend class ThreadCtx;
+
+  void flush_half_warp();
+  void record_global(std::uint32_t seq, std::uintptr_t addr, std::size_t size);
+  void record_shared(std::uint32_t seq, std::size_t offset, std::size_t size);
+  void record_texture(std::uintptr_t addr, std::size_t size);
+
+  const DeviceSpec* spec_ = nullptr;
+  LaunchConfig config_;
+  std::size_t block_index_ = 0;
+  SharedMemory* shared_ = nullptr;
+  TextureCache* texture_ = nullptr;
+  KernelMetrics* metrics_ = nullptr;
+
+  // Half-warp aggregation state.
+  std::size_t current_half_warp_ = 0;
+  struct GlobalGroup {
+    std::vector<std::uint64_t> segments;  // distinct 64B segment ids
+  };
+  struct SharedGroup {
+    // (bank, word-address) pairs seen this half-warp.
+    std::vector<std::pair<std::uint32_t, std::uintptr_t>> accesses;
+  };
+  std::unordered_map<std::uint32_t, GlobalGroup> global_groups_;
+  std::unordered_map<std::uint32_t, SharedGroup> shared_groups_;
+};
+
+// Owns metrics and the texture cache; launches kernels on a device spec.
+class Launcher {
+ public:
+  explicit Launcher(const DeviceSpec& spec);
+
+  const DeviceSpec& spec() const { return *spec_; }
+  KernelMetrics& metrics() { return metrics_; }
+  const KernelMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = KernelMetrics{}; }
+
+  // Run the kernel over every block (serially, deterministically). Shared
+  // memory contents do NOT persist across blocks or launches, matching
+  // CUDA semantics the paper leans on in Sec. 5.1.2 ("CUDA's shared memory
+  // is not persistent across GPU kernel calls").
+  void launch(const LaunchConfig& config,
+              const std::function<void(BlockCtx&)>& kernel);
+
+  // The texture cache persists across launches (it is a hardware cache);
+  // tests can clear it.
+  void invalidate_texture_cache();
+
+ private:
+  const DeviceSpec* spec_;
+  KernelMetrics metrics_;
+  TextureCache texture_cache_;
+};
+
+}  // namespace extnc::simgpu

@@ -1,0 +1,81 @@
+// Counters accumulated by the functional executor while a kernel runs.
+//
+// The timing model turns these into seconds; tests assert on them directly
+// (e.g. "the TB-5 exp-table layout must produce fewer bank-conflict cycles
+// than the TB-1 layout" — the paper's Sec. 5.1.3 claim, measured rather
+// than assumed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace extnc::simgpu {
+
+struct KernelMetrics {
+  // Scalar-instruction work charged by kernels via ThreadCtx::count_alu.
+  double alu_ops = 0;
+
+  // Global memory.
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  // Memory transactions after warp-level coalescing (one per distinct
+  // 64-byte segment touched by a warp access step). Broadcast loads (all
+  // lanes hit the same address) count one transaction.
+  std::uint64_t global_transactions = 0;
+
+  // Shared memory: individual lane accesses and the serialized half-warp
+  // access cycles they cost (conflict-free: cycles == events; a d-way
+  // conflict costs d cycles for that event).
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_access_events = 0;   // half-warp access steps
+  std::uint64_t shared_serialized_cycles = 0;  // sum of per-event degrees
+
+  // Texture path.
+  std::uint64_t texture_fetches = 0;
+  std::uint64_t texture_misses = 0;
+
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t kernel_launches = 0;
+
+  // Launch geometry of the (last) launch; used for occupancy.
+  std::size_t blocks = 0;
+  std::size_t threads_per_block = 0;
+
+  void merge(const KernelMetrics& other) {
+    alu_ops += other.alu_ops;
+    global_load_bytes += other.global_load_bytes;
+    global_store_bytes += other.global_store_bytes;
+    global_transactions += other.global_transactions;
+    shared_accesses += other.shared_accesses;
+    shared_access_events += other.shared_access_events;
+    shared_serialized_cycles += other.shared_serialized_cycles;
+    texture_fetches += other.texture_fetches;
+    texture_misses += other.texture_misses;
+    atomic_ops += other.atomic_ops;
+    barriers += other.barriers;
+    kernel_launches += other.kernel_launches;
+    blocks = other.blocks;
+    threads_per_block = other.threads_per_block;
+  }
+
+  // Average bank-conflict degree over all shared access events (1.0 means
+  // conflict-free).
+  double shared_conflict_degree() const {
+    if (shared_access_events == 0) return 1.0;
+    return static_cast<double>(shared_serialized_cycles) /
+           static_cast<double>(shared_access_events);
+  }
+
+  double texture_hit_rate() const {
+    if (texture_fetches == 0) return 1.0;
+    return 1.0 - static_cast<double>(texture_misses) /
+                     static_cast<double>(texture_fetches);
+  }
+
+  std::uint64_t global_bytes() const {
+    return global_load_bytes + global_store_bytes;
+  }
+};
+
+}  // namespace extnc::simgpu

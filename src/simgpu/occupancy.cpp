@@ -1,0 +1,83 @@
+#include "simgpu/occupancy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc::simgpu {
+
+namespace {
+
+std::size_t round_up(std::size_t value, std::size_t unit) {
+  return (value + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+SmLimits sm_limits_for(const DeviceSpec& spec) {
+  SmLimits limits;
+  if (std::strcmp(spec.name, "8800 GT") == 0) {
+    // G92: smaller register file and thread budget than GT200.
+    limits.max_threads_per_sm = 768;
+    limits.registers_per_sm = 8192;
+  }
+  return limits;
+}
+
+OccupancyResult compute_occupancy(const DeviceSpec& spec,
+                                  const KernelResources& kernel) {
+  EXTNC_CHECK(kernel.threads_per_block >= 1);
+  EXTNC_CHECK(kernel.threads_per_block <=
+              static_cast<std::size_t>(spec.max_threads_per_block));
+  const SmLimits limits = sm_limits_for(spec);
+
+  OccupancyResult result;
+
+  // Registers are allocated per block in fixed-size chunks.
+  const std::size_t regs_per_block = round_up(
+      kernel.registers_per_thread * kernel.threads_per_block,
+      limits.register_allocation_unit);
+  const std::size_t shared_per_block =
+      round_up(std::max<std::size_t>(kernel.shared_bytes_per_block, 1),
+               limits.shared_allocation_unit);
+
+  const std::size_t by_threads =
+      limits.max_threads_per_sm / kernel.threads_per_block;
+  const std::size_t by_registers =
+      regs_per_block == 0 ? limits.max_blocks_per_sm
+                          : limits.registers_per_sm / regs_per_block;
+  const std::size_t by_shared = spec.shared_mem_per_sm / shared_per_block;
+  const std::size_t by_slots = limits.max_blocks_per_sm;
+
+  result.blocks_per_sm =
+      std::min({by_threads, by_registers, by_shared, by_slots});
+  if (result.blocks_per_sm == by_threads) {
+    result.limiter = OccupancyResult::Limiter::kThreads;
+  }
+  if (result.blocks_per_sm == by_slots) {
+    result.limiter = OccupancyResult::Limiter::kBlockSlots;
+  }
+  if (result.blocks_per_sm == by_registers &&
+      by_registers < std::min(by_threads, by_slots)) {
+    result.limiter = OccupancyResult::Limiter::kRegisters;
+  }
+  if (result.blocks_per_sm == by_shared &&
+      by_shared < std::min({by_threads, by_registers, by_slots})) {
+    result.limiter = OccupancyResult::Limiter::kSharedMemory;
+  }
+
+  const std::size_t warp =
+      static_cast<std::size_t>(spec.warp_size);
+  const std::size_t warps_per_block =
+      (kernel.threads_per_block + warp - 1) / warp;
+  result.warps_per_sm = result.blocks_per_sm * warps_per_block;
+  const double max_warps =
+      static_cast<double>(limits.max_threads_per_sm) / spec.warp_size;
+  result.occupancy =
+      static_cast<double>(result.warps_per_sm) / max_warps;
+  result.occupancy = std::min(result.occupancy, 1.0);
+  return result;
+}
+
+}  // namespace extnc::simgpu

@@ -1,0 +1,48 @@
+// CUDA-style occupancy calculator for the simulated devices.
+//
+// Mirrors the spreadsheet NVIDIA shipped with the CUDA 2.0 toolkit the
+// paper used: given a kernel's threads per block, registers per thread and
+// shared memory per block, how many blocks can be resident on one SM, and
+// what fraction of the SM's warp slots do they fill? The paper's kernels
+// live at both extremes — 256-thread encode blocks sized to share one set
+// of exp tables, and skinny decode blocks that cannot fill an SM (the root
+// cause of Fig. 4(b)'s left side).
+#pragma once
+
+#include <cstddef>
+
+#include "simgpu/device_spec.h"
+
+namespace extnc::simgpu {
+
+struct KernelResources {
+  std::size_t threads_per_block = 256;
+  std::size_t registers_per_thread = 16;
+  std::size_t shared_bytes_per_block = 2048;
+};
+
+struct OccupancyResult {
+  std::size_t blocks_per_sm = 0;
+  std::size_t warps_per_sm = 0;
+  double occupancy = 0;  // warps / max warps
+  // Which resource capped blocks_per_sm.
+  enum class Limiter { kThreads, kRegisters, kSharedMemory, kBlockSlots };
+  Limiter limiter = Limiter::kBlockSlots;
+};
+
+// GT200-generation per-SM limits not in DeviceSpec (identical for the
+// paper's parts except the register file).
+struct SmLimits {
+  std::size_t max_threads_per_sm = 1024;  // GT200 (G92: 768)
+  std::size_t max_blocks_per_sm = 8;
+  std::size_t registers_per_sm = 16384;   // GT200 (G92: 8192)
+  std::size_t register_allocation_unit = 512;
+  std::size_t shared_allocation_unit = 512;
+};
+
+SmLimits sm_limits_for(const DeviceSpec& spec);
+
+OccupancyResult compute_occupancy(const DeviceSpec& spec,
+                                  const KernelResources& kernel);
+
+}  // namespace extnc::simgpu

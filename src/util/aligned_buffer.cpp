@@ -1,0 +1,76 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace extnc {
+
+namespace {
+
+std::size_t round_up(std::size_t size, std::size_t alignment) {
+  return (size + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(std::size_t size) : size_(size) {
+  if (size_ == 0) return;
+  data_ = static_cast<std::uint8_t*>(
+      std::aligned_alloc(kAlignment, round_up(size_, kAlignment)));
+  if (data_ == nullptr) throw std::bad_alloc{};
+  std::memset(data_, 0, size_);
+}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other)
+    : AlignedBuffer(other.size_) {
+  if (size_ != 0) std::memcpy(data_, other.data_, size_);
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  AlignedBuffer copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  std::free(data_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+std::span<std::uint8_t> AlignedBuffer::subspan(std::size_t offset,
+                                               std::size_t count) {
+  EXTNC_CHECK(offset + count <= size_);
+  return {data_ + offset, count};
+}
+
+std::span<const std::uint8_t> AlignedBuffer::subspan(std::size_t offset,
+                                                     std::size_t count) const {
+  EXTNC_CHECK(offset + count <= size_);
+  return {data_ + offset, count};
+}
+
+void AlignedBuffer::fill(std::uint8_t value) {
+  if (size_ != 0) std::memset(data_, value, size_);
+}
+
+bool operator==(const AlignedBuffer& a, const AlignedBuffer& b) {
+  if (a.size_ != b.size_) return false;
+  if (a.size_ == 0) return true;
+  return std::memcmp(a.data_, b.data_, a.size_) == 0;
+}
+
+}  // namespace extnc

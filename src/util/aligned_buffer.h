@@ -1,0 +1,49 @@
+// 64-byte-aligned owning byte buffer.
+//
+// Every data plane in the library (source blocks, coded blocks, coefficient
+// matrices) lives in one of these so that SIMD region operations can assume
+// alignment and so buffers can be handed to any backend without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace extnc {
+
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t size);
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<std::uint8_t> span() { return {data_, size_}; }
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  std::span<std::uint8_t> subspan(std::size_t offset, std::size_t count);
+  std::span<const std::uint8_t> subspan(std::size_t offset,
+                                        std::size_t count) const;
+
+  void fill(std::uint8_t value);
+
+  friend bool operator==(const AlignedBuffer& a, const AlignedBuffer& b);
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace extnc

@@ -1,0 +1,34 @@
+// Lightweight always-on invariant checks.
+//
+// EXTNC_CHECK is evaluated in every build type: coding bugs (a wrong pivot,
+// an out-of-range coefficient index) silently corrupt decoded data, so the
+// cost of a predictable branch is worth it even in release benches.
+// EXTNC_DASSERT compiles out in NDEBUG builds and is used inside the
+// tightest GF loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace extnc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "EXTNC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace extnc
+
+#define EXTNC_CHECK(expr)                               \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      ::extnc::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define EXTNC_DASSERT(expr) ((void)0)
+#else
+#define EXTNC_DASSERT(expr) EXTNC_CHECK(expr)
+#endif

@@ -1,0 +1,32 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+
+namespace extnc {
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> data;
+  std::uint8_t buffer[64 * 1024];
+  std::size_t bytes_read;
+  while ((bytes_read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.insert(data.end(), buffer, buffer + bytes_read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return std::nullopt;
+  return data;
+}
+
+bool write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+  const bool ok = written == data.size() && std::fclose(file) == 0;
+  if (!ok && written != data.size()) std::fclose(file);
+  return ok;
+}
+
+}  // namespace extnc

@@ -1,0 +1,18 @@
+// Whole-file read/write helpers for the CLI tools and examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace extnc {
+
+// Reads an entire file; nullopt on any I/O error.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+// Writes (truncating); false on any I/O error.
+bool write_file(const std::string& path, std::span<const std::uint8_t> data);
+
+}  // namespace extnc

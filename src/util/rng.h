@@ -1,0 +1,83 @@
+// Deterministic, seedable PRNGs used throughout the library.
+//
+// Coding correctness tests need reproducible coefficient streams, and the
+// network simulator needs independent per-node streams, so we use
+// SplitMix64 for seeding and xoshiro256** for bulk generation rather than
+// std::mt19937 (whose state is large and whose seeding is easy to get
+// wrong).
+#pragma once
+
+#include <cstdint>
+
+namespace extnc {
+
+// SplitMix64: tiny generator, mainly used to expand a single seed into the
+// larger xoshiro state. Passes BigCrush when used directly.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint8_t next_byte() { return static_cast<std::uint8_t>(next()); }
+
+  // Nonzero byte in [1, 255]; used for guaranteed-invertible diagonals.
+  std::uint8_t next_nonzero_byte() {
+    return static_cast<std::uint8_t>(1 + next() % 255);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Derive an independent stream (e.g. one per worker thread or node).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace extnc

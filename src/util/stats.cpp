@@ -1,0 +1,39 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace extnc {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(sq / static_cast<double>(s.count - 1)) : 0;
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1)
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double idx = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+}  // namespace extnc

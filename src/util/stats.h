@@ -1,0 +1,25 @@
+// Small descriptive-statistics helpers for benches and the network
+// simulator (mean/stddev/min/max/percentiles over samples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace extnc {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double median = 0;
+};
+
+// Computes a five-number-ish summary. Empty input yields a zero Summary.
+Summary summarize(std::vector<double> samples);
+
+// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace extnc

@@ -1,0 +1,30 @@
+// Console table formatting for the benchmark harness.
+//
+// Every bench prints the same rows/series the paper's figure shows; this
+// helper keeps the output aligned and can also emit CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace extnc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with the given precision; "-" for NaN.
+  static std::string num(double value, int precision = 1);
+
+  void print(std::FILE* out = stdout) const;
+  void print_csv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace extnc

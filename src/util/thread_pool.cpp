@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace extnc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  EXTNC_CHECK(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    EXTNC_CHECK(!stopping_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(count, num_threads());
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace extnc

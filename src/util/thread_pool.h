@@ -1,0 +1,61 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The CPU coding backend follows the paper's two partitioning schemes
+// (per-block partitioned work and full-block-per-thread work); both reduce
+// to "run N independent tasks and wait", which is exactly what this pool
+// provides. Tasks must not throw; a task that throws terminates (coding
+// kernels are noexcept by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace extnc {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueue one task. Pair with wait_idle() to join a batch.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  // Run fn(i) for i in [0, count) across the pool and wait. fn is invoked
+  // concurrently; it must handle its own data partitioning.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Split [0, count) into one contiguous chunk per worker and run
+  // fn(begin, end) per chunk. Lower dispatch overhead than parallel_for for
+  // fine-grained loops.
+  void parallel_for_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace extnc

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers for benches.
+#pragma once
+
+#include <chrono>
+
+namespace extnc {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Bytes/seconds -> MB/s using the paper's convention (1 MB = 2^20 bytes).
+inline double mb_per_second(double bytes, double seconds) {
+  if (seconds <= 0) return 0;
+  return bytes / (1024.0 * 1024.0) / seconds;
+}
+
+}  // namespace extnc

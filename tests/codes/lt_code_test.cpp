@@ -1,0 +1,117 @@
+#include "codes/lt_code.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace extnc::codes {
+namespace {
+
+TEST(Soliton, PmfSumsToOne) {
+  const LtParams params{.source_blocks = 64, .block_bytes = 8};
+  const SolitonDistribution dist(params);
+  double total = 0;
+  for (std::size_t d = 1; d <= params.source_blocks; ++d) total += dist.pmf(d);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Soliton, DegreeOneAndTwoCarryMostMass) {
+  // The ideal soliton puts 1/2 on degree 2; the robust variant keeps
+  // degrees 1-2 dominant — that is what makes peeling start and keep going.
+  const LtParams params{.source_blocks = 100, .block_bytes = 8};
+  const SolitonDistribution dist(params);
+  EXPECT_GT(dist.pmf(1), 0.005);
+  EXPECT_GT(dist.pmf(2), 0.3);
+  EXPECT_GT(dist.pmf(1) + dist.pmf(2), 0.4);
+}
+
+TEST(Soliton, SamplesStayInRange) {
+  const LtParams params{.source_blocks = 32, .block_bytes = 8};
+  const SolitonDistribution dist(params);
+  Rng rng(1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::size_t d = dist.sample(rng);
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, params.source_blocks);
+  }
+}
+
+TEST(LtCode, RoundTrip) {
+  const LtParams params{.source_blocks = 32, .block_bytes = 48};
+  Rng rng(2);
+  const LtEncoder encoder = LtEncoder::random(params, rng);
+  LtDecoder decoder(params);
+  std::size_t safety = 0;
+  while (!decoder.is_complete()) {
+    decoder.add(encoder.encode(rng));
+    ASSERT_LT(++safety, params.source_blocks * 20);
+  }
+  EXPECT_EQ(decoder.decoded(), encoder.data());
+}
+
+TEST(LtCode, OverheadIsModestButNonzero) {
+  // Average reception overhead across seeds: must exceed k (fountain codes
+  // are not MDS) but stay within a sane multiple for this k.
+  const LtParams params{.source_blocks = 64, .block_bytes = 8};
+  double total_packets = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    const LtEncoder encoder = LtEncoder::random(params, rng);
+    LtDecoder decoder(params);
+    while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+    total_packets += static_cast<double>(decoder.packets_received());
+  }
+  const double average = total_packets / trials;
+  EXPECT_GT(average, static_cast<double>(params.source_blocks));
+  EXPECT_LT(average, 3.0 * static_cast<double>(params.source_blocks));
+}
+
+TEST(LtCode, PartialProgressTracked) {
+  const LtParams params{.source_blocks = 16, .block_bytes = 8};
+  Rng rng(3);
+  const LtEncoder encoder = LtEncoder::random(params, rng);
+  LtDecoder decoder(params);
+  for (int i = 0; i < 4; ++i) decoder.add(encoder.encode(rng));
+  EXPECT_FALSE(decoder.is_complete());
+  EXPECT_LE(decoder.decoded_count(), params.source_blocks);
+  EXPECT_EQ(decoder.packets_received(), 4u);
+}
+
+TEST(LtCode, DegreeOnePacketDecodesImmediately) {
+  const LtParams params{.source_blocks = 8, .block_bytes = 4};
+  Rng rng(4);
+  const LtEncoder encoder = LtEncoder::random(params, rng);
+  LtDecoder decoder(params);
+  LtPacket packet;
+  packet.sources = {3};
+  packet.payload = AlignedBuffer(params.block_bytes);
+  std::memcpy(packet.payload.data(), encoder.data().data() + 3 * 4, 4);
+  decoder.add(std::move(packet));
+  EXPECT_EQ(decoder.decoded_count(), 1u);
+}
+
+TEST(LtCodeDeathTest, DecodedBeforeCompleteAborts) {
+  LtDecoder decoder(LtParams{.source_blocks = 4, .block_bytes = 4});
+  EXPECT_DEATH((void)decoder.decoded(), "EXTNC_CHECK");
+}
+
+class LtSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LtSeedSweep, AlwaysDecodesEventually) {
+  const LtParams params{.source_blocks = 24, .block_bytes = 16};
+  Rng rng(500 + GetParam());
+  const LtEncoder encoder = LtEncoder::random(params, rng);
+  LtDecoder decoder(params);
+  std::size_t safety = 0;
+  while (!decoder.is_complete()) {
+    decoder.add(encoder.encode(rng));
+    ASSERT_LT(++safety, 2000u);
+  }
+  EXPECT_EQ(decoder.decoded(), encoder.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LtSeedSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace extnc::codes

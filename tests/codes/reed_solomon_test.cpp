@@ -1,0 +1,122 @@
+#include "codes/reed_solomon.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace extnc::codes {
+namespace {
+
+std::vector<std::uint8_t> random_data(const RsParams& params,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(params.data_blocks * params.block_bytes);
+  for (auto& b : data) b = rng.next_byte();
+  return data;
+}
+
+// All shards (data + parity) as spans, with the given set erased.
+std::vector<std::span<const std::uint8_t>> shards_with_losses(
+    const RsParams& params, const std::vector<std::uint8_t>& data,
+    const std::vector<AlignedBuffer>& parity,
+    const std::vector<std::size_t>& lost) {
+  std::vector<std::span<const std::uint8_t>> shards;
+  for (std::size_t i = 0; i < params.data_blocks; ++i) {
+    shards.emplace_back(data.data() + i * params.block_bytes,
+                        params.block_bytes);
+  }
+  for (const auto& p : parity) shards.emplace_back(p.span());
+  for (std::size_t index : lost) shards[index] = {};
+  return shards;
+}
+
+void expect_recovered(const RsParams& params,
+                      const std::vector<std::uint8_t>& data,
+                      const std::vector<AlignedBuffer>& recovered) {
+  ASSERT_EQ(recovered.size(), params.data_blocks);
+  for (std::size_t i = 0; i < params.data_blocks; ++i) {
+    ASSERT_EQ(0, std::memcmp(recovered[i].data(),
+                             data.data() + i * params.block_bytes,
+                             params.block_bytes))
+        << "block " << i;
+  }
+}
+
+TEST(ReedSolomon, NoLossDecodeIsIdentity) {
+  const RsParams params;
+  const auto data = random_data(params, 1);
+  const ReedSolomon rs(params);
+  const auto parity = rs.encode(data);
+  EXPECT_EQ(parity.size(), params.parity_blocks);
+  const auto recovered = rs.decode(shards_with_losses(params, data, parity, {}));
+  ASSERT_TRUE(recovered.has_value());
+  expect_recovered(params, data, *recovered);
+}
+
+TEST(ReedSolomon, RecoversFromAnySingleDataLoss) {
+  const RsParams params{.data_blocks = 6, .parity_blocks = 3,
+                        .block_bytes = 32};
+  const auto data = random_data(params, 2);
+  const ReedSolomon rs(params);
+  const auto parity = rs.encode(data);
+  for (std::size_t lost = 0; lost < params.data_blocks; ++lost) {
+    const auto recovered =
+        rs.decode(shards_with_losses(params, data, parity, {lost}));
+    ASSERT_TRUE(recovered.has_value()) << lost;
+    expect_recovered(params, data, *recovered);
+  }
+}
+
+TEST(ReedSolomon, RecoversFromMaximumLossAllPatterns) {
+  // MDS property: ANY m erasures are recoverable. Exhaust every pattern of
+  // m = 2 losses over k + m = 7 shards.
+  const RsParams params{.data_blocks = 5, .parity_blocks = 2,
+                        .block_bytes = 16};
+  const auto data = random_data(params, 3);
+  const ReedSolomon rs(params);
+  const auto parity = rs.encode(data);
+  const std::size_t total = params.data_blocks + params.parity_blocks;
+  for (std::size_t a = 0; a < total; ++a) {
+    for (std::size_t b = a + 1; b < total; ++b) {
+      const auto recovered =
+          rs.decode(shards_with_losses(params, data, parity, {a, b}));
+      ASSERT_TRUE(recovered.has_value()) << a << "," << b;
+      expect_recovered(params, data, *recovered);
+    }
+  }
+}
+
+TEST(ReedSolomon, FailsGracefullyBeyondCapacity) {
+  const RsParams params{.data_blocks = 4, .parity_blocks = 2,
+                        .block_bytes = 16};
+  const auto data = random_data(params, 4);
+  const ReedSolomon rs(params);
+  const auto parity = rs.encode(data);
+  const auto recovered =
+      rs.decode(shards_with_losses(params, data, parity, {0, 1, 2}));
+  EXPECT_FALSE(recovered.has_value());
+}
+
+TEST(ReedSolomon, ParityOnlyDecode) {
+  // Lose ALL data shards (m >= k case).
+  const RsParams params{.data_blocks = 3, .parity_blocks = 4,
+                        .block_bytes = 8};
+  const auto data = random_data(params, 5);
+  const ReedSolomon rs(params);
+  const auto parity = rs.encode(data);
+  const auto recovered =
+      rs.decode(shards_with_losses(params, data, parity, {0, 1, 2}));
+  ASSERT_TRUE(recovered.has_value());
+  expect_recovered(params, data, *recovered);
+}
+
+TEST(ReedSolomonDeathTest, TooManyBlocksForCauchyAborts) {
+  EXPECT_DEATH(ReedSolomon(RsParams{.data_blocks = 200, .parity_blocks = 100,
+                                    .block_bytes = 8}),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::codes

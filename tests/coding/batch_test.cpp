@@ -1,0 +1,71 @@
+#include "coding/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/params.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+namespace {
+
+TEST(Params, SegmentBytes) {
+  const Params p{.n = 128, .k = 4096};
+  EXPECT_EQ(p.segment_bytes(), 512u * 1024u);
+}
+
+TEST(ParamsDeathTest, ZeroDimensionsRejected) {
+  const Params zero_n{.n = 0, .k = 4};
+  const Params zero_k{.n = 4, .k = 0};
+  EXPECT_DEATH(zero_n.validate(), "EXTNC_CHECK");
+  EXPECT_DEATH(zero_k.validate(), "EXTNC_CHECK");
+}
+
+TEST(CodedBlock, WireSizeIsHeaderlessPayloadPlusCoefficients) {
+  const CodedBlock block(Params{.n = 16, .k = 100});
+  EXPECT_EQ(block.wire_size(), 116u);
+}
+
+TEST(CodedBlock, EqualityComparesContents) {
+  const Params p{.n = 4, .k = 8};
+  CodedBlock a(p);
+  CodedBlock b(p);
+  EXPECT_TRUE(a == b);
+  b.payload()[3] = 1;
+  EXPECT_FALSE(a == b);
+  b.payload()[3] = 0;
+  b.coefficients()[0] = 9;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CodedBatch, ViewsAreContiguousRows) {
+  const Params p{.n = 4, .k = 8};
+  CodedBatch batch(p, 3);
+  EXPECT_EQ(batch.count(), 3u);
+  batch.coefficients(1)[2] = 42;
+  batch.payload(2)[7] = 7;
+  EXPECT_EQ(batch.coefficients_data()[1 * 4 + 2], 42);
+  EXPECT_EQ(batch.payloads_data()[2 * 8 + 7], 7);
+  EXPECT_EQ(batch.payload_bytes(), 24u);
+}
+
+TEST(CodedBatch, BlockMaterializesCopy) {
+  const Params p{.n = 2, .k = 4};
+  CodedBatch batch(p, 2);
+  batch.coefficients(1)[0] = 5;
+  batch.payload(1)[1] = 6;
+  const CodedBlock block = batch.block(1);
+  EXPECT_EQ(block.coefficients()[0], 5);
+  EXPECT_EQ(block.payload()[1], 6);
+  // Copy, not a view.
+  batch.payload(1)[1] = 0;
+  EXPECT_EQ(block.payload()[1], 6);
+}
+
+TEST(CodedBatch, EmptyBatch) {
+  const CodedBatch batch(Params{.n = 2, .k = 4}, 0);
+  EXPECT_EQ(batch.count(), 0u);
+  EXPECT_EQ(batch.payload_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace extnc::coding

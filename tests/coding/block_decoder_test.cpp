@@ -1,0 +1,88 @@
+#include "coding/block_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::coding {
+namespace {
+
+TEST(BlockDecoder, DecodesAfterNIndependentBlocks) {
+  Rng rng(1);
+  const Params params{.n = 16, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder decoder(params);
+  while (!decoder.is_ready()) {
+    ASSERT_TRUE(decoder.add(encoder.encode(rng)));
+  }
+  EXPECT_EQ(decoder.decode(), segment);
+}
+
+TEST(BlockDecoder, RejectsDependentBlocksWithoutStoringThem) {
+  Rng rng(2);
+  const Params params{.n = 8, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder decoder(params);
+  const CodedBlock block = encoder.encode(rng);
+  EXPECT_TRUE(decoder.add(block));
+  EXPECT_FALSE(decoder.add(block));
+  EXPECT_EQ(decoder.rank(), 1u);
+}
+
+TEST(BlockDecoder, MatchesProgressiveDecoder) {
+  Rng rng(3);
+  const Params params{.n = 24, .k = 100};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder block_decoder(params);
+  ProgressiveDecoder progressive(params);
+  while (!block_decoder.is_ready()) {
+    const CodedBlock block = encoder.encode(rng);
+    const bool accepted = block_decoder.add(block);
+    const auto result = progressive.add(block);
+    EXPECT_EQ(accepted,
+              result == ProgressiveDecoder::Result::kAccepted);
+  }
+  EXPECT_EQ(block_decoder.decode(), progressive.decoded_segment());
+}
+
+TEST(BlockDecoder, IgnoresBlocksOnceReady) {
+  Rng rng(4);
+  const Params params{.n = 4, .k = 8};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder decoder(params);
+  while (!decoder.is_ready()) decoder.add(encoder.encode(rng));
+  EXPECT_FALSE(decoder.add(encoder.encode(rng)));
+  EXPECT_EQ(decoder.rank(), params.n);
+}
+
+TEST(BlockDecoderDeathTest, DecodeBeforeReadyAborts) {
+  BlockDecoder decoder({.n = 4, .k = 8});
+  EXPECT_DEATH((void)decoder.decode(), "EXTNC_CHECK");
+}
+
+class BlockDecoderSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BlockDecoderSweep, RoundTrip) {
+  const auto [n, k] = GetParam();
+  Rng rng(500 + n * 7 + k);
+  const Params params{.n = n, .k = k};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder decoder(params);
+  while (!decoder.is_ready()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.decode(), segment);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, BlockDecoderSweep,
+    ::testing::Combine(::testing::Values(1u, 4u, 32u, 128u),
+                       ::testing::Values(1u, 17u, 128u)));
+
+}  // namespace
+}  // namespace extnc::coding

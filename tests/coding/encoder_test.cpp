@@ -1,0 +1,113 @@
+#include "coding/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "gf256/gf.h"
+
+namespace extnc::coding {
+namespace {
+
+TEST(Encoder, CodedPayloadMatchesScalarDefinition) {
+  Rng rng(1);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  const CodedBlock block = encoder.encode(rng);
+  for (std::size_t byte = 0; byte < params.k; ++byte) {
+    std::uint8_t expected = 0;
+    for (std::size_t i = 0; i < params.n; ++i) {
+      expected = gf256::add(
+          expected, gf256::mul(block.coefficients()[i], segment.block(i)[byte]));
+    }
+    ASSERT_EQ(block.payload()[byte], expected) << "byte " << byte;
+  }
+}
+
+TEST(Encoder, DenseCoefficientsAreAllNonzero) {
+  Rng rng(2);
+  const Params params{.n = 64, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment, CoefficientModel::dense());
+  for (int trial = 0; trial < 10; ++trial) {
+    const CodedBlock block = encoder.encode(rng);
+    for (std::uint8_t c : block.coefficients()) EXPECT_NE(c, 0);
+  }
+}
+
+TEST(Encoder, NonDenseModeEventuallyDrawsZero) {
+  Rng rng(3);
+  const Params params{.n = 64, .k = 4};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment, CoefficientModel::uniform());
+  bool saw_zero = false;
+  for (int trial = 0; trial < 50 && !saw_zero; ++trial) {
+    const CodedBlock block = encoder.encode(rng);
+    for (std::uint8_t c : block.coefficients()) {
+      if (c == 0) saw_zero = true;
+    }
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(Encoder, UnitCoefficientVectorSelectsBlock) {
+  Rng rng(4);
+  const Params params{.n = 5, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  std::vector<std::uint8_t> coeffs(params.n, 0);
+  coeffs[3] = 1;
+  std::vector<std::uint8_t> payload(params.k);
+  encoder.encode_with_coefficients(coeffs, payload);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         segment.block(3).begin()));
+}
+
+TEST(Encoder, EncodingIsLinear) {
+  // encode(a ^ b) == encode(a) ^ encode(b) coefficient-wise.
+  Rng rng(5);
+  const Params params{.n = 6, .k = 48};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  std::vector<std::uint8_t> a(params.n);
+  std::vector<std::uint8_t> b(params.n);
+  std::vector<std::uint8_t> sum(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    a[i] = rng.next_byte();
+    b[i] = rng.next_byte();
+    sum[i] = a[i] ^ b[i];
+  }
+  std::vector<std::uint8_t> pa(params.k);
+  std::vector<std::uint8_t> pb(params.k);
+  std::vector<std::uint8_t> psum(params.k);
+  encoder.encode_with_coefficients(a, pa);
+  encoder.encode_with_coefficients(b, pb);
+  encoder.encode_with_coefficients(sum, psum);
+  for (std::size_t i = 0; i < params.k; ++i) {
+    ASSERT_EQ(psum[i], pa[i] ^ pb[i]);
+  }
+}
+
+TEST(Encoder, ZeroCoefficientsGiveZeroPayload) {
+  Rng rng(6);
+  const Params params{.n = 4, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  std::vector<std::uint8_t> coeffs(params.n, 0);
+  std::vector<std::uint8_t> payload(params.k, 0xff);
+  encoder.encode_with_coefficients(coeffs, payload);
+  for (std::uint8_t b : payload) EXPECT_EQ(b, 0);
+}
+
+TEST(EncoderDeathTest, WrongCoefficientCountAborts) {
+  Rng rng(7);
+  const Params params{.n = 4, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  std::vector<std::uint8_t> coeffs(3);
+  std::vector<std::uint8_t> payload(params.k);
+  EXPECT_DEATH(encoder.encode_with_coefficients(coeffs, payload),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::coding

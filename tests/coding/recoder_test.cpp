@@ -1,0 +1,86 @@
+#include "coding/recoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::coding {
+namespace {
+
+TEST(Recoder, RecodedBlocksStillDecodeToSources) {
+  // Source -> relay (recodes) -> sink. The sink decodes the original
+  // segment without the relay ever decoding.
+  Rng rng(1);
+  const Params params{.n = 16, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder relay(params);
+  for (std::size_t i = 0; i < params.n; ++i) relay.add(encoder.encode(rng));
+
+  ProgressiveDecoder sink(params);
+  std::size_t sent = 0;
+  while (!sink.is_complete()) {
+    sink.add(relay.recode(rng));
+    ASSERT_LT(++sent, params.n + 30);
+  }
+  EXPECT_EQ(sink.decoded_segment(), segment);
+}
+
+TEST(Recoder, RecodedBlockIsConsistentLinearCombination) {
+  // The recoded payload must equal the encoding of its own coefficient
+  // vector: x' = C'(b), i.e. recoding preserves Eq. (1).
+  Rng rng(2);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder relay(params);
+  for (int i = 0; i < 5; ++i) relay.add(encoder.encode(rng));
+  const CodedBlock recoded = relay.recode(rng);
+  std::vector<std::uint8_t> expected(params.k);
+  encoder.encode_with_coefficients(recoded.coefficients(), expected);
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         recoded.payload().begin()));
+}
+
+TEST(Recoder, CannotExceedSpanOfBufferedBlocks) {
+  // A relay holding only r < n blocks can never raise a decoder above
+  // rank r.
+  Rng rng(3);
+  const Params params{.n = 12, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder relay(params);
+  const std::size_t held = 5;
+  for (std::size_t i = 0; i < held; ++i) relay.add(encoder.encode(rng));
+  ProgressiveDecoder sink(params);
+  for (int i = 0; i < 50; ++i) sink.add(relay.recode(rng));
+  EXPECT_EQ(sink.rank(), held);
+}
+
+TEST(Recoder, ChainOfRelaysPreservesDecodability) {
+  Rng rng(4);
+  const Params params{.n = 8, .k = 24};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder hop1(params);
+  for (std::size_t i = 0; i < params.n + 2; ++i) hop1.add(encoder.encode(rng));
+  Recoder hop2(params);
+  for (std::size_t i = 0; i < params.n + 2; ++i) hop2.add(hop1.recode(rng));
+  ProgressiveDecoder sink(params);
+  std::size_t sent = 0;
+  while (!sink.is_complete()) {
+    sink.add(hop2.recode(rng));
+    ASSERT_LT(++sent, params.n + 30);
+  }
+  EXPECT_EQ(sink.decoded_segment(), segment);
+}
+
+TEST(RecoderDeathTest, RecodeWithEmptyBufferAborts) {
+  Recoder relay({.n = 4, .k = 8});
+  Rng rng(5);
+  EXPECT_DEATH((void)relay.recode(rng), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::coding

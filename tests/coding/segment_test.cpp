@@ -1,0 +1,56 @@
+#include "coding/segment.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace extnc::coding {
+namespace {
+
+TEST(Segment, ConstructedZeroed) {
+  Segment s({.n = 4, .k = 8});
+  for (std::uint8_t b : s.bytes()) EXPECT_EQ(b, 0);
+  EXPECT_EQ(s.bytes().size(), 32u);
+}
+
+TEST(Segment, BlocksViewContiguousStorage) {
+  Segment s({.n = 3, .k = 4});
+  s.block(1)[2] = 42;
+  EXPECT_EQ(s.bytes()[1 * 4 + 2], 42);
+}
+
+TEST(Segment, FromBytesCopiesAndPads) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  Segment s = Segment::from_bytes({.n = 2, .k = 4}, data);
+  EXPECT_EQ(s.block(0)[0], 1);
+  EXPECT_EQ(s.block(1)[0], 5);
+  EXPECT_EQ(s.block(1)[1], 0);  // padded
+}
+
+TEST(Segment, FromBytesExactFit) {
+  std::vector<std::uint8_t> data(8, 0xab);
+  Segment s = Segment::from_bytes({.n = 2, .k = 4}, data);
+  for (std::uint8_t b : s.bytes()) EXPECT_EQ(b, 0xab);
+}
+
+TEST(SegmentDeathTest, FromBytesTooLongAborts) {
+  std::vector<std::uint8_t> data(9);
+  EXPECT_DEATH(Segment::from_bytes({.n = 2, .k = 4}, data), "EXTNC_CHECK");
+}
+
+TEST(Segment, RandomIsDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(Segment::random({.n = 4, .k = 16}, a),
+            Segment::random({.n = 4, .k = 16}, b));
+}
+
+TEST(Segment, EqualityRequiresSameParams) {
+  Rng rng(1);
+  Segment a({.n = 2, .k = 8});
+  Segment b({.n = 4, .k = 4});
+  EXPECT_FALSE(a == b);  // same byte count, different shape
+}
+
+}  // namespace
+}  // namespace extnc::coding

@@ -1,0 +1,106 @@
+#include "cpu/cpu_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::cpu {
+namespace {
+
+using coding::CodedBlock;
+using coding::Encoder;
+using coding::Params;
+using coding::ProgressiveDecoder;
+using coding::Segment;
+
+TEST(CpuDecoder, RoundTripMatchesSegment) {
+  Rng rng(1);
+  const Params params{.n = 32, .k = 500};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(4);
+  CpuDecoder decoder(params, pool);
+  while (!decoder.is_complete()) {
+    decoder.add(encoder.encode(rng));
+  }
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+TEST(CpuDecoder, AgreesWithSerialDecoderBlockByBlock) {
+  Rng rng(2);
+  const Params params{.n = 16, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(3);
+  CpuDecoder parallel(params, pool);
+  ProgressiveDecoder serial(params);
+  while (!serial.is_complete()) {
+    const CodedBlock block = encoder.encode(rng);
+    const auto pr = parallel.add(block);
+    const auto sr = serial.add(block);
+    ASSERT_EQ(pr == CpuDecoder::Result::kAccepted,
+              sr == ProgressiveDecoder::Result::kAccepted);
+    ASSERT_EQ(parallel.rank(), serial.rank());
+  }
+  EXPECT_TRUE(parallel.is_complete());
+  EXPECT_EQ(parallel.decoded_segment(), serial.decoded_segment());
+}
+
+TEST(CpuDecoder, DetectsDependentBlocks) {
+  Rng rng(3);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(2);
+  CpuDecoder decoder(params, pool);
+  const CodedBlock block = encoder.encode(rng);
+  EXPECT_EQ(decoder.add(block), CpuDecoder::Result::kAccepted);
+  EXPECT_EQ(decoder.add(block), CpuDecoder::Result::kLinearlyDependent);
+}
+
+TEST(CpuDecoder, RejectsAfterComplete) {
+  Rng rng(4);
+  const Params params{.n = 4, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(2);
+  CpuDecoder decoder(params, pool);
+  while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.add(encoder.encode(rng)),
+            CpuDecoder::Result::kAlreadyComplete);
+}
+
+TEST(CpuDecoder, SingleThreadPoolStillWorks) {
+  Rng rng(5);
+  const Params params{.n = 12, .k = 47};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(1);
+  CpuDecoder decoder(params, pool);
+  while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+class CpuDecoderSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CpuDecoderSweep, RoundTrip) {
+  const auto [n, k] = GetParam();
+  Rng rng(600 + n + k);
+  const Params params{.n = n, .k = k};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ThreadPool pool(4);
+  CpuDecoder decoder(params, pool);
+  while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, CpuDecoderSweep,
+    ::testing::Combine(::testing::Values(1u, 8u, 64u),
+                       ::testing::Values(1u, 63u, 1024u)));
+
+}  // namespace
+}  // namespace extnc::cpu

@@ -1,0 +1,87 @@
+#include "cpu/multi_segment_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/block_decoder.h"
+#include "coding/encoder.h"
+
+namespace extnc::cpu {
+namespace {
+
+using coding::CodedBatch;
+using coding::Encoder;
+using coding::Params;
+using coding::Segment;
+
+// Builds a batch of exactly n independent coded blocks for a segment.
+CodedBatch independent_batch(const Segment& segment, Rng& rng) {
+  const Params& params = segment.params();
+  const Encoder encoder(segment);
+  coding::BlockDecoder probe(params);
+  CodedBatch batch(params, params.n);
+  std::size_t stored = 0;
+  while (stored < params.n) {
+    coding::CodedBlock block = encoder.encode(rng);
+    if (!probe.add(block)) continue;
+    std::copy(block.coefficients().begin(), block.coefficients().end(),
+              batch.coefficients(stored).begin());
+    std::copy(block.payload().begin(), block.payload().end(),
+              batch.payload(stored).begin());
+    ++stored;
+  }
+  return batch;
+}
+
+TEST(MultiSegmentDecoder, DecodesAllSegments) {
+  Rng rng(1);
+  const Params params{.n = 12, .k = 96};
+  ThreadPool pool(4);
+  std::vector<Segment> segments;
+  std::vector<CodedBatch> batches;
+  for (int s = 0; s < 6; ++s) {
+    segments.push_back(Segment::random(params, rng));
+    batches.push_back(independent_batch(segments.back(), rng));
+  }
+  MultiSegmentDecoder decoder(params, pool);
+  const std::vector<Segment> decoded = decoder.decode_all(batches);
+  ASSERT_EQ(decoded.size(), segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    EXPECT_EQ(decoded[s], segments[s]) << "segment " << s;
+  }
+}
+
+TEST(MultiSegmentDecoder, MoreSegmentsThanThreads) {
+  Rng rng(2);
+  const Params params{.n = 6, .k = 24};
+  ThreadPool pool(2);
+  std::vector<Segment> segments;
+  std::vector<CodedBatch> batches;
+  for (int s = 0; s < 9; ++s) {
+    segments.push_back(Segment::random(params, rng));
+    batches.push_back(independent_batch(segments.back(), rng));
+  }
+  MultiSegmentDecoder decoder(params, pool);
+  const auto decoded = decoder.decode_all(batches);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    EXPECT_EQ(decoded[s], segments[s]);
+  }
+}
+
+TEST(MultiSegmentDecoder, EmptyInputYieldsEmptyOutput) {
+  ThreadPool pool(2);
+  MultiSegmentDecoder decoder({.n = 4, .k = 8}, pool);
+  EXPECT_TRUE(decoder.decode_all({}).empty());
+}
+
+TEST(MultiSegmentDecoderDeathTest, WrongBlockCountAborts) {
+  Rng rng(3);
+  const Params params{.n = 4, .k = 8};
+  ThreadPool pool(2);
+  MultiSegmentDecoder decoder(params, pool);
+  std::vector<CodedBatch> batches;
+  batches.emplace_back(params, params.n - 1);  // short one block
+  EXPECT_DEATH((void)decoder.decode_all(batches), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::cpu

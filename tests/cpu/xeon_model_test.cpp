@@ -1,0 +1,116 @@
+#include "cpu/xeon_model.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::cpu {
+namespace {
+
+using coding::Params;
+
+// These tests pin the model to the paper's published CPU numbers; if a
+// calibration constant drifts, they fail.
+
+TEST(XeonModel, FullBlockEncodeMatchesFig10Labels) {
+  const XeonModel model;
+  EXPECT_NEAR(model.encode_mb_per_s({.n = 128, .k = 4096},
+                                    EncodePartitioning::kFullBlock),
+              67.2, 0.1);
+  EXPECT_NEAR(model.encode_mb_per_s({.n = 256, .k = 4096},
+                                    EncodePartitioning::kFullBlock),
+              33.6, 0.1);
+  EXPECT_NEAR(model.encode_mb_per_s({.n = 512, .k = 4096},
+                                    EncodePartitioning::kFullBlock),
+              16.8, 0.1);
+}
+
+TEST(XeonModel, FullBlockEncodeIsFlatAcrossBlockSize) {
+  const XeonModel model;
+  const double at_128b = model.encode_mb_per_s(
+      {.n = 128, .k = 128}, EncodePartitioning::kFullBlock);
+  const double at_32k = model.encode_mb_per_s(
+      {.n = 128, .k = 32768}, EncodePartitioning::kFullBlock);
+  EXPECT_DOUBLE_EQ(at_128b, at_32k);
+}
+
+TEST(XeonModel, PartitionedEncodeConvergesToFullBlockAtLargeK) {
+  const XeonModel model;
+  const Params small{.n = 128, .k = 128};
+  const Params large{.n = 128, .k = 32768};
+  const double fb = model.encode_mb_per_s(small, EncodePartitioning::kFullBlock);
+  const double part_small =
+      model.encode_mb_per_s(small, EncodePartitioning::kPartitionedBlock);
+  const double part_large =
+      model.encode_mb_per_s(large, EncodePartitioning::kPartitionedBlock);
+  EXPECT_LT(part_small, 0.5 * fb);   // big gap at 128 B
+  EXPECT_GT(part_large, 0.95 * fb);  // converged at 32 KB
+}
+
+TEST(XeonModel, TableEncodeLosesVsLoopBased) {
+  const XeonModel model;
+  const Params p{.n = 128, .k = 4096};
+  EXPECT_NEAR(model.encode_table_mb_per_s(p) /
+                  model.encode_mb_per_s(p, EncodePartitioning::kFullBlock),
+              0.57, 0.01);
+}
+
+TEST(XeonModel, SingleSegmentDecodeGrowsWithBlockSize) {
+  const XeonModel model;
+  double prev = 0;
+  for (std::size_t k = 128; k <= 32768; k *= 2) {
+    const double rate = model.decode_single_segment_mb_per_s({.n = 128, .k = k});
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(XeonModel, SingleSegmentDecodeNearPaperAnchor) {
+  // Fig. 9 discussion: Mac Pro multi-segment gain at (128, 16 KB) is ~1.3x
+  // over single-segment; multi-segment peak is ~46 MB/s, so single-segment
+  // sits in the mid-30s.
+  const XeonModel model;
+  const double rate =
+      model.decode_single_segment_mb_per_s({.n = 128, .k = 16384});
+  EXPECT_GT(rate, 30.0);
+  EXPECT_LT(rate, 42.0);
+}
+
+TEST(XeonModel, MultiSegmentDecodeGainNearPaperAnchor) {
+  const XeonModel model;
+  const Params p{.n = 128, .k = 16384};
+  const double gain = model.decode_multi_segment_mb_per_s(p) /
+                      model.decode_single_segment_mb_per_s(p);
+  EXPECT_GT(gain, 1.1);
+  EXPECT_LT(gain, 1.6);  // paper: ~1.3x
+}
+
+TEST(XeonModel, MultiSegmentDecodeHasCacheCliff) {
+  // Mac Pro decoding drops at 32 KB for n=128 (working set exceeds 24 MB).
+  const XeonModel model;
+  const double at_16k =
+      model.decode_multi_segment_mb_per_s({.n = 128, .k = 16384});
+  const double at_32k =
+      model.decode_multi_segment_mb_per_s({.n = 128, .k = 32768});
+  EXPECT_LT(at_32k, at_16k);
+}
+
+TEST(XeonModel, CliffStartsEarlierForLargerN) {
+  // Paper: drop at 8 KB for n=512, 16 KB for n=256, 32 KB for n=128.
+  const XeonModel model;
+  auto cliff_k = [&model](std::size_t n) {
+    double prev = 0;
+    for (std::size_t k = 128; k <= 65536; k *= 2) {
+      const double rate = model.decode_multi_segment_mb_per_s({.n = n, .k = k});
+      if (rate < prev) return k;
+      prev = rate;
+    }
+    return std::size_t{0};
+  };
+  const std::size_t cliff_512 = cliff_k(512);
+  const std::size_t cliff_128 = cliff_k(128);
+  ASSERT_NE(cliff_512, 0u);
+  ASSERT_NE(cliff_128, 0u);
+  EXPECT_LT(cliff_512, cliff_128);
+}
+
+}  // namespace
+}  // namespace extnc::cpu

@@ -1,0 +1,164 @@
+#include "gf256/gf.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::gf256 {
+namespace {
+
+TEST(Gf, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(add(0xff, 0xff), 0);
+}
+
+TEST(Gf, XtimeKnownValues) {
+  // AES reference values.
+  EXPECT_EQ(xtime(0x57), 0xae);
+  EXPECT_EQ(xtime(0xae), 0x47);
+  EXPECT_EQ(xtime(0x47), 0x8e);
+  EXPECT_EQ(xtime(0x8e), 0x07);
+}
+
+TEST(Gf, MulLoopKnownValue) {
+  // 0x57 * 0x83 == 0xc1 in Rijndael's field (FIPS-197 example).
+  EXPECT_EQ(mul_loop(0x57, 0x83), 0xc1);
+  EXPECT_EQ(mul_loop(0x57, 0x13), 0xfe);
+}
+
+TEST(Gf, TableMulMatchesLoopMulExhaustively) {
+  for (int x = 0; x < 256; ++x) {
+    for (int y = 0; y < 256; ++y) {
+      ASSERT_EQ(mul(static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)),
+                mul_loop(static_cast<std::uint8_t>(x),
+                         static_cast<std::uint8_t>(y)))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(Gf, PreprocessedMulMatchesExhaustively) {
+  const Tables& t = tables();
+  for (int x = 0; x < 256; ++x) {
+    for (int y = 0; y < 256; ++y) {
+      const auto xx = static_cast<std::uint8_t>(x);
+      const auto yy = static_cast<std::uint8_t>(y);
+      ASSERT_EQ(mul_preprocessed(t.log[xx], t.log[yy]), mul(xx, yy));
+    }
+  }
+}
+
+TEST(Gf, ShiftedPreprocessedMulMatchesExhaustively) {
+  const Tables& t = tables();
+  for (int x = 0; x < 256; ++x) {
+    for (int y = 0; y < 256; ++y) {
+      const auto xx = static_cast<std::uint8_t>(x);
+      const auto yy = static_cast<std::uint8_t>(y);
+      ASSERT_EQ(
+          mul_preprocessed_shifted(t.log_shifted[xx], t.log_shifted[yy]),
+          mul(xx, yy));
+    }
+  }
+}
+
+TEST(Gf, ShiftedLogZeroSentinelIsZero) {
+  const Tables& t = tables();
+  EXPECT_EQ(t.log_shifted[0], 0);
+  for (int x = 1; x < 256; ++x) EXPECT_NE(t.log_shifted[x], 0) << x;
+}
+
+TEST(Gf, LogExpRoundTrip) {
+  const Tables& t = tables();
+  for (int x = 1; x < 256; ++x) {
+    EXPECT_EQ(t.exp[t.log[x]], x);
+  }
+  EXPECT_EQ(t.log[0], kLogZero);
+}
+
+TEST(Gf, ExpTableDoubledForModFreeIndexing) {
+  const Tables& t = tables();
+  for (int i = 0; i < 255; ++i) EXPECT_EQ(t.exp[i], t.exp[i + 255]);
+}
+
+TEST(Gf, MultiplicativeIdentity) {
+  for (int x = 0; x < 256; ++x) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(x), 1), x);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(x)), x);
+  }
+}
+
+TEST(Gf, ZeroAnnihilates) {
+  for (int x = 0; x < 256; ++x) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(x), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<std::uint8_t>(x)), 0);
+  }
+}
+
+TEST(Gf, InverseProperty) {
+  for (int x = 1; x < 256; ++x) {
+    const auto xx = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(mul(xx, inv(xx)), 1) << x;
+  }
+  EXPECT_EQ(inv(0), 0);
+}
+
+TEST(Gf, DivisionInvertsMultiplication) {
+  for (int x = 0; x < 256; ++x) {
+    for (int y = 1; y < 256; ++y) {
+      const auto xx = static_cast<std::uint8_t>(x);
+      const auto yy = static_cast<std::uint8_t>(y);
+      ASSERT_EQ(div(mul(xx, yy), yy), xx);
+    }
+  }
+}
+
+TEST(Gf, PowMatchesRepeatedMultiplication) {
+  for (int x = 0; x < 256; x += 7) {
+    std::uint8_t expected = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      ASSERT_EQ(pow(static_cast<std::uint8_t>(x), e), expected)
+          << "x=" << x << " e=" << e;
+      expected = mul(expected, static_cast<std::uint8_t>(x));
+    }
+  }
+}
+
+TEST(Gf, PowZeroConventions) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+// Field axioms as parameterized sweeps over structured triples.
+class FieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldAxioms, MulCommutative) {
+  const int seed = GetParam();
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    const auto y = static_cast<std::uint8_t>((i * 31 + seed) & 0xff);
+    EXPECT_EQ(mul(x, y), mul(y, x));
+  }
+}
+
+TEST_P(FieldAxioms, MulAssociative) {
+  const int seed = GetParam();
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    const auto y = static_cast<std::uint8_t>((i * 17 + seed) & 0xff);
+    const auto z = static_cast<std::uint8_t>((i * 101 + seed * 3) & 0xff);
+    EXPECT_EQ(mul(mul(x, y), z), mul(x, mul(y, z)));
+  }
+}
+
+TEST_P(FieldAxioms, Distributive) {
+  const int seed = GetParam();
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    const auto y = static_cast<std::uint8_t>((i * 13 + seed) & 0xff);
+    const auto z = static_cast<std::uint8_t>((i * 7 + seed * 5) & 0xff);
+    EXPECT_EQ(mul(x, add(y, z)), add(mul(x, y), mul(x, z)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldAxioms, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace extnc::gf256

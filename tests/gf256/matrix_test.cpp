@@ -1,0 +1,137 @@
+#include "gf256/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "gf256/gf.h"
+#include "util/rng.h"
+
+namespace extnc::gf256 {
+namespace {
+
+TEST(Matrix, IdentityHasFullRank) {
+  const Matrix id = Matrix::identity(16);
+  EXPECT_EQ(id.rank(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(id.at(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Rng rng(1);
+  const Matrix m = Matrix::random_dense(8, 8, rng);
+  EXPECT_EQ(m.multiply(Matrix::identity(8)), m);
+  EXPECT_EQ(Matrix::identity(8).multiply(m), m);
+}
+
+TEST(Matrix, MultiplyMatchesScalarDefinition) {
+  Rng rng(2);
+  const Matrix a = Matrix::random_dense(5, 7, rng);
+  const Matrix b = Matrix::random_dense(7, 3, rng);
+  const Matrix c = a.multiply(b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::uint8_t expected = 0;
+      for (std::size_t k = 0; k < 7; ++k) {
+        expected = add(expected, mul(a.at(i, k), b.at(k, j)));
+      }
+      ASSERT_EQ(c.at(i, j), expected);
+    }
+  }
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 2u, 8u, 32u, 64u}) {
+    const Matrix m = Matrix::random_invertible(n, rng);
+    const auto inverse = m.inverted();
+    ASSERT_TRUE(inverse.has_value()) << n;
+    EXPECT_EQ(m.multiply(*inverse), Matrix::identity(n)) << n;
+    EXPECT_EQ(inverse->multiply(m), Matrix::identity(n)) << n;
+  }
+}
+
+TEST(Matrix, SingularMatrixHasNoInverse) {
+  Rng rng(4);
+  Matrix m = Matrix::random_dense(8, 8, rng);
+  // Make row 5 a multiple of row 2.
+  for (std::size_t c = 0; c < 8; ++c) {
+    m.set(5, c, mul(m.at(2, c), 0x1d));
+  }
+  EXPECT_FALSE(m.inverted().has_value());
+  EXPECT_LT(m.rank(), 8u);
+}
+
+TEST(Matrix, ZeroMatrixRankZero) {
+  const Matrix m(6, 6);
+  EXPECT_EQ(m.rank(), 0u);
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST(Matrix, RankOfWideAndTallMatrices) {
+  Rng rng(5);
+  const Matrix wide = Matrix::random_dense(4, 32, rng);
+  EXPECT_EQ(wide.rank(), 4u);  // dense random rows almost surely independent
+  const Matrix tall = Matrix::random_dense(32, 4, rng);
+  EXPECT_EQ(tall.rank(), 4u);
+}
+
+TEST(Matrix, RandomInvertibleIsInvertible) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Matrix m = Matrix::random_invertible(24, rng);
+    EXPECT_EQ(m.rank(), 24u);
+  }
+}
+
+TEST(Matrix, MultiplyRowsMatchesMatrixMultiply) {
+  Rng rng(7);
+  const Matrix coeffs = Matrix::random_invertible(8, rng);
+  const Matrix payload = Matrix::random_dense(8, 100, rng);
+  const Matrix expected = coeffs.multiply(payload);
+  Matrix out(8, 100);
+  coeffs.multiply_rows(payload.data(), 100, out.data());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Matrix, DecodePropertyInverseRecoversPayload) {
+  // b = C^-1 * (C * b): the algebra at the heart of RLNC decoding.
+  Rng rng(8);
+  for (std::size_t n : {4u, 16u, 48u}) {
+    const Matrix coeffs = Matrix::random_invertible(n, rng);
+    const Matrix sources = Matrix::random_dense(n, 256, rng);
+    const Matrix coded = coeffs.multiply(sources);
+    const auto inverse = coeffs.inverted();
+    ASSERT_TRUE(inverse.has_value());
+    EXPECT_EQ(inverse->multiply(coded), sources) << n;
+  }
+}
+
+TEST(Matrix, RandomDenseIsFullyDense) {
+  Rng rng(9);
+  const Matrix m = Matrix::random_dense(16, 16, rng);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_NE(m.at(i, j), 0);
+    }
+  }
+}
+
+class MatrixSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixSizeSweep, InversionRoundTrip) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix m = Matrix::random_invertible(n, rng);
+  const auto inverse = m.inverted();
+  ASSERT_TRUE(inverse.has_value());
+  EXPECT_EQ(m.multiply(*inverse), Matrix::identity(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           128));
+
+}  // namespace
+}  // namespace extnc::gf256

@@ -1,0 +1,103 @@
+#include "gf256/swar.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "gf256/gf.h"
+#include "util/rng.h"
+
+namespace extnc::gf256 {
+namespace {
+
+TEST(Swar, XtimePacked32MatchesScalar) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto w = static_cast<std::uint32_t>(rng.next());
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &w, 4);
+    const std::uint32_t packed = xtime_packed(w);
+    std::uint8_t out[4];
+    std::memcpy(out, &packed, 4);
+    for (int i = 0; i < 4; ++i) ASSERT_EQ(out[i], xtime(bytes[i]));
+  }
+}
+
+TEST(Swar, XtimePacked64MatchesScalar) {
+  Rng rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t w = rng.next();
+    std::uint8_t bytes[8];
+    std::memcpy(bytes, &w, 8);
+    const std::uint64_t packed = xtime_packed(w);
+    std::uint8_t out[8];
+    std::memcpy(out, &packed, 8);
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(out[i], xtime(bytes[i]));
+  }
+}
+
+TEST(Swar, MulByteWord32MatchesScalarExhaustiveCoefficients) {
+  Rng rng(3);
+  for (int c = 0; c < 256; ++c) {
+    const auto w = static_cast<std::uint32_t>(rng.next());
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &w, 4);
+    const std::uint32_t product =
+        mul_byte_word(static_cast<std::uint8_t>(c), w);
+    std::uint8_t out[4];
+    std::memcpy(out, &product, 4);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(out[i], mul_loop(static_cast<std::uint8_t>(c), bytes[i]))
+          << "c=" << c << " lane=" << i;
+    }
+  }
+}
+
+TEST(Swar, MulByteWord64MatchesScalarExhaustiveCoefficients) {
+  Rng rng(4);
+  for (int c = 0; c < 256; ++c) {
+    const std::uint64_t w = rng.next();
+    std::uint8_t bytes[8];
+    std::memcpy(bytes, &w, 8);
+    const std::uint64_t product =
+        mul_byte_word(static_cast<std::uint8_t>(c), w);
+    std::uint8_t out[8];
+    std::memcpy(out, &product, 8);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(out[i], mul_loop(static_cast<std::uint8_t>(c), bytes[i]));
+    }
+  }
+}
+
+TEST(Swar, MulByZeroIsZero) {
+  EXPECT_EQ(mul_byte_word(0, std::uint32_t{0xdeadbeefu}), 0u);
+  EXPECT_EQ(mul_byte_word(0, std::uint64_t{0xdeadbeefcafebabeull}), 0ull);
+}
+
+TEST(Swar, MulByOneIsIdentity) {
+  EXPECT_EQ(mul_byte_word(1, std::uint32_t{0xdeadbeefu}), 0xdeadbeefu);
+  EXPECT_EQ(mul_byte_word(1, std::uint64_t{0x0123456789abcdefull}),
+            0x0123456789abcdefull);
+}
+
+TEST(Swar, LoopIterationsIsHighestSetBitPosition) {
+  EXPECT_EQ(loop_iterations(0), 0);
+  EXPECT_EQ(loop_iterations(1), 1);
+  EXPECT_EQ(loop_iterations(2), 2);
+  EXPECT_EQ(loop_iterations(3), 2);
+  EXPECT_EQ(loop_iterations(0x80), 8);
+  EXPECT_EQ(loop_iterations(0xff), 8);
+}
+
+TEST(Swar, AverageLoopIterationsNearSeven) {
+  // The paper quotes ~7 average iterations per random coefficient; verify
+  // the model constant matches the distribution.
+  double total = 0;
+  for (int c = 1; c < 256; ++c) total += loop_iterations(static_cast<std::uint8_t>(c));
+  const double average = total / 255.0;
+  EXPECT_GT(average, 6.9);
+  EXPECT_LT(average, 7.1);
+}
+
+}  // namespace
+}  // namespace extnc::gf256

@@ -1,0 +1,104 @@
+#include "gf65536/codec16.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::gf65536 {
+namespace {
+
+TEST(Codec16, RoundTrip) {
+  Rng rng(1);
+  const Params16 params{.n = 12, .symbols = 40};
+  const Encoder16 encoder = Encoder16::random(params, rng);
+  Decoder16 decoder(params);
+  std::vector<std::uint16_t> coeffs;
+  std::vector<std::uint16_t> payload;
+  std::size_t sent = 0;
+  while (!decoder.is_complete()) {
+    encoder.encode(rng, coeffs, payload);
+    decoder.add(coeffs, payload);
+    ASSERT_LT(++sent, params.n + 10);
+  }
+  EXPECT_EQ(decoder.decoded(), encoder.sources());
+}
+
+TEST(Codec16, DetectsDuplicateAsDependent) {
+  Rng rng(2);
+  const Params16 params{.n = 6, .symbols = 8};
+  const Encoder16 encoder = Encoder16::random(params, rng);
+  Decoder16 decoder(params);
+  std::vector<std::uint16_t> coeffs;
+  std::vector<std::uint16_t> payload;
+  encoder.encode(rng, coeffs, payload);
+  EXPECT_EQ(decoder.add(coeffs, payload), Decoder16::Result::kAccepted);
+  EXPECT_EQ(decoder.add(coeffs, payload),
+            Decoder16::Result::kLinearlyDependent);
+}
+
+TEST(Codec16, DependenceIsRarerThanGf256) {
+  // The point of the bigger field: run many decodes in both fields and
+  // compare wasted-block counts. A dense random arrival is dependent with
+  // probability q^(r-n), so a full decode wastes ~1/(q-1) blocks in
+  // expectation: ~1/255 per decode over GF(2^8), ~1/65535 over GF(2^16).
+  // 4000 decodes: expect ~15.7 dependents for q=256, ~0.06 for q=65536.
+  const std::size_t n = 8;
+  const int decodes = 4000;
+
+  Rng rng(3);
+  std::size_t dependent16 = 0;
+  const Params16 params16{.n = n, .symbols = 4};
+  for (int d = 0; d < decodes; ++d) {
+    const Encoder16 encoder = Encoder16::random(params16, rng);
+    Decoder16 decoder(params16);
+    std::vector<std::uint16_t> coeffs;
+    std::vector<std::uint16_t> payload;
+    while (!decoder.is_complete()) {
+      encoder.encode(rng, coeffs, payload);
+      if (decoder.add(coeffs, payload) != Decoder16::Result::kAccepted) {
+        ++dependent16;
+      }
+    }
+  }
+
+  std::size_t dependent8 = 0;
+  const coding::Params params8{.n = n, .k = 8};
+  for (int d = 0; d < decodes; ++d) {
+    const coding::Segment segment = coding::Segment::random(params8, rng);
+    const coding::Encoder encoder(segment);
+    coding::ProgressiveDecoder decoder(params8);
+    while (!decoder.is_complete()) {
+      if (decoder.add(encoder.encode(rng)) !=
+          coding::ProgressiveDecoder::Result::kAccepted) {
+        ++dependent8;
+      }
+    }
+  }
+
+  EXPECT_LT(dependent16, 4u);  // ~0.06 expected
+  EXPECT_GT(dependent8, 4u);   // ~15.7 expected
+  EXPECT_GT(dependent8, dependent16);
+}
+
+TEST(Codec16, SingleBlockGeneration) {
+  Rng rng(4);
+  const Params16 params{.n = 1, .symbols = 16};
+  const Encoder16 encoder = Encoder16::random(params, rng);
+  Decoder16 decoder(params);
+  std::vector<std::uint16_t> coeffs;
+  std::vector<std::uint16_t> payload;
+  encoder.encode(rng, coeffs, payload);
+  EXPECT_EQ(decoder.add(coeffs, payload), Decoder16::Result::kAccepted);
+  EXPECT_TRUE(decoder.is_complete());
+  EXPECT_EQ(decoder.decoded(), encoder.sources());
+}
+
+TEST(Codec16DeathTest, WrongSourceSizeAborts) {
+  EXPECT_DEATH(Encoder16({.n = 2, .symbols = 4},
+                         std::vector<std::uint16_t>(7)),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::gf65536

@@ -1,0 +1,101 @@
+#include "gf65536/gf16.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace extnc::gf65536 {
+namespace {
+
+TEST(Gf16, TableMulMatchesLoopMulOnRandomPairs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const auto x = static_cast<std::uint16_t>(rng.next());
+    const auto y = static_cast<std::uint16_t>(rng.next());
+    ASSERT_EQ(mul(x, y), mul_loop(x, y)) << x << " * " << y;
+  }
+}
+
+TEST(Gf16, MultiplicativeIdentityAndZero) {
+  Rng rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto x = static_cast<std::uint16_t>(rng.next());
+    EXPECT_EQ(mul(x, 1), x);
+    EXPECT_EQ(mul(1, x), x);
+    EXPECT_EQ(mul(x, 0), 0);
+    EXPECT_EQ(mul(0, x), 0);
+  }
+}
+
+TEST(Gf16, InverseProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto x = static_cast<std::uint16_t>(1 + rng.next_below(65535));
+    ASSERT_EQ(mul(x, inv(x)), 1) << x;
+  }
+  EXPECT_EQ(inv(0), 0);
+}
+
+TEST(Gf16, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto x = static_cast<std::uint16_t>(rng.next());
+    const auto y = static_cast<std::uint16_t>(1 + rng.next_below(65535));
+    ASSERT_EQ(div(mul(x, y), y), x);
+  }
+}
+
+TEST(Gf16, FieldAxiomsOnRandomTriples) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto x = static_cast<std::uint16_t>(rng.next());
+    const auto y = static_cast<std::uint16_t>(rng.next());
+    const auto z = static_cast<std::uint16_t>(rng.next());
+    ASSERT_EQ(mul(x, y), mul(y, x));
+    ASSERT_EQ(mul(mul(x, y), z), mul(x, mul(y, z)));
+    ASSERT_EQ(mul(x, add(y, z)), add(mul(x, y), mul(x, z)));
+  }
+}
+
+TEST(Gf16, GeneratorHasFullOrder) {
+  // Verified during table construction; spot-check the doubling here.
+  const Tables& t = tables();
+  EXPECT_EQ(t.exp[0], 1);
+  EXPECT_EQ(t.exp[65535], 1);  // wraps
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.exp[i], t.exp[i + 65535]);
+}
+
+TEST(Gf16, MulAddRegionMatchesScalar) {
+  Rng rng(6);
+  const std::size_t symbols = 333;
+  std::vector<std::uint16_t> src(symbols);
+  std::vector<std::uint16_t> dst(symbols);
+  std::vector<std::uint16_t> expected(symbols);
+  for (std::size_t i = 0; i < symbols; ++i) {
+    src[i] = static_cast<std::uint16_t>(rng.next());
+    dst[i] = static_cast<std::uint16_t>(rng.next());
+    expected[i] = dst[i];
+  }
+  const std::uint16_t c = 0x1234;
+  mul_add_region(dst.data(), src.data(), c, symbols);
+  for (std::size_t i = 0; i < symbols; ++i) {
+    expected[i] = add(expected[i], mul(c, src[i]));
+    ASSERT_EQ(dst[i], expected[i]) << i;
+  }
+}
+
+TEST(Gf16, ScaleRegionByZeroClears) {
+  std::vector<std::uint16_t> dst{1, 2, 3};
+  scale_region(dst.data(), 0, dst.size());
+  for (std::uint16_t v : dst) EXPECT_EQ(v, 0);
+}
+
+TEST(Gf16, MulAddByZeroIsNoop) {
+  std::vector<std::uint16_t> src{1, 2, 3};
+  std::vector<std::uint16_t> dst{7, 8, 9};
+  mul_add_region(dst.data(), src.data(), 0, dst.size());
+  EXPECT_EQ(dst, (std::vector<std::uint16_t>{7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace extnc::gf65536

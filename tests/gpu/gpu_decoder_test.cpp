@@ -1,0 +1,142 @@
+#include "gpu/gpu_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::gpu {
+namespace {
+
+using coding::CodedBlock;
+using coding::Encoder;
+using coding::Params;
+using coding::Segment;
+
+TEST(GpuSingleSegmentDecoder, RoundTripMatchesSegment) {
+  Rng rng(1);
+  const Params params{.n = 16, .k = 512};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder decoder(simgpu::gtx280(), params);
+  while (!decoder.is_complete()) {
+    decoder.add(encoder.encode(rng));
+  }
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+TEST(GpuSingleSegmentDecoder, AgreesWithReferenceDecoderBlockByBlock) {
+  Rng rng(2);
+  const Params params{.n = 12, .k = 256};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder gpu(simgpu::gtx280(), params);
+  coding::ProgressiveDecoder reference(params);
+  while (!reference.is_complete()) {
+    const CodedBlock block = encoder.encode(rng);
+    const auto gr = gpu.add(block);
+    const auto rr = reference.add(block);
+    ASSERT_EQ(gr == GpuSingleSegmentDecoder::Result::kAccepted,
+              rr == coding::ProgressiveDecoder::Result::kAccepted);
+    ASSERT_EQ(gpu.rank(), reference.rank());
+  }
+  EXPECT_EQ(gpu.decoded_segment(), reference.decoded_segment());
+}
+
+TEST(GpuSingleSegmentDecoder, DetectsDependentBlocks) {
+  Rng rng(3);
+  const Params params{.n = 8, .k = 128};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder decoder(simgpu::gtx280(), params);
+  const CodedBlock block = encoder.encode(rng);
+  EXPECT_EQ(decoder.add(block), GpuSingleSegmentDecoder::Result::kAccepted);
+  EXPECT_EQ(decoder.add(block),
+            GpuSingleSegmentDecoder::Result::kLinearlyDependent);
+  EXPECT_EQ(decoder.rank(), 1u);
+}
+
+TEST(GpuSingleSegmentDecoder, RejectsAfterComplete) {
+  Rng rng(4);
+  const Params params{.n = 4, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder decoder(simgpu::gtx280(), params);
+  while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.add(encoder.encode(rng)),
+            GpuSingleSegmentDecoder::Result::kAlreadyComplete);
+}
+
+TEST(GpuSingleSegmentDecoder, AtomicMinOptionDecodesIdentically) {
+  Rng rng(5);
+  const Params params{.n = 12, .k = 256};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder base(simgpu::gtx280(), params, {});
+  GpuSingleSegmentDecoder atomic(simgpu::gtx280(), params,
+                                 {.use_atomic_min = true});
+  while (!base.is_complete()) {
+    const CodedBlock block = encoder.encode(rng);
+    base.add(block);
+    atomic.add(block);
+  }
+  ASSERT_TRUE(atomic.is_complete());
+  EXPECT_EQ(base.decoded_segment(), atomic.decoded_segment());
+  EXPECT_GT(atomic.metrics().atomic_ops, 0u);
+  EXPECT_EQ(base.metrics().atomic_ops, 0u);
+}
+
+TEST(GpuSingleSegmentDecoder, CoefficientCachingDecodesIdentically) {
+  Rng rng(6);
+  const Params params{.n = 16, .k = 512};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder base(simgpu::gtx280(), params, {});
+  GpuSingleSegmentDecoder cached(simgpu::gtx280(), params,
+                                 {.cache_coefficients = true});
+  while (!base.is_complete()) {
+    const CodedBlock block = encoder.encode(rng);
+    base.add(block);
+    cached.add(block);
+  }
+  EXPECT_EQ(base.decoded_segment(), cached.decoded_segment());
+  // Caching moves coefficient reads from global to shared memory.
+  EXPECT_GT(cached.metrics().shared_accesses, base.metrics().shared_accesses);
+}
+
+TEST(GpuSingleSegmentDecoderDeathTest, AtomicMinRequiresSupport) {
+  EXPECT_DEATH(GpuSingleSegmentDecoder(simgpu::geforce_8800gt(),
+                                       Params{.n = 8, .k = 64},
+                                       {.use_atomic_min = true}),
+               "EXTNC_CHECK");
+}
+
+TEST(GpuSingleSegmentDecoderDeathTest, CoefficientCacheNeedsRoom) {
+  // n = 256: 64 KB of coefficients cannot fit the 16 KB shared memory.
+  EXPECT_DEATH(GpuSingleSegmentDecoder(simgpu::gtx280(),
+                                       Params{.n = 256, .k = 64},
+                                       {.cache_coefficients = true}),
+               "EXTNC_CHECK");
+}
+
+class GpuDecoderSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GpuDecoderSweep, RoundTrip) {
+  const auto [n, k] = GetParam();
+  Rng rng(700 + n + k);
+  const Params params{.n = n, .k = k};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  GpuSingleSegmentDecoder decoder(simgpu::gtx280(), params);
+  while (!decoder.is_complete()) decoder.add(encoder.encode(rng));
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, GpuDecoderSweep,
+    ::testing::Combine(::testing::Values(4u, 8u, 32u),
+                       ::testing::Values(4u, 64u, 260u)));
+
+}  // namespace
+}  // namespace extnc::gpu

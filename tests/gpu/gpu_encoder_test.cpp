@@ -1,0 +1,180 @@
+#include "gpu/gpu_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::gpu {
+namespace {
+
+using coding::CodedBatch;
+using coding::Encoder;
+using coding::Params;
+using coding::Segment;
+
+constexpr EncodeScheme kAllSchemes[] = {
+    EncodeScheme::kLoopBased, EncodeScheme::kTable0, EncodeScheme::kTable1,
+    EncodeScheme::kTable2,    EncodeScheme::kTable3, EncodeScheme::kTable4,
+    EncodeScheme::kTable5,
+};
+
+class GpuEncoderSchemes : public ::testing::TestWithParam<EncodeScheme> {};
+
+TEST_P(GpuEncoderSchemes, MatchesReferenceEncoderBitExactly) {
+  Rng rng(1);
+  const Params params{.n = 24, .k = 256};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder gpu(simgpu::gtx280(), segment, GetParam());
+  const Encoder reference(segment);
+  const CodedBatch batch = gpu.encode_batch(8, rng);
+  std::vector<std::uint8_t> expected(params.k);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    reference.encode_with_coefficients(batch.coefficients(j), expected);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                           batch.payload(j).begin()))
+        << scheme_name(GetParam()) << " block " << j;
+  }
+}
+
+TEST_P(GpuEncoderSchemes, HandlesZeroSourceBytes) {
+  // Zero source bytes hit the log-domain sentinel path.
+  Rng rng(2);
+  const Params params{.n = 8, .k = 64};
+  Segment segment = Segment::random(params, rng);
+  std::fill(segment.block(2).begin(), segment.block(2).end(), 0);
+  segment.block(0)[5] = 0;
+  GpuEncoder gpu(simgpu::gtx280(), segment, GetParam());
+  const Encoder reference(segment);
+  const CodedBatch batch = gpu.encode_batch(4, rng);
+  std::vector<std::uint8_t> expected(params.k);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    reference.encode_with_coefficients(batch.coefficients(j), expected);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                           batch.payload(j).begin()));
+  }
+}
+
+TEST_P(GpuEncoderSchemes, OutputDecodes) {
+  Rng rng(3);
+  const Params params{.n = 16, .k = 128};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder gpu(simgpu::gtx280(), segment, GetParam());
+  const CodedBatch batch = gpu.encode_batch(params.n + 3, rng);
+  coding::ProgressiveDecoder decoder(params);
+  for (std::size_t j = 0; j < batch.count() && !decoder.is_complete(); ++j) {
+    decoder.add(batch.coefficients(j), batch.payload(j));
+  }
+  ASSERT_TRUE(decoder.is_complete());
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+TEST_P(GpuEncoderSchemes, WorksOn8800Gt) {
+  Rng rng(4);
+  const Params params{.n = 8, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder gpu(simgpu::geforce_8800gt(), segment, GetParam());
+  const Encoder reference(segment);
+  const CodedBatch batch = gpu.encode_batch(3, rng);
+  std::vector<std::uint8_t> expected(params.k);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    reference.encode_with_coefficients(batch.coefficients(j), expected);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                           batch.payload(j).begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, GpuEncoderSchemes,
+                         ::testing::ValuesIn(kAllSchemes),
+                         [](const auto& info) {
+                           std::string name = scheme_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(GpuEncoder, SharedTableSchemesHaveBankConflicts) {
+  // Sec. 5.1.3: "around 3 conflicts happen within each 16 parallel
+  // requests" for the single byte-wide exp table.
+  Rng rng(5);
+  const Params params{.n = 32, .k = 512};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder tb1(simgpu::gtx280(), segment, EncodeScheme::kTable1);
+  (void)tb1.encode_batch(16, rng);
+  const double degree = tb1.encode_metrics().shared_conflict_degree();
+  EXPECT_GT(degree, 1.8);
+  EXPECT_LT(degree, 3.2);
+}
+
+TEST(GpuEncoder, ReplicatedTablesReduceConflicts) {
+  // The TB-5 interleaved word tables must measurably cut the conflict
+  // degree versus the single byte table (the paper's Table-based-4 ->
+  // Table-based-5 step).
+  Rng rng(6);
+  const Params params{.n = 32, .k = 512};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder tb3(simgpu::gtx280(), segment, EncodeScheme::kTable3);
+  GpuEncoder tb5(simgpu::gtx280(), segment, EncodeScheme::kTable5);
+  (void)tb3.encode_batch(16, rng);
+  (void)tb5.encode_batch(16, rng);
+  EXPECT_LT(tb5.encode_metrics().shared_conflict_degree(),
+            tb3.encode_metrics().shared_conflict_degree() - 0.3);
+}
+
+TEST(GpuEncoder, TextureSchemeHitsCacheAfterWarmup) {
+  Rng rng(7);
+  const Params params{.n = 32, .k = 512};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder tb4(simgpu::gtx280(), segment, EncodeScheme::kTable4);
+  (void)tb4.encode_batch(16, rng);
+  EXPECT_GT(tb4.encode_metrics().texture_hit_rate(), 0.99);
+  EXPECT_GT(tb4.encode_metrics().texture_fetches, 0u);
+}
+
+TEST(GpuEncoder, LoopBasedUsesNoSharedMemory) {
+  Rng rng(8);
+  const Params params{.n = 16, .k = 256};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder lb(simgpu::gtx280(), segment, EncodeScheme::kLoopBased);
+  (void)lb.encode_batch(4, rng);
+  EXPECT_EQ(lb.encode_metrics().shared_accesses, 0u);
+  EXPECT_EQ(lb.encode_metrics().texture_fetches, 0u);
+}
+
+TEST(GpuEncoder, PreprocessedSchemesChargePreprocessingSeparately) {
+  Rng rng(9);
+  const Params params{.n = 16, .k = 256};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder tb1(simgpu::gtx280(), segment, EncodeScheme::kTable1);
+  EXPECT_GT(tb1.preprocess_metrics().global_load_bytes, 0u);  // segment
+  (void)tb1.encode_batch(4, rng);
+  EXPECT_GT(tb1.preprocess_metrics().global_store_bytes,
+            params.segment_bytes());  // + coefficients
+}
+
+TEST(GpuEncoder, StreamingLoadsAreCoalesced) {
+  // Fully dense loop-based encoding: source words coalesce and coefficient
+  // bytes broadcast, so transactions per word stay near (n*2)/16 + 1/16.
+  Rng rng(10);
+  const Params params{.n = 32, .k = 1024};
+  const Segment segment = Segment::random(params, rng);
+  GpuEncoder lb(simgpu::gtx280(), segment, EncodeScheme::kLoopBased);
+  (void)lb.encode_batch(8, rng);
+  const double words = 8 * 1024 / 4.0;
+  const double per_word =
+      static_cast<double>(lb.encode_metrics().global_transactions) / words;
+  const double ideal = 32 * 2 / 16.0 + 1.0 / 16.0;
+  EXPECT_LT(per_word, ideal * 1.3);
+}
+
+TEST(GpuEncoderDeathTest, RejectsNonWordBlockSize) {
+  Rng rng(11);
+  const coding::Params params{.n = 4, .k = 30};
+  const Segment segment = Segment::random(params, rng);
+  EXPECT_DEATH(GpuEncoder(simgpu::gtx280(), segment, EncodeScheme::kTable5),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::gpu

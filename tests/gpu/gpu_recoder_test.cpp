@@ -1,0 +1,100 @@
+#include "gpu/gpu_recoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+
+namespace extnc::gpu {
+namespace {
+
+using coding::CodedBatch;
+using coding::Encoder;
+using coding::Params;
+using coding::Segment;
+
+CodedBatch coded_batch(const Segment& segment, std::size_t count, Rng& rng) {
+  const Encoder encoder(segment);
+  CodedBatch batch(segment.params(), count);
+  for (std::size_t j = 0; j < count; ++j) {
+    encoder.draw_coefficients(rng, batch.coefficients(j));
+    encoder.encode_with_coefficients(batch.coefficients(j), batch.payload(j));
+  }
+  return batch;
+}
+
+TEST(GpuRecoder, RecodedBlocksAreConsistentCombinations) {
+  // Every recoded payload must equal the encoding of its own coefficient
+  // vector over the ORIGINAL sources (recoding preserves Eq. 1).
+  Rng rng(1);
+  const Params params{.n = 16, .k = 128};
+  const Segment segment = Segment::random(params, rng);
+  const CodedBatch received = coded_batch(segment, params.n + 4, rng);
+  const CodedBatch recoded =
+      gpu_recode(simgpu::gtx280(), received, 10, rng);
+  const Encoder reference(segment);
+  std::vector<std::uint8_t> expected(params.k);
+  for (std::size_t j = 0; j < recoded.count(); ++j) {
+    reference.encode_with_coefficients(recoded.coefficients(j), expected);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                           recoded.payload(j).begin()))
+        << "block " << j;
+  }
+}
+
+TEST(GpuRecoder, RecodedBlocksDecodeToOriginal) {
+  Rng rng(2);
+  const Params params{.n = 12, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  const CodedBatch received = coded_batch(segment, params.n + 2, rng);
+  const CodedBatch recoded =
+      gpu_recode(simgpu::gtx280(), received, params.n + 8, rng);
+  coding::ProgressiveDecoder decoder(params);
+  for (std::size_t j = 0; j < recoded.count() && !decoder.is_complete(); ++j) {
+    decoder.add(recoded.coefficients(j), recoded.payload(j));
+  }
+  ASSERT_TRUE(decoder.is_complete());
+  EXPECT_EQ(decoder.decoded_segment(), segment);
+}
+
+TEST(GpuRecoder, CannotExceedSpanOfReceivedBlocks) {
+  Rng rng(3);
+  const Params params{.n = 16, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const std::size_t held = 5;
+  const CodedBatch received = coded_batch(segment, held, rng);
+  const CodedBatch recoded =
+      gpu_recode(simgpu::gtx280(), received, 40, rng);
+  coding::ProgressiveDecoder decoder(params);
+  for (std::size_t j = 0; j < recoded.count(); ++j) {
+    decoder.add(recoded.coefficients(j), recoded.payload(j));
+  }
+  EXPECT_EQ(decoder.rank(), held);
+}
+
+TEST(GpuRecoder, LoopBasedSchemeWorksToo) {
+  Rng rng(4);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const CodedBatch received = coded_batch(segment, params.n, rng);
+  const CodedBatch recoded = gpu_recode(simgpu::gtx280(), received, 4, rng,
+                                        EncodeScheme::kLoopBased);
+  const Encoder reference(segment);
+  std::vector<std::uint8_t> expected(params.k);
+  for (std::size_t j = 0; j < recoded.count(); ++j) {
+    reference.encode_with_coefficients(recoded.coefficients(j), expected);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                           recoded.payload(j).begin()));
+  }
+}
+
+TEST(GpuRecoderDeathTest, EmptyBufferAborts) {
+  Rng rng(5);
+  const Params params{.n = 8, .k = 32};
+  const CodedBatch empty(params, 0);
+  EXPECT_DEATH((void)gpu_recode(simgpu::gtx280(), empty, 1, rng),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::gpu

@@ -1,0 +1,161 @@
+// Failure-injection tests: what the system does when blocks are corrupted,
+// truncated, replayed or mismatched. RLNC has no integrity protection of
+// its own — a corrupted coded block decodes to silently wrong data — and
+// these tests document that boundary precisely, along with every failure
+// the library DOES detect.
+#include <gtest/gtest.h>
+
+#include "coding/block_decoder.h"
+#include "coding/encoder.h"
+#include "coding/progressive_decoder.h"
+#include "coding/recoder.h"
+#include "coding/wire.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+namespace {
+
+TEST(FailureInjection, CorruptedPayloadDecodesToWrongData) {
+  // A flipped payload byte is indistinguishable from valid coded data:
+  // decode "succeeds" but the output differs. Integrity must come from an
+  // outer checksum — documented library behaviour.
+  Rng rng(1);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ProgressiveDecoder decoder(params);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    CodedBlock block = encoder.encode(rng);
+    if (i == 3) block.payload()[7] ^= 0x01;
+    decoder.add(block);
+  }
+  ASSERT_TRUE(decoder.is_complete());
+  EXPECT_FALSE(decoder.decoded_segment() == segment);
+}
+
+TEST(FailureInjection, CorruptedCoefficientDecodesToWrongData) {
+  Rng rng(2);
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ProgressiveDecoder decoder(params);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    CodedBlock block = encoder.encode(rng);
+    if (i == 5) block.coefficients()[2] ^= 0x40;
+    decoder.add(block);
+  }
+  ASSERT_TRUE(decoder.is_complete());
+  EXPECT_FALSE(decoder.decoded_segment() == segment);
+}
+
+TEST(FailureInjection, CorruptionThroughRelayPollutesDownstream) {
+  // Recoding spreads a corrupted block into every output — the known
+  // pollution-attack surface of network coding.
+  Rng rng(3);
+  const Params params{.n = 6, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder relay(params);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    CodedBlock block = encoder.encode(rng);
+    if (i == 0) block.payload()[0] ^= 0xff;
+    relay.add(block);
+  }
+  ProgressiveDecoder sink(params);
+  while (!sink.is_complete()) sink.add(relay.recode(rng));
+  EXPECT_FALSE(sink.decoded_segment() == segment);
+}
+
+TEST(FailureInjection, ReplayedBlocksNeverAdvanceRank) {
+  Rng rng(4);
+  const Params params{.n = 8, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  ProgressiveDecoder decoder(params);
+  const CodedBlock block = encoder.encode(rng);
+  decoder.add(block);
+  for (int replay = 0; replay < 50; ++replay) {
+    EXPECT_EQ(decoder.add(block),
+              ProgressiveDecoder::Result::kLinearlyDependent);
+  }
+  EXPECT_EQ(decoder.rank(), 1u);
+}
+
+TEST(FailureInjection, AllZeroBlockIsAlwaysDependent) {
+  const Params params{.n = 4, .k = 8};
+  ProgressiveDecoder decoder(params);
+  CodedBlock zero(params);
+  EXPECT_EQ(decoder.add(zero), ProgressiveDecoder::Result::kLinearlyDependent);
+  EXPECT_EQ(decoder.rank(), 0u);
+}
+
+TEST(FailureInjection, AdversarialLowRankStreamNeverCompletes) {
+  // A malicious sender that only ever spans 3 dimensions can stall a
+  // decoder forever but never corrupt it.
+  Rng rng(5);
+  const Params params{.n = 8, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  Recoder adversary(params);
+  for (int i = 0; i < 3; ++i) adversary.add(encoder.encode(rng));
+  ProgressiveDecoder decoder(params);
+  for (int i = 0; i < 200; ++i) decoder.add(adversary.recode(rng));
+  EXPECT_EQ(decoder.rank(), 3u);
+  EXPECT_FALSE(decoder.is_complete());
+}
+
+TEST(FailureInjection, BitflipInWireHeaderIsRejectedNotDecoded) {
+  Rng rng(6);
+  const Params params{.n = 4, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  auto bytes = serialize(0, Encoder(segment).encode(rng));
+  // Flip every header byte one at a time; parse must reject or, for the
+  // generation-id field (bytes 4..7, not integrity-relevant), still parse.
+  for (std::size_t i = 0; i < kWireHeaderBytes; ++i) {
+    auto copy = bytes;
+    copy[i] ^= 0x10;
+    const auto result = parse(copy);
+    if (i >= 4 && i < 8) {
+      EXPECT_TRUE(result.ok()) << i;  // generation id changed only
+    } else {
+      EXPECT_FALSE(result.ok()) << "header byte " << i;
+    }
+  }
+}
+
+TEST(FailureInjection, BlockDecoderCollectsOnlyIndependentRows) {
+  // Even when an adversary interleaves duplicates and stale blocks, the
+  // two-stage decoder's stored set stays independent, so decode() cannot
+  // hit a singular matrix.
+  Rng rng(7);
+  const Params params{.n = 8, .k = 16};
+  const Segment segment = Segment::random(params, rng);
+  const Encoder encoder(segment);
+  BlockDecoder decoder(params);
+  std::vector<CodedBlock> history;
+  while (!decoder.is_ready()) {
+    if (!history.empty() && rng.next_double() < 0.5) {
+      decoder.add(history[rng.next_below(history.size())]);  // replay
+    } else {
+      CodedBlock block = encoder.encode(rng);
+      decoder.add(block);
+      history.push_back(std::move(block));
+    }
+  }
+  EXPECT_EQ(decoder.decode(), segment);
+}
+
+TEST(FailureInjection, MismatchedParamsBlocksAreFatalByContract) {
+  // In-process APIs treat shape mismatches as programming errors (aborts);
+  // only the wire layer tolerates them. Both behaviours verified.
+  Rng rng(8);
+  const Params a{.n = 4, .k = 16};
+  const Params b{.n = 8, .k = 16};
+  const Segment segment = Segment::random(b, rng);
+  const CodedBlock wrong = Encoder(segment).encode(rng);
+  ProgressiveDecoder decoder(a);
+  EXPECT_DEATH(decoder.add(wrong), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::coding

@@ -1,0 +1,63 @@
+#include "net/butterfly.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+constexpr coding::Params kParams{.n = 24, .k = 32};
+
+TEST(Butterfly, CodedDeliveryDecodesAtBothSinks) {
+  const ButterflyResult result = run_butterfly_coded(kParams, 1);
+  EXPECT_TRUE(result.decoded_correctly);
+}
+
+TEST(Butterfly, RoutedDeliveryDecodesAtBothSinks) {
+  const ButterflyResult result = run_butterfly_routed(kParams, 1);
+  EXPECT_TRUE(result.decoded_correctly);
+}
+
+TEST(Butterfly, CodingAchievesRateNearTwo) {
+  // Multicast capacity of the butterfly is 2 blocks/round per sink.
+  const ButterflyResult result = run_butterfly_coded(kParams, 2);
+  EXPECT_GT(result.blocks_per_round(kParams), 1.8);
+  EXPECT_LE(result.blocks_per_round(kParams), 2.0);
+}
+
+TEST(Butterfly, RoutingCapsAtRateOnePointFive) {
+  const ButterflyResult result = run_butterfly_routed(kParams, 2);
+  EXPECT_GT(result.blocks_per_round(kParams), 1.3);
+  EXPECT_LE(result.blocks_per_round(kParams), 1.55);
+}
+
+TEST(Butterfly, CodingBeatsOptimalRouting) {
+  // The canonical 2 vs 1.5 gap (Ahlswede et al.).
+  const ButterflyResult coded = run_butterfly_coded(kParams, 3);
+  const ButterflyResult routed = run_butterfly_routed(kParams, 3);
+  EXPECT_LT(coded.rounds, routed.rounds);
+  const double speedup = static_cast<double>(routed.rounds) /
+                         static_cast<double>(coded.rounds);
+  EXPECT_NEAR(speedup, 2.0 / 1.5, 0.2);
+}
+
+TEST(Butterfly, CodedRedundancyIsLow) {
+  // Random combinations are almost never dependent until the very end.
+  const ButterflyResult result = run_butterfly_coded(kParams, 4);
+  EXPECT_LE(result.redundant_blocks, kParams.n / 2);
+}
+
+class ButterflySeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ButterflySeedSweep, CodedAlwaysDecodesWithinCapacityBound) {
+  const ButterflyResult result = run_butterfly_coded(kParams, GetParam());
+  EXPECT_TRUE(result.decoded_correctly);
+  // n blocks at 2/round: optimum is n/2 rounds; random coding wastes at
+  // most a few combinations.
+  EXPECT_LE(result.rounds, kParams.n / 2 + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ButterflySeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace extnc::net

@@ -1,0 +1,72 @@
+#include "net/event_sim.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+TEST(EventSim, RunsEventsInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(EventSim, EqualTimesFireInSchedulingOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSim, CallbacksCanScheduleMoreEvents) {
+  EventSim sim;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(EventSim, RunUntilStopsAtDeadline) {
+  EventSim sim;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    sim.schedule_in(1.0, tick);  // endless
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run_until(10.5);
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.5);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(EventSim, StepReturnsFalseWhenEmpty) {
+  EventSim sim;
+  EXPECT_FALSE(sim.step());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(EventSimDeathTest, SchedulingInThePastAborts) {
+  EventSim sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_all();
+  EXPECT_DEATH(sim.schedule_at(1.0, [] {}), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::net

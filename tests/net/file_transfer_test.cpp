@@ -1,0 +1,137 @@
+#include "net/file_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace extnc::net {
+namespace {
+
+std::vector<std::uint8_t> random_content(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> content(size);
+  for (auto& b : content) b = rng.next_byte();
+  return content;
+}
+
+TEST(FileTransfer, LosslessRoundTrip) {
+  const auto content = random_content(5000, 1);
+  FileEncodeOptions options;
+  options.params = {.n = 8, .k = 64};
+  const auto container = encode_file(content, options);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.content, content);
+  EXPECT_EQ(result.packets_rejected, 0u);
+}
+
+TEST(FileTransfer, EmptyFileRoundTrip) {
+  FileEncodeOptions options;
+  options.params = {.n = 2, .k = 8};
+  const auto container = encode_file({}, options);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.content.empty());
+}
+
+TEST(FileTransfer, ExactGenerationBoundary) {
+  FileEncodeOptions options;
+  options.params = {.n = 4, .k = 16};
+  const auto content = random_content(options.params.segment_bytes() * 3, 2);
+  const auto container = encode_file(content, options);
+  const auto info = describe_file(container);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->generations, 3u);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.content, content);
+}
+
+TEST(FileTransfer, RedundancyAbsorbsLoss) {
+  const auto content = random_content(4000, 3);
+  FileEncodeOptions options;
+  options.params = {.n = 8, .k = 64};
+  options.redundancy = 0.8;
+  options.loss = 0.3;
+  options.seed = 7;
+  const auto container = encode_file(content, options);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.content, content);
+}
+
+TEST(FileTransfer, HeavyLossWithoutRedundancyFailsGracefully) {
+  const auto content = random_content(4000, 4);
+  FileEncodeOptions options;
+  options.params = {.n = 8, .k = 64};
+  options.loss = 0.5;  // no redundancy: some generation will fall short
+  options.seed = 9;
+  const auto container = encode_file(content, options);
+  const FileDecodeResult result = decode_file(container);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("insufficient"), std::string::npos);
+}
+
+TEST(FileTransfer, SystematicWithoutLossUsesMinimumPackets) {
+  const auto content = random_content(2048, 5);
+  FileEncodeOptions options;
+  options.params = {.n = 8, .k = 64};
+  options.systematic = true;
+  const auto container = encode_file(content, options);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.packets_dependent, 0u);
+}
+
+TEST(FileTransfer, DescribeRejectsGarbage) {
+  EXPECT_FALSE(describe_file(random_content(100, 6)).has_value());
+  EXPECT_FALSE(describe_file(random_content(10, 7)).has_value());
+  EXPECT_FALSE(describe_file({}).has_value());
+}
+
+TEST(FileTransfer, DecodeRejectsTruncatedContainer) {
+  const auto content = random_content(1000, 8);
+  FileEncodeOptions options;
+  options.params = {.n = 4, .k = 32};
+  auto container = encode_file(content, options);
+  container.resize(container.size() - 10);
+  const FileDecodeResult result = decode_file(container);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "container truncated");
+}
+
+TEST(FileTransfer, CorruptedPacketIsCountedNotFatal) {
+  const auto content = random_content(1000, 9);
+  FileEncodeOptions options;
+  options.params = {.n = 4, .k = 32};
+  options.redundancy = 0.5;  // spares cover the corrupted one
+  auto container = encode_file(content, options);
+  container[40] ^= 0xff;  // smash the first packet's magic
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.content, content);
+  EXPECT_GE(result.packets_rejected, 1u);
+}
+
+TEST(FileTransfer, InfoMatchesOptions) {
+  const auto content = random_content(10000, 10);
+  FileEncodeOptions options;
+  options.params = {.n = 16, .k = 128};
+  options.redundancy = 0.25;
+  const auto container = encode_file(content, options);
+  const auto info = describe_file(container);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->params, options.params);
+  EXPECT_EQ(info->content_bytes, content.size());
+  EXPECT_EQ(info->generations, 5u);  // ceil(10000 / 2048)
+  EXPECT_EQ(info->packets, info->generations * 20u);  // n * 1.25
+}
+
+TEST(FileTransferDeathTest, InvalidLossAborts) {
+  FileEncodeOptions options;
+  options.loss = 1.0;
+  EXPECT_DEATH((void)encode_file({}, options), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::net

@@ -1,0 +1,104 @@
+#include "net/line_network.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+LineNetworkConfig base_config() {
+  LineNetworkConfig config;
+  config.params = {.n = 16, .k = 32};
+  config.hops = 3;
+  config.loss_probability = 0.2;
+  config.seed = 5;
+  return config;
+}
+
+TEST(LineNetwork, LossFreeChainDeliversAtUnitRate) {
+  LineNetworkConfig config = base_config();
+  config.loss_probability = 0.0;
+  const LineNetworkResult result = run_line_network(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.decoded_correctly);
+  // n blocks through h hops of pipeline: n + (h - 1) rounds plus at most a
+  // couple of dependent combinations.
+  EXPECT_LE(result.rounds, config.params.n + config.hops + 3);
+}
+
+TEST(LineNetwork, RecodingSustainsMinCutRateUnderLoss) {
+  const LineNetworkResult result = run_line_network(base_config());
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.decoded_correctly);
+  // Min-cut rate is (1 - eps) = 0.8 blocks/round, independent of hops.
+  EXPECT_GT(result.goodput(base_config().params), 0.55);
+}
+
+TEST(LineNetwork, ForwardingCollapsesWithHopCount) {
+  LineNetworkConfig config = base_config();
+  config.recode_at_relays = false;
+  const LineNetworkResult result = run_line_network(config);
+  ASSERT_TRUE(result.completed);
+  // End-to-end survival (1 - eps)^3 = 0.512: visibly below the coded rate.
+  EXPECT_LT(result.goodput(config.params), 0.55);
+}
+
+TEST(LineNetwork, CodingGainGrowsWithHops) {
+  double previous_gain = 0;
+  for (std::size_t hops : {2u, 4u, 6u}) {
+    LineNetworkConfig coded = base_config();
+    coded.hops = hops;
+    coded.max_rounds = 1000000;
+    LineNetworkConfig forwarded = coded;
+    forwarded.recode_at_relays = false;
+    const auto coded_result = run_line_network(coded);
+    const auto forwarded_result = run_line_network(forwarded);
+    ASSERT_TRUE(coded_result.completed) << hops;
+    ASSERT_TRUE(forwarded_result.completed) << hops;
+    const double gain = static_cast<double>(forwarded_result.rounds) /
+                        static_cast<double>(coded_result.rounds);
+    EXPECT_GT(gain, previous_gain * 0.85) << hops;  // grows (noisy)
+    previous_gain = gain;
+  }
+  // At 6 hops and 20% loss, theory predicts ~(1/0.8)^5 ~= 3x; accept wide
+  // tolerance for a finite generation.
+  EXPECT_GT(previous_gain, 1.6);
+}
+
+TEST(LineNetwork, SingleHopModesAreEquivalent) {
+  // With no relays there is nothing to recode; both modes are just the
+  // source retrying until n independent blocks survive.
+  LineNetworkConfig config = base_config();
+  config.hops = 1;
+  const auto coded = run_line_network(config);
+  config.recode_at_relays = false;
+  const auto forwarded = run_line_network(config);
+  ASSERT_TRUE(coded.completed);
+  ASSERT_TRUE(forwarded.completed);
+  EXPECT_EQ(coded.rounds, forwarded.rounds);  // same RNG trajectory
+}
+
+TEST(LineNetwork, HeavyLossStillCompletesWithRecoding) {
+  LineNetworkConfig config = base_config();
+  config.loss_probability = 0.5;
+  config.max_rounds = 1000000;
+  const LineNetworkResult result = run_line_network(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.decoded_correctly);
+}
+
+TEST(LineNetwork, RoundLimitReportsIncomplete) {
+  LineNetworkConfig config = base_config();
+  config.max_rounds = 3;  // cannot finish
+  const LineNetworkResult result = run_line_network(config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.decoded_correctly);
+}
+
+TEST(LineNetworkDeathTest, ZeroHopsAborts) {
+  LineNetworkConfig config = base_config();
+  config.hops = 0;
+  EXPECT_DEATH((void)run_line_network(config), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::net

@@ -1,0 +1,93 @@
+#include "net/live_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+LiveStreamConfig base_config() {
+  LiveStreamConfig config;
+  config.params = {.n = 8, .k = 32};
+  config.viewers = 6;
+  config.stream_segments = 4;
+  config.segment_duration_s = 1.0;
+  // Capacity for 25 viewers (200 blocks/s, 8 needed per viewer-second).
+  config.server_blocks_per_second = 200.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(LiveStream, UnderloadedServerStreamsSmoothly) {
+  const LiveStreamResult result = run_live_stream(base_config());
+  EXPECT_EQ(result.rebuffer_events, 0u);
+  EXPECT_EQ(result.smooth_viewers, 6u);
+  EXPECT_TRUE(result.all_content_decoded_correctly);
+}
+
+TEST(LiveStream, EveryViewerPlaysWholeStream) {
+  LiveStreamConfig config = base_config();
+  const LiveStreamResult result = run_live_stream(config);
+  EXPECT_EQ(result.segments_played,
+            config.viewers * config.stream_segments);
+}
+
+TEST(LiveStream, CapacityFormulaMatchesConfig) {
+  EXPECT_EQ(stall_free_capacity(base_config()), 25u);
+}
+
+TEST(LiveStream, OverloadedServerCausesStalls) {
+  LiveStreamConfig config = base_config();
+  config.viewers = 60;  // far beyond the 25-viewer capacity
+  const LiveStreamResult result = run_live_stream(config);
+  EXPECT_GT(result.rebuffer_events, 0u);
+  EXPECT_LT(result.smooth_viewers, config.viewers);
+}
+
+TEST(LiveStream, StallsGrowWithViewerCount) {
+  LiveStreamConfig config = base_config();
+  config.viewers = 30;
+  const std::size_t stalls_30 = run_live_stream(config).rebuffer_events;
+  config.viewers = 80;
+  const std::size_t stalls_80 = run_live_stream(config).rebuffer_events;
+  EXPECT_GT(stalls_80, stalls_30);
+}
+
+TEST(LiveStream, ModerateLossAbsorbedByHeadroom) {
+  LiveStreamConfig config = base_config();
+  config.viewers = 5;
+  config.loss_probability = 0.2;  // capacity 25 >> 5 viewers
+  const LiveStreamResult result = run_live_stream(config);
+  EXPECT_EQ(result.rebuffer_events, 0u);
+  EXPECT_TRUE(result.all_content_decoded_correctly);
+}
+
+TEST(LiveStream, LossAtFullLoadCausesStalls) {
+  LiveStreamConfig config = base_config();
+  config.viewers = 25;  // exactly at capacity
+  config.loss_probability = 0.3;
+  const LiveStreamResult result = run_live_stream(config);
+  EXPECT_GT(result.rebuffer_events, 0u);
+}
+
+TEST(LiveStream, DeterministicForSeed) {
+  const LiveStreamResult a = run_live_stream(base_config());
+  const LiveStreamResult b = run_live_stream(base_config());
+  EXPECT_EQ(a.blocks_sent, b.blocks_sent);
+  EXPECT_EQ(a.rebuffer_events, b.rebuffer_events);
+}
+
+TEST(LiveStream, ServerStopsSendingAfterBroadcast) {
+  LiveStreamConfig config = base_config();
+  config.viewers = 1;
+  const LiveStreamResult result = run_live_stream(config);
+  // One viewer, 4 segments, 8 blocks each: exactly 32 innovative blocks
+  // needed; dependent extras are possible but bounded by the send loop
+  // stopping once the viewer completes each segment.
+  EXPECT_GE(result.blocks_sent,
+            config.stream_segments * config.params.n);
+  EXPECT_LT(result.blocks_sent,
+            config.stream_segments * config.params.n + 8);
+}
+
+}  // namespace
+}  // namespace extnc::net

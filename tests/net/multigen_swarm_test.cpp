@@ -1,0 +1,106 @@
+#include "net/multigen_swarm.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+MultiGenSwarmConfig base_config() {
+  MultiGenSwarmConfig config;
+  config.params = {.n = 6, .k = 16};
+  config.generations = 3;
+  config.peers = 8;
+  config.neighbors = 3;
+  config.seed_blocks_per_second = 12.0;
+  config.peer_blocks_per_second = 6.0;
+  config.rng_seed = 21;
+  config.max_seconds = 10000.0;
+  return config;
+}
+
+class SwarmSchedules : public ::testing::TestWithParam<GenerationSchedule> {};
+
+TEST_P(SwarmSchedules, DistributesWholeFileCorrectly) {
+  MultiGenSwarmConfig config = base_config();
+  config.schedule = GetParam();
+  const MultiGenSwarmResult result = run_multigen_swarm(config);
+  EXPECT_TRUE(result.all_completed) << schedule_name(GetParam());
+  EXPECT_TRUE(result.content_verified);
+  EXPECT_EQ(result.packets_rejected, 0u);
+}
+
+TEST_P(SwarmSchedules, SurvivesLoss) {
+  MultiGenSwarmConfig config = base_config();
+  config.schedule = GetParam();
+  config.loss_probability = 0.25;
+  const MultiGenSwarmResult result = run_multigen_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.content_verified);
+  EXPECT_GT(result.packets_lost, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, SwarmSchedules,
+                         ::testing::Values(GenerationSchedule::kRandom,
+                                           GenerationSchedule::kSequential,
+                                           GenerationSchedule::kRarestFirst),
+                         [](const auto& info) {
+                           std::string name = schedule_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(MultiGenSwarm, SequentialFinishesEarlyGenerationsFirst) {
+  MultiGenSwarmConfig config = base_config();
+  config.generations = 4;
+  config.schedule = GenerationSchedule::kSequential;
+  const MultiGenSwarmResult result = run_multigen_swarm(config);
+  ASSERT_TRUE(result.all_completed);
+  // Half-completion times must be (weakly) increasing by generation index.
+  for (std::size_t g = 1; g < config.generations; ++g) {
+    EXPECT_LE(result.generation_half_completion[g - 1],
+              result.generation_half_completion[g] + 1e-9)
+        << g;
+  }
+}
+
+TEST(MultiGenSwarm, SequentialDeliversFirstGenerationSoonerThanRandom) {
+  MultiGenSwarmConfig config = base_config();
+  config.generations = 4;
+  config.schedule = GenerationSchedule::kSequential;
+  const auto sequential = run_multigen_swarm(config);
+  config.schedule = GenerationSchedule::kRandom;
+  const auto random = run_multigen_swarm(config);
+  ASSERT_TRUE(sequential.all_completed);
+  ASSERT_TRUE(random.all_completed);
+  EXPECT_LE(sequential.generation_half_completion[0],
+            random.generation_half_completion[0] * 1.2);
+}
+
+TEST(MultiGenSwarm, DeterministicForSeed) {
+  const auto a = run_multigen_swarm(base_config());
+  const auto b = run_multigen_swarm(base_config());
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.completion_seconds, b.completion_seconds);
+}
+
+TEST(MultiGenSwarm, SingleGenerationSinglePeer) {
+  MultiGenSwarmConfig config = base_config();
+  config.generations = 1;
+  config.peers = 1;
+  config.neighbors = 0;
+  const auto result = run_multigen_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.content_verified);
+}
+
+TEST(MultiGenSwarm, TimeLimitReportsIncomplete) {
+  MultiGenSwarmConfig config = base_config();
+  config.max_seconds = 0.2;
+  const auto result = run_multigen_swarm(config);
+  EXPECT_FALSE(result.all_completed);
+}
+
+}  // namespace
+}  // namespace extnc::net

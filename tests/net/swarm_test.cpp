@@ -1,0 +1,121 @@
+#include "net/swarm.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::net {
+namespace {
+
+SwarmConfig small_config() {
+  SwarmConfig config;
+  config.params = {.n = 8, .k = 32};
+  config.peers = 8;
+  config.neighbors = 3;
+  config.server_blocks_per_second = 8.0;
+  config.peer_blocks_per_second = 4.0;
+  config.seed = 42;
+  config.max_seconds = 2000.0;
+  return config;
+}
+
+TEST(Swarm, AllPeersCompleteAndDecodeCorrectly) {
+  const SwarmResult result = run_swarm(small_config());
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.all_decoded_correctly);
+  EXPECT_GT(result.completion_seconds, 0.0);
+}
+
+TEST(Swarm, RecodingKeepsOverheadLow) {
+  // With true network coding, nearly every delivered block is innovative
+  // until a peer completes (Avalanche's "little overhead" observation).
+  const SwarmResult result = run_swarm(small_config());
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_LT(result.dependent_overhead(), 0.15);
+}
+
+TEST(Swarm, ForwardingHasMoreOverheadThanRecoding) {
+  SwarmConfig coded = small_config();
+  SwarmConfig forwarded = small_config();
+  forwarded.use_recoding = false;
+  const SwarmResult with_coding = run_swarm(coded);
+  const SwarmResult without = run_swarm(forwarded);
+  ASSERT_TRUE(with_coding.all_completed);
+  // Verbatim forwarding delivers duplicates; recoded traffic is almost
+  // always innovative.
+  EXPECT_GT(without.dependent_overhead(), with_coding.dependent_overhead());
+}
+
+TEST(Swarm, RecodingCompletesNoLaterThanForwarding) {
+  SwarmConfig coded = small_config();
+  SwarmConfig forwarded = small_config();
+  forwarded.use_recoding = false;
+  const SwarmResult with_coding = run_swarm(coded);
+  const SwarmResult without = run_swarm(forwarded);
+  ASSERT_TRUE(with_coding.all_completed);
+  if (without.all_completed) {
+    EXPECT_LE(with_coding.completion_seconds,
+              without.completion_seconds * 1.25);
+  }
+}
+
+TEST(Swarm, SurvivesPacketLoss) {
+  SwarmConfig config = small_config();
+  config.loss_probability = 0.2;
+  config.max_seconds = 5000.0;
+  const SwarmResult result = run_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.all_decoded_correctly);
+  EXPECT_GT(result.blocks_lost, 0u);
+}
+
+TEST(Swarm, LossDelaysCompletion) {
+  SwarmConfig clean = small_config();
+  SwarmConfig lossy = small_config();
+  lossy.loss_probability = 0.3;
+  lossy.max_seconds = 5000.0;
+  const SwarmResult a = run_swarm(clean);
+  const SwarmResult b = run_swarm(lossy);
+  ASSERT_TRUE(a.all_completed);
+  ASSERT_TRUE(b.all_completed);
+  EXPECT_GT(b.completion_seconds, a.completion_seconds);
+}
+
+TEST(Swarm, DeterministicForSameSeed) {
+  const SwarmResult a = run_swarm(small_config());
+  const SwarmResult b = run_swarm(small_config());
+  EXPECT_EQ(a.completion_seconds, b.completion_seconds);
+  EXPECT_EQ(a.blocks_sent, b.blocks_sent);
+  EXPECT_EQ(a.blocks_dependent, b.blocks_dependent);
+}
+
+TEST(Swarm, SinglePeerServedDirectly) {
+  SwarmConfig config = small_config();
+  config.peers = 1;
+  config.neighbors = 0;
+  const SwarmResult result = run_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.all_decoded_correctly);
+}
+
+TEST(Swarm, TimeLimitReportsIncomplete) {
+  SwarmConfig config = small_config();
+  config.max_seconds = 0.5;  // far too short
+  const SwarmResult result = run_swarm(config);
+  EXPECT_FALSE(result.all_completed);
+}
+
+class SwarmScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SwarmScaleSweep, CompletesAtVariousSwarmSizes) {
+  SwarmConfig config = small_config();
+  config.peers = GetParam();
+  config.max_seconds = 5000.0;
+  const SwarmResult result = run_swarm(config);
+  EXPECT_TRUE(result.all_completed) << GetParam();
+  EXPECT_TRUE(result.all_decoded_correctly);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SwarmScaleSweep,
+                         ::testing::Values(2u, 4u, 12u, 24u));
+
+}  // namespace
+}  // namespace extnc::net

@@ -1,0 +1,124 @@
+// Edge cases of the memory-system accounting: misaligned accesses,
+// byte-granular shared banking, skip_access alignment, texture-cache
+// conflict eviction.
+#include <gtest/gtest.h>
+
+#include "simgpu/executor.h"
+
+namespace extnc::simgpu {
+namespace {
+
+TEST(ExecutorEdge, MisalignedWordSpansTwoSegments) {
+  // A 4-byte load straddling a 64-byte boundary costs two transactions.
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint8_t data[128] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 1}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.gload_u32(data + 62); });
+  });
+  EXPECT_EQ(launcher.metrics().global_transactions, 2u);
+}
+
+TEST(ExecutorEdge, ByteAccessesInSameWordBroadcast) {
+  // 4 lanes reading 4 different bytes of ONE 32-bit shared word: a single
+  // broadcast-eligible word, one cycle.
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 4}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.sload_u8(100 + t.lane() % 4); });
+  });
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 1u);
+}
+
+TEST(ExecutorEdge, ByteAccessesInSameBankDifferentWordsConflict) {
+  // Lanes 0..3 read bytes at offsets 0 and 64 alternating: bank 0, two
+  // distinct words -> 2-way conflict.
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 4}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      (void)t.sload_u8((t.lane() % 2) * 64);
+    });
+  });
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 2u);
+}
+
+TEST(ExecutorEdge, SkipAccessKeepsLanesGrouped) {
+  // Half the lanes skip one access; the following loads must still group
+  // into a single coalesced transaction per step.
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint32_t table[64] = {};
+  alignas(64) static std::uint32_t stream[16] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      if (t.lane() % 2 == 0) {
+        (void)t.gload_u32(&table[t.lane()]);
+      } else {
+        t.skip_access();
+      }
+      (void)t.gload_u32(&stream[t.lane()]);  // all lanes, consecutive
+    });
+  });
+  // Access 1: 8 even lanes over 64 words -> <= 2 segments. Access 2: one
+  // segment. Without skip_access the groups would interleave and blow up.
+  EXPECT_LE(launcher.metrics().global_transactions, 3u);
+}
+
+TEST(ExecutorEdge, TextureCacheConflictEviction) {
+  // Two addresses mapping to the same direct-mapped line evict each other:
+  // every access misses.
+  const auto& spec = gtx280();
+  Launcher launcher(spec);
+  const std::size_t stride = spec.texture_cache_bytes;  // same set
+  static std::vector<std::uint8_t> arena(3 * 8192 + 64);
+  launcher.launch({.blocks = 1, .threads_per_block = 1}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      for (int rep = 0; rep < 8; ++rep) {
+        (void)t.tex1d_u8(arena.data(), 0);
+        (void)t.tex1d_u8(arena.data(), stride);
+      }
+    });
+  });
+  EXPECT_EQ(launcher.metrics().texture_misses, 16u);
+}
+
+TEST(ExecutorEdge, TextureCachePersistsAcrossLaunches) {
+  Launcher launcher(gtx280());
+  static std::uint8_t table[64] = {};
+  auto kernel = [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.tex1d_u8(table, 0); });
+  };
+  launcher.launch({.blocks = 1, .threads_per_block = 1}, kernel);
+  const auto first_misses = launcher.metrics().texture_misses;
+  launcher.launch({.blocks = 1, .threads_per_block = 1}, kernel);
+  EXPECT_EQ(launcher.metrics().texture_misses, first_misses);  // warm hit
+  launcher.invalidate_texture_cache();
+  launcher.launch({.blocks = 1, .threads_per_block = 1}, kernel);
+  EXPECT_EQ(launcher.metrics().texture_misses, first_misses + 1);
+}
+
+TEST(ExecutorEdge, SeparateStepsDoNotCoalesceTogether) {
+  // The same scattered addresses in two separate steps cost twice the
+  // transactions — steps are distinct issue points.
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint32_t data[16] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.gload_u32(&data[t.lane()]); });
+    block.step([&](ThreadCtx& t) { (void)t.gload_u32(&data[t.lane()]); });
+  });
+  EXPECT_EQ(launcher.metrics().global_transactions, 2u);
+}
+
+TEST(ExecutorEdge, StoreAndLoadCountSeparately) {
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint32_t data[16] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      const std::uint32_t v = t.gload_u32(&data[t.lane()]);
+      t.gstore_u32(&data[t.lane()], v + 1);
+    });
+  });
+  EXPECT_EQ(launcher.metrics().global_load_bytes, 64u);
+  EXPECT_EQ(launcher.metrics().global_store_bytes, 64u);
+  EXPECT_EQ(launcher.metrics().global_transactions, 2u);
+}
+
+}  // namespace
+}  // namespace extnc::simgpu

@@ -1,0 +1,226 @@
+#include "simgpu/executor.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace extnc::simgpu {
+namespace {
+
+TEST(Executor, RunsEveryThreadOfEveryBlock) {
+  Launcher launcher(gtx280());
+  std::vector<int> hits(4 * 64, 0);
+  launcher.launch({.blocks = 4, .threads_per_block = 64}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { hits[t.global_index()] += 1; });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Executor, StepPartialRunsPrefixOnly) {
+  Launcher launcher(gtx280());
+  std::vector<int> hits(64, 0);
+  launcher.launch({.blocks = 1, .threads_per_block = 64}, [&](BlockCtx& block) {
+    block.step_partial(10, [&](ThreadCtx& t) { hits[t.lane()] += 1; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i < 10 ? 1 : 0);
+}
+
+TEST(Executor, StepsAreBarrierOrdered) {
+  // Thread 0 writes shared in step 1; every thread reads it in step 2.
+  Launcher launcher(gtx280());
+  std::vector<std::uint32_t> seen(32, 0);
+  launcher.launch({.blocks = 1, .threads_per_block = 32}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      if (t.lane() == 31) t.sstore_u32(0, 1234);
+    });
+    block.step([&](ThreadCtx& t) { seen[t.lane()] = t.sload_u32(0); });
+  });
+  for (std::uint32_t v : seen) EXPECT_EQ(v, 1234u);
+}
+
+TEST(Executor, SharedMemoryDoesNotPersistAcrossBlocks) {
+  Launcher launcher(gtx280());
+  std::vector<std::uint32_t> first_reads;
+  launcher.launch({.blocks = 3, .threads_per_block = 1}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      first_reads.push_back(t.sload_u32(8));
+      t.sstore_u32(8, 99);
+    });
+  });
+  for (std::uint32_t v : first_reads) EXPECT_EQ(v, 0u);  // zeroed each block
+}
+
+TEST(Executor, GlobalLoadsReturnMemoryContents) {
+  Launcher launcher(gtx280());
+  std::vector<std::uint32_t> data(64);
+  std::iota(data.begin(), data.end(), 100);
+  std::vector<std::uint32_t> out(64, 0);
+  launcher.launch({.blocks = 1, .threads_per_block = 64}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      t.gstore_u32(&out[t.lane()], t.gload_u32(&data[t.lane()]) + 1);
+    });
+  });
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], data[i] + 1);
+}
+
+TEST(Executor, CoalescedLoadsProduceFewTransactions) {
+  // 16 lanes x consecutive 4-byte words = one 64-byte segment.
+  Launcher launcher(gtx280());
+  alignas(64) std::uint32_t data[16] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.gload_u32(&data[t.lane()]); });
+  });
+  EXPECT_EQ(launcher.metrics().global_transactions, 1u);
+}
+
+TEST(Executor, BroadcastLoadIsOneTransaction) {
+  Launcher launcher(gtx280());
+  alignas(64) std::uint32_t value = 7;
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.gload_u32(&value); });
+  });
+  EXPECT_EQ(launcher.metrics().global_transactions, 1u);
+}
+
+TEST(Executor, StridedLoadsProduceManyTransactions) {
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint32_t data[16 * 64] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      (void)t.gload_u32(&data[t.lane() * 64]);  // 256-byte stride
+    });
+  });
+  EXPECT_EQ(launcher.metrics().global_transactions, 16u);
+}
+
+TEST(Executor, SharedConflictFreeAccessCostsOneCyclePerEvent) {
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      (void)t.sload_u32(t.lane() * 4);  // lane i -> bank i
+    });
+  });
+  EXPECT_EQ(launcher.metrics().shared_access_events, 1u);
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 1u);
+  EXPECT_DOUBLE_EQ(launcher.metrics().shared_conflict_degree(), 1.0);
+}
+
+TEST(Executor, SharedSameWordBroadcastsWithoutConflict) {
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.sload_u32(64); });
+  });
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 1u);
+}
+
+TEST(Executor, SharedSameBankDifferentWordsSerializes) {
+  // All 16 lanes hit bank 0 with different words: 16-way conflict.
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      (void)t.sload_u32(t.lane() * 16 * 4);  // stride of 16 words
+    });
+  });
+  EXPECT_EQ(launcher.metrics().shared_access_events, 1u);
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 16u);
+}
+
+TEST(Executor, TwoWayConflictCostsTwoCycles) {
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 16}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      // Lanes 0..7 -> banks 0..7 words 0..7; lanes 8..15 -> banks 0..7,
+      // words 16..23: each bank serves two distinct words.
+      const std::size_t word = (t.lane() % 8) + (t.lane() / 8) * 16;
+      (void)t.sload_u32(word * 4);
+    });
+  });
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 2u);
+}
+
+TEST(Executor, HalfWarpsAreIndependentForConflicts) {
+  // 32 lanes; within each half-warp all banks distinct: conflict-free,
+  // 2 events total.
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 32}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.sload_u32((t.lane() % 16) * 4); });
+  });
+  EXPECT_EQ(launcher.metrics().shared_access_events, 2u);
+  EXPECT_EQ(launcher.metrics().shared_serialized_cycles, 2u);
+}
+
+TEST(Executor, TextureCacheHitsAfterFirstTouch) {
+  Launcher launcher(gtx280());
+  alignas(64) static std::uint32_t table[256] = {};
+  launcher.launch({.blocks = 1, .threads_per_block = 32}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) { (void)t.tex1d_u32(table, t.lane() % 8); });
+    block.step([&](ThreadCtx& t) { (void)t.tex1d_u32(table, t.lane() % 8); });
+  });
+  const auto& m = launcher.metrics();
+  EXPECT_EQ(m.texture_fetches, 64u);
+  EXPECT_LE(m.texture_misses, 2u);  // 8 words span at most 2 lines
+  EXPECT_GT(m.texture_hit_rate(), 0.9);
+}
+
+TEST(Executor, AtomicMinComputesMinimum) {
+  Launcher launcher(gtx280());
+  std::uint32_t result = 0;
+  launcher.launch({.blocks = 1, .threads_per_block = 32}, [&](BlockCtx& block) {
+    block.step([&](ThreadCtx& t) {
+      if (t.lane() == 0) t.sstore_u32(0, 0xffffffffu);
+    });
+    block.step([&](ThreadCtx& t) {
+      t.atomic_min_shared(0, static_cast<std::uint32_t>(100 - t.lane()));
+    });
+    block.step([&](ThreadCtx& t) {
+      if (t.lane() == 0) result = t.sload_u32(0);
+    });
+  });
+  EXPECT_EQ(result, 69u);  // min(100-31 .. 100-0)
+  EXPECT_EQ(launcher.metrics().atomic_ops, 32u);
+}
+
+TEST(ExecutorDeathTest, AtomicMinNeedsHardwareSupport) {
+  Launcher launcher(geforce_8800gt());
+  EXPECT_DEATH(
+      launcher.launch({.blocks = 1, .threads_per_block = 1},
+                      [&](BlockCtx& block) {
+                        block.step([&](ThreadCtx& t) {
+                          t.atomic_min_shared(0, 1);
+                        });
+                      }),
+      "EXTNC_CHECK");
+}
+
+TEST(ExecutorDeathTest, TooManyThreadsPerBlockAborts) {
+  Launcher launcher(gtx280());
+  EXPECT_DEATH(
+      launcher.launch({.blocks = 1, .threads_per_block = 513},
+                      [](BlockCtx&) {}),
+      "EXTNC_CHECK");
+}
+
+TEST(Executor, BarrierAndLaunchCountsAccumulate) {
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 2, .threads_per_block = 8}, [](BlockCtx& block) {
+    block.step([](ThreadCtx&) {});
+    block.step([](ThreadCtx&) {});
+  });
+  launcher.launch({.blocks = 1, .threads_per_block = 8}, [](BlockCtx& block) {
+    block.step([](ThreadCtx&) {});
+  });
+  EXPECT_EQ(launcher.metrics().kernel_launches, 2u);
+  EXPECT_EQ(launcher.metrics().barriers, 5u);  // 2 blocks x 2 + 1
+}
+
+TEST(Executor, CountAluAccumulates) {
+  Launcher launcher(gtx280());
+  launcher.launch({.blocks = 1, .threads_per_block = 10}, [](BlockCtx& block) {
+    block.step([](ThreadCtx& t) { t.count_alu(2.5); });
+  });
+  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops, 25.0);
+}
+
+}  // namespace
+}  // namespace extnc::simgpu

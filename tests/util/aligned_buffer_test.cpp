@@ -1,0 +1,88 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace extnc {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(AlignedBuffer, AllocatesZeroedAndAligned) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                AlignedBuffer::kAlignment,
+            0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer a(16);
+  a[3] = 42;
+  AlignedBuffer b(a);
+  EXPECT_EQ(b[3], 42);
+  b[3] = 7;
+  EXPECT_EQ(a[3], 42);
+}
+
+TEST(AlignedBuffer, CopyAssignReplacesContents) {
+  AlignedBuffer a(8);
+  a.fill(0xaa);
+  AlignedBuffer b(4);
+  b = a;
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[7], 0xaa);
+}
+
+TEST(AlignedBuffer, SelfAssignmentIsNoop) {
+  AlignedBuffer a(8);
+  a.fill(0x55);
+  a = *&a;
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[0], 0x55);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(32);
+  a[0] = 9;
+  const std::uint8_t* ptr = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 9);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, SubspanViewsUnderlyingBytes) {
+  AlignedBuffer a(10);
+  a[5] = 1;
+  auto view = a.subspan(4, 3);
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 1);
+  view[1] = 2;
+  EXPECT_EQ(a[5], 2);
+}
+
+TEST(AlignedBuffer, EqualityComparesContent) {
+  AlignedBuffer a(4);
+  AlignedBuffer b(4);
+  EXPECT_TRUE(a == b);
+  b[2] = 1;
+  EXPECT_FALSE(a == b);
+  AlignedBuffer c(5);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(AlignedBufferDeathTest, SubspanOutOfRangeAborts) {
+  AlignedBuffer a(4);
+  EXPECT_DEATH((void)a.subspan(2, 3), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc

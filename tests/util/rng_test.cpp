@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <array>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace extnc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NonzeroByteNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(rng.next_nonzero_byte(), 0);
+}
+
+TEST(Rng, NonzeroByteCoversRange) {
+  Rng rng(11);
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(rng.next_nonzero_byte());
+  EXPECT_EQ(seen.size(), 255u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ByteDistributionRoughlyUniform) {
+  Rng rng(3);
+  std::array<int, 256> counts{};
+  const int samples = 256 * 200;
+  for (int i = 0; i < samples; ++i) ++counts[rng.next_byte()];
+  for (int count : counts) {
+    EXPECT_GT(count, 100);
+    EXPECT_LT(count, 320);
+  }
+}
+
+}  // namespace
+}  // namespace extnc

@@ -1,0 +1,60 @@
+#include "util/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace extnc {
+namespace {
+
+std::string capture(const TablePrinter& table, bool csv) {
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  if (csv) {
+    table.print_csv(tmp);
+  } else {
+    table.print(tmp);
+  }
+  std::fseek(tmp, 0, SEEK_END);
+  const long size = std::ftell(tmp);
+  std::rewind(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), tmp), out.size());
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(TablePrinter, PrintsHeadersAndRows) {
+  TablePrinter t({"k", "MB/s"});
+  t.add_row({"1024", "133.0"});
+  const std::string out = capture(t, /*csv=*/false);
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("MB/s"), std::string::npos);
+  EXPECT_NE(out.find("133.0"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvUsesCommas) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string out = capture(t, /*csv=*/true);
+  EXPECT_EQ(out, "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+}
+
+TEST(TablePrinter, NumNanIsDash) {
+  EXPECT_EQ(TablePrinter::num(std::nan(""), 1), "-");
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowWidthAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc

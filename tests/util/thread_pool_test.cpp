@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace extnc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for_chunks(101, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(0, [&called](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForChunksMoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_chunks(3, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+}  // namespace
+}  // namespace extnc

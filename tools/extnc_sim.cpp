@@ -1,0 +1,157 @@
+// extnc_sim — run the networking simulations from the command line.
+//
+//   extnc_sim swarm  [--peers N] [--loss P] [--no-recoding] [--seed S]
+//   extnc_sim line   [--hops H] [--loss P] [--no-recoding] [--seed S]
+//   extnc_sim live   [--viewers N] [--rate BLOCKS_PER_S] [--loss P]
+//   extnc_sim multigen [--peers N] [--generations G] [--loss P]
+//                      [--schedule random|sequential|rarest] [--seed S]
+//
+// Each prints the same statistics the corresponding tests assert on.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/line_network.h"
+#include "net/live_stream.h"
+#include "net/multigen_swarm.h"
+#include "net/swarm.h"
+
+namespace {
+
+using namespace extnc;
+
+struct Args {
+  int argc;
+  char** argv;
+
+  double number(const char* flag, double fallback) const {
+    for (int i = 2; i < argc - 1; ++i) {
+      if (std::strcmp(argv[i], flag) == 0) return std::strtod(argv[i + 1], nullptr);
+    }
+    return fallback;
+  }
+  bool flag(const char* name) const {
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return true;
+    }
+    return false;
+  }
+  std::string text(const char* flag, const char* fallback) const {
+    for (int i = 2; i < argc - 1; ++i) {
+      if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+    }
+    return fallback;
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: extnc_sim swarm|line|live|multigen [options]\n"
+               "  common: --loss P --seed S\n"
+               "  swarm:  --peers N --no-recoding\n"
+               "  line:   --hops H --no-recoding\n"
+               "  live:   --viewers N --rate BLOCKS_PER_S\n"
+               "  multigen: --peers N --generations G "
+               "--schedule random|sequential|rarest\n");
+  return 2;
+}
+
+int cmd_swarm(const Args& args) {
+  net::SwarmConfig config;
+  config.params = {.n = 16, .k = 256};
+  config.peers = static_cast<std::size_t>(args.number("--peers", 16));
+  config.loss_probability = args.number("--loss", 0.0);
+  config.use_recoding = !args.flag("--no-recoding");
+  config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  const auto r = net::run_swarm(config);
+  std::printf("swarm: %zu peers, loss %.0f%%, %s\n", config.peers,
+              100 * config.loss_probability,
+              config.use_recoding ? "recoding" : "forwarding");
+  std::printf("  completed      : %s (%.1f s)\n",
+              r.all_completed ? "yes" : "NO", r.completion_seconds);
+  std::printf("  sent/lost      : %zu / %zu\n", r.blocks_sent, r.blocks_lost);
+  std::printf("  overhead       : %.1f%% dependent\n",
+              100 * r.dependent_overhead());
+  std::printf("  verified       : %s\n", r.all_decoded_correctly ? "yes" : "NO");
+  return r.all_completed ? 0 : 1;
+}
+
+int cmd_line(const Args& args) {
+  net::LineNetworkConfig config;
+  config.params = {.n = 32, .k = 64};
+  config.hops = static_cast<std::size_t>(args.number("--hops", 3));
+  config.loss_probability = args.number("--loss", 0.2);
+  config.recode_at_relays = !args.flag("--no-recoding");
+  config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  config.max_rounds = 1000000;
+  const auto r = net::run_line_network(config);
+  std::printf("line: %zu hops, loss %.0f%%, %s\n", config.hops,
+              100 * config.loss_probability,
+              config.recode_at_relays ? "recoding" : "forwarding");
+  std::printf("  completed      : %s in %zu rounds\n",
+              r.completed ? "yes" : "NO", r.rounds);
+  std::printf("  goodput        : %.2f blocks/round\n",
+              r.goodput(config.params));
+  std::printf("  verified       : %s\n", r.decoded_correctly ? "yes" : "NO");
+  return r.completed ? 0 : 1;
+}
+
+int cmd_live(const Args& args) {
+  net::LiveStreamConfig config;
+  config.viewers = static_cast<std::size_t>(args.number("--viewers", 10));
+  config.server_blocks_per_second = args.number("--rate", 200.0);
+  config.loss_probability = args.number("--loss", 0.0);
+  const auto r = net::run_live_stream(config);
+  std::printf("live: %zu viewers, %.0f blocks/s server "
+              "(stall-free capacity %zu)\n",
+              config.viewers, config.server_blocks_per_second,
+              net::stall_free_capacity(config));
+  std::printf("  rebuffer events: %zu\n", r.rebuffer_events);
+  std::printf("  smooth viewers : %zu / %zu\n", r.smooth_viewers,
+              config.viewers);
+  std::printf("  verified       : %s\n",
+              r.all_content_decoded_correctly ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_multigen(const Args& args) {
+  net::MultiGenSwarmConfig config;
+  config.peers = static_cast<std::size_t>(args.number("--peers", 8));
+  config.generations =
+      static_cast<std::size_t>(args.number("--generations", 4));
+  config.loss_probability = args.number("--loss", 0.0);
+  config.rng_seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  const std::string schedule = args.text("--schedule", "random");
+  if (schedule == "sequential") {
+    config.schedule = net::GenerationSchedule::kSequential;
+  } else if (schedule == "rarest") {
+    config.schedule = net::GenerationSchedule::kRarestFirst;
+  } else {
+    config.schedule = net::GenerationSchedule::kRandom;
+  }
+  const auto r = net::run_multigen_swarm(config);
+  std::printf("multigen: %zu peers, %zu generations, %s schedule\n",
+              config.peers, config.generations,
+              net::schedule_name(config.schedule));
+  std::printf("  completed      : %s (%.1f s)\n",
+              r.all_completed ? "yes" : "NO", r.completion_seconds);
+  std::printf("  packets        : %zu sent, %zu lost, %zu rejected\n",
+              r.packets_sent, r.packets_lost, r.packets_rejected);
+  std::printf("  gen half-done  :");
+  for (double t : r.generation_half_completion) std::printf(" %.1fs", t);
+  std::printf("\n  verified       : %s\n", r.content_verified ? "yes" : "NO");
+  return r.all_completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const Args args{argc, argv};
+  if (std::strcmp(argv[1], "swarm") == 0) return cmd_swarm(args);
+  if (std::strcmp(argv[1], "line") == 0) return cmd_line(args);
+  if (std::strcmp(argv[1], "live") == 0) return cmd_live(args);
+  if (std::strcmp(argv[1], "multigen") == 0) return cmd_multigen(args);
+  return usage();
+}

@@ -1,0 +1,56 @@
+# CTest script: end-to-end extnc_file round trip (encode with redundancy
+# and simulated loss, then decode and byte-compare).
+#
+# Invoked as:
+#   cmake -DTOOL=<path-to-extnc_file> -DWORK=<scratch-dir> -P roundtrip_test.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED WORK)
+  message(FATAL_ERROR "pass -DTOOL=... and -DWORK=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK}")
+set(input "${WORK}/input.bin")
+set(container "${WORK}/input.xnc")
+set(output "${WORK}/output.bin")
+
+# Deterministic ~37 KB test content.
+string(REPEAT "network coding round trip payload 0123456789abcdef" 768 blob)
+file(WRITE "${input}" "${blob}")
+
+execute_process(
+  COMMAND "${TOOL}" encode "${input}" "${container}"
+          --n 16 --k 512 --redundancy 1.0 --loss 0.25 --seed 3
+  RESULT_VARIABLE encode_result)
+if(NOT encode_result EQUAL 0)
+  message(FATAL_ERROR "encode failed: ${encode_result}")
+endif()
+
+execute_process(COMMAND "${TOOL}" info "${container}" RESULT_VARIABLE info_result)
+if(NOT info_result EQUAL 0)
+  message(FATAL_ERROR "info failed: ${info_result}")
+endif()
+
+execute_process(
+  COMMAND "${TOOL}" decode "${container}" "${output}"
+  RESULT_VARIABLE decode_result)
+if(NOT decode_result EQUAL 0)
+  message(FATAL_ERROR "decode failed: ${decode_result}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${input}" "${output}"
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  message(FATAL_ERROR "decoded file differs from input")
+endif()
+
+# Garbage input must be rejected with a nonzero exit, not a crash.
+file(WRITE "${WORK}/garbage.xnc" "this is not a coded container")
+execute_process(
+  COMMAND "${TOOL}" decode "${WORK}/garbage.xnc" "${WORK}/garbage.out"
+  RESULT_VARIABLE garbage_result)
+if(garbage_result EQUAL 0)
+  message(FATAL_ERROR "decode of garbage unexpectedly succeeded")
+endif()
+
+message(STATUS "extnc_file round trip OK")
