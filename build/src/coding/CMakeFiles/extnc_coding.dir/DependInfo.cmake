@@ -14,7 +14,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/coding/progressive_decoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o.d"
   "/root/repo/src/coding/recoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/recoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/recoder.cpp.o.d"
   "/root/repo/src/coding/segment.cpp" "src/coding/CMakeFiles/extnc_coding.dir/segment.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/segment.cpp.o.d"
+  "/root/repo/src/coding/segment_digest.cpp" "src/coding/CMakeFiles/extnc_coding.dir/segment_digest.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/segment_digest.cpp.o.d"
   "/root/repo/src/coding/systematic.cpp" "src/coding/CMakeFiles/extnc_coding.dir/systematic.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/systematic.cpp.o.d"
+  "/root/repo/src/coding/verifying_decoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o.d"
   "/root/repo/src/coding/wire.cpp" "src/coding/CMakeFiles/extnc_coding.dir/wire.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/wire.cpp.o.d"
   )
 

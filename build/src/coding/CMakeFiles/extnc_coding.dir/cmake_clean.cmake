@@ -11,8 +11,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/extnc_coding.dir/recoder.cpp.o.d"
   "CMakeFiles/extnc_coding.dir/segment.cpp.o"
   "CMakeFiles/extnc_coding.dir/segment.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/segment_digest.cpp.o"
+  "CMakeFiles/extnc_coding.dir/segment_digest.cpp.o.d"
   "CMakeFiles/extnc_coding.dir/systematic.cpp.o"
   "CMakeFiles/extnc_coding.dir/systematic.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o.d"
   "CMakeFiles/extnc_coding.dir/wire.cpp.o"
   "CMakeFiles/extnc_coding.dir/wire.cpp.o.d"
   "libextnc_coding.a"

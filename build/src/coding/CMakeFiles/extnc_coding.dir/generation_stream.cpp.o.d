@@ -206,5 +206,6 @@ src/coding/CMakeFiles/extnc_coding.dir/generation_stream.cpp.o: \
  /root/repo/src/coding/coefficients.h /root/repo/src/util/rng.h \
  /root/repo/src/coding/segment.h \
  /root/repo/src/coding/progressive_decoder.h \
+ /root/repo/src/coding/segment_digest.h \
  /root/repo/src/coding/systematic.h /root/repo/src/coding/wire.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

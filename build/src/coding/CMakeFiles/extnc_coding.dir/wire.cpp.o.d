@@ -130,4 +130,5 @@ src/coding/CMakeFiles/extnc_coding.dir/wire.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/coding/coded_block.h \
  /root/repo/src/coding/params.h /root/repo/src/util/assert.h \
  /root/repo/src/util/aligned_buffer.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/checksum.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/butterfly.cpp" "src/net/CMakeFiles/extnc_net.dir/butterfly.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/butterfly.cpp.o.d"
   "/root/repo/src/net/event_sim.cpp" "src/net/CMakeFiles/extnc_net.dir/event_sim.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/event_sim.cpp.o.d"
+  "/root/repo/src/net/faulty_channel.cpp" "src/net/CMakeFiles/extnc_net.dir/faulty_channel.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/faulty_channel.cpp.o.d"
   "/root/repo/src/net/file_transfer.cpp" "src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o.d"
   "/root/repo/src/net/line_network.cpp" "src/net/CMakeFiles/extnc_net.dir/line_network.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/line_network.cpp.o.d"
   "/root/repo/src/net/live_stream.cpp" "src/net/CMakeFiles/extnc_net.dir/live_stream.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/live_stream.cpp.o.d"

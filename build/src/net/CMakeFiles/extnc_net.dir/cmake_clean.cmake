@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/extnc_net.dir/butterfly.cpp.o.d"
   "CMakeFiles/extnc_net.dir/event_sim.cpp.o"
   "CMakeFiles/extnc_net.dir/event_sim.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/faulty_channel.cpp.o"
+  "CMakeFiles/extnc_net.dir/faulty_channel.cpp.o.d"
   "CMakeFiles/extnc_net.dir/file_transfer.cpp.o"
   "CMakeFiles/extnc_net.dir/file_transfer.cpp.o.d"
   "CMakeFiles/extnc_net.dir/line_network.cpp.o"

@@ -128,8 +128,10 @@ src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/coding/params.h \
- /root/repo/src/util/assert.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/assert.h /root/repo/src/coding/wire.h \
+ /root/repo/src/coding/coded_block.h /root/repo/src/util/aligned_buffer.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/coding/generation_stream.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -203,8 +205,8 @@ src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/coding/encoder.h /root/repo/src/coding/coded_block.h \
- /root/repo/src/util/aligned_buffer.h \
- /root/repo/src/coding/coefficients.h /root/repo/src/coding/segment.h \
+ /root/repo/src/coding/encoder.h /root/repo/src/coding/coefficients.h \
+ /root/repo/src/coding/segment.h \
  /root/repo/src/coding/progressive_decoder.h \
- /root/repo/src/coding/systematic.h /root/repo/src/coding/wire.h
+ /root/repo/src/coding/segment_digest.h \
+ /root/repo/src/coding/systematic.h

@@ -100,7 +100,13 @@ src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/net/faulty_channel.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -114,12 +120,11 @@ src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
@@ -132,9 +137,6 @@ src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o: \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -215,12 +217,12 @@ src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/coding/generation_stream.h /usr/include/c++/12/optional \
- /usr/include/c++/12/span /root/repo/src/coding/encoder.h \
- /root/repo/src/coding/coded_block.h /root/repo/src/util/aligned_buffer.h \
- /root/repo/src/coding/coefficients.h /root/repo/src/util/rng.h \
- /root/repo/src/coding/segment.h \
+ /root/repo/src/coding/generation_stream.h /usr/include/c++/12/span \
+ /root/repo/src/coding/encoder.h /root/repo/src/coding/coded_block.h \
+ /root/repo/src/util/aligned_buffer.h \
+ /root/repo/src/coding/coefficients.h /root/repo/src/coding/segment.h \
  /root/repo/src/coding/progressive_decoder.h \
+ /root/repo/src/coding/segment_digest.h \
  /root/repo/src/coding/systematic.h /root/repo/src/coding/wire.h \
  /root/repo/src/coding/recoder.h /root/repo/src/net/event_sim.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/aligned_buffer.cpp" "src/util/CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o.d"
+  "/root/repo/src/util/checksum.cpp" "src/util/CMakeFiles/extnc_util.dir/checksum.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/checksum.cpp.o.d"
   "/root/repo/src/util/file_io.cpp" "src/util/CMakeFiles/extnc_util.dir/file_io.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/file_io.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/extnc_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/table_printer.cpp" "src/util/CMakeFiles/extnc_util.dir/table_printer.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/table_printer.cpp.o.d"

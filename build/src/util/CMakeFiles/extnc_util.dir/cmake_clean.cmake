@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o"
   "CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/checksum.cpp.o"
+  "CMakeFiles/extnc_util.dir/checksum.cpp.o.d"
   "CMakeFiles/extnc_util.dir/file_io.cpp.o"
   "CMakeFiles/extnc_util.dir/file_io.cpp.o.d"
   "CMakeFiles/extnc_util.dir/stats.cpp.o"

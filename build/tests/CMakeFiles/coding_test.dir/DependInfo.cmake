@@ -14,8 +14,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/coding/generation_stream_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o.d"
   "/root/repo/tests/coding/progressive_decoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o.d"
   "/root/repo/tests/coding/recoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o.d"
+  "/root/repo/tests/coding/segment_digest_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o.d"
   "/root/repo/tests/coding/segment_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/segment_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/segment_test.cpp.o.d"
   "/root/repo/tests/coding/systematic_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o.d"
+  "/root/repo/tests/coding/verifying_decoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o.d"
   "/root/repo/tests/coding/wire_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/wire_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/wire_test.cpp.o.d"
   )
 

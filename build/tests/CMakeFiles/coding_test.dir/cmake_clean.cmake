@@ -11,10 +11,14 @@ file(REMOVE_RECURSE
   "CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o.d"
   "CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o"
   "CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o.d"
   "CMakeFiles/coding_test.dir/coding/segment_test.cpp.o"
   "CMakeFiles/coding_test.dir/coding/segment_test.cpp.o.d"
   "CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o"
   "CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o.d"
   "CMakeFiles/coding_test.dir/coding/wire_test.cpp.o"
   "CMakeFiles/coding_test.dir/coding/wire_test.cpp.o.d"
   "coding_test"

@@ -207,6 +207,7 @@ tests/CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o: \
  /root/repo/src/coding/coefficients.h /root/repo/src/util/rng.h \
  /root/repo/src/coding/segment.h \
  /root/repo/src/coding/progressive_decoder.h \
+ /root/repo/src/coding/segment_digest.h \
  /root/repo/src/coding/systematic.h /root/repo/src/coding/wire.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gpu/CMakeFiles/extnc_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/cpu/CMakeFiles/extnc_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/extnc_net.dir/DependInfo.cmake"
   "/root/repo/build/src/simgpu/CMakeFiles/extnc_simgpu.dir/DependInfo.cmake"
   )
 

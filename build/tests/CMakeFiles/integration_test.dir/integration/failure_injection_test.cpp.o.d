@@ -301,4 +301,6 @@ tests/CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o: 
  /root/repo/src/gf256/matrix.h /root/repo/src/coding/encoder.h \
  /root/repo/src/coding/coefficients.h \
  /root/repo/src/coding/progressive_decoder.h \
- /root/repo/src/coding/recoder.h /root/repo/src/coding/wire.h
+ /root/repo/src/coding/recoder.h /root/repo/src/coding/segment_digest.h \
+ /root/repo/src/coding/verifying_decoder.h /root/repo/src/coding/wire.h \
+ /root/repo/src/net/line_network.h /root/repo/src/net/faulty_channel.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/net/butterfly_test.cpp" "tests/CMakeFiles/net_test.dir/net/butterfly_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/butterfly_test.cpp.o.d"
   "/root/repo/tests/net/event_sim_test.cpp" "tests/CMakeFiles/net_test.dir/net/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/event_sim_test.cpp.o.d"
+  "/root/repo/tests/net/faulty_channel_test.cpp" "tests/CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o.d"
   "/root/repo/tests/net/file_transfer_test.cpp" "tests/CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o.d"
   "/root/repo/tests/net/line_network_test.cpp" "tests/CMakeFiles/net_test.dir/net/line_network_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/line_network_test.cpp.o.d"
   "/root/repo/tests/net/live_stream_test.cpp" "tests/CMakeFiles/net_test.dir/net/live_stream_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/live_stream_test.cpp.o.d"

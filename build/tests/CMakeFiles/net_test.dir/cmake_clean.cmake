@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/net_test.dir/net/butterfly_test.cpp.o.d"
   "CMakeFiles/net_test.dir/net/event_sim_test.cpp.o"
   "CMakeFiles/net_test.dir/net/event_sim_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o.d"
   "CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o"
   "CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o.d"
   "CMakeFiles/net_test.dir/net/line_network_test.cpp.o"

@@ -128,9 +128,11 @@ tests/CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/coding/params.h \
- /root/repo/src/util/assert.h /root/repo/src/util/rng.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/util/assert.h /root/repo/src/coding/wire.h \
+ /root/repo/src/coding/coded_block.h /root/repo/src/util/aligned_buffer.h \
+ /root/repo/src/util/rng.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

@@ -130,5 +130,6 @@ tools/CMakeFiles/extnc_file.dir/extnc_file.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/coding/params.h \
- /root/repo/src/util/assert.h /root/repo/src/util/rng.h \
- /root/repo/src/util/file_io.h
+ /root/repo/src/util/assert.h /root/repo/src/coding/wire.h \
+ /root/repo/src/coding/coded_block.h /root/repo/src/util/aligned_buffer.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/file_io.h

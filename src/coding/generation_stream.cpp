@@ -8,10 +8,11 @@ namespace extnc::coding {
 
 GenerationEncoder::GenerationEncoder(Params params,
                                      std::span<const std::uint8_t> content,
-                                     bool systematic)
+                                     bool systematic, WireFormat wire_format)
     : params_(params),
       content_bytes_(content.size()),
-      use_systematic_(systematic) {
+      use_systematic_(systematic),
+      wire_format_(wire_format) {
   params_.validate();
   const std::size_t per_generation = params_.segment_bytes();
   const std::size_t count =
@@ -40,7 +41,12 @@ std::vector<std::uint8_t> GenerationEncoder::encode_packet(
   const CodedBlock block = use_systematic_
                                ? systematic_[generation].next(rng)
                                : coded_[generation].encode(rng);
-  return serialize(generation, block);
+  return serialize(generation, block, wire_format_);
+}
+
+SegmentDigest GenerationEncoder::digest(std::uint32_t generation) const {
+  EXTNC_CHECK(generation < segments_.size());
+  return SegmentDigest::compute(segments_[generation], generation);
 }
 
 std::vector<std::uint8_t> GenerationEncoder::encode_next_packet(Rng& rng) {

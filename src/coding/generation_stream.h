@@ -17,6 +17,7 @@
 
 #include "coding/encoder.h"
 #include "coding/progressive_decoder.h"
+#include "coding/segment_digest.h"
 #include "coding/systematic.h"
 #include "coding/wire.h"
 
@@ -27,8 +28,11 @@ class GenerationEncoder {
   // Splits `content` into ceil(size / (n*k)) generations of shape
   // `params`; the last generation is zero-padded (the original length
   // travels out of band — callers typically know it from a manifest).
+  // Packets are emitted in the checksummed XNC2 format unless a caller
+  // (e.g. a bench counting bytes) opts back down to XNC1.
   GenerationEncoder(Params params, std::span<const std::uint8_t> content,
-                    bool systematic = false);
+                    bool systematic = false,
+                    WireFormat wire_format = WireFormat::kV2);
 
   std::size_t generations() const { return segments_.size(); }
   const Params& params() const { return params_; }
@@ -40,6 +44,10 @@ class GenerationEncoder {
   // Round-robin across generations (a simple sender schedule).
   std::vector<std::uint8_t> encode_next_packet(Rng& rng);
 
+  // Integrity manifest for generation g (see coding/segment_digest.h) —
+  // what a receiver needs to verify its decode of that generation.
+  SegmentDigest digest(std::uint32_t generation) const;
+
  private:
   Params params_;
   std::size_t content_bytes_;
@@ -47,6 +55,7 @@ class GenerationEncoder {
   std::vector<SystematicEncoder> systematic_;
   std::vector<Encoder> coded_;
   bool use_systematic_;
+  WireFormat wire_format_;
   std::uint32_t round_robin_ = 0;
 };
 

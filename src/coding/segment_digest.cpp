@@ -1,0 +1,115 @@
+#include "coding/segment_digest.h"
+
+#include "util/assert.h"
+#include "util/checksum.h"
+
+namespace extnc::coding {
+
+namespace {
+
+constexpr std::uint32_t kDigestMagic = 0x44434e58;  // "XNCD"
+constexpr std::size_t kDigestHeaderBytes = 16;
+
+// Mix the block index into the digest seed so identical blocks at
+// different positions (e.g. zero padding) digest differently — a swap of
+// two equal-content blocks is not a corruption, but a swap of digests
+// would otherwise mask a real one.
+std::uint64_t block_seed(std::size_t index) {
+  return 0x584e4344ULL * 0x9e3779b97f4a7c15ULL + index;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+SegmentDigest SegmentDigest::compute(const Segment& segment,
+                                     std::uint32_t generation) {
+  SegmentDigest digest;
+  digest.params_ = segment.params();
+  digest.generation_ = generation;
+  digest.digests_.reserve(digest.params_.n);
+  for (std::size_t i = 0; i < digest.params_.n; ++i) {
+    digest.digests_.push_back(digest64(segment.block(i), block_seed(i)));
+  }
+  return digest;
+}
+
+std::uint64_t SegmentDigest::block_digest(std::size_t i) const {
+  EXTNC_CHECK(i < digests_.size());
+  return digests_[i];
+}
+
+bool SegmentDigest::matches_block(std::size_t i,
+                                  std::span<const std::uint8_t> data) const {
+  if (i >= digests_.size() || data.size() != params_.k) return false;
+  return digest64(data, block_seed(i)) == digests_[i];
+}
+
+bool SegmentDigest::matches(const Segment& segment) const {
+  if (!(segment.params() == params_)) return false;
+  for (std::size_t i = 0; i < digests_.size(); ++i) {
+    if (!matches_block(i, segment.block(i))) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> SegmentDigest::serialize() const {
+  const std::size_t body = kDigestHeaderBytes + 8 * digests_.size();
+  std::vector<std::uint8_t> out(body + 4);
+  put_u32(out.data(), kDigestMagic);
+  put_u32(out.data() + 4, generation_);
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(params_.n));
+  put_u32(out.data() + 12, static_cast<std::uint32_t>(params_.k));
+  for (std::size_t i = 0; i < digests_.size(); ++i) {
+    put_u64(out.data() + kDigestHeaderBytes + 8 * i, digests_[i]);
+  }
+  put_u32(out.data() + body, crc32c(std::span(out).first(body)));
+  return out;
+}
+
+std::optional<SegmentDigest> SegmentDigest::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kDigestHeaderBytes) return std::nullopt;
+  if (get_u32(data.data()) != kDigestMagic) return std::nullopt;
+  const std::uint32_t generation = get_u32(data.data() + 4);
+  const std::uint32_t n = get_u32(data.data() + 8);
+  const std::uint32_t k = get_u32(data.data() + 12);
+  if (n == 0 || k == 0 || n > (1u << 20)) return std::nullopt;
+  const std::size_t body = kDigestHeaderBytes + 8 * static_cast<std::size_t>(n);
+  if (data.size() != body + 4) return std::nullopt;
+  if (crc32c(data.first(body)) != get_u32(data.data() + body)) {
+    return std::nullopt;
+  }
+  SegmentDigest digest;
+  digest.params_ = Params{.n = n, .k = k};
+  digest.generation_ = generation;
+  digest.digests_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    digest.digests_.push_back(get_u64(data.data() + kDigestHeaderBytes + 8 * i));
+  }
+  return digest;
+}
+
+}  // namespace extnc::coding

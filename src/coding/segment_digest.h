@@ -1,0 +1,75 @@
+// SegmentDigest: the integrity manifest for one generation.
+//
+// RLNC has no integrity of its own — any coefficient/payload pair is a
+// "valid" coded block, so a corrupted block decodes to silently wrong data
+// and a recoding relay spreads the damage (the pollution-attack surface).
+// The defense is layered: the wire CRC (coding/wire.h, XNC2) stops random
+// in-flight corruption at the first honest hop, and this manifest lets the
+// *decoder* prove the decoded segment is the one the encoder published,
+// catching anything that slips past the wire layer (post-parse memory
+// corruption, a buggy or lying relay).
+//
+// The manifest holds one 64-bit digest per source block, domain-separated
+// by block index, published by the encoder out of band or via its own wire
+// frame:
+//
+//   offset   size  field
+//   0        4     magic "XNCD"
+//   4        4     generation id (little-endian u32)
+//   8        4     n  (blocks per segment)
+//   12       4     k  (block size, bytes)
+//   16       8n    per-block digests (little-endian u64 each)
+//   16+8n    4     CRC32C over everything above
+//
+// Digests are not cryptographic (see DESIGN.md "Threat model & integrity
+// boundary"): they detect corruption and confusion, not adversarial
+// forgery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/segment.h"
+
+namespace extnc::coding {
+
+class SegmentDigest {
+ public:
+  SegmentDigest() = default;
+
+  // Digest every source block of `segment`.
+  static SegmentDigest compute(const Segment& segment,
+                               std::uint32_t generation = 0);
+
+  const Params& params() const { return params_; }
+  std::uint32_t generation() const { return generation_; }
+  std::size_t size() const { return digests_.size(); }
+  std::uint64_t block_digest(std::size_t i) const;
+
+  // Does source block i have these bytes? (data.size() must be k.)
+  bool matches_block(std::size_t i, std::span<const std::uint8_t> data) const;
+  // Does every block of `segment` match? (Shape mismatch => false.)
+  bool matches(const Segment& segment) const;
+
+  friend bool operator==(const SegmentDigest& a, const SegmentDigest& b) {
+    return a.params_ == b.params_ && a.generation_ == b.generation_ &&
+           a.digests_ == b.digests_;
+  }
+
+  // Wire encoding (format documented above).
+  std::vector<std::uint8_t> serialize() const;
+  // Rejects truncation, bad magic, bad shape and checksum mismatch by
+  // returning nullopt — manifests arrive over the same untrusted channels
+  // as packets.
+  static std::optional<SegmentDigest> parse(
+      std::span<const std::uint8_t> data);
+
+ private:
+  Params params_{.n = 0, .k = 0};
+  std::uint32_t generation_ = 0;
+  std::vector<std::uint64_t> digests_;
+};
+
+}  // namespace extnc::coding

@@ -1,0 +1,106 @@
+#include "coding/verifying_decoder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace extnc::coding {
+
+VerifyingDecoder::VerifyingDecoder(SegmentDigest manifest)
+    : manifest_(std::move(manifest)), decoder_(manifest_.params()) {
+  EXTNC_CHECK(manifest_.size() == manifest_.params().n);
+}
+
+std::size_t VerifyingDecoder::rank() const {
+  return verified_ ? manifest_.params().n : decoder_.rank();
+}
+
+const Segment& VerifyingDecoder::decoded_segment() const {
+  EXTNC_CHECK(verified_);
+  return verified_segment_;
+}
+
+VerifyingDecoder::Result VerifyingDecoder::add(const CodedBlock& block) {
+  if (verified_) return Result::kAlreadyVerified;
+  EXTNC_CHECK(block.params() == manifest_.params());
+  ++blocks_seen_;
+  retained_.push_back(block);
+
+  if (dirty_complete_) {
+    // The inner decoder is complete but failed verification; every new
+    // (presumably clean) block adds the slack group testing needs, so
+    // retry isolation with the grown retained set.
+    return identify_and_eject();
+  }
+
+  switch (decoder_.add(block)) {
+    case ProgressiveDecoder::Result::kAccepted:
+      break;
+    case ProgressiveDecoder::Result::kLinearlyDependent:
+    case ProgressiveDecoder::Result::kAlreadyComplete:
+      // Retained anyway: a block that is dependent w.r.t. a polluted basis
+      // may be exactly the clean equation group testing needs later.
+      return Result::kLinearlyDependent;
+  }
+  if (!decoder_.is_complete()) return Result::kAccepted;
+
+  const Segment decoded = decoder_.decoded_segment();
+  if (manifest_.matches(decoded)) {
+    verified_ = true;
+    verified_segment_ = decoded;
+    return Result::kVerified;
+  }
+  ++verification_failures_;
+  return identify_and_eject();
+}
+
+bool VerifyingDecoder::try_subset(const std::vector<std::size_t>& excluded) {
+  ProgressiveDecoder candidate(manifest_.params());
+  for (std::size_t i = 0; i < retained_.size(); ++i) {
+    if (std::find(excluded.begin(), excluded.end(), i) != excluded.end()) {
+      continue;
+    }
+    candidate.add(retained_[i]);
+    if (candidate.is_complete()) break;
+  }
+  if (!candidate.is_complete()) return false;
+  Segment decoded = candidate.decoded_segment();
+  if (!manifest_.matches(decoded)) return false;
+
+  // Clean subset found: the excluded blocks are the polluted ones (they
+  // were inconsistent with this digest-verified solution).
+  // Quarantine in descending index order so erases don't shift.
+  std::vector<std::size_t> eject = excluded;
+  std::sort(eject.begin(), eject.end(), std::greater<>());
+  for (const std::size_t i : eject) {
+    quarantined_.push_back(std::move(retained_[i]));
+    retained_.erase(retained_.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+  }
+  verified_ = true;
+  verified_segment_ = std::move(decoded);
+  dirty_complete_ = false;
+  return true;
+}
+
+VerifyingDecoder::Result VerifyingDecoder::identify_and_eject() {
+  const std::size_t m = retained_.size();
+  // Single polluted block: leave-one-out, O(m) re-decodes.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (try_subset({i})) return Result::kPollutionEjected;
+  }
+  // Two polluted blocks: leave-two-out, O(m^2) re-decodes — bounded so a
+  // hostile flood can't turn recovery into quadratic work on a big buffer.
+  if (m <= kMaxPairSearchBlocks) {
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        if (try_subset({i, j})) return Result::kPollutionEjected;
+      }
+    }
+  }
+  dirty_complete_ = true;
+  return Result::kPollutionUnresolved;
+}
+
+}  // namespace extnc::coding

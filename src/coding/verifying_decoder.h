@@ -1,0 +1,90 @@
+// VerifyingDecoder: a ProgressiveDecoder that refuses to return garbage.
+//
+// A plain RLNC decoder "succeeds" on polluted input — any n independent
+// blocks decode to *something*. This wrapper retains every received block,
+// and when the inner decoder completes it checks the decoded segment
+// against the encoder's SegmentDigest manifest. On mismatch it runs a
+// leave-one-out / leave-two-out group-testing re-decode over the retained
+// blocks to isolate the polluted ones, ejects them into quarantine, and
+// goes back to collecting instead of surfacing wrong data.
+//
+// Identification needs slack: with exactly n retained blocks there is no
+// subset to fall back on, so callers should keep feeding redundant blocks
+// after the first (failed) completion. Each retained block is either
+// consistent with the true segment (clean) or not (polluted); a subset
+// decodes to a digest-verified segment iff it has rank n and contains no
+// polluted block, which is what the subset search exploits.
+//
+// Cost: the group-testing pass re-decodes subsets, O(m) decodes for one
+// polluted block and O(m^2) for two (m = retained blocks, capped by
+// kMaxPairSearchBlocks). That is the *recovery* path — the common path
+// (no pollution, or pollution stopped by the wire CRC) adds one digest
+// sweep at completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/progressive_decoder.h"
+#include "coding/segment.h"
+#include "coding/segment_digest.h"
+
+namespace extnc::coding {
+
+class VerifyingDecoder {
+ public:
+  enum class Result {
+    kAccepted,            // rank increased, not yet complete
+    kLinearlyDependent,   // retained for later group testing, rank unchanged
+    kVerified,            // decode completed AND matched the manifest
+    kAlreadyVerified,     // extra block after successful verification
+    kPollutionEjected,    // completion failed the digest check; polluted
+                          // block(s) identified, quarantined, and — if the
+                          // clean remainder still completes — verified
+    kPollutionUnresolved, // completion failed the digest check and the
+                          // culprits could not be isolated yet; keep feeding
+                          // redundant blocks
+  };
+
+  // Pair search is quadratic in retained blocks; above this many retained
+  // blocks only single-pollution (leave-one-out) isolation runs.
+  static constexpr std::size_t kMaxPairSearchBlocks = 48;
+
+  explicit VerifyingDecoder(SegmentDigest manifest);
+
+  Result add(const CodedBlock& block);
+
+  const Params& params() const { return manifest_.params(); }
+  const SegmentDigest& manifest() const { return manifest_; }
+
+  std::size_t rank() const;
+  bool is_verified() const { return verified_; }
+  // Decoded source blocks; only valid when is_verified().
+  const Segment& decoded_segment() const;
+
+  std::size_t blocks_seen() const { return blocks_seen_; }
+  std::size_t blocks_retained() const { return retained_.size(); }
+  std::size_t blocks_quarantined() const { return quarantined_.size(); }
+  // Completions that failed the digest check (each triggers group testing).
+  std::size_t verification_failures() const { return verification_failures_; }
+  const std::vector<CodedBlock>& quarantined() const { return quarantined_; }
+
+ private:
+  // Re-decode `retained_` minus the given (sorted) exclusions; on a clean,
+  // digest-verified completion commit the result and return true.
+  bool try_subset(const std::vector<std::size_t>& excluded);
+  Result identify_and_eject();
+
+  SegmentDigest manifest_;
+  ProgressiveDecoder decoder_;
+  std::vector<CodedBlock> retained_;
+  std::vector<CodedBlock> quarantined_;
+  Segment verified_segment_;
+  bool verified_ = false;
+  bool dirty_complete_ = false;  // inner decoder complete but unverified
+  std::size_t blocks_seen_ = 0;
+  std::size_t verification_failures_ = 0;
+};
+
+}  // namespace extnc::coding

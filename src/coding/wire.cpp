@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 
 namespace extnc::coding {
 
@@ -30,28 +31,35 @@ const char* parse_error_name(ParseError error) {
     case ParseError::kBadMagic: return "bad magic";
     case ParseError::kBadShape: return "bad shape";
     case ParseError::kLengthMismatch: return "length mismatch";
+    case ParseError::kBadChecksum: return "bad checksum";
   }
   return "?";
 }
 
 std::vector<std::uint8_t> serialize(std::uint32_t generation,
-                                    const CodedBlock& block) {
-  std::vector<std::uint8_t> out(wire_size(block.params()));
-  serialize_into(generation, block, out);
+                                    const CodedBlock& block,
+                                    WireFormat format) {
+  std::vector<std::uint8_t> out(wire_size(block.params(), format));
+  serialize_into(generation, block, out, format);
   return out;
 }
 
 void serialize_into(std::uint32_t generation, const CodedBlock& block,
-                    std::span<std::uint8_t> out) {
+                    std::span<std::uint8_t> out, WireFormat format) {
   const Params& p = block.params();
-  EXTNC_CHECK(out.size() == wire_size(p));
-  put_u32(out.data(), kWireMagic);
+  EXTNC_CHECK(out.size() == wire_size(p, format));
+  put_u32(out.data(),
+          format == WireFormat::kV2 ? kWireMagicV2 : kWireMagic);
   put_u32(out.data() + 4, generation);
   put_u32(out.data() + 8, static_cast<std::uint32_t>(p.n));
   put_u32(out.data() + 12, static_cast<std::uint32_t>(p.k));
   std::memcpy(out.data() + kWireHeaderBytes, block.coefficients().data(), p.n);
   std::memcpy(out.data() + kWireHeaderBytes + p.n, block.payload().data(),
               p.k);
+  if (format == WireFormat::kV2) {
+    const std::size_t body = kWireHeaderBytes + p.n + p.k;
+    put_u32(out.data() + body, crc32c(out.first(body)));
+  }
 }
 
 ParseResult ParseResult::success(Packet packet) {
@@ -71,7 +79,13 @@ ParseResult parse(std::span<const std::uint8_t> data,
   if (data.size() < kWireHeaderBytes) {
     return ParseResult::failure(ParseError::kTooShort);
   }
-  if (get_u32(data.data()) != kWireMagic) {
+  const std::uint32_t magic = get_u32(data.data());
+  WireFormat format;
+  if (magic == kWireMagic) {
+    format = WireFormat::kV1;
+  } else if (magic == kWireMagicV2) {
+    format = WireFormat::kV2;
+  } else {
     return ParseResult::failure(ParseError::kBadMagic);
   }
   const std::uint32_t generation = get_u32(data.data() + 4);
@@ -81,11 +95,17 @@ ParseResult parse(std::span<const std::uint8_t> data,
     return ParseResult::failure(ParseError::kBadShape);
   }
   const Params params{.n = n, .k = k};
-  if (data.size() != wire_size(params)) {
+  if (data.size() != wire_size(params, format)) {
     return ParseResult::failure(ParseError::kLengthMismatch);
+  }
+  const std::size_t body = kWireHeaderBytes + n + k;
+  if (format == WireFormat::kV2 &&
+      crc32c(data.first(body)) != get_u32(data.data() + body)) {
+    return ParseResult::failure(ParseError::kBadChecksum);
   }
   Packet packet;
   packet.generation = generation;
+  packet.format = format;
   packet.block = CodedBlock(params);
   std::memcpy(packet.block.coefficients().data(),
               data.data() + kWireHeaderBytes, n);

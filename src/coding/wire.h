@@ -2,21 +2,31 @@
 //
 // A coded block travels as a self-describing packet so that receivers can
 // route it to the right generation decoder and validate its shape before
-// touching the payload:
+// touching the payload. Two versions exist on the wire:
 //
-//   offset  size  field
-//   0       4     magic "XNC1"
-//   4       4     generation id (little-endian u32)
-//   8       4     n  (blocks per segment)
-//   12      4     k  (block size, bytes)
-//   16      n     coefficient vector
-//   16+n    k     coded payload
+//   v1 ("XNC1") — the legacy frame, no integrity protection:
+//     offset  size  field
+//     0       4     magic "XNC1"
+//     4       4     generation id (little-endian u32)
+//     8       4     n  (blocks per segment)
+//     12      4     k  (block size, bytes)
+//     16      n     coefficient vector
+//     16+n    k     coded payload
 //
-// Fixed little-endian encoding; total size 16 + n + k. Parsing never
-// trusts the input: every field is validated against caller-provided
-// limits and truncated/oversized buffers are rejected (no EXTNC_CHECK on
-// network input — malformed packets return errors, they must not abort a
-// server).
+//   v2 ("XNC2") — same layout plus a CRC32C trailer over everything that
+//   precedes it (header + coefficients + payload):
+//     16+n+k  4     CRC32C (little-endian u32)
+//
+// Serializers emit v2 by default (WireFormat::kV2); v1 remains available
+// for benches that want the 4 bytes back and for compatibility with
+// already-serialized containers. parse() accepts both, verifying the
+// trailer on v2 packets and reporting ParseError::kBadChecksum on
+// mismatch.
+//
+// Fixed little-endian encoding. Parsing never trusts the input: every
+// field is validated against caller-provided limits and truncated or
+// oversized buffers are rejected (no EXTNC_CHECK on network input —
+// malformed packets return errors, they must not abort a server).
 #pragma once
 
 #include <cstdint>
@@ -29,8 +39,15 @@
 
 namespace extnc::coding {
 
-inline constexpr std::uint32_t kWireMagic = 0x31434e58;  // "XNC1"
+inline constexpr std::uint32_t kWireMagic = 0x31434e58;    // "XNC1"
+inline constexpr std::uint32_t kWireMagicV2 = 0x32434e58;  // "XNC2"
 inline constexpr std::size_t kWireHeaderBytes = 16;
+inline constexpr std::size_t kWireChecksumBytes = 4;
+
+enum class WireFormat : std::uint8_t {
+  kV1,  // legacy, no checksum
+  kV2,  // CRC32C trailer
+};
 
 struct WireLimits {
   std::size_t max_n = 4096;
@@ -39,28 +56,42 @@ struct WireLimits {
 
 struct Packet {
   std::uint32_t generation = 0;
+  WireFormat format = WireFormat::kV2;  // format the packet arrived in
   CodedBlock block;
 };
 
-// Serialized size of a block for the given parameters.
-constexpr std::size_t wire_size(const Params& params) {
-  return kWireHeaderBytes + params.n + params.k;
+// Serialized size of a block for the given parameters and format.
+constexpr std::size_t wire_size(const Params& params,
+                                WireFormat format = WireFormat::kV2) {
+  return kWireHeaderBytes + params.n + params.k +
+         (format == WireFormat::kV2 ? kWireChecksumBytes : 0);
 }
 
 // Serialize into a fresh buffer.
 std::vector<std::uint8_t> serialize(std::uint32_t generation,
-                                    const CodedBlock& block);
+                                    const CodedBlock& block,
+                                    WireFormat format = WireFormat::kV2);
 
-// Serialize into a caller buffer of exactly wire_size(block.params());
-// aborts on wrong buffer size (a programming error, not a network one).
+// Serialize into a caller buffer of exactly wire_size(block.params(),
+// format); aborts on wrong buffer size (a programming error, not a network
+// one).
 void serialize_into(std::uint32_t generation, const CodedBlock& block,
-                    std::span<std::uint8_t> out);
+                    std::span<std::uint8_t> out,
+                    WireFormat format = WireFormat::kV2);
 
 enum class ParseError {
   kTooShort,
   kBadMagic,
-  kBadShape,      // n or k of zero or above limits
-  kLengthMismatch // buffer length != 16 + n + k
+  kBadShape,       // n or k of zero or above limits
+  kLengthMismatch, // buffer length != expected for the declared shape
+  kBadChecksum,    // v2 CRC32C trailer does not match the content
+};
+
+// Every enumerator, for exhaustiveness tests (keep in sync with ParseError).
+inline constexpr ParseError kAllParseErrors[] = {
+    ParseError::kTooShort,        ParseError::kBadMagic,
+    ParseError::kBadShape,        ParseError::kLengthMismatch,
+    ParseError::kBadChecksum,
 };
 
 const char* parse_error_name(ParseError error);

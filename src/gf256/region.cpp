@@ -18,7 +18,7 @@ void scalar_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
 void scalar_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                 std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
@@ -34,7 +34,7 @@ void scalar_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
 
 void scalar_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   if (c == 1) return;
@@ -63,7 +63,7 @@ void swar64_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
 void swar64_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                 std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   std::size_t i = 0;

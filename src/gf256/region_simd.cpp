@@ -69,7 +69,7 @@ __attribute__((target("ssse3"))) void ssse3_mul(std::uint8_t* dst,
                                                 std::uint8_t c,
                                                 std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   const NibbleTables t = make_nibble_tables(c);
@@ -142,7 +142,7 @@ __attribute__((target("avx2"))) void avx2_mul(std::uint8_t* dst,
                                               const std::uint8_t* src,
                                               std::uint8_t c, std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   const NibbleTables t = make_nibble_tables(c);
@@ -206,7 +206,7 @@ __attribute__((target("gfni,avx2"))) void gfni_mul(std::uint8_t* dst,
                                                    std::uint8_t c,
                                                    std::size_t len) {
   if (c == 0) {
-    std::memset(dst, 0, len);
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
     return;
   }
   const __m256i factor = _mm256_set1_epi8(static_cast<char>(c));

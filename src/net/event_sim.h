@@ -18,8 +18,10 @@ class EventSim {
 
   double now() const { return now_; }
 
-  // Schedule `fn` at absolute time `at` (>= now). Events at equal times
-  // fire in scheduling order (stable).
+  // Schedule `fn` at absolute time `at` (>= now; an earlier `at` — e.g.
+  // floating-point backsliding in a caller's delay arithmetic — is clamped
+  // to now, so the event fires on the next step rather than aborting).
+  // Events at equal times fire in scheduling order (stable).
   void schedule_at(double at, Callback fn);
   void schedule_in(double delay, Callback fn) {
     schedule_at(now_ + delay, std::move(fn));

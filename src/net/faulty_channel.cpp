@@ -1,0 +1,70 @@
+#include "net/faulty_channel.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace extnc::net {
+
+void FaultSpec::validate() const {
+  for (const double p : {loss, corrupt, truncate, duplicate, reorder}) {
+    EXTNC_CHECK(p >= 0.0 && p <= 1.0);
+  }
+}
+
+FaultyChannel::FaultyChannel(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  spec_.validate();
+}
+
+std::vector<std::vector<std::uint8_t>> FaultyChannel::transmit(
+    std::vector<std::uint8_t> packet) {
+  ++stats_.sent;
+  std::vector<std::vector<std::uint8_t>> arrivals;
+
+  // At most one fault per packet, drawn in priority order, so the
+  // counters partition `sent` and accounting stays exact.
+  if (rng_.next_double() < spec_.loss) {
+    ++stats_.lost;
+  } else if (rng_.next_double() < spec_.corrupt) {
+    ++stats_.corrupted;
+    if (!packet.empty()) {
+      const std::size_t byte = rng_.next_below(packet.size());
+      packet[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    }
+    arrivals.push_back(std::move(packet));
+  } else if (rng_.next_double() < spec_.truncate) {
+    ++stats_.truncated;
+    if (!packet.empty()) packet.resize(rng_.next_below(packet.size()));
+    arrivals.push_back(std::move(packet));
+  } else if (rng_.next_double() < spec_.duplicate) {
+    ++stats_.duplicated;
+    arrivals.push_back(packet);
+    arrivals.push_back(std::move(packet));
+  } else if (!held_.has_value() && rng_.next_double() < spec_.reorder) {
+    ++stats_.reordered;
+    held_ = std::move(packet);
+  } else {
+    arrivals.push_back(std::move(packet));
+  }
+
+  // A held packet rides out behind whatever was delivered this round.
+  if (held_.has_value() && !arrivals.empty()) {
+    arrivals.push_back(std::move(*held_));
+    held_.reset();
+  }
+  stats_.delivered += arrivals.size();
+  return arrivals;
+}
+
+std::vector<std::vector<std::uint8_t>> FaultyChannel::flush() {
+  std::vector<std::vector<std::uint8_t>> arrivals;
+  if (held_.has_value()) {
+    arrivals.push_back(std::move(*held_));
+    held_.reset();
+    ++stats_.delivered;
+  }
+  return arrivals;
+}
+
+}  // namespace extnc::net

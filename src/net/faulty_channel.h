@@ -1,0 +1,97 @@
+// FaultyChannel: a link that does to packets what real networks do.
+//
+// Every wire packet offered to the channel is subjected to one of five
+// fault classes — loss, corruption (a flipped bit), truncation,
+// duplication, reordering — each with its own probability, evaluated in
+// that priority order so every packet suffers at most one fault and the
+// per-reason counters account exactly for what happened (sent ==
+// delivered_intact + lost + corrupted + truncated + duplicated + reordered
+// up to the reorder buffer still in flight; see ChannelStats).
+//
+// The channel operates on raw wire bytes, not CodedBlocks: corruption and
+// truncation are byte-level faults that only the wire layer (XNC2 CRC,
+// shape checks) can catch, which is exactly what the fault injector
+// exists to exercise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace extnc::net {
+
+struct FaultSpec {
+  double loss = 0;       // packet vanishes
+  double corrupt = 0;    // one random bit flipped
+  double truncate = 0;   // cut to a random shorter length (possibly 0)
+  double duplicate = 0;  // delivered twice
+  double reorder = 0;    // held back, delivered after the next packet
+
+  bool any() const {
+    return loss > 0 || corrupt > 0 || truncate > 0 || duplicate > 0 ||
+           reorder > 0;
+  }
+  void validate() const;
+};
+
+struct ChannelStats {
+  std::size_t sent = 0;        // packets offered to the channel
+  std::size_t delivered = 0;   // packets handed out (duplicates count twice)
+  std::size_t lost = 0;
+  std::size_t corrupted = 0;
+  std::size_t truncated = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+
+  // Total injected faults of any kind.
+  std::size_t faults() const {
+    return lost + corrupted + truncated + duplicated + reordered;
+  }
+  // Faults that damage packet *content* — the ones the wire layer must
+  // reject (loss never arrives; duplicates/reorders arrive intact).
+  std::size_t damaged() const { return corrupted + truncated; }
+
+  ChannelStats& operator+=(const ChannelStats& other) {
+    sent += other.sent;
+    delivered += other.delivered;
+    lost += other.lost;
+    corrupted += other.corrupted;
+    truncated += other.truncated;
+    duplicated += other.duplicated;
+    reordered += other.reordered;
+    return *this;
+  }
+};
+
+class FaultyChannel {
+ public:
+  // The channel owns its RNG stream so fault draws don't perturb the
+  // simulation's main trajectory (a fault-free channel is a pure pass-
+  // through, bit-for-bit and draw-for-draw).
+  FaultyChannel(FaultSpec spec, std::uint64_t seed);
+
+  // Offer one packet; returns what actually arrives (0, 1 or 2 packets),
+  // in arrival order.
+  std::vector<std::vector<std::uint8_t>> transmit(
+      std::vector<std::uint8_t> packet);
+
+  // Release a held-back (reordered) packet with no successor to ride
+  // behind; call when the simulation drains.
+  std::vector<std::vector<std::uint8_t>> flush();
+
+  // Packets currently held in the reorder buffer (0 or 1).
+  std::size_t in_flight() const { return held_.has_value() ? 1 : 0; }
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  ChannelStats stats_;
+  std::optional<std::vector<std::uint8_t>> held_;
+};
+
+}  // namespace extnc::net

@@ -10,7 +10,8 @@ namespace extnc::net {
 namespace {
 
 constexpr std::uint32_t kFileMagic = 0x46434e58;  // "XNCF"
-constexpr std::size_t kFileHeaderBytes = 28;
+constexpr std::size_t kFileHeaderBytes = 32;
+constexpr std::uint32_t kFlagWireV2 = 1u << 0;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -42,9 +43,10 @@ std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
                                       const FileEncodeOptions& options) {
   EXTNC_CHECK(options.redundancy >= 0.0);
   EXTNC_CHECK(options.loss >= 0.0 && options.loss < 1.0);
+  EXTNC_CHECK(options.corruption >= 0.0 && options.corruption <= 1.0);
   Rng rng(options.seed);
   coding::GenerationEncoder encoder(options.params, content,
-                                    options.systematic);
+                                    options.systematic, options.wire_format);
 
   const std::size_t per_generation = static_cast<std::size_t>(
       static_cast<double>(options.params.n) * (1.0 + options.redundancy) +
@@ -54,19 +56,29 @@ std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
     for (std::size_t i = 0; i < per_generation; ++i) {
       auto packet = encoder.encode_packet(g, rng);
       if (rng.next_double() < options.loss) continue;  // dropped in transit
+      // Guarded so corruption-free runs keep the seeded rng trajectory of
+      // the original (corruption-less) encoder, draw for draw.
+      if (options.corruption > 0.0 &&
+          rng.next_double() < options.corruption) {  // damaged in transit
+        const std::size_t byte = rng.next_below(packet.size());
+        packet[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
       packets.push_back(std::move(packet));
     }
   }
 
   std::vector<std::uint8_t> out;
   out.reserve(kFileHeaderBytes +
-              packets.size() * coding::wire_size(options.params));
+              packets.size() *
+                  coding::wire_size(options.params, options.wire_format));
   put_u32(out, kFileMagic);
   put_u32(out, static_cast<std::uint32_t>(options.params.n));
   put_u32(out, static_cast<std::uint32_t>(options.params.k));
   put_u64(out, content.size());
   put_u32(out, static_cast<std::uint32_t>(encoder.generations()));
   put_u32(out, static_cast<std::uint32_t>(packets.size()));
+  put_u32(out, options.wire_format == coding::WireFormat::kV2 ? kFlagWireV2
+                                                              : 0u);
   for (const auto& packet : packets) {
     out.insert(out.end(), packet.begin(), packet.end());
   }
@@ -83,6 +95,9 @@ std::optional<FileInfo> describe_file(
   info.content_bytes = get_u64(container.data() + 12);
   info.generations = get_u32(container.data() + 20);
   info.packets = get_u32(container.data() + 24);
+  const std::uint32_t flags = get_u32(container.data() + 28);
+  info.wire_format = (flags & kFlagWireV2) ? coding::WireFormat::kV2
+                                           : coding::WireFormat::kV1;
   if (info.params.n == 0 || info.params.k == 0 || info.generations == 0) {
     return std::nullopt;
   }
@@ -96,7 +111,8 @@ FileDecodeResult decode_file(std::span<const std::uint8_t> container) {
     result.error = "not a coded file container";
     return result;
   }
-  const std::size_t packet_bytes = coding::wire_size(info->params);
+  const std::size_t packet_bytes =
+      coding::wire_size(info->params, info->wire_format);
   coding::GenerationDecoder decoder(info->params, info->generations);
   std::size_t offset = kFileHeaderBytes;
   for (std::uint32_t i = 0; i < info->packets; ++i) {

@@ -8,12 +8,16 @@
 //   12      8     original content length (little-endian u64)
 //   20      4     generation count
 //   24      4     packet count
-//   28      ...   packets, back to back (coding/wire.h format)
+//   28      4     flags (bit 0: packets use the checksummed XNC2 wire
+//                 format; see coding/wire.h)
+//   32      ...   packets, back to back (coding/wire.h format)
 //
-// The container is loss-tolerant by construction: encode_file can emit
-// redundant packets and drop a simulated loss fraction, and decode_file
-// succeeds whenever every generation still has n independent packets —
-// the property the Avalanche line of work builds on.
+// The container is loss- and corruption-tolerant by construction:
+// encode_file can emit redundant packets, drop a simulated loss fraction
+// and damage a simulated corruption fraction in transit; decode_file
+// rejects damaged packets at the wire layer (CRC) and succeeds whenever
+// every generation still has n independent clean packets — the property
+// the Avalanche line of work builds on.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "coding/params.h"
+#include "coding/wire.h"
 #include "util/rng.h"
 
 namespace extnc::net {
@@ -30,12 +35,19 @@ namespace extnc::net {
 struct FileEncodeOptions {
   coding::Params params{.n = 32, .k = 1024};
   // Extra coded packets per generation beyond n, as a fraction (0.25 = 25%
-  // overhead). Protects against loss.
+  // overhead). Protects against loss and corruption.
   double redundancy = 0.0;
   // Fraction of packets dropped before writing (loss simulation).
   double loss = 0.0;
+  // Fraction of surviving packets damaged before writing (corruption
+  // simulation: one random bit flipped somewhere in the packet). Damaged
+  // packets stay in the container — detecting them is the decoder's job.
+  double corruption = 0.0;
   bool systematic = false;
   std::uint64_t seed = 1;
+  // XNC2 (checksummed) by default; kV1 shaves 4 bytes/packet but makes
+  // corruption undetectable — bench/compat use only.
+  coding::WireFormat wire_format = coding::WireFormat::kV2;
 };
 
 struct FileInfo {
@@ -43,6 +55,7 @@ struct FileInfo {
   std::uint64_t content_bytes = 0;
   std::uint32_t generations = 0;
   std::uint32_t packets = 0;
+  coding::WireFormat wire_format = coding::WireFormat::kV2;
 };
 
 // Encode `content` into a coded container.

@@ -1,11 +1,14 @@
 #include "net/line_network.h"
 
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "coding/encoder.h"
-#include "coding/progressive_decoder.h"
 #include "coding/recoder.h"
+#include "coding/segment_digest.h"
+#include "coding/verifying_decoder.h"
+#include "coding/wire.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -15,7 +18,8 @@ namespace {
 
 // A relay either recodes (network coding) or forwards each received packet
 // exactly once (store-and-forward; without feedback it cannot know what
-// was lost downstream, so re-sending would just duplicate).
+// was lost downstream, so re-sending would just duplicate). Either way it
+// only touches packets that passed the wire-layer CRC/shape check.
 struct Relay {
   explicit Relay(const coding::Params& params) : recoder(params) {}
 
@@ -28,58 +32,115 @@ struct Relay {
 LineNetworkResult run_line_network(const LineNetworkConfig& config) {
   EXTNC_CHECK(config.hops >= 1);
   EXTNC_CHECK(config.loss_probability >= 0 && config.loss_probability < 1);
+  config.faults.validate();
   Rng rng(config.seed);
   const coding::Params& params = config.params;
   const coding::Segment source_data = coding::Segment::random(params, rng);
   const coding::Encoder encoder(source_data);
+  const coding::SegmentDigest manifest =
+      coding::SegmentDigest::compute(source_data);
 
   std::vector<Relay> relays(config.hops - 1, Relay(params));
-  coding::ProgressiveDecoder sink(params);
+  coding::VerifyingDecoder sink(manifest);
+
+  // One fault injector per link, each with its own RNG stream so the main
+  // trajectory (coefficients + loss draws) is identical whether or not
+  // faults are enabled.
+  std::vector<FaultyChannel> channels;
+  channels.reserve(config.hops);
+  for (std::size_t link = 0; link < config.hops; ++link) {
+    channels.emplace_back(config.faults,
+                          SplitMix64(config.seed ^ (0xfa017ULL + link)).next());
+  }
 
   LineNetworkResult result;
   auto survives = [&] { return rng.next_double() >= config.loss_probability; };
 
-  while (!sink.is_complete() && result.rounds < config.max_rounds) {
+  // Hand one post-channel arrival to the node at the receiving end of
+  // `link`: parse (CRC/shape check), drop + count on failure, else feed
+  // the relay or the sink.
+  auto receive = [&](std::size_t link, std::span<const std::uint8_t> bytes) {
+    const auto parsed = coding::parse(bytes);
+    if (!parsed.ok()) {
+      ++result.packets_rejected;
+      return;
+    }
+    const coding::CodedBlock& block = parsed.packet().block;
+    if (!(block.params() == params)) {
+      ++result.packets_rejected;
+      return;
+    }
+    if (link == config.hops - 1) {
+      sink.add(block);
+    } else {
+      Relay& next = relays[link];
+      if (config.recode_at_relays) {
+        next.recoder.add(block);
+      } else {
+        next.queue.push_back(block);
+      }
+    }
+  };
+
+  auto transmit = [&](std::size_t link, std::vector<std::uint8_t> packet) {
+    if (!survives()) return;  // classic erasure channel, main RNG stream
+    if (config.faults.any()) {
+      for (auto& arrival : channels[link].transmit(std::move(packet))) {
+        receive(link, arrival);
+      }
+    } else {
+      receive(link, packet);
+    }
+  };
+
+  while (!sink.is_verified() && result.rounds < config.max_rounds) {
     ++result.rounds;
     // All links fire "simultaneously": collect this round's emissions
     // first, deliver after, so a packet advances one hop per round.
-    std::vector<std::pair<std::size_t, coding::CodedBlock>> in_flight;
+    std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> in_flight;
 
     // Source emits one fresh coded block onto link 0.
-    in_flight.emplace_back(0, encoder.encode(rng));
+    in_flight.emplace_back(0, coding::serialize(0, encoder.encode(rng)));
 
     // Each relay emits onto its outgoing link (link index r + 1).
     for (std::size_t r = 0; r < relays.size(); ++r) {
       Relay& relay = relays[r];
       if (config.recode_at_relays) {
         if (relay.recoder.buffered() > 0) {
-          in_flight.emplace_back(r + 1, relay.recoder.recode(rng));
+          in_flight.emplace_back(r + 1,
+                                 coding::serialize(0, relay.recoder.recode(rng)));
         }
       } else if (!relay.queue.empty()) {
-        in_flight.emplace_back(r + 1, std::move(relay.queue.front()));
+        in_flight.emplace_back(r + 1,
+                               coding::serialize(0, relay.queue.front()));
         relay.queue.pop_front();
       }
     }
 
-    // Deliver (or drop).
-    for (auto& [link, block] : in_flight) {
-      if (!survives()) continue;
-      if (link == config.hops - 1) {
-        sink.add(block);
-      } else {
-        Relay& next = relays[link];
-        if (config.recode_at_relays) {
-          next.recoder.add(block);
-        } else {
-          next.queue.push_back(std::move(block));
-        }
+    for (auto& [link, packet] : in_flight) {
+      transmit(link, std::move(packet));
+    }
+  }
+
+  // Drain reorder buffers so the per-link counters account for every
+  // packet ever sent (held packets are delivered, late but intact).
+  if (config.faults.any()) {
+    for (std::size_t link = 0; link < channels.size(); ++link) {
+      for (auto& arrival : channels[link].flush()) {
+        receive(link, arrival);
       }
     }
   }
 
-  result.completed = sink.is_complete();
+  result.completed = sink.is_verified();
+  result.digest_verified = sink.is_verified();
   result.decoded_correctly =
       result.completed && sink.decoded_segment() == source_data;
+  result.blocks_quarantined = sink.blocks_quarantined();
+  result.link_stats.reserve(channels.size());
+  for (const auto& channel : channels) {
+    result.link_stats.push_back(channel.stats());
+  }
   return result;
 }
 

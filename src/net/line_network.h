@@ -10,12 +10,23 @@
 // butterfly) of why coding *inside* the network matters, and why Sec. 2 of
 // the paper emphasizes that random linear codes "can be recoded without
 // affecting the guarantee to decode".
+//
+// Integrity model: traffic travels as wire packets (coding/wire.h, XNC2
+// CRC trailer). Each link can additionally inject faults (FaultSpec:
+// corruption, truncation, duplication, reordering, loss). Relays verify
+// the CRC before recoding, so a corrupted packet is dropped at the first
+// honest hop instead of polluting every downstream combination; the sink
+// decodes through a VerifyingDecoder against the source's SegmentDigest
+// manifest, so even pollution that slips past the wire layer cannot
+// surface as silently wrong data.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "coding/params.h"
+#include "net/faulty_channel.h"
 
 namespace extnc::net {
 
@@ -26,12 +37,28 @@ struct LineNetworkConfig {
   bool recode_at_relays = true;
   std::uint64_t seed = 1;
   std::size_t max_rounds = 100000;
+  // Fault injection applied independently on every link (in addition to
+  // loss_probability, which models the classic erasure channel and keeps
+  // its own RNG stream for reproducibility of fault-free runs).
+  FaultSpec faults{};
 };
 
 struct LineNetworkResult {
   bool completed = false;
   std::size_t rounds = 0;           // source transmissions (1 per round)
   bool decoded_correctly = false;
+  // Digest verification outcome at the sink (equals completed for this
+  // sim — the sink only reports completion once verification passes).
+  bool digest_verified = false;
+  // Per-link fault-injection counters (size hops).
+  std::vector<ChannelStats> link_stats;
+  // Damaged packets rejected at the receiving node of each link (CRC or
+  // shape failure at parse — pollution stopped before recoding).
+  std::size_t packets_rejected = 0;
+  // Blocks the sink's verifying decoder ejected after a failed digest
+  // check (pollution that somehow passed the wire layer).
+  std::size_t blocks_quarantined = 0;
+
   // Effective end-to-end goodput, blocks per round.
   double goodput(const coding::Params& params) const {
     return rounds == 0 ? 0

@@ -69,32 +69,60 @@ MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
   // Per-generation completion times across peers (for half-completion).
   std::vector<std::vector<double>> generation_completions(config.generations);
 
-  auto deliver = [&](std::size_t target,
-                     const std::vector<std::uint8_t>& packet,
-                     std::uint32_t generation) {
-    ++result.packets_sent;
-    if (rng.next_double() < config.loss_probability) {
-      ++result.packets_lost;
-      return;
+  // Per-receiving-peer fault injectors with independent RNG streams, so
+  // fault-free runs keep the exact legacy trajectory.
+  config.faults.validate();
+  std::vector<FaultyChannel> channels;
+  if (config.faults.any()) {
+    channels.reserve(config.peers);
+    for (std::size_t p = 0; p < config.peers; ++p) {
+      channels.emplace_back(
+          config.faults, SplitMix64(config.rng_seed ^ (0x369dULL + p)).next());
     }
+  }
+
+  // One post-channel arrival: the decoder's wire parse is the CRC check —
+  // a damaged packet is rejected and counted here, never buffered for
+  // recoding, so corruption stops at the first honest peer.
+  auto receive = [&](std::size_t target,
+                     std::span<const std::uint8_t> packet) {
     Peer& peer = peers[target];
-    const bool gen_was_complete = peer.decoder->generation_complete(generation);
     const auto outcome = peer.decoder->add_packet(packet);
     if (outcome == coding::GenerationDecoder::Accept::kRejected) {
       ++result.packets_rejected;
       return;
     }
-    // Buffer for relaying (parse once more; a real node would keep the
-    // parsed block from the decode path).
+    // Parse once more for the relay buffer; cannot fail after the decoder
+    // accepted (a real node would keep the parsed block from the decode
+    // path).
     const auto parsed = coding::parse(packet);
     EXTNC_CHECK(parsed.ok());
+    const std::uint32_t generation = parsed.packet().generation;
     peer.buffers[generation].add(parsed.packet().block);
-    if (!gen_was_complete && peer.decoder->generation_complete(generation)) {
+    if (outcome == coding::GenerationDecoder::Accept::kGenerationComplete) {
       generation_completions[generation].push_back(sim.now());
     }
     if (peer.completed_at < 0 && peer.decoder->is_complete()) {
       peer.completed_at = sim.now();
       ++completed;
+    }
+  };
+
+  auto deliver = [&](std::size_t target,
+                     const std::vector<std::uint8_t>& packet,
+                     std::uint32_t generation) {
+    (void)generation;  // authoritative id travels inside the packet
+    ++result.packets_sent;
+    if (rng.next_double() < config.loss_probability) {
+      ++result.packets_lost;
+      return;
+    }
+    if (config.faults.any()) {
+      for (auto& arrival : channels[target].transmit(packet)) {
+        receive(target, arrival);
+      }
+    } else {
+      receive(target, packet);
     }
   };
 
@@ -171,6 +199,14 @@ MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
   }
 
   sim.run_until(config.max_seconds);
+
+  // Drain reorder buffers and collect per-channel fault counters.
+  for (std::size_t p = 0; p < channels.size(); ++p) {
+    for (auto& arrival : channels[p].flush()) {
+      receive(p, arrival);
+    }
+    result.channel += channels[p].stats();
+  }
 
   result.all_completed = completed == config.peers;
   result.content_verified = result.all_completed;

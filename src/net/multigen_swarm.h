@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "coding/params.h"
+#include "net/faulty_channel.h"
 
 namespace extnc::net {
 
@@ -50,6 +51,10 @@ struct MultiGenSwarmConfig {
   GenerationSchedule schedule = GenerationSchedule::kRandom;
   std::uint64_t rng_seed = 1;
   double max_seconds = 20000.0;
+  // Byte-level fault injection on every transmission. Damaged packets are
+  // caught by the wire CRC at the receiving peer (counted in
+  // packets_rejected) and never buffered for recoding.
+  FaultSpec faults{};
 };
 
 struct MultiGenSwarmResult {
@@ -57,8 +62,11 @@ struct MultiGenSwarmResult {
   double completion_seconds = 0;
   std::size_t packets_sent = 0;
   std::size_t packets_lost = 0;
-  std::size_t packets_rejected = 0;   // malformed/unknown (must stay 0 here)
+  std::size_t packets_rejected = 0;   // malformed/damaged, dropped at parse
+                                      // (0 unless faults are injected)
   bool content_verified = false;      // every peer reassembled the file
+  // Aggregate fault-injection counters across all transmissions.
+  ChannelStats channel;
   // Mean time by which HALF the peers finished each generation — low for
   // sequential (earlier generations land sooner), useful for streaming.
   std::vector<double> generation_half_completion;

@@ -5,6 +5,7 @@
 #include "coding/encoder.h"
 #include "coding/progressive_decoder.h"
 #include "coding/recoder.h"
+#include "coding/wire.h"
 #include "net/event_sim.h"
 #include "util/assert.h"
 #include "util/rng.h"
@@ -53,12 +54,19 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   std::size_t completed = 0;
   EventSim sim;
 
-  auto deliver = [&](std::size_t target, const coding::CodedBlock& block) {
-    ++result.blocks_sent;
-    if (rng.next_double() < config.loss_probability) {
-      ++result.blocks_lost;
-      return;
+  // Per-receiving-peer fault injectors, each with an independent RNG
+  // stream so fault-free runs keep the exact legacy trajectory.
+  config.faults.validate();
+  std::vector<FaultyChannel> channels;
+  if (config.faults.any()) {
+    channels.reserve(config.peers);
+    for (std::size_t p = 0; p < config.peers; ++p) {
+      channels.emplace_back(config.faults,
+                            SplitMix64(config.seed ^ (0x5a14fULL + p)).next());
     }
+  }
+
+  auto accept = [&](std::size_t target, const coding::CodedBlock& block) {
     Peer& peer = peers[target];
     peer.received.push_back(block);
     const bool was_complete = peer.decoder.is_complete();
@@ -74,6 +82,34 @@ SwarmResult run_swarm(const SwarmConfig& config) {
       peer.completed_at = sim.now();
       result.peer_completion_seconds[target] = sim.now();
       ++completed;
+    }
+  };
+
+  // Arrivals are CRC-checked (coding/wire.h) before the decoder or the
+  // relay buffer sees them: a damaged block is rejected here, at the first
+  // honest hop, never recoded onward.
+  auto receive = [&](std::size_t target, std::span<const std::uint8_t> bytes) {
+    const auto parsed = coding::parse(bytes);
+    if (!parsed.ok() || !(parsed.packet().block.params() == params)) {
+      ++result.blocks_rejected;
+      return;
+    }
+    accept(target, parsed.packet().block);
+  };
+
+  auto deliver = [&](std::size_t target, const coding::CodedBlock& block) {
+    ++result.blocks_sent;
+    if (rng.next_double() < config.loss_probability) {
+      ++result.blocks_lost;
+      return;
+    }
+    if (config.faults.any()) {
+      for (auto& arrival :
+           channels[target].transmit(coding::serialize(0, block))) {
+        receive(target, arrival);
+      }
+    } else {
+      accept(target, block);
     }
   };
 
@@ -109,6 +145,14 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   }
 
   sim.run_until(config.max_seconds);
+
+  // Drain reorder buffers and collect per-channel fault counters.
+  for (std::size_t p = 0; p < channels.size(); ++p) {
+    for (auto& arrival : channels[p].flush()) {
+      receive(p, arrival);
+    }
+    result.channel += channels[p].stats();
+  }
 
   result.all_completed = completed == config.peers;
   result.completion_seconds = 0;

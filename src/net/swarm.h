@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "coding/params.h"
+#include "net/faulty_channel.h"
 
 namespace extnc::net {
 
@@ -28,6 +29,11 @@ struct SwarmConfig {
   bool use_recoding = true;
   std::uint64_t seed = 1;
   double max_seconds = 10000.0;
+  // Byte-level fault injection applied to every transmission (loss,
+  // corruption, truncation, duplication, reordering). When enabled, all
+  // traffic travels as checksummed wire packets and peers CRC-check
+  // before decoding or relaying, so corruption never pollutes the swarm.
+  FaultSpec faults{};
 };
 
 struct SwarmResult {
@@ -44,6 +50,12 @@ struct SwarmResult {
   std::size_t blocks_dependent = 0;
   std::size_t blocks_after_completion = 0;
   bool all_decoded_correctly = false;
+  // Aggregate fault-injection counters across all transmissions, and the
+  // number of damaged packets peers rejected at parse (CRC/shape). With
+  // the checksummed wire format, channel.damaged() == blocks_rejected in
+  // every run — nothing damaged gets through, nothing intact is dropped.
+  ChannelStats channel;
+  std::size_t blocks_rejected = 0;
 
   // Fraction of deliveries to still-decoding peers that carried no new
   // information — the "overhead" Avalanche measures; near zero with

@@ -1,0 +1,63 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace extnc {
+
+namespace {
+
+// Reflected-polynomial table, generated at static-init time (256 entries,
+// 1 KB — cheaper than shipping the literal table and impossible to typo).
+struct Crc32cTable {
+  std::array<std::uint32_t, 256> entry;
+
+  Crc32cTable() {
+    constexpr std::uint32_t kPolyReflected = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+      }
+      entry[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& table() {
+  static const Crc32cTable t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::uint8_t> data) {
+  const auto& t = table();
+  for (const std::uint8_t byte : data) {
+    state = (state >> 8) ^ t.entry[(state ^ byte) & 0xff];
+  }
+  return state;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+  return crc32c_final(crc32c_update(crc32c_init(), data));
+}
+
+std::uint64_t digest64(std::span<const std::uint8_t> data,
+                       std::uint64_t seed) {
+  // FNV-1a 64 over the bytes, then a SplitMix64 finalizer to spread the
+  // low-entropy FNV state across all output bits.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace extnc

@@ -1,0 +1,37 @@
+// Integrity primitives for the wire layer.
+//
+// crc32c: the Castagnoli CRC (polynomial 0x1EDC6F41, reflected 0x82F63B78),
+// the same checksum iSCSI/ext4 use — strong burst-error detection in 4
+// bytes, and hardware-accelerated everywhere should a backend ever want to
+// swap this table-driven version out. Used as the XNC2 packet trailer.
+//
+// digest64: a 64-bit content digest (FNV-1a with a SplitMix64 finalizer)
+// for per-source-block manifests. Detects random corruption with 2^-64
+// collision odds; it is NOT cryptographic — an adversary who can choose
+// bytes can forge it (see "Threat model & integrity boundary" in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace extnc {
+
+// One-shot CRC32C of `data`.
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+// Incremental form: feed `crc32c_update` successive chunks starting from
+// crc32c_init(), then finish. crc32c(x) == crc32c_final(crc32c_update(
+// crc32c_init(), x)).
+inline constexpr std::uint32_t crc32c_init() { return 0xffffffffu; }
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::uint8_t> data);
+inline constexpr std::uint32_t crc32c_final(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+// 64-bit content digest. Seed lets callers domain-separate (e.g. mix in a
+// block index so identical blocks at different positions digest apart).
+std::uint64_t digest64(std::span<const std::uint8_t> data,
+                       std::uint64_t seed = 0);
+
+}  // namespace extnc

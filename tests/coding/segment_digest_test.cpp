@@ -1,0 +1,136 @@
+#include "coding/segment_digest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coding/segment.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+namespace {
+
+Segment sample_segment(const Params& params, std::uint64_t seed) {
+  Rng rng(seed);
+  return Segment::random(params, rng);
+}
+
+TEST(SegmentDigest, MatchesItsOwnSegment) {
+  const Params params{.n = 8, .k = 32};
+  const Segment segment = sample_segment(params, 1);
+  const SegmentDigest digest = SegmentDigest::compute(segment, 7);
+  EXPECT_EQ(digest.params(), params);
+  EXPECT_EQ(digest.generation(), 7u);
+  EXPECT_EQ(digest.size(), params.n);
+  EXPECT_TRUE(digest.matches(segment));
+  for (std::size_t i = 0; i < params.n; ++i) {
+    EXPECT_TRUE(digest.matches_block(i, segment.block(i)));
+  }
+}
+
+TEST(SegmentDigest, DetectsASingleFlippedBit) {
+  const Params params{.n = 8, .k = 32};
+  Segment segment = sample_segment(params, 2);
+  const SegmentDigest digest = SegmentDigest::compute(segment);
+  segment.block(3)[17] ^= 0x01;
+  EXPECT_FALSE(digest.matches(segment));
+  EXPECT_FALSE(digest.matches_block(3, segment.block(3)));
+  // Only the damaged block mismatches.
+  for (std::size_t i = 0; i < params.n; ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(digest.matches_block(i, segment.block(i)));
+  }
+}
+
+TEST(SegmentDigest, BlockIndexIsPartOfTheDigest) {
+  // Identical blocks still get distinct digest values (domain separation
+  // by index), so the manifest never contains exploitable repeats.
+  const Params params{.n = 4, .k = 16};
+  Segment segment(params);  // all-zero blocks, pairwise identical
+  const SegmentDigest digest = SegmentDigest::compute(segment);
+  EXPECT_NE(digest.block_digest(0), digest.block_digest(1));
+}
+
+TEST(SegmentDigest, SwappedBlocksAreDetected) {
+  // A relay that swaps two (distinct) blocks produces a segment where
+  // every block is individually authentic content — only the index
+  // binding catches the confusion.
+  const Params params{.n = 4, .k = 16};
+  Segment segment = sample_segment(params, 8);
+  const SegmentDigest digest = SegmentDigest::compute(segment);
+  EXPECT_FALSE(digest.matches_block(1, segment.block(0)));
+  EXPECT_FALSE(digest.matches_block(0, segment.block(1)));
+
+  std::vector<std::uint8_t> tmp(segment.block(0).begin(),
+                                segment.block(0).end());
+  std::copy(segment.block(1).begin(), segment.block(1).end(),
+            segment.block(0).begin());
+  std::copy(tmp.begin(), tmp.end(), segment.block(1).begin());
+  EXPECT_FALSE(digest.matches(segment));
+}
+
+TEST(SegmentDigest, MismatchedShapeNeverMatches) {
+  const Params params{.n = 4, .k = 16};
+  const SegmentDigest digest =
+      SegmentDigest::compute(sample_segment(params, 3));
+  EXPECT_FALSE(digest.matches(sample_segment({.n = 4, .k = 8}, 3)));
+  EXPECT_FALSE(digest.matches(sample_segment({.n = 8, .k = 16}, 3)));
+  std::vector<std::uint8_t> short_block(params.k - 1, 0);
+  EXPECT_FALSE(digest.matches_block(0, short_block));
+}
+
+TEST(SegmentDigest, WireRoundTrip) {
+  const Params params{.n = 16, .k = 64};
+  const SegmentDigest digest =
+      SegmentDigest::compute(sample_segment(params, 4), 42);
+  const std::vector<std::uint8_t> bytes = digest.serialize();
+  const std::optional<SegmentDigest> parsed = SegmentDigest::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, digest);
+  EXPECT_EQ(parsed->generation(), 42u);
+}
+
+TEST(SegmentDigest, ParseRejectsDamage) {
+  const Params params{.n = 8, .k = 32};
+  const SegmentDigest digest =
+      SegmentDigest::compute(sample_segment(params, 5), 1);
+  const std::vector<std::uint8_t> good = digest.serialize();
+
+  // Truncation at every length short of the full frame.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::vector<std::uint8_t> bytes(good.begin(), good.begin() + len);
+    EXPECT_FALSE(SegmentDigest::parse(bytes).has_value()) << "len " << len;
+  }
+  // Any single flipped bit.
+  for (std::size_t bit = 0; bit < good.size() * 8; ++bit) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(SegmentDigest::parse(bytes).has_value()) << "bit " << bit;
+  }
+  // Trailing garbage.
+  std::vector<std::uint8_t> extended = good;
+  extended.push_back(0);
+  EXPECT_FALSE(SegmentDigest::parse(extended).has_value());
+}
+
+TEST(SegmentDigest, FuzzedBytesNeverCrash) {
+  Rng rng(6);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(128));
+    for (auto& b : bytes) b = rng.next_byte();
+    if (bytes.size() >= 4 && trial % 3 == 0) {
+      bytes[0] = 0x58; bytes[1] = 0x4e; bytes[2] = 0x43; bytes[3] = 0x44;
+    }
+    (void)SegmentDigest::parse(bytes);  // must not crash or abort
+  }
+}
+
+TEST(SegmentDigest, GenerationsDiffer) {
+  const Params params{.n = 4, .k = 16};
+  const Segment segment = sample_segment(params, 7);
+  EXPECT_FALSE(SegmentDigest::compute(segment, 0) ==
+               SegmentDigest::compute(segment, 1));
+}
+
+}  // namespace
+}  // namespace extnc::coding

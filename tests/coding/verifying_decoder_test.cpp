@@ -1,0 +1,143 @@
+#include "coding/verifying_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "coding/segment.h"
+#include "coding/segment_digest.h"
+#include "util/rng.h"
+
+namespace extnc::coding {
+namespace {
+
+using Result = VerifyingDecoder::Result;
+
+struct Fixture {
+  explicit Fixture(Params params, std::uint64_t seed = 1)
+      : rng(seed),
+        source(Segment::random(params, rng)),
+        encoder(source),
+        decoder(SegmentDigest::compute(source)) {}
+
+  CodedBlock clean_block() { return encoder.encode(rng); }
+
+  // A valid-looking coded block whose payload was damaged after encoding —
+  // exactly what a lying relay or post-parse memory corruption produces.
+  CodedBlock polluted_block() {
+    CodedBlock block = encoder.encode(rng);
+    block.payload()[block.payload().size() / 2] ^= 0x5a;
+    return block;
+  }
+
+  Rng rng;
+  Segment source;
+  Encoder encoder;
+  VerifyingDecoder decoder;
+};
+
+TEST(VerifyingDecoder, CleanStreamVerifies) {
+  const Params params{.n = 8, .k = 32};
+  Fixture f(params);
+  Result last = Result::kAccepted;
+  while (!f.decoder.is_verified()) last = f.decoder.add(f.clean_block());
+  EXPECT_EQ(last, Result::kVerified);
+  EXPECT_EQ(f.decoder.rank(), params.n);
+  EXPECT_EQ(f.decoder.decoded_segment(), f.source);
+  EXPECT_EQ(f.decoder.verification_failures(), 0u);
+  EXPECT_EQ(f.decoder.blocks_quarantined(), 0u);
+  // Extra blocks after verification are reported, not re-processed.
+  EXPECT_EQ(f.decoder.add(f.clean_block()), Result::kAlreadyVerified);
+}
+
+TEST(VerifyingDecoder, DependentBlockIsRetainedForGroupTesting) {
+  const Params params{.n = 4, .k = 16};
+  Fixture f(params);
+  const CodedBlock block = f.clean_block();
+  EXPECT_EQ(f.decoder.add(block), Result::kAccepted);
+  EXPECT_EQ(f.decoder.add(block), Result::kLinearlyDependent);
+  EXPECT_EQ(f.decoder.rank(), 1u);
+  EXPECT_EQ(f.decoder.blocks_seen(), 2u);
+  EXPECT_EQ(f.decoder.blocks_retained(), 2u);
+}
+
+TEST(VerifyingDecoder, SinglePollutedBlockIsIdentifiedAndEjected) {
+  const Params params{.n = 8, .k = 32};
+  Fixture f(params);
+  const CodedBlock bad = f.polluted_block();
+  ASSERT_EQ(f.decoder.add(bad), Result::kAccepted);
+
+  // Clean blocks until the inner decoder completes. The completion fails
+  // verification, and with zero redundancy the culprit cannot be isolated
+  // yet: every leave-out subset is rank deficient.
+  Result last = Result::kAccepted;
+  while (f.decoder.rank() < params.n) last = f.decoder.add(f.clean_block());
+  EXPECT_EQ(last, Result::kPollutionUnresolved);
+  EXPECT_FALSE(f.decoder.is_verified());
+  EXPECT_EQ(f.decoder.verification_failures(), 1u);
+
+  // One redundant clean block gives leave-one-out the slack it needs.
+  EXPECT_EQ(f.decoder.add(f.clean_block()), Result::kPollutionEjected);
+  EXPECT_TRUE(f.decoder.is_verified());
+  EXPECT_EQ(f.decoder.decoded_segment(), f.source);
+  ASSERT_EQ(f.decoder.blocks_quarantined(), 1u);
+  EXPECT_EQ(f.decoder.quarantined()[0], bad);
+}
+
+TEST(VerifyingDecoder, TwoPollutedBlocksAreEjectedByPairSearch) {
+  const Params params{.n = 6, .k = 24};
+  Fixture f(params, 3);
+  f.decoder.add(f.polluted_block());
+  f.decoder.add(f.polluted_block());
+  while (f.decoder.rank() < params.n) f.decoder.add(f.clean_block());
+  EXPECT_FALSE(f.decoder.is_verified());
+
+  // Two redundant clean blocks; leave-one-out keeps failing (singles can't
+  // explain two pollutions) until leave-two-out finds the pair.
+  Result last = f.decoder.add(f.clean_block());
+  if (last != Result::kPollutionEjected) last = f.decoder.add(f.clean_block());
+  EXPECT_EQ(last, Result::kPollutionEjected);
+  EXPECT_TRUE(f.decoder.is_verified());
+  EXPECT_EQ(f.decoder.decoded_segment(), f.source);
+  EXPECT_EQ(f.decoder.blocks_quarantined(), 2u);
+}
+
+TEST(VerifyingDecoder, PollutionArrivingLateIsStillCaught) {
+  // Pollution in the last block to complete the basis, not the first.
+  const Params params{.n = 5, .k = 16};
+  Fixture f(params, 4);
+  while (f.decoder.rank() < params.n - 1) f.decoder.add(f.clean_block());
+  const Result completion = f.decoder.add(f.polluted_block());
+  EXPECT_EQ(completion, Result::kPollutionUnresolved);
+  EXPECT_EQ(f.decoder.add(f.clean_block()), Result::kPollutionEjected);
+  EXPECT_EQ(f.decoder.decoded_segment(), f.source);
+}
+
+TEST(VerifyingDecoder, ManyCleanStreamsNeverFalselyQuarantine) {
+  // Regression guard for the subset-search commit path: clean runs must
+  // never report pollution.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Params params{.n = 4 + seed % 5, .k = 8};
+    Fixture f(params, 100 + seed);
+    while (!f.decoder.is_verified()) f.decoder.add(f.clean_block());
+    EXPECT_EQ(f.decoder.verification_failures(), 0u) << "seed " << seed;
+    EXPECT_EQ(f.decoder.blocks_quarantined(), 0u) << "seed " << seed;
+    EXPECT_EQ(f.decoder.decoded_segment(), f.source) << "seed " << seed;
+  }
+}
+
+TEST(VerifyingDecoderDeathTest, DecodedSegmentBeforeVerificationAborts) {
+  const Params params{.n = 4, .k = 8};
+  Fixture f(params);
+  f.decoder.add(f.clean_block());
+  EXPECT_DEATH((void)f.decoder.decoded_segment(), "EXTNC_CHECK");
+}
+
+TEST(VerifyingDecoderDeathTest, WrongShapeBlockAborts) {
+  const Params params{.n = 4, .k = 8};
+  Fixture f(params);
+  EXPECT_DEATH(f.decoder.add(CodedBlock(Params{.n = 4, .k = 16})),
+               "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::coding

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "coding/encoder.h"
 #include "util/rng.h"
 
@@ -22,7 +25,45 @@ TEST(Wire, RoundTripPreservesEverything) {
   ParseResult result = parse(bytes);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.packet().generation, 77u);
+  EXPECT_EQ(result.packet().format, WireFormat::kV2);
   EXPECT_EQ(result.packet().block, block);
+}
+
+TEST(Wire, V1RoundTripStillAccepted) {
+  const Params params{.n = 16, .k = 100};
+  const CodedBlock block = sample_block(params, 1);
+  const std::vector<std::uint8_t> bytes = serialize(77, block, WireFormat::kV1);
+  EXPECT_EQ(bytes.size(), wire_size(params, WireFormat::kV1));
+  EXPECT_EQ(bytes.size() + kWireChecksumBytes, wire_size(params));
+  ParseResult result = parse(bytes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.packet().generation, 77u);
+  EXPECT_EQ(result.packet().format, WireFormat::kV1);
+  EXPECT_EQ(result.packet().block, block);
+}
+
+TEST(Wire, AnySingleBitFlipFailsTheChecksum) {
+  // CRC32C detects every single-bit error, so a v2 packet with any one bit
+  // flipped must be rejected — as kBadChecksum, unless the flip lands in a
+  // header field that fails an earlier (cheaper) validation step.
+  const Params params{.n = 8, .k = 16};
+  const std::vector<std::uint8_t> good = serialize(5, sample_block(params, 8));
+  for (std::size_t bit = 0; bit < good.size() * 8; ++bit) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ParseResult result = parse(bytes);
+    ASSERT_FALSE(result.ok()) << "flipped bit " << bit;
+  }
+}
+
+TEST(Wire, ChecksumFlipReportsBadChecksum) {
+  const Params params{.n = 8, .k = 16};
+  std::vector<std::uint8_t> bytes = serialize(5, sample_block(params, 9));
+  bytes.back() ^= 0x01;  // damage the CRC trailer itself
+  EXPECT_EQ(parse(bytes).error(), ParseError::kBadChecksum);
+  bytes.back() ^= 0x01;
+  bytes[kWireHeaderBytes] ^= 0x80;  // damage a coefficient
+  EXPECT_EQ(parse(bytes).error(), ParseError::kBadChecksum);
 }
 
 TEST(Wire, SerializeIntoCallerBuffer) {
@@ -73,11 +114,21 @@ TEST(Wire, RejectsShapeAboveLimits) {
 
 TEST(Wire, RejectsLengthMismatch) {
   const Params params{.n = 4, .k = 8};
-  std::vector<std::uint8_t> bytes = serialize(0, sample_block(params, 7));
+  std::vector<std::uint8_t> bytes =
+      serialize(0, sample_block(params, 7), WireFormat::kV1);
   bytes.pop_back();
   EXPECT_EQ(parse(bytes).error(), ParseError::kLengthMismatch);
   bytes.push_back(0);
   bytes.push_back(0);
+  EXPECT_EQ(parse(bytes).error(), ParseError::kLengthMismatch);
+}
+
+TEST(Wire, V2TruncatedToV1LengthIsALengthMismatch) {
+  // Stripping the trailer does not turn a v2 packet into a valid v1 one:
+  // the magic still says XNC2, so the length check fires.
+  const Params params{.n = 4, .k = 8};
+  std::vector<std::uint8_t> bytes = serialize(0, sample_block(params, 7));
+  bytes.resize(wire_size(params, WireFormat::kV1));
   EXPECT_EQ(parse(bytes).error(), ParseError::kLengthMismatch);
 }
 
@@ -91,11 +142,15 @@ TEST(Wire, HugeDeclaredShapeDoesNotAllocate) {
   EXPECT_EQ(parse(bytes).error(), ParseError::kBadShape);
 }
 
-TEST(Wire, ParseErrorNamesAreDistinct) {
-  EXPECT_STRNE(parse_error_name(ParseError::kTooShort),
-               parse_error_name(ParseError::kBadMagic));
-  EXPECT_STRNE(parse_error_name(ParseError::kBadShape),
-               parse_error_name(ParseError::kLengthMismatch));
+TEST(Wire, EveryParseErrorHasADistinctRealName) {
+  std::set<std::string> names;
+  for (ParseError error : kAllParseErrors) {
+    const char* name = parse_error_name(error);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "enumerator missing from parse_error_name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllParseErrors));
 }
 
 TEST(Wire, FuzzedBytesNeverCrash) {
@@ -103,11 +158,58 @@ TEST(Wire, FuzzedBytesNeverCrash) {
   for (int trial = 0; trial < 2000; ++trial) {
     std::vector<std::uint8_t> bytes(rng.next_below(200));
     for (auto& b : bytes) b = rng.next_byte();
-    // Occasionally plant the magic to reach deeper validation.
+    // Occasionally plant a magic to reach deeper validation.
     if (bytes.size() >= 4 && trial % 3 == 0) {
-      bytes[0] = 0x58; bytes[1] = 0x4e; bytes[2] = 0x43; bytes[3] = 0x31;
+      bytes[0] = 0x58; bytes[1] = 0x4e; bytes[2] = 0x43;
+      bytes[3] = (trial % 2 == 0) ? 0x31 : 0x32;
     }
     (void)parse(bytes);  // must not crash or abort
+  }
+}
+
+TEST(Wire, MutatedValidPacketsNeverCrashOrMisparse) {
+  // Hardening sweep: start from a valid packet (v1 or v2), apply a random
+  // truncation, extension, or bit flip, and require that parse() either
+  // rejects the mutant or round-trips a shape-consistent packet. It must
+  // never abort, and an accepted packet must never lie about its shape.
+  Rng rng(4242);
+  const WireLimits limits;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Params params{.n = 1 + rng.next_below(12),
+                        .k = 1 + rng.next_below(40)};
+    const WireFormat format =
+        (trial % 2 == 0) ? WireFormat::kV2 : WireFormat::kV1;
+    const CodedBlock block = sample_block(params, 1000 + trial);
+    std::vector<std::uint8_t> bytes =
+        serialize(rng.next_below(1u << 16), block, format);
+
+    switch (rng.next_below(3)) {
+      case 0:  // truncate to a random shorter length (possibly empty)
+        bytes.resize(rng.next_below(bytes.size()));
+        break;
+      case 1: {  // extend with random garbage
+        const std::size_t extra = 1 + rng.next_below(16);
+        for (std::size_t i = 0; i < extra; ++i)
+          bytes.push_back(rng.next_byte());
+        break;
+      }
+      default:  // flip one random bit
+        bytes[rng.next_below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+        break;
+    }
+
+    ParseResult result = parse(bytes, limits);
+    if (!result.ok()) continue;  // rejection is always acceptable
+    const Packet& packet = result.packet();
+    const Params& shape = packet.block.params();
+    EXPECT_GE(shape.n, 1u);
+    EXPECT_LE(shape.n, limits.max_n);
+    EXPECT_GE(shape.k, 1u);
+    EXPECT_LE(shape.k, limits.max_k);
+    EXPECT_EQ(bytes.size(), wire_size(shape, packet.format));
+    EXPECT_EQ(packet.block.coefficients().size(), shape.n);
+    EXPECT_EQ(packet.block.payload().size(), shape.k);
   }
 }
 

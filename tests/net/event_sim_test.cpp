@@ -61,11 +61,60 @@ TEST(EventSim, StepReturnsFalseWhenEmpty) {
   EXPECT_TRUE(sim.empty());
 }
 
-TEST(EventSimDeathTest, SchedulingInThePastAborts) {
+TEST(EventSim, SchedulingInThePastClampsToNow) {
+  // A callback reacting to an event conceptually happens "now"; asking for
+  // an earlier time is clamped to now rather than rejected, so jittered
+  // retransmit timers can't abort the simulation.
   EventSim sim;
   sim.schedule_at(5.0, [] {});
   sim.run_all();
-  EXPECT_DEATH(sim.schedule_at(1.0, [] {}), "EXTNC_CHECK");
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });   // the past: clamps
+  sim.schedule_at(5.0, [&] { order.push_back(2); });   // "now" exactly
+  sim.schedule_at(6.0, [&] { order.push_back(3); });
+  sim.run_all();
+  // Both clamped-past and exactly-now events fire at t = 5, in scheduling
+  // order, before the future one; the clock never moves backwards.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);
+}
+
+TEST(EventSim, CallbackSchedulingEarlierThanNowFiresImmediately) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(0.5, [&] { order.push_back(2); });  // clamped to 2.0
+  });
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.run_all();
+  // The clamped event lands at t = 2 but behind everything already queued
+  // there (stable FIFO order at equal times).
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(EventSim, RunUntilFiresDeadlineExactEvents) {
+  // run_until(t) is inclusive: an event scheduled at exactly t fires, and
+  // the clock then sits at t so a later run_until continues cleanly.
+  EventSim sim;
+  int fired = 0;
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_TRUE(sim.empty());
+
+  // An event spawned at the deadline, for the deadline, still fires in the
+  // same run_until call.
+  sim.schedule_at(20.0, [&] {
+    sim.schedule_at(20.0, [&] { ++fired; });
+  });
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+#include "net/faulty_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace extnc::net {
+namespace {
+
+std::vector<std::uint8_t> sample_packet(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> packet(size);
+  for (auto& b : packet) b = rng.next_byte();
+  return packet;
+}
+
+std::size_t bit_difference(const std::vector<std::uint8_t>& a,
+                           const std::vector<std::uint8_t>& b) {
+  std::size_t bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits += static_cast<std::size_t>(__builtin_popcount(a[i] ^ b[i]));
+  }
+  return bits;
+}
+
+TEST(FaultyChannel, NoFaultsIsAPurePassThrough) {
+  FaultyChannel channel({}, 1);
+  for (int i = 0; i < 50; ++i) {
+    const auto packet = sample_packet(64, i);
+    const auto arrivals = channel.transmit(packet);
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0], packet);
+  }
+  EXPECT_EQ(channel.stats().sent, 50u);
+  EXPECT_EQ(channel.stats().delivered, 50u);
+  EXPECT_EQ(channel.stats().faults(), 0u);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(FaultyChannel, LossDropsThePacket) {
+  FaultyChannel channel({.loss = 1.0}, 2);
+  EXPECT_TRUE(channel.transmit(sample_packet(32, 0)).empty());
+  EXPECT_EQ(channel.stats().lost, 1u);
+  EXPECT_EQ(channel.stats().delivered, 0u);
+}
+
+TEST(FaultyChannel, CorruptionFlipsExactlyOneBit) {
+  FaultyChannel channel({.corrupt = 1.0}, 3);
+  for (int i = 0; i < 20; ++i) {
+    const auto packet = sample_packet(48, i);
+    const auto arrivals = channel.transmit(packet);
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0].size(), packet.size());
+    EXPECT_EQ(bit_difference(arrivals[0], packet), 1u);
+  }
+  EXPECT_EQ(channel.stats().corrupted, 20u);
+  EXPECT_EQ(channel.stats().damaged(), 20u);
+}
+
+TEST(FaultyChannel, TruncationShortensThePacket) {
+  FaultyChannel channel({.truncate = 1.0}, 4);
+  for (int i = 0; i < 20; ++i) {
+    const auto packet = sample_packet(48, i);
+    const auto arrivals = channel.transmit(packet);
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_LT(arrivals[0].size(), packet.size());
+    // The surviving prefix is undamaged.
+    EXPECT_TRUE(std::equal(arrivals[0].begin(), arrivals[0].end(),
+                           packet.begin()));
+  }
+  EXPECT_EQ(channel.stats().truncated, 20u);
+}
+
+TEST(FaultyChannel, DuplicationDeliversTheSamePacketTwice) {
+  FaultyChannel channel({.duplicate = 1.0}, 5);
+  const auto packet = sample_packet(32, 0);
+  const auto arrivals = channel.transmit(packet);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], packet);
+  EXPECT_EQ(arrivals[1], packet);
+  EXPECT_EQ(channel.stats().duplicated, 1u);
+  EXPECT_EQ(channel.stats().delivered, 2u);
+}
+
+TEST(FaultyChannel, ReorderingSwapsAdjacentPackets) {
+  FaultyChannel channel({.reorder = 1.0}, 6);
+  const auto first = sample_packet(32, 1);
+  const auto second = sample_packet(32, 2);
+
+  EXPECT_TRUE(channel.transmit(first).empty());
+  EXPECT_EQ(channel.in_flight(), 1u);
+
+  // Only one packet is held at a time: the second rides through and pulls
+  // the held one out behind it, in swapped order.
+  const auto arrivals = channel.transmit(second);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], second);
+  EXPECT_EQ(arrivals[1], first);
+  EXPECT_EQ(channel.in_flight(), 0u);
+  EXPECT_EQ(channel.stats().reordered, 1u);
+  EXPECT_EQ(channel.stats().delivered, 2u);
+}
+
+TEST(FaultyChannel, FlushReleasesAHeldPacket) {
+  FaultyChannel channel({.reorder = 1.0}, 7);
+  const auto packet = sample_packet(32, 0);
+  EXPECT_TRUE(channel.transmit(packet).empty());
+  const auto flushed = channel.flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], packet);
+  EXPECT_EQ(channel.in_flight(), 0u);
+  EXPECT_TRUE(channel.flush().empty());
+}
+
+TEST(FaultyChannel, StatsPartitionEverySentPacket) {
+  // Every packet suffers at most one fault, so after draining the reorder
+  // buffer the counters must account exactly for everything that happened.
+  const FaultSpec spec{.loss = 0.1, .corrupt = 0.1, .truncate = 0.1,
+                       .duplicate = 0.1, .reorder = 0.1};
+  FaultyChannel channel(spec, 8);
+  for (int i = 0; i < 2000; ++i) {
+    (void)channel.transmit(sample_packet(40, i));
+  }
+  (void)channel.flush();
+  const ChannelStats& s = channel.stats();
+  EXPECT_EQ(s.sent, 2000u);
+  EXPECT_EQ(s.delivered, s.sent - s.lost + s.duplicated);
+  EXPECT_EQ(s.faults(),
+            s.lost + s.corrupted + s.truncated + s.duplicated + s.reordered);
+  // With p = 0.1 each over 2000 packets, every class must have fired.
+  EXPECT_GT(s.lost, 0u);
+  EXPECT_GT(s.corrupted, 0u);
+  EXPECT_GT(s.truncated, 0u);
+  EXPECT_GT(s.duplicated, 0u);
+  EXPECT_GT(s.reordered, 0u);
+}
+
+TEST(FaultyChannel, DeterministicForAFixedSeed) {
+  const FaultSpec spec{.loss = 0.2, .corrupt = 0.2, .truncate = 0.2};
+  FaultyChannel a(spec, 99);
+  FaultyChannel b(spec, 99);
+  for (int i = 0; i < 200; ++i) {
+    const auto packet = sample_packet(24, i);
+    EXPECT_EQ(a.transmit(packet), b.transmit(packet));
+  }
+  EXPECT_EQ(a.stats().faults(), b.stats().faults());
+}
+
+TEST(FaultyChannel, EmptyPacketsNeverCrash) {
+  const FaultSpec spec{.loss = 0.2, .corrupt = 0.2, .truncate = 0.2,
+                       .duplicate = 0.2, .reorder = 0.2};
+  FaultyChannel channel(spec, 10);
+  for (int i = 0; i < 100; ++i) (void)channel.transmit({});
+  (void)channel.flush();
+  EXPECT_EQ(channel.stats().sent, 100u);
+}
+
+TEST(FaultyChannel, StatsAggregateAcrossLinks) {
+  ChannelStats total;
+  ChannelStats a{.sent = 10, .delivered = 9, .lost = 1};
+  ChannelStats b{.sent = 5, .delivered = 5, .corrupted = 2};
+  total += a;
+  total += b;
+  EXPECT_EQ(total.sent, 15u);
+  EXPECT_EQ(total.delivered, 14u);
+  EXPECT_EQ(total.lost, 1u);
+  EXPECT_EQ(total.corrupted, 2u);
+  EXPECT_EQ(total.faults(), 3u);
+  EXPECT_EQ(total.damaged(), 2u);
+}
+
+TEST(FaultyChannelDeathTest, OutOfRangeProbabilityAborts) {
+  EXPECT_DEATH(FaultyChannel({.loss = 1.5}, 0), "EXTNC_CHECK");
+  EXPECT_DEATH(FaultyChannel({.corrupt = -0.1}, 0), "EXTNC_CHECK");
+}
+
+}  // namespace
+}  // namespace extnc::net

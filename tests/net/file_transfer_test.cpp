@@ -106,11 +106,55 @@ TEST(FileTransfer, CorruptedPacketIsCountedNotFatal) {
   options.params = {.n = 4, .k = 32};
   options.redundancy = 0.5;  // spares cover the corrupted one
   auto container = encode_file(content, options);
-  container[40] ^= 0xff;  // smash the first packet's magic
+  container[40] ^= 0xff;  // smash a header field of the first packet
   const FileDecodeResult result = decode_file(container);
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_EQ(result.content, content);
   EXPECT_GE(result.packets_rejected, 1u);
+}
+
+TEST(FileTransfer, SimulatedCorruptionIsDetectedAndAbsorbed) {
+  // Damaged packets stay in the container; the wire CRC rejects each one
+  // at decode, and the redundant packets cover the holes — the decode
+  // succeeds with the exact content and reports how many were rejected.
+  const auto content = random_content(4000, 11);
+  FileEncodeOptions options;
+  options.params = {.n = 8, .k = 64};
+  options.redundancy = 1.0;
+  options.corruption = 0.2;
+  options.seed = 12;
+  const auto container = encode_file(content, options);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.content, content);
+  EXPECT_GE(result.packets_rejected, 1u);
+}
+
+TEST(FileTransfer, LegacyV1ContainerRoundTrips) {
+  const auto content = random_content(2000, 12);
+  FileEncodeOptions options;
+  options.params = {.n = 4, .k = 32};
+  options.wire_format = coding::WireFormat::kV1;
+  const auto container = encode_file(content, options);
+  const auto info = describe_file(container);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->wire_format, coding::WireFormat::kV1);
+  const FileDecodeResult result = decode_file(container);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.content, content);
+}
+
+TEST(FileTransfer, V2ContainerIsLargerByTheTrailers) {
+  const auto content = random_content(2000, 13);
+  FileEncodeOptions options;
+  options.params = {.n = 4, .k = 32};
+  const auto v2 = encode_file(content, options);
+  options.wire_format = coding::WireFormat::kV1;
+  const auto v1 = encode_file(content, options);
+  const auto info = describe_file(v2);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->wire_format, coding::WireFormat::kV2);
+  EXPECT_EQ(v2.size(), v1.size() + info->packets * coding::kWireChecksumBytes);
 }
 
 TEST(FileTransfer, InfoMatchesOptions) {

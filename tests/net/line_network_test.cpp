@@ -86,6 +86,17 @@ TEST(LineNetwork, HeavyLossStillCompletesWithRecoding) {
   EXPECT_TRUE(result.decoded_correctly);
 }
 
+TEST(LineNetwork, SinkReportsDigestVerification) {
+  const LineNetworkResult result = run_line_network(base_config());
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.digest_verified);
+  EXPECT_EQ(result.packets_rejected, 0u);
+  EXPECT_EQ(result.blocks_quarantined, 0u);
+  ASSERT_EQ(result.link_stats.size(), base_config().hops);
+  // Without fault injection the channels are never engaged.
+  for (const auto& stats : result.link_stats) EXPECT_EQ(stats.sent, 0u);
+}
+
 TEST(LineNetwork, RoundLimitReportsIncomplete) {
   LineNetworkConfig config = base_config();
   config.max_rounds = 3;  // cannot finish

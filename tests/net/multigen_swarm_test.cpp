@@ -102,5 +102,20 @@ TEST(MultiGenSwarm, TimeLimitReportsIncomplete) {
   EXPECT_FALSE(result.all_completed);
 }
 
+TEST(MultiGenSwarm, CorruptedPacketsAreRejectedNeverBuffered) {
+  MultiGenSwarmConfig config = base_config();
+  config.faults.corrupt = 0.1;
+  config.faults.duplicate = 0.05;
+  const auto result = run_multigen_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.content_verified);
+  EXPECT_GT(result.channel.damaged(), 0u);
+  // The wire CRC at each receiving peer accounts for every damaged packet.
+  EXPECT_EQ(result.packets_rejected, result.channel.damaged());
+  EXPECT_EQ(result.channel.delivered,
+            result.channel.sent - result.channel.lost +
+                result.channel.duplicated);
+}
+
 }  // namespace
 }  // namespace extnc::net

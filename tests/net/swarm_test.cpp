@@ -103,6 +103,35 @@ TEST(Swarm, TimeLimitReportsIncomplete) {
   EXPECT_FALSE(result.all_completed);
 }
 
+TEST(Swarm, FaultFreeChannelsDoNotChangeTheRun) {
+  // Enabling the fault layer with all-zero probabilities must be a pure
+  // pass-through: same completion time, same traffic, draw for draw.
+  SwarmConfig config = small_config();
+  config.faults = FaultSpec{};
+  const SwarmResult plain = run_swarm(small_config());
+  const SwarmResult channeled = run_swarm(config);
+  EXPECT_EQ(plain.completion_seconds, channeled.completion_seconds);
+  EXPECT_EQ(plain.blocks_sent, channeled.blocks_sent);
+  EXPECT_EQ(channeled.blocks_rejected, 0u);
+}
+
+TEST(Swarm, CorruptionIsRejectedAtEveryPeerAndAbsorbed) {
+  SwarmConfig config = small_config();
+  config.faults.corrupt = 0.15;
+  config.faults.truncate = 0.05;
+  config.max_seconds = 5000.0;
+  const SwarmResult result = run_swarm(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_TRUE(result.all_decoded_correctly);
+  // Exact accounting: every damaged packet was rejected at parse, nothing
+  // damaged slipped through, nothing intact was dropped.
+  EXPECT_GT(result.channel.damaged(), 0u);
+  EXPECT_EQ(result.blocks_rejected, result.channel.damaged());
+  EXPECT_EQ(result.channel.delivered,
+            result.channel.sent - result.channel.lost +
+                result.channel.duplicated);
+}
+
 class SwarmScaleSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(SwarmScaleSweep, CompletesAtVariousSwarmSizes) {

@@ -5,13 +5,16 @@
 //       --k K            block size, bytes           (default 1024)
 //       --redundancy R   extra coded packets, 0.25 = +25%  (default 0)
 //       --loss P         simulated drop fraction     (default 0)
+//       --corrupt P      simulated bit-flip fraction (default 0)
+//       --v1             legacy wire format, no packet checksums
 //       --systematic     emit source blocks first
 //       --seed S         RNG seed                    (default 1)
 //   extnc_file decode <input.xnc> <output>
 //   extnc_file info   <input.xnc>
 //
 // Exit status 0 on success. `encode --loss 0.2 --redundancy 0.3` followed
-// by `decode` demonstrates loss recovery end to end.
+// by `decode` demonstrates loss recovery end to end; `--corrupt 0.1`
+// additionally demonstrates the wire CRC rejecting damaged packets.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +30,8 @@ using namespace extnc;
 int usage() {
   std::fprintf(stderr,
                "usage: extnc_file encode <input> <output.xnc> [--n N] [--k K]"
-               " [--redundancy R] [--loss P] [--systematic] [--seed S]\n"
+               " [--redundancy R] [--loss P] [--corrupt P] [--v1]"
+               " [--systematic] [--seed S]\n"
                "       extnc_file decode <input.xnc> <output>\n"
                "       extnc_file info   <input.xnc>\n");
   return 2;
@@ -49,6 +53,10 @@ int cmd_encode(int argc, char** argv) {
       options.redundancy = std::strtod(value(), nullptr);
     } else if (arg == "--loss") {
       options.loss = std::strtod(value(), nullptr);
+    } else if (arg == "--corrupt") {
+      options.corruption = std::strtod(value(), nullptr);
+    } else if (arg == "--v1") {
+      options.wire_format = coding::WireFormat::kV1;
     } else if (arg == "--seed") {
       options.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--systematic") {
@@ -73,10 +81,10 @@ int cmd_encode(int argc, char** argv) {
     return 1;
   }
   std::printf("%s: %zu bytes -> %zu coded bytes (n=%zu, k=%zu, "
-              "redundancy=%.0f%%, loss=%.0f%%)\n",
+              "redundancy=%.0f%%, loss=%.0f%%, corrupt=%.0f%%)\n",
               argv[3], content->size(), container.size(), options.params.n,
-              options.params.k, 100 * options.redundancy,
-              100 * options.loss);
+              options.params.k, 100 * options.redundancy, 100 * options.loss,
+              100 * options.corruption);
   return 0;
 }
 
@@ -124,6 +132,10 @@ int cmd_info(int argc, char** argv) {
   std::printf("  packets          : %u (%.1f%% of minimum)\n", info->packets,
               100.0 * info->packets /
                   (static_cast<double>(info->generations) * info->params.n));
+  std::printf("  wire format      : %s\n",
+              info->wire_format == coding::WireFormat::kV2
+                  ? "XNC2 (CRC32C per packet)"
+                  : "XNC1 (legacy, no checksums)");
   return 0;
 }
 

@@ -6,6 +6,10 @@
 //   extnc_sim multigen [--peers N] [--generations G] [--loss P]
 //                      [--schedule random|sequential|rarest] [--seed S]
 //
+// swarm, line and multigen also take byte-level fault-injection flags
+// (--corrupt P, --truncate P, --dup P, --reorder P); the printed stats
+// then include what was injected vs. caught by the wire CRC.
+//
 // Each prints the same statistics the corresponding tests assert on.
 #include <cstdio>
 #include <cstdlib>
@@ -49,12 +53,29 @@ int usage() {
   std::fprintf(stderr,
                "usage: extnc_sim swarm|line|live|multigen [options]\n"
                "  common: --loss P --seed S\n"
+               "  faults (swarm/line/multigen): --corrupt P --truncate P "
+               "--dup P --reorder P\n"
                "  swarm:  --peers N --no-recoding\n"
                "  line:   --hops H --no-recoding\n"
                "  live:   --viewers N --rate BLOCKS_PER_S\n"
                "  multigen: --peers N --generations G "
                "--schedule random|sequential|rarest\n");
   return 2;
+}
+
+net::FaultSpec fault_spec(const Args& args) {
+  return net::FaultSpec{.corrupt = args.number("--corrupt", 0),
+                        .truncate = args.number("--truncate", 0),
+                        .duplicate = args.number("--dup", 0),
+                        .reorder = args.number("--reorder", 0)};
+}
+
+void print_faults(const net::ChannelStats& s, std::size_t rejected) {
+  std::printf("  faults injected: %zu (%zu corrupt, %zu truncated, "
+              "%zu duplicated, %zu reordered)\n",
+              s.faults(), s.corrupted, s.truncated, s.duplicated, s.reordered);
+  std::printf("  CRC rejections : %zu of %zu damaged\n", rejected,
+              s.damaged());
 }
 
 int cmd_swarm(const Args& args) {
@@ -64,6 +85,7 @@ int cmd_swarm(const Args& args) {
   config.loss_probability = args.number("--loss", 0.0);
   config.use_recoding = !args.flag("--no-recoding");
   config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  config.faults = fault_spec(args);
   const auto r = net::run_swarm(config);
   std::printf("swarm: %zu peers, loss %.0f%%, %s\n", config.peers,
               100 * config.loss_probability,
@@ -74,6 +96,7 @@ int cmd_swarm(const Args& args) {
   std::printf("  overhead       : %.1f%% dependent\n",
               100 * r.dependent_overhead());
   std::printf("  verified       : %s\n", r.all_decoded_correctly ? "yes" : "NO");
+  if (config.faults.any()) print_faults(r.channel, r.blocks_rejected);
   return r.all_completed ? 0 : 1;
 }
 
@@ -85,6 +108,7 @@ int cmd_line(const Args& args) {
   config.recode_at_relays = !args.flag("--no-recoding");
   config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
   config.max_rounds = 1000000;
+  config.faults = fault_spec(args);
   const auto r = net::run_line_network(config);
   std::printf("line: %zu hops, loss %.0f%%, %s\n", config.hops,
               100 * config.loss_probability,
@@ -94,6 +118,13 @@ int cmd_line(const Args& args) {
   std::printf("  goodput        : %.2f blocks/round\n",
               r.goodput(config.params));
   std::printf("  verified       : %s\n", r.decoded_correctly ? "yes" : "NO");
+  if (config.faults.any()) {
+    net::ChannelStats total;
+    for (const auto& s : r.link_stats) total += s;
+    print_faults(total, r.packets_rejected);
+    std::printf("  quarantined    : %zu blocks at the sink\n",
+                r.blocks_quarantined);
+  }
   return r.completed ? 0 : 1;
 }
 
@@ -122,6 +153,7 @@ int cmd_multigen(const Args& args) {
       static_cast<std::size_t>(args.number("--generations", 4));
   config.loss_probability = args.number("--loss", 0.0);
   config.rng_seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  config.faults = fault_spec(args);
   const std::string schedule = args.text("--schedule", "random");
   if (schedule == "sequential") {
     config.schedule = net::GenerationSchedule::kSequential;
@@ -141,6 +173,7 @@ int cmd_multigen(const Args& args) {
   std::printf("  gen half-done  :");
   for (double t : r.generation_half_completion) std::printf(" %.1fs", t);
   std::printf("\n  verified       : %s\n", r.content_verified ? "yes" : "NO");
+  if (config.faults.any()) print_faults(r.channel, r.packets_rejected);
   return r.all_completed ? 0 : 1;
 }
 
