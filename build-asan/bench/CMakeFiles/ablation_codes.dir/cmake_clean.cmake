@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codes.dir/ablation_codes.cpp.o"
+  "CMakeFiles/ablation_codes.dir/ablation_codes.cpp.o.d"
+  "ablation_codes"
+  "ablation_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_field.cpp" "bench/CMakeFiles/ablation_field.dir/ablation_field.cpp.o" "gcc" "bench/CMakeFiles/ablation_field.dir/ablation_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/gpu/CMakeFiles/extnc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/extnc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/extnc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simgpu/CMakeFiles/extnc_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf65536/CMakeFiles/extnc_gf65536.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

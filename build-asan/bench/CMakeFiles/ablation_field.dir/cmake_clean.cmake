@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_field.dir/ablation_field.cpp.o"
+  "CMakeFiles/ablation_field.dir/ablation_field.cpp.o.d"
+  "ablation_field"
+  "ablation_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_fullblock.dir/fig10_cpu_fullblock.cpp.o"
+  "CMakeFiles/fig10_cpu_fullblock.dir/fig10_cpu_fullblock.cpp.o.d"
+  "fig10_cpu_fullblock"
+  "fig10_cpu_fullblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_fullblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

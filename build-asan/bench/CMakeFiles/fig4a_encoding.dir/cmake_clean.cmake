@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_encoding.dir/fig4a_encoding.cpp.o"
+  "CMakeFiles/fig4a_encoding.dir/fig4a_encoding.cpp.o.d"
+  "fig4a_encoding"
+  "fig4a_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

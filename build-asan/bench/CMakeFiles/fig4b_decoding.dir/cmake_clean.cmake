@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_decoding.dir/fig4b_decoding.cpp.o"
+  "CMakeFiles/fig4b_decoding.dir/fig4b_decoding.cpp.o.d"
+  "fig4b_decoding"
+  "fig4b_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_table_vs_loop.dir/fig6_table_vs_loop.cpp.o"
+  "CMakeFiles/fig6_table_vs_loop.dir/fig6_table_vs_loop.cpp.o.d"
+  "fig6_table_vs_loop"
+  "fig6_table_vs_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_table_vs_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

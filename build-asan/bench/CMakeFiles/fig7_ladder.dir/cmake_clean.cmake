@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ladder.dir/fig7_ladder.cpp.o"
+  "CMakeFiles/fig7_ladder.dir/fig7_ladder.cpp.o.d"
+  "fig7_ladder"
+  "fig7_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

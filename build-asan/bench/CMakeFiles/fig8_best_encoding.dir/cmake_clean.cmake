@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_best_encoding.dir/fig8_best_encoding.cpp.o"
+  "CMakeFiles/fig8_best_encoding.dir/fig8_best_encoding.cpp.o.d"
+  "fig8_best_encoding"
+  "fig8_best_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_best_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_multiseg_decoding.dir/fig9_multiseg_decoding.cpp.o"
+  "CMakeFiles/fig9_multiseg_decoding.dir/fig9_multiseg_decoding.cpp.o.d"
+  "fig9_multiseg_decoding"
+  "fig9_multiseg_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_multiseg_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_coding.dir/host_coding.cpp.o"
+  "CMakeFiles/host_coding.dir/host_coding.cpp.o.d"
+  "host_coding"
+  "host_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

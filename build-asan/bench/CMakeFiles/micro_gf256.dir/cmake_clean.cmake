@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gf256.dir/micro_gf256.cpp.o"
+  "CMakeFiles/micro_gf256.dir/micro_gf256.cpp.o.d"
+  "micro_gf256"
+  "micro_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_capacity.dir/streaming_capacity.cpp.o"
+  "CMakeFiles/streaming_capacity.dir/streaming_capacity.cpp.o.d"
+  "streaming_capacity"
+  "streaming_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly.dir/butterfly.cpp.o"
+  "CMakeFiles/butterfly.dir/butterfly.cpp.o.d"
+  "butterfly"
+  "butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

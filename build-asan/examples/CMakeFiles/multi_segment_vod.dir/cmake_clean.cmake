@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_segment_vod.dir/multi_segment_vod.cpp.o"
+  "CMakeFiles/multi_segment_vod.dir/multi_segment_vod.cpp.o.d"
+  "multi_segment_vod"
+  "multi_segment_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_segment_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

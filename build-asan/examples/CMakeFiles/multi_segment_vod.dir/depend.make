@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_segment_vod.
+# This may be replaced when dependencies are built.

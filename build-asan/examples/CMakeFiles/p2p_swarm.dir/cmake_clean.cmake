@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_swarm.dir/p2p_swarm.cpp.o"
+  "CMakeFiles/p2p_swarm.dir/p2p_swarm.cpp.o.d"
+  "p2p_swarm"
+  "p2p_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_chain.dir/relay_chain.cpp.o"
+  "CMakeFiles/relay_chain.dir/relay_chain.cpp.o.d"
+  "relay_chain"
+  "relay_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("gf256")
+subdirs("gf65536")
+subdirs("codes")
+subdirs("coding")
+subdirs("cpu")
+subdirs("simgpu")
+subdirs("gpu")
+subdirs("net")

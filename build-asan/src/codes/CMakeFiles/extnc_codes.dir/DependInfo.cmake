@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/lt_code.cpp" "src/codes/CMakeFiles/extnc_codes.dir/lt_code.cpp.o" "gcc" "src/codes/CMakeFiles/extnc_codes.dir/lt_code.cpp.o.d"
+  "/root/repo/src/codes/reed_solomon.cpp" "src/codes/CMakeFiles/extnc_codes.dir/reed_solomon.cpp.o" "gcc" "src/codes/CMakeFiles/extnc_codes.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_codes.dir/lt_code.cpp.o"
+  "CMakeFiles/extnc_codes.dir/lt_code.cpp.o.d"
+  "CMakeFiles/extnc_codes.dir/reed_solomon.cpp.o"
+  "CMakeFiles/extnc_codes.dir/reed_solomon.cpp.o.d"
+  "libextnc_codes.a"
+  "libextnc_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/block_decoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/block_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/block_decoder.cpp.o.d"
+  "/root/repo/src/coding/encoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/encoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/encoder.cpp.o.d"
+  "/root/repo/src/coding/generation_stream.cpp" "src/coding/CMakeFiles/extnc_coding.dir/generation_stream.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/generation_stream.cpp.o.d"
+  "/root/repo/src/coding/progressive_decoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o.d"
+  "/root/repo/src/coding/recoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/recoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/recoder.cpp.o.d"
+  "/root/repo/src/coding/segment.cpp" "src/coding/CMakeFiles/extnc_coding.dir/segment.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/segment.cpp.o.d"
+  "/root/repo/src/coding/segment_digest.cpp" "src/coding/CMakeFiles/extnc_coding.dir/segment_digest.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/segment_digest.cpp.o.d"
+  "/root/repo/src/coding/systematic.cpp" "src/coding/CMakeFiles/extnc_coding.dir/systematic.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/systematic.cpp.o.d"
+  "/root/repo/src/coding/verifying_decoder.cpp" "src/coding/CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o.d"
+  "/root/repo/src/coding/wire.cpp" "src/coding/CMakeFiles/extnc_coding.dir/wire.cpp.o" "gcc" "src/coding/CMakeFiles/extnc_coding.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

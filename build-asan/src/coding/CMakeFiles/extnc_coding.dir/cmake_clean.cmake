@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_coding.dir/block_decoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/block_decoder.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/encoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/encoder.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/generation_stream.cpp.o"
+  "CMakeFiles/extnc_coding.dir/generation_stream.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/progressive_decoder.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/recoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/recoder.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/segment.cpp.o"
+  "CMakeFiles/extnc_coding.dir/segment.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/segment_digest.cpp.o"
+  "CMakeFiles/extnc_coding.dir/segment_digest.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/systematic.cpp.o"
+  "CMakeFiles/extnc_coding.dir/systematic.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o"
+  "CMakeFiles/extnc_coding.dir/verifying_decoder.cpp.o.d"
+  "CMakeFiles/extnc_coding.dir/wire.cpp.o"
+  "CMakeFiles/extnc_coding.dir/wire.cpp.o.d"
+  "libextnc_coding.a"
+  "libextnc_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

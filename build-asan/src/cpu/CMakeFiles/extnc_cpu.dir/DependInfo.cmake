@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_decoder.cpp" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_decoder.cpp.o" "gcc" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_decoder.cpp.o.d"
+  "/root/repo/src/cpu/cpu_encoder.cpp" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_encoder.cpp.o" "gcc" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_encoder.cpp.o.d"
+  "/root/repo/src/cpu/cpu_table_encoder.cpp" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_table_encoder.cpp.o" "gcc" "src/cpu/CMakeFiles/extnc_cpu.dir/cpu_table_encoder.cpp.o.d"
+  "/root/repo/src/cpu/multi_segment_decoder.cpp" "src/cpu/CMakeFiles/extnc_cpu.dir/multi_segment_decoder.cpp.o" "gcc" "src/cpu/CMakeFiles/extnc_cpu.dir/multi_segment_decoder.cpp.o.d"
+  "/root/repo/src/cpu/xeon_model.cpp" "src/cpu/CMakeFiles/extnc_cpu.dir/xeon_model.cpp.o" "gcc" "src/cpu/CMakeFiles/extnc_cpu.dir/xeon_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_cpu.dir/cpu_decoder.cpp.o"
+  "CMakeFiles/extnc_cpu.dir/cpu_decoder.cpp.o.d"
+  "CMakeFiles/extnc_cpu.dir/cpu_encoder.cpp.o"
+  "CMakeFiles/extnc_cpu.dir/cpu_encoder.cpp.o.d"
+  "CMakeFiles/extnc_cpu.dir/cpu_table_encoder.cpp.o"
+  "CMakeFiles/extnc_cpu.dir/cpu_table_encoder.cpp.o.d"
+  "CMakeFiles/extnc_cpu.dir/multi_segment_decoder.cpp.o"
+  "CMakeFiles/extnc_cpu.dir/multi_segment_decoder.cpp.o.d"
+  "CMakeFiles/extnc_cpu.dir/xeon_model.cpp.o"
+  "CMakeFiles/extnc_cpu.dir/xeon_model.cpp.o.d"
+  "libextnc_cpu.a"
+  "libextnc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf256/matrix.cpp" "src/gf256/CMakeFiles/extnc_gf256.dir/matrix.cpp.o" "gcc" "src/gf256/CMakeFiles/extnc_gf256.dir/matrix.cpp.o.d"
+  "/root/repo/src/gf256/region.cpp" "src/gf256/CMakeFiles/extnc_gf256.dir/region.cpp.o" "gcc" "src/gf256/CMakeFiles/extnc_gf256.dir/region.cpp.o.d"
+  "/root/repo/src/gf256/region_simd.cpp" "src/gf256/CMakeFiles/extnc_gf256.dir/region_simd.cpp.o" "gcc" "src/gf256/CMakeFiles/extnc_gf256.dir/region_simd.cpp.o.d"
+  "/root/repo/src/gf256/tables.cpp" "src/gf256/CMakeFiles/extnc_gf256.dir/tables.cpp.o" "gcc" "src/gf256/CMakeFiles/extnc_gf256.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_gf256.dir/matrix.cpp.o"
+  "CMakeFiles/extnc_gf256.dir/matrix.cpp.o.d"
+  "CMakeFiles/extnc_gf256.dir/region.cpp.o"
+  "CMakeFiles/extnc_gf256.dir/region.cpp.o.d"
+  "CMakeFiles/extnc_gf256.dir/region_simd.cpp.o"
+  "CMakeFiles/extnc_gf256.dir/region_simd.cpp.o.d"
+  "CMakeFiles/extnc_gf256.dir/tables.cpp.o"
+  "CMakeFiles/extnc_gf256.dir/tables.cpp.o.d"
+  "libextnc_gf256.a"
+  "libextnc_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf65536/codec16.cpp" "src/gf65536/CMakeFiles/extnc_gf65536.dir/codec16.cpp.o" "gcc" "src/gf65536/CMakeFiles/extnc_gf65536.dir/codec16.cpp.o.d"
+  "/root/repo/src/gf65536/gf16.cpp" "src/gf65536/CMakeFiles/extnc_gf65536.dir/gf16.cpp.o" "gcc" "src/gf65536/CMakeFiles/extnc_gf65536.dir/gf16.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_gf65536.dir/codec16.cpp.o"
+  "CMakeFiles/extnc_gf65536.dir/codec16.cpp.o.d"
+  "CMakeFiles/extnc_gf65536.dir/gf16.cpp.o"
+  "CMakeFiles/extnc_gf65536.dir/gf16.cpp.o.d"
+  "libextnc_gf65536.a"
+  "libextnc_gf65536.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_gf65536.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libextnc_gf65536.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_gpu.dir/gpu_decoder.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/gpu_decoder.cpp.o.d"
+  "CMakeFiles/extnc_gpu.dir/gpu_encoder.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/gpu_encoder.cpp.o.d"
+  "CMakeFiles/extnc_gpu.dir/gpu_model.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/extnc_gpu.dir/gpu_multiseg_decoder.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/gpu_multiseg_decoder.cpp.o.d"
+  "CMakeFiles/extnc_gpu.dir/gpu_recoder.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/gpu_recoder.cpp.o.d"
+  "CMakeFiles/extnc_gpu.dir/hybrid_encoder.cpp.o"
+  "CMakeFiles/extnc_gpu.dir/hybrid_encoder.cpp.o.d"
+  "libextnc_gpu.a"
+  "libextnc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

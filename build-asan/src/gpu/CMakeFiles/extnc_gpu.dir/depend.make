@@ -1,0 +1,2 @@
+# Empty dependencies file for extnc_gpu.
+# This may be replaced when dependencies are built.

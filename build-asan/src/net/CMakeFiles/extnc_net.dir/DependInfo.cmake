@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/butterfly.cpp" "src/net/CMakeFiles/extnc_net.dir/butterfly.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/butterfly.cpp.o.d"
+  "/root/repo/src/net/event_sim.cpp" "src/net/CMakeFiles/extnc_net.dir/event_sim.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/event_sim.cpp.o.d"
+  "/root/repo/src/net/faulty_channel.cpp" "src/net/CMakeFiles/extnc_net.dir/faulty_channel.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/faulty_channel.cpp.o.d"
+  "/root/repo/src/net/file_transfer.cpp" "src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/file_transfer.cpp.o.d"
+  "/root/repo/src/net/line_network.cpp" "src/net/CMakeFiles/extnc_net.dir/line_network.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/line_network.cpp.o.d"
+  "/root/repo/src/net/live_stream.cpp" "src/net/CMakeFiles/extnc_net.dir/live_stream.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/live_stream.cpp.o.d"
+  "/root/repo/src/net/multigen_swarm.cpp" "src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o.d"
+  "/root/repo/src/net/streaming.cpp" "src/net/CMakeFiles/extnc_net.dir/streaming.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/streaming.cpp.o.d"
+  "/root/repo/src/net/swarm.cpp" "src/net/CMakeFiles/extnc_net.dir/swarm.cpp.o" "gcc" "src/net/CMakeFiles/extnc_net.dir/swarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

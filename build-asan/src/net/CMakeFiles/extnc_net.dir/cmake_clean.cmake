@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_net.dir/butterfly.cpp.o"
+  "CMakeFiles/extnc_net.dir/butterfly.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/event_sim.cpp.o"
+  "CMakeFiles/extnc_net.dir/event_sim.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/faulty_channel.cpp.o"
+  "CMakeFiles/extnc_net.dir/faulty_channel.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/file_transfer.cpp.o"
+  "CMakeFiles/extnc_net.dir/file_transfer.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/line_network.cpp.o"
+  "CMakeFiles/extnc_net.dir/line_network.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/live_stream.cpp.o"
+  "CMakeFiles/extnc_net.dir/live_stream.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o"
+  "CMakeFiles/extnc_net.dir/multigen_swarm.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/streaming.cpp.o"
+  "CMakeFiles/extnc_net.dir/streaming.cpp.o.d"
+  "CMakeFiles/extnc_net.dir/swarm.cpp.o"
+  "CMakeFiles/extnc_net.dir/swarm.cpp.o.d"
+  "libextnc_net.a"
+  "libextnc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

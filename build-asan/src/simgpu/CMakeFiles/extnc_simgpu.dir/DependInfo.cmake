@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/device_spec.cpp" "src/simgpu/CMakeFiles/extnc_simgpu.dir/device_spec.cpp.o" "gcc" "src/simgpu/CMakeFiles/extnc_simgpu.dir/device_spec.cpp.o.d"
+  "/root/repo/src/simgpu/executor.cpp" "src/simgpu/CMakeFiles/extnc_simgpu.dir/executor.cpp.o" "gcc" "src/simgpu/CMakeFiles/extnc_simgpu.dir/executor.cpp.o.d"
+  "/root/repo/src/simgpu/occupancy.cpp" "src/simgpu/CMakeFiles/extnc_simgpu.dir/occupancy.cpp.o" "gcc" "src/simgpu/CMakeFiles/extnc_simgpu.dir/occupancy.cpp.o.d"
+  "/root/repo/src/simgpu/timing.cpp" "src/simgpu/CMakeFiles/extnc_simgpu.dir/timing.cpp.o" "gcc" "src/simgpu/CMakeFiles/extnc_simgpu.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

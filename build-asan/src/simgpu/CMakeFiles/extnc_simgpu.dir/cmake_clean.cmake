@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_simgpu.dir/device_spec.cpp.o"
+  "CMakeFiles/extnc_simgpu.dir/device_spec.cpp.o.d"
+  "CMakeFiles/extnc_simgpu.dir/executor.cpp.o"
+  "CMakeFiles/extnc_simgpu.dir/executor.cpp.o.d"
+  "CMakeFiles/extnc_simgpu.dir/occupancy.cpp.o"
+  "CMakeFiles/extnc_simgpu.dir/occupancy.cpp.o.d"
+  "CMakeFiles/extnc_simgpu.dir/timing.cpp.o"
+  "CMakeFiles/extnc_simgpu.dir/timing.cpp.o.d"
+  "libextnc_simgpu.a"
+  "libextnc_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/aligned_buffer.cpp" "src/util/CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o.d"
+  "/root/repo/src/util/checksum.cpp" "src/util/CMakeFiles/extnc_util.dir/checksum.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/checksum.cpp.o.d"
+  "/root/repo/src/util/file_io.cpp" "src/util/CMakeFiles/extnc_util.dir/file_io.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/file_io.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/extnc_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/util/CMakeFiles/extnc_util.dir/table_printer.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/table_printer.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/extnc_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/extnc_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o"
+  "CMakeFiles/extnc_util.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/checksum.cpp.o"
+  "CMakeFiles/extnc_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/file_io.cpp.o"
+  "CMakeFiles/extnc_util.dir/file_io.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/stats.cpp.o"
+  "CMakeFiles/extnc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/table_printer.cpp.o"
+  "CMakeFiles/extnc_util.dir/table_printer.cpp.o.d"
+  "CMakeFiles/extnc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/extnc_util.dir/thread_pool.cpp.o.d"
+  "libextnc_util.a"
+  "libextnc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

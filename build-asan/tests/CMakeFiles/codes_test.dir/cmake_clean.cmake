@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_test.dir/codes/lt_code_test.cpp.o"
+  "CMakeFiles/codes_test.dir/codes/lt_code_test.cpp.o.d"
+  "CMakeFiles/codes_test.dir/codes/reed_solomon_test.cpp.o"
+  "CMakeFiles/codes_test.dir/codes/reed_solomon_test.cpp.o.d"
+  "codes_test"
+  "codes_test.pdb"
+  "codes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coding/batch_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/batch_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/batch_test.cpp.o.d"
+  "/root/repo/tests/coding/block_decoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/block_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/block_decoder_test.cpp.o.d"
+  "/root/repo/tests/coding/encoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/encoder_test.cpp.o.d"
+  "/root/repo/tests/coding/generation_stream_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o.d"
+  "/root/repo/tests/coding/progressive_decoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o.d"
+  "/root/repo/tests/coding/recoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o.d"
+  "/root/repo/tests/coding/segment_digest_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o.d"
+  "/root/repo/tests/coding/segment_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/segment_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/segment_test.cpp.o.d"
+  "/root/repo/tests/coding/systematic_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o.d"
+  "/root/repo/tests/coding/verifying_decoder_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o.d"
+  "/root/repo/tests/coding/wire_test.cpp" "tests/CMakeFiles/coding_test.dir/coding/wire_test.cpp.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_test.dir/coding/batch_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/batch_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/block_decoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/block_decoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/encoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/encoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/generation_stream_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/progressive_decoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/recoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/segment_digest_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/segment_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/segment_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/systematic_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/verifying_decoder_test.cpp.o.d"
+  "CMakeFiles/coding_test.dir/coding/wire_test.cpp.o"
+  "CMakeFiles/coding_test.dir/coding/wire_test.cpp.o.d"
+  "coding_test"
+  "coding_test.pdb"
+  "coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

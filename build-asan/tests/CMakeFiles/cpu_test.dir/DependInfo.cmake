@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/cpu_decoder_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_decoder_test.cpp.o.d"
+  "/root/repo/tests/cpu/cpu_encoder_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_encoder_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_encoder_test.cpp.o.d"
+  "/root/repo/tests/cpu/cpu_table_encoder_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_table_encoder_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu/cpu_table_encoder_test.cpp.o.d"
+  "/root/repo/tests/cpu/multi_segment_decoder_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu/multi_segment_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu/multi_segment_decoder_test.cpp.o.d"
+  "/root/repo/tests/cpu/xeon_model_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu/xeon_model_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu/xeon_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/extnc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

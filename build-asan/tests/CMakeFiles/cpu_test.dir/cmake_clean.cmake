@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test.dir/cpu/cpu_decoder_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/cpu_decoder_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/cpu_encoder_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/cpu_encoder_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/cpu_table_encoder_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/cpu_table_encoder_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/multi_segment_decoder_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/multi_segment_decoder_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/xeon_model_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/xeon_model_test.cpp.o.d"
+  "cpu_test"
+  "cpu_test.pdb"
+  "cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

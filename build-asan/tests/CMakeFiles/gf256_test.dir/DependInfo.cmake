@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gf256/gf_test.cpp" "tests/CMakeFiles/gf256_test.dir/gf256/gf_test.cpp.o" "gcc" "tests/CMakeFiles/gf256_test.dir/gf256/gf_test.cpp.o.d"
+  "/root/repo/tests/gf256/matrix_test.cpp" "tests/CMakeFiles/gf256_test.dir/gf256/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/gf256_test.dir/gf256/matrix_test.cpp.o.d"
+  "/root/repo/tests/gf256/region_test.cpp" "tests/CMakeFiles/gf256_test.dir/gf256/region_test.cpp.o" "gcc" "tests/CMakeFiles/gf256_test.dir/gf256/region_test.cpp.o.d"
+  "/root/repo/tests/gf256/swar_test.cpp" "tests/CMakeFiles/gf256_test.dir/gf256/swar_test.cpp.o" "gcc" "tests/CMakeFiles/gf256_test.dir/gf256/swar_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

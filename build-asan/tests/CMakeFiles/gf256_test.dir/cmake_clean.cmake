@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf256_test.dir/gf256/gf_test.cpp.o"
+  "CMakeFiles/gf256_test.dir/gf256/gf_test.cpp.o.d"
+  "CMakeFiles/gf256_test.dir/gf256/matrix_test.cpp.o"
+  "CMakeFiles/gf256_test.dir/gf256/matrix_test.cpp.o.d"
+  "CMakeFiles/gf256_test.dir/gf256/region_test.cpp.o"
+  "CMakeFiles/gf256_test.dir/gf256/region_test.cpp.o.d"
+  "CMakeFiles/gf256_test.dir/gf256/swar_test.cpp.o"
+  "CMakeFiles/gf256_test.dir/gf256/swar_test.cpp.o.d"
+  "gf256_test"
+  "gf256_test.pdb"
+  "gf256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

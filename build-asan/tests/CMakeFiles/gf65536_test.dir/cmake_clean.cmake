@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf65536_test.dir/gf65536/codec16_test.cpp.o"
+  "CMakeFiles/gf65536_test.dir/gf65536/codec16_test.cpp.o.d"
+  "CMakeFiles/gf65536_test.dir/gf65536/gf16_test.cpp.o"
+  "CMakeFiles/gf65536_test.dir/gf65536/gf16_test.cpp.o.d"
+  "gf65536_test"
+  "gf65536_test.pdb"
+  "gf65536_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf65536_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

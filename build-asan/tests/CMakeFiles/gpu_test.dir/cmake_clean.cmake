@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/gpu/gpu_decoder_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_decoder_test.cpp.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_encoder_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_encoder_test.cpp.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_model_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_model_test.cpp.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_multiseg_decoder_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_multiseg_decoder_test.cpp.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_recoder_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_recoder_test.cpp.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/hybrid_encoder_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu/hybrid_encoder_test.cpp.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+  "gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/butterfly_test.cpp" "tests/CMakeFiles/net_test.dir/net/butterfly_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/butterfly_test.cpp.o.d"
+  "/root/repo/tests/net/event_sim_test.cpp" "tests/CMakeFiles/net_test.dir/net/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/event_sim_test.cpp.o.d"
+  "/root/repo/tests/net/faulty_channel_test.cpp" "tests/CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o.d"
+  "/root/repo/tests/net/file_transfer_test.cpp" "tests/CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o.d"
+  "/root/repo/tests/net/line_network_test.cpp" "tests/CMakeFiles/net_test.dir/net/line_network_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/line_network_test.cpp.o.d"
+  "/root/repo/tests/net/live_stream_test.cpp" "tests/CMakeFiles/net_test.dir/net/live_stream_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/live_stream_test.cpp.o.d"
+  "/root/repo/tests/net/multigen_swarm_test.cpp" "tests/CMakeFiles/net_test.dir/net/multigen_swarm_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/multigen_swarm_test.cpp.o.d"
+  "/root/repo/tests/net/streaming_test.cpp" "tests/CMakeFiles/net_test.dir/net/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/streaming_test.cpp.o.d"
+  "/root/repo/tests/net/swarm_test.cpp" "tests/CMakeFiles/net_test.dir/net/swarm_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/swarm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/extnc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/butterfly_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/butterfly_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/event_sim_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/event_sim_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/faulty_channel_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/file_transfer_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/line_network_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/line_network_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/live_stream_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/live_stream_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/multigen_swarm_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/multigen_swarm_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/streaming_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/streaming_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/swarm_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/swarm_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simgpu/executor_edge_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/executor_edge_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/executor_edge_test.cpp.o.d"
+  "/root/repo/tests/simgpu/executor_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/executor_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/executor_test.cpp.o.d"
+  "/root/repo/tests/simgpu/occupancy_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/occupancy_test.cpp.o.d"
+  "/root/repo/tests/simgpu/timing_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/timing_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simgpu/CMakeFiles/extnc_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

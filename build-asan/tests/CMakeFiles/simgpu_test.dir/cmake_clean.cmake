@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgpu_test.dir/simgpu/executor_edge_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/executor_edge_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/executor_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/executor_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/occupancy_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/occupancy_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/timing_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/timing_test.cpp.o.d"
+  "simgpu_test"
+  "simgpu_test.pdb"
+  "simgpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/coding_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gf65536_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/codes_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gf256_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")

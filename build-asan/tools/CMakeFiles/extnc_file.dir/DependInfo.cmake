@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/extnc_file.cpp" "tools/CMakeFiles/extnc_file.dir/extnc_file.cpp.o" "gcc" "tools/CMakeFiles/extnc_file.dir/extnc_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/extnc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/extnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/extnc_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gf256/CMakeFiles/extnc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_file.dir/extnc_file.cpp.o"
+  "CMakeFiles/extnc_file.dir/extnc_file.cpp.o.d"
+  "extnc_file"
+  "extnc_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnc_sim.dir/extnc_sim.cpp.o"
+  "CMakeFiles/extnc_sim.dir/extnc_sim.cpp.o.d"
+  "extnc_sim"
+  "extnc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

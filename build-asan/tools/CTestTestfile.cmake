@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(extnc_file_roundtrip "/usr/bin/cmake" "-DTOOL=/root/repo/build-asan/tools/extnc_file" "-DWORK=/root/repo/build-asan/tools/roundtrip_work" "-P" "/root/repo/tools/roundtrip_test.cmake")
+set_tests_properties(extnc_file_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(extnc_sim_smoke_line "/root/repo/build-asan/tools/extnc_sim" "line" "--hops" "4" "--loss" "0.2")
+set_tests_properties(extnc_sim_smoke_line PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(extnc_sim_smoke_multigen "/root/repo/build-asan/tools/extnc_sim" "multigen" "--peers" "6" "--generations" "3" "--schedule" "rarest")
+set_tests_properties(extnc_sim_smoke_multigen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
