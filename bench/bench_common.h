@@ -5,13 +5,22 @@
 // via cpu::XeonModel) and, where a real code path exists on the host, a
 // measured host series. Pass --csv to any bench for machine-readable
 // output.
+// Failure policy: benches must never fail silently. An unknown flag, an
+// unknown device name or an unwritable --profile-json path exits non-zero
+// with a message on stderr instead of printing a default (or empty) table.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "simgpu/device_spec.h"
+#include "simgpu/profiler.h"
+#include "simgpu/trace_export.h"
 #include "util/table_printer.h"
 
 namespace extnc::bench {
@@ -28,6 +37,87 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+[[noreturn]] inline void die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+// Value of "--flag VALUE"; empty if absent, fatal if the value is missing.
+inline std::string flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 >= argc) die(std::string(flag) + " requires a value");
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Reject mistyped arguments: every argv entry must be one of value_flags
+// (which consume the next entry) or bool_flags.
+inline void check_flags(int argc, char** argv,
+                        std::initializer_list<const char*> value_flags,
+                        std::initializer_list<const char*> bool_flags) {
+  for (int i = 1; i < argc; ++i) {
+    bool known = false;
+    for (const char* flag : value_flags) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        if (i + 1 >= argc) die(std::string(flag) + " requires a value");
+        ++i;
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    for (const char* flag : bool_flags) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) die(std::string("unknown argument '") + argv[i] + "'");
+  }
+}
+
+// Simulated device by CLI name; fatal on anything unrecognized.
+inline const simgpu::DeviceSpec& device_by_name(const std::string& name) {
+  if (name == "gtx280") return simgpu::gtx280();
+  if (name == "8800gt") return simgpu::geforce_8800gt();
+  die("unknown device '" + name + "' (expected gtx280 or 8800gt)");
+}
+
+// --profile-json support: a Profiler plus the output path it flushes to.
+struct ProfileSink {
+  simgpu::Profiler profiler;
+  std::string path;
+
+  bool enabled() const { return !path.empty(); }
+  simgpu::Profiler* profiler_or_null() {
+    return enabled() ? &profiler : nullptr;
+  }
+  // Writes the Chrome-trace JSON; exits non-zero on an unwritable path
+  // rather than ending the run with a silently missing profile.
+  void write_or_die(
+      std::vector<std::pair<std::string, std::string>> metadata = {}) {
+    if (!enabled()) return;
+    simgpu::TraceOptions options;
+    options.metadata = std::move(metadata);
+    std::string error;
+    if (!simgpu::write_chrome_trace(profiler, path, &error, options)) {
+      std::fprintf(stderr, "error: --profile-json: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "profile: wrote %zu launch events to %s\n",
+                 profiler.launch_count(), path.c_str());
+  }
+};
+
+inline ProfileSink profile_sink(int argc, char** argv) {
+  ProfileSink sink;
+  sink.path = flag_value(argc, argv, "--profile-json");
+  return sink;
 }
 
 inline void print_table(const TablePrinter& table, bool csv) {

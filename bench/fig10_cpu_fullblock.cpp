@@ -41,6 +41,7 @@ double measure_host(cpu::EncodePartitioning partitioning, std::size_t n,
 
 int main(int argc, char** argv) {
   using namespace extnc::bench;
+  check_flags(argc, argv, {}, {"--csv", "--no-host"});
   const bool csv = has_flag(argc, argv, "--csv");
   const bool skip_host = has_flag(argc, argv, "--no-host");
   const cpu::XeonModel xeon;

@@ -38,7 +38,11 @@ void print_analysis(double mb_per_s, const coding::Params& params) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
+  EncodeModelOptions options;
+  options.profiler = sink.profiler_or_null();
   std::printf("Fig. 4(a): loop-based GPU encoding bandwidth (MB/s)\n\n");
   TablePrinter table({"block size", "GTX280 n=128", "GTX280 n=256",
                       "GTX280 n=512", "8800GT n=128", "8800GT n=256",
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
       for (std::size_t n : {128u, 256u, 512u}) {
         row.push_back(TablePrinter::num(
             model_encode_bandwidth(*spec, EncodeScheme::kLoopBased,
-                                   {.n = n, .k = k})
+                                   {.n = n, .k = k}, options)
                 .mb_per_s));
       }
     }
@@ -66,5 +70,6 @@ int main(int argc, char** argv) {
             .mb_per_s,
         anchor);
   }
+  sink.write_or_die({{"bench", "fig4a_encoding"}});
   return 0;
 }

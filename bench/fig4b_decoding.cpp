@@ -12,7 +12,9 @@
 int main(int argc, char** argv) {
   using namespace extnc;
   using namespace extnc::bench;
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
   const cpu::XeonModel xeon;
 
   std::printf("Fig. 4(b): single-segment decoding bandwidth (MB/s)\n\n");
@@ -23,7 +25,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{block_size_label(k)};
     for (std::size_t n : {128u, 256u, 512u}) {
       row.push_back(TablePrinter::num(
-          gpu::model_single_segment_decode(simgpu::gtx280(), {.n = n, .k = k})
+          gpu::model_single_segment_decode(simgpu::gtx280(), {.n = n, .k = k},
+                                           {}, sink.profiler_or_null())
               .mb_per_s));
     }
     for (std::size_t n : {128u, 256u, 512u}) {
@@ -39,5 +42,6 @@ int main(int argc, char** argv) {
         "\nCrossover check (n=128): GPU decode should first beat the Mac Pro "
         "at 8 KB blocks (paper Sec. 4.3).\n");
   }
+  sink.write_or_die({{"bench", "fig4b_decoding"}});
   return 0;
 }

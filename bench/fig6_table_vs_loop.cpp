@@ -11,7 +11,11 @@ int main(int argc, char** argv) {
   using namespace extnc;
   using namespace extnc::bench;
   using namespace extnc::gpu;
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
+  EncodeModelOptions options;
+  options.profiler = sink.profiler_or_null();
 
   std::printf(
       "Fig. 6: table-based (TB) vs loop-based (LB) encoding on GTX 280 "
@@ -25,7 +29,7 @@ int main(int argc, char** argv) {
     for (std::size_t n : {128u, 256u, 512u}) {
       const double rate = model_encode_bandwidth(
                               simgpu::gtx280(), EncodeScheme::kTable1,
-                              {.n = n, .k = k})
+                              {.n = n, .k = k}, options)
                               .mb_per_s;
       if (n == 128) tb128 = rate;
       row.push_back(TablePrinter::num(rate));
@@ -33,7 +37,7 @@ int main(int argc, char** argv) {
     for (std::size_t n : {128u, 256u, 512u}) {
       const double rate = model_encode_bandwidth(
                               simgpu::gtx280(), EncodeScheme::kLoopBased,
-                              {.n = n, .k = k})
+                              {.n = n, .k = k}, options)
                               .mb_per_s;
       if (n == 128) lb128 = rate;
       row.push_back(TablePrinter::num(rate));
@@ -42,5 +46,6 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   print_table(table, csv);
+  sink.write_or_die({{"bench", "fig6_table_vs_loop"}});
   return 0;
 }

@@ -14,7 +14,11 @@ int main(int argc, char** argv) {
   using namespace extnc;
   using namespace extnc::bench;
   using namespace extnc::gpu;
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
+  EncodeModelOptions options;
+  options.profiler = sink.profiler_or_null();
   const coding::Params params{.n = 128, .k = 4096};
 
   struct Row {
@@ -33,16 +37,18 @@ int main(int argc, char** argv) {
                       "shared conflict degree"});
   const double loop_rate =
       model_encode_bandwidth(simgpu::gtx280(), EncodeScheme::kLoopBased,
-                             params)
+                             params, options)
           .mb_per_s;
   Rng rng(1);
   const coding::Segment segment =
       coding::Segment::random({.n = 128, .k = 512}, rng);
   for (const Row& row : rows) {
     const double rate =
-        model_encode_bandwidth(simgpu::gtx280(), row.scheme, params).mb_per_s;
+        model_encode_bandwidth(simgpu::gtx280(), row.scheme, params, options)
+            .mb_per_s;
     // Measure the conflict degree from a real (small) kernel run.
-    GpuEncoder encoder(simgpu::gtx280(), segment, row.scheme);
+    GpuEncoder encoder(simgpu::gtx280(), segment, row.scheme,
+                       sink.profiler_or_null());
     (void)encoder.encode_batch(16, rng);
     table.add_row({scheme_name(row.scheme), TablePrinter::num(rate),
                    TablePrinter::num(row.paper_mb_per_s),
@@ -57,5 +63,6 @@ int main(int argc, char** argv) {
         "\nHeadline: table-based-5 / loop-based should be ~2.2x (paper "
         "Sec. 5.1.3).\n");
   }
+  sink.write_or_die({{"bench", "fig7_ladder"}});
   return 0;
 }

@@ -10,7 +10,11 @@ int main(int argc, char** argv) {
   using namespace extnc;
   using namespace extnc::bench;
   using namespace extnc::gpu;
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
+  EncodeModelOptions options;
+  options.profiler = sink.profiler_or_null();
 
   std::printf("Fig. 8: highly optimized encoding on GTX 280 (MB/s)\n\n");
   TablePrinter table(
@@ -20,7 +24,7 @@ int main(int argc, char** argv) {
     for (std::size_t n : {128u, 256u, 512u, 1024u}) {
       row.push_back(TablePrinter::num(
           model_encode_bandwidth(simgpu::gtx280(), EncodeScheme::kTable5,
-                                 {.n = n, .k = k})
+                                 {.n = n, .k = k}, options)
               .mb_per_s));
     }
     table.add_row(std::move(row));
@@ -30,5 +34,6 @@ int main(int argc, char** argv) {
     std::printf(
         "\nPaper anchors at k = 4 KB: 298.5 / 146.9 / 73.5 / 36.6 MB/s.\n");
   }
+  sink.write_or_die({{"bench", "fig8_best_encoding"}});
   return 0;
 }

@@ -11,7 +11,9 @@
 int main(int argc, char** argv) {
   using namespace extnc;
   using namespace extnc::bench;
+  check_flags(argc, argv, {"--profile-json"}, {"--csv"});
   const bool csv = has_flag(argc, argv, "--csv");
+  ProfileSink sink = profile_sink(argc, argv);
   const cpu::XeonModel xeon;
 
   std::printf(
@@ -21,10 +23,10 @@ int main(int argc, char** argv) {
                       "s1%", "GTX 3seg n=256", "GTX 3seg n=512",
                       "MacPro n=128", "MacPro n=256", "MacPro n=512"});
   for (std::size_t k : block_size_sweep()) {
-    const auto six =
-        gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = 128, .k = k}, 6);
-    const auto three =
-        gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = 128, .k = k}, 3);
+    const auto six = gpu::model_multi_segment_decode(
+        simgpu::gtx280(), {.n = 128, .k = k}, 6, sink.profiler_or_null());
+    const auto three = gpu::model_multi_segment_decode(
+        simgpu::gtx280(), {.n = 128, .k = k}, 3, sink.profiler_or_null());
     std::vector<std::string> row{block_size_label(k)};
     row.push_back(TablePrinter::num(six.mb_per_s));
     row.push_back(TablePrinter::num(100 * six.stage1_share, 0));
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
     row.push_back(TablePrinter::num(100 * three.stage1_share, 0));
     for (std::size_t n : {256u, 512u}) {
       row.push_back(TablePrinter::num(
-          gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = n, .k = k}, 3)
+          gpu::model_multi_segment_decode(simgpu::gtx280(), {.n = n, .k = k},
+                                          3, sink.profiler_or_null())
               .mb_per_s));
     }
     for (std::size_t n : {128u, 256u, 512u}) {
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
         "16 KB for n=256, 8 KB for n=512); multi-segment GPU decode beats "
         "the Mac Pro for blocks above 256 B.\n");
   }
+  sink.write_or_die({{"bench", "fig9_multiseg_decoding"}});
   return 0;
 }

@@ -43,6 +43,20 @@ constexpr const char* scheme_name(EncodeScheme scheme) {
   return "?";
 }
 
+// Short scheme tag for profiler labels ("encode/tb5/exp_smem").
+constexpr const char* scheme_label(EncodeScheme scheme) {
+  switch (scheme) {
+    case EncodeScheme::kLoopBased: return "loop";
+    case EncodeScheme::kTable0: return "tb0";
+    case EncodeScheme::kTable1: return "tb1";
+    case EncodeScheme::kTable2: return "tb2";
+    case EncodeScheme::kTable3: return "tb3";
+    case EncodeScheme::kTable4: return "tb4";
+    case EncodeScheme::kTable5: return "tb5";
+  }
+  return "?";
+}
+
 constexpr bool scheme_is_preprocessed(EncodeScheme scheme) {
   return scheme != EncodeScheme::kLoopBased && scheme != EncodeScheme::kTable0;
 }

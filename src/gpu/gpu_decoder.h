@@ -51,6 +51,12 @@ class GpuSingleSegmentDecoder {
   const simgpu::KernelMetrics& metrics() const { return launcher_.metrics(); }
   const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
 
+  // Record every add() launch as "decode/single/add_block".
+  void attach_profiler(simgpu::Profiler* profiler) {
+    launcher_.set_profiler(profiler);
+    launcher_.set_launch_label("decode/single/add_block");
+  }
+
  private:
   coding::Params params_;
   DecodeOptions options_;

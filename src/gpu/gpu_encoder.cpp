@@ -25,8 +25,13 @@ constexpr std::size_t kReplicatedTables = 8;  // kTable5
 }  // namespace
 
 GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
-                       const coding::Segment& segment, EncodeScheme scheme)
-    : segment_(&segment), scheme_(scheme), launcher_(spec) {
+                       const coding::Segment& segment, EncodeScheme scheme,
+                       simgpu::Profiler* profiler, std::string label_prefix)
+    : segment_(&segment),
+      scheme_(scheme),
+      launcher_(spec),
+      label_prefix_(std::move(label_prefix)) {
+  launcher_.set_profiler(profiler);
   const coding::Params& p = segment.params();
   EXTNC_CHECK(p.k % 4 == 0);  // GPU kernels operate on 32-bit words
   const gf256::Tables& t = gf256::tables();
@@ -58,6 +63,17 @@ GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
   if (scheme_is_preprocessed(scheme_)) {
     preprocess_segment();
   }
+}
+
+void GpuEncoder::attach_profiler(simgpu::Profiler* profiler,
+                                 std::string label_prefix) {
+  launcher_.set_profiler(profiler);
+  label_prefix_ = std::move(label_prefix);
+}
+
+void GpuEncoder::set_launch_label(const char* kernel) {
+  launcher_.set_launch_label(label_prefix_ + "/" + scheme_label(scheme_) +
+                             "/" + kernel);
 }
 
 void GpuEncoder::reset_metrics() {
@@ -105,6 +121,7 @@ void GpuEncoder::preprocess_segment() {
   const std::uint8_t* src = segment_->data();
   std::uint8_t* dst = log_segment_.data();
 
+  set_launch_label("preprocess_segment");
   launcher_.reset_metrics();
   launcher_.launch({.blocks = blocks, .threads_per_block = threads},
                    [&](BlockCtx& block) {
@@ -143,6 +160,7 @@ void GpuEncoder::preprocess_coefficients(const coding::CodedBatch& batch) {
   const std::size_t threads = 256;
   const std::size_t blocks = std::min<std::size_t>(
       launcher_.spec().num_sms, (bytes + threads - 1) / threads);
+  set_launch_label("preprocess_coeffs");
   launcher_.reset_metrics();
   launcher_.launch({.blocks = blocks, .threads_per_block = threads},
                    [&](BlockCtx& block) {
@@ -173,6 +191,7 @@ void GpuEncoder::run_loop_based(coding::CodedBatch& batch) {
   const std::uint8_t* coeffs = batch.coefficients_data();
   std::uint8_t* out = batch.payloads_data();
 
+  set_launch_label("mul_loop");
   launcher_.launch(
       {.blocks = blocks, .threads_per_block = threads}, [&](BlockCtx& block) {
         block.step([&](ThreadCtx& thread) {
@@ -217,6 +236,9 @@ void GpuEncoder::run_table_based(coding::CodedBatch& batch) {
   const bool shifted = scheme_uses_shifted_log(scheme_);
   const std::uint8_t sentinel = shifted ? 0x00 : gf256::kLogZero;
 
+  // The exp lookup's home names the kernel: texture for TB-4, shared
+  // memory (replicated for TB-5) otherwise.
+  set_launch_label(scheme_ == EncodeScheme::kTable4 ? "exp_tex" : "exp_smem");
   launcher_.launch(
       {.blocks = blocks, .threads_per_block = threads}, [&](BlockCtx& block) {
         // --- cooperative table load (coalesced, Sec. 5.1) ---------------

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "coding/batch.h"
 #include "coding/segment.h"
@@ -28,8 +29,17 @@ namespace extnc::gpu {
 
 class GpuEncoder {
  public:
+  // With a profiler attached every kernel launch (including the
+  // construction-time segment preprocessing) is recorded under stable
+  // "<prefix>/<scheme>/<kernel>" labels, e.g. "encode/tb5/exp_smem".
   GpuEncoder(const simgpu::DeviceSpec& spec, const coding::Segment& segment,
-             EncodeScheme scheme);
+             EncodeScheme scheme, simgpu::Profiler* profiler = nullptr,
+             std::string label_prefix = "encode");
+
+  // Attach after construction (misses the segment-preprocess launches that
+  // already ran; prefer the constructor argument when those matter).
+  void attach_profiler(simgpu::Profiler* profiler,
+                       std::string label_prefix = "encode");
 
   const coding::Params& params() const { return segment_->params(); }
   EncodeScheme scheme() const { return scheme_; }
@@ -56,10 +66,12 @@ class GpuEncoder {
   void preprocess_coefficients(const coding::CodedBatch& batch);
   void run_loop_based(coding::CodedBatch& batch);
   void run_table_based(coding::CodedBatch& batch);
+  void set_launch_label(const char* kernel);
 
   const coding::Segment* segment_;
   EncodeScheme scheme_;
   simgpu::Launcher launcher_;
+  std::string label_prefix_;
   simgpu::KernelMetrics encode_metrics_;
   simgpu::KernelMetrics preprocess_metrics_;
 

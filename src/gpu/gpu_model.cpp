@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "gpu/gpu_encoder.h"
@@ -163,6 +164,10 @@ BandwidthEstimate model_encode_bandwidth(const simgpu::DeviceSpec& spec,
   const double payload_bytes =
       static_cast<double>(options.coded_blocks) * params.k;
   estimate.mb_per_s = payload_bytes / kMb / estimate.time.total_s;
+  if (options.profiler != nullptr) {
+    options.profiler->record_launch(
+        spec, std::string("model/encode/") + scheme_label(scheme), m);
+  }
   return estimate;
 }
 
@@ -243,13 +248,17 @@ KernelMetrics analytic_single_segment_decode_metrics(
 
 BandwidthEstimate model_single_segment_decode(const simgpu::DeviceSpec& spec,
                                               const coding::Params& params,
-                                              const DecodeOptions& options) {
+                                              const DecodeOptions& options,
+                                              simgpu::Profiler* profiler) {
   const KernelMetrics m =
       analytic_single_segment_decode_metrics(spec, params, options);
   BandwidthEstimate estimate;
   estimate.time = simgpu::estimate_time(spec, m);
   estimate.mb_per_s = static_cast<double>(params.segment_bytes()) / kMb /
                       estimate.time.total_s;
+  if (profiler != nullptr) {
+    profiler->record_launch(spec, "model/decode/single", m);
+  }
   return estimate;
 }
 
@@ -301,12 +310,19 @@ KernelMetrics analytic_multiply_metrics(const simgpu::DeviceSpec& spec,
 
 MultiSegEstimate model_multi_segment_decode(const simgpu::DeviceSpec& spec,
                                             const coding::Params& params,
-                                            std::size_t segments) {
+                                            std::size_t segments,
+                                            simgpu::Profiler* profiler) {
+  const KernelMetrics stage1_m =
+      analytic_inversion_metrics(spec, params, segments);
+  const KernelMetrics stage2_m =
+      analytic_multiply_metrics(spec, params, segments);
   MultiSegEstimate estimate;
-  estimate.stage1 = simgpu::estimate_time(
-      spec, analytic_inversion_metrics(spec, params, segments));
-  estimate.stage2 = simgpu::estimate_time(
-      spec, analytic_multiply_metrics(spec, params, segments));
+  estimate.stage1 = simgpu::estimate_time(spec, stage1_m);
+  estimate.stage2 = simgpu::estimate_time(spec, stage2_m);
+  if (profiler != nullptr) {
+    profiler->record_launch(spec, "model/decode/multiseg/invert", stage1_m);
+    profiler->record_launch(spec, "model/decode/multiseg/stage2", stage2_m);
+  }
   const double total = estimate.stage1.total_s + estimate.stage2.total_s;
   estimate.stage1_share = estimate.stage1.total_s / total;
   estimate.mb_per_s =

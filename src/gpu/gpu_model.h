@@ -20,6 +20,7 @@
 #include "gpu/encode_scheme.h"
 #include "gpu/gpu_decoder.h"
 #include "simgpu/device_spec.h"
+#include "simgpu/profiler.h"
 #include "simgpu/timing.h"
 
 namespace extnc::gpu {
@@ -36,6 +37,10 @@ struct EncodeModelOptions {
   std::size_t calibration_k = 512;
   std::size_t calibration_blocks = 96;
   std::uint64_t seed = 0x5eed;
+  // Optional observability: the modeled workload is recorded as one
+  // "model/encode/<scheme>" launch (scaled metrics, modeled time), so
+  // benches can export a trace of what the figure numbers are made of.
+  simgpu::Profiler* profiler = nullptr;
 };
 
 struct BandwidthEstimate {
@@ -49,10 +54,11 @@ BandwidthEstimate model_encode_bandwidth(const simgpu::DeviceSpec& spec,
                                          const coding::Params& params,
                                          const EncodeModelOptions& options = {});
 
-// Modeled single-segment progressive decoding bandwidth (Sec. 4.2.2).
-BandwidthEstimate model_single_segment_decode(const simgpu::DeviceSpec& spec,
-                                              const coding::Params& params,
-                                              const DecodeOptions& options = {});
+// Modeled single-segment progressive decoding bandwidth (Sec. 4.2.2). With
+// a profiler, the analytic workload records as "model/decode/single".
+BandwidthEstimate model_single_segment_decode(
+    const simgpu::DeviceSpec& spec, const coding::Params& params,
+    const DecodeOptions& options = {}, simgpu::Profiler* profiler = nullptr);
 
 struct MultiSegEstimate {
   double mb_per_s = 0;
@@ -64,10 +70,13 @@ struct MultiSegEstimate {
 };
 
 // Modeled multi-segment decoding bandwidth with `segments` in flight
-// (Sec. 5.2; the paper plots 3 and 6 on the GTX 280).
+// (Sec. 5.2; the paper plots 3 and 6 on the GTX 280). With a profiler the
+// two stages record as "model/decode/multiseg/{invert,stage2}".
 MultiSegEstimate model_multi_segment_decode(const simgpu::DeviceSpec& spec,
                                             const coding::Params& params,
-                                            std::size_t segments);
+                                            std::size_t segments,
+                                            simgpu::Profiler* profiler =
+                                                nullptr);
 
 // Analytic metric builders (exposed for tests, which cross-check them
 // against the functional decoders' measured metrics).

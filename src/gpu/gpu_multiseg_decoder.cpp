@@ -38,6 +38,12 @@ void GpuMultiSegmentDecoder::reset_metrics() {
   stage2_ = simgpu::KernelMetrics{};
 }
 
+void GpuMultiSegmentDecoder::attach_profiler(simgpu::Profiler* profiler) {
+  profiler_ = profiler;
+  launcher_.set_profiler(profiler);
+  launcher_.set_launch_label("decode/multiseg/invert");
+}
+
 std::vector<coding::Segment> GpuMultiSegmentDecoder::decode_all(
     const std::vector<coding::CodedBatch>& batches) {
   for (const auto& batch : batches) {
@@ -187,7 +193,8 @@ void GpuMultiSegmentDecoder::multiply_stage(
     coding::Segment payload_segment = coding::Segment::from_bytes(
         params_, std::span(batches[seg].payloads_data(), n * k));
     GpuEncoder multiplier(launcher_.spec(), payload_segment,
-                          EncodeScheme::kTable5);
+                          EncodeScheme::kTable5, profiler_,
+                          "decode/multiseg/stage2");
     coding::CodedBatch product(params_, n);
     for (std::size_t r = 0; r < n; ++r) {
       std::memcpy(product.coefficients(r).data(),

@@ -42,6 +42,10 @@ class GpuMultiSegmentDecoder {
   const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
   void reset_metrics();
 
+  // Stage 1 launches record as "decode/multiseg/invert"; stage 2 reuses the
+  // encode kernels under the "decode/multiseg/stage2" prefix.
+  void attach_profiler(simgpu::Profiler* profiler);
+
  private:
   void invert_stage(const std::vector<coding::CodedBatch>& batches,
                     std::vector<AlignedBuffer>& inverses);
@@ -53,6 +57,7 @@ class GpuMultiSegmentDecoder {
   simgpu::Launcher launcher_;
   simgpu::KernelMetrics stage1_;
   simgpu::KernelMetrics stage2_;
+  simgpu::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace extnc::gpu

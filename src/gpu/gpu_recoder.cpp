@@ -9,7 +9,8 @@ namespace extnc::gpu {
 coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
                               const coding::CodedBatch& received,
                               std::size_t count, Rng& rng,
-                              EncodeScheme scheme) {
+                              EncodeScheme scheme,
+                              simgpu::Profiler* profiler) {
   const coding::Params& p = received.params();
   EXTNC_CHECK(received.count() >= 1);
   EXTNC_CHECK(p.n % 4 == 0);
@@ -25,7 +26,7 @@ coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
                 p.k);
   }
 
-  GpuEncoder encoder(spec, pseudo, scheme);
+  GpuEncoder encoder(spec, pseudo, scheme, profiler, "recode");
   const coding::CodedBatch mixed = encoder.encode_batch(count, rng);
 
   // Split the aggregate outputs back into coefficient/payload halves.

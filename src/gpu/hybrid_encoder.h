@@ -42,6 +42,12 @@ class HybridEncoder {
   const GpuEncoder& gpu() const { return gpu_encoder_; }
   const cpu::CpuEncoder& cpu() const { return cpu_encoder_; }
 
+  // Record the GPU half's kernel launches under "hybrid/gpu/..." labels
+  // (the CPU half runs real host code and has no simulated launches).
+  void attach_profiler(simgpu::Profiler* profiler) {
+    gpu_encoder_.attach_profiler(profiler, "hybrid/gpu");
+  }
+
  private:
   const coding::Segment* segment_;
   GpuEncoder gpu_encoder_;

@@ -1,6 +1,7 @@
 #include "net/event_sim.h"
 
 #include "util/assert.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::net {
 
@@ -18,6 +19,7 @@ bool EventSim::step() {
   queue_.pop();
   now_ = event.time;
   event.fn();
+  metrics::count("net.event_sim.events");
   return true;
 }
 

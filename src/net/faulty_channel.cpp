@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::net {
 
@@ -26,8 +27,10 @@ std::vector<std::vector<std::uint8_t>> FaultyChannel::transmit(
   // counters partition `sent` and accounting stays exact.
   if (rng_.next_double() < spec_.loss) {
     ++stats_.lost;
+    metrics::count("net.channel.lost");
   } else if (rng_.next_double() < spec_.corrupt) {
     ++stats_.corrupted;
+    metrics::count("net.channel.corrupted");
     if (!packet.empty()) {
       const std::size_t byte = rng_.next_below(packet.size());
       packet[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
@@ -35,14 +38,17 @@ std::vector<std::vector<std::uint8_t>> FaultyChannel::transmit(
     arrivals.push_back(std::move(packet));
   } else if (rng_.next_double() < spec_.truncate) {
     ++stats_.truncated;
+    metrics::count("net.channel.truncated");
     if (!packet.empty()) packet.resize(rng_.next_below(packet.size()));
     arrivals.push_back(std::move(packet));
   } else if (rng_.next_double() < spec_.duplicate) {
     ++stats_.duplicated;
+    metrics::count("net.channel.duplicated");
     arrivals.push_back(packet);
     arrivals.push_back(std::move(packet));
   } else if (!held_.has_value() && rng_.next_double() < spec_.reorder) {
     ++stats_.reordered;
+    metrics::count("net.channel.reordered");
     held_ = std::move(packet);
   } else {
     arrivals.push_back(std::move(packet));
@@ -54,6 +60,9 @@ std::vector<std::vector<std::uint8_t>> FaultyChannel::transmit(
     held_.reset();
   }
   stats_.delivered += arrivals.size();
+  metrics::count("net.channel.sent");
+  metrics::count("net.channel.delivered",
+                 static_cast<double>(arrivals.size()));
   return arrivals;
 }
 

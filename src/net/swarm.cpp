@@ -8,6 +8,7 @@
 #include "coding/wire.h"
 #include "net/event_sim.h"
 #include "util/assert.h"
+#include "util/metrics_registry.h"
 #include "util/rng.h"
 
 namespace extnc::net {
@@ -166,6 +167,15 @@ SwarmResult run_swarm(const SwarmConfig& config) {
       }
     }
   }
+  metrics::count("net.swarm.runs");
+  metrics::count("net.swarm.blocks_sent",
+                 static_cast<double>(result.blocks_sent));
+  metrics::count("net.swarm.blocks_lost",
+                 static_cast<double>(result.blocks_lost));
+  metrics::count("net.swarm.blocks_dependent",
+                 static_cast<double>(result.blocks_dependent));
+  metrics::gauge("net.swarm.last_completion_seconds",
+                 result.completion_seconds);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "simgpu/profiler.h"
+
 namespace extnc::simgpu {
 
 // ------------------------------------------------------------ TextureCache
@@ -206,9 +208,13 @@ void Launcher::launch(const LaunchConfig& config,
   EXTNC_CHECK(config.threads_per_block >= 1);
   EXTNC_CHECK(config.threads_per_block <=
               static_cast<std::size_t>(spec_->max_threads_per_block));
-  metrics_.kernel_launches += 1;
-  metrics_.blocks = config.blocks;
-  metrics_.threads_per_block = config.threads_per_block;
+  // Account the launch into its own metrics object so an attached profiler
+  // sees exactly this launch's delta; the cumulative metrics_ then absorbs
+  // it (merge adopts the geometry, since kernel_launches == 1).
+  KernelMetrics launch_metrics;
+  launch_metrics.kernel_launches = 1;
+  launch_metrics.blocks = config.blocks;
+  launch_metrics.threads_per_block = config.threads_per_block;
   for (std::size_t b = 0; b < config.blocks; ++b) {
     SharedMemory shared(spec_->shared_mem_per_sm);
     BlockCtx ctx;
@@ -217,8 +223,12 @@ void Launcher::launch(const LaunchConfig& config,
     ctx.block_index_ = b;
     ctx.shared_ = &shared;
     ctx.texture_ = &texture_cache_;
-    ctx.metrics_ = &metrics_;
+    ctx.metrics_ = &launch_metrics;
     kernel(ctx);
+  }
+  metrics_.merge(launch_metrics);
+  if (profiler_ != nullptr) {
+    profiler_->record_launch(*spec_, launch_label_, launch_metrics);
   }
 }
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -186,6 +187,8 @@ class BlockCtx {
   std::unordered_map<std::uint32_t, SharedGroup> shared_groups_;
 };
 
+class Profiler;
+
 // Owns metrics and the texture cache; launches kernels on a device spec.
 class Launcher {
  public:
@@ -195,6 +198,18 @@ class Launcher {
   KernelMetrics& metrics() { return metrics_; }
   const KernelMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = KernelMetrics{}; }
+
+  // Optional observability hook: with a profiler attached, every launch is
+  // additionally recorded as one LaunchProfile (label, geometry, the
+  // launch's own KernelMetrics delta, modeled time). The label is sticky —
+  // set it before the launch(es) it should attribute; reset_metrics() does
+  // not touch it. The profiler is borrowed, never owned.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
+  void set_launch_label(std::string label) {
+    launch_label_ = std::move(label);
+  }
+  const std::string& launch_label() const { return launch_label_; }
 
   // Run the kernel over every block (serially, deterministically). Shared
   // memory contents do NOT persist across blocks or launches, matching
@@ -211,6 +226,8 @@ class Launcher {
   const DeviceSpec* spec_;
   KernelMetrics metrics_;
   TextureCache texture_cache_;
+  Profiler* profiler_ = nullptr;
+  std::string launch_label_;
 };
 
 }  // namespace extnc::simgpu

@@ -55,8 +55,12 @@ struct KernelMetrics {
     atomic_ops += other.atomic_ops;
     barriers += other.barriers;
     kernel_launches += other.kernel_launches;
-    blocks = other.blocks;
-    threads_per_block = other.threads_per_block;
+    // Geometry is "of the last launch": merging a metrics object that never
+    // launched must not wipe the recorded geometry with zeros.
+    if (other.kernel_launches > 0) {
+      blocks = other.blocks;
+      threads_per_block = other.threads_per_block;
+    }
   }
 
   // Average bank-conflict degree over all shared access events (1.0 means

@@ -1,0 +1,60 @@
+#include "simgpu/profile_report.h"
+
+#include "util/table_printer.h"
+
+namespace extnc::simgpu {
+
+const char* bottleneck_bound(double compute_s, double memory_s,
+                             double launch_s) {
+  if (launch_s >= compute_s && launch_s >= memory_s) return "launch";
+  return compute_s >= memory_s ? "compute" : "memory";
+}
+
+void print_bottleneck_report(const Profiler& profiler, std::FILE* out,
+                             bool csv) {
+  const double total_s = profiler.total_seconds();
+  if (!csv) {
+    std::fprintf(out,
+                 "Kernel bottleneck report: %zu launches, %.3f ms modeled\n\n",
+                 profiler.launch_count(), total_s * 1e3);
+  }
+  TablePrinter table({"kernel", "launches", "total ms", "% of run", "bound",
+                      "compute ms", "memory ms", "launch ms", "occupancy",
+                      "conflict cycles/launch", "conflict degree",
+                      "tex hit %"});
+  for (const Profiler::LabelSummary& s : profiler.by_label()) {
+    const double share = total_s > 0 ? 100.0 * s.total_s / total_s : 0.0;
+    // Occupancy of the label's most recent geometry (merge keeps the last
+    // launch's blocks/threads, which is what all launches of one label
+    // share in practice).
+    const double occupancy =
+        profiler.launches().empty()
+            ? 0.0
+            : [&] {
+                for (auto it = profiler.launches().rbegin();
+                     it != profiler.launches().rend(); ++it) {
+                  if (it->label == s.label) return it->time.occupancy;
+                }
+                return 0.0;
+              }();
+    table.add_row(
+        {s.label, std::to_string(s.launches),
+         TablePrinter::num(s.total_s * 1e3, 3),
+         TablePrinter::num(share, 1) + "%",
+         bottleneck_bound(s.compute_s, s.memory_s, s.launch_s),
+         TablePrinter::num(s.compute_s * 1e3, 3),
+         TablePrinter::num(s.memory_s * 1e3, 3),
+         TablePrinter::num(s.launch_s * 1e3, 3),
+         TablePrinter::num(occupancy, 2),
+         TablePrinter::num(s.serialized_cycles_per_launch(), 0),
+         TablePrinter::num(s.metrics.shared_conflict_degree(), 2),
+         TablePrinter::num(100.0 * s.metrics.texture_hit_rate(), 1)});
+  }
+  if (csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+}
+
+}  // namespace extnc::simgpu

@@ -1,0 +1,25 @@
+// Human-readable bottleneck report over a profiled run.
+//
+// Aggregates the profiler's launches by label and prints, per kernel: how
+// often it ran, its share of the modeled timeline, the compute/memory/
+// launch-overhead split with the binding side called out, and the counters
+// the paper's Sec. 5.1 ladder argues with (bank-conflict serialized cycles
+// per launch, conflict degree, texture hit rate, occupancy). This is the
+// report every "make a hot path measurably faster" PR should quote.
+#pragma once
+
+#include <cstdio>
+
+#include "simgpu/profiler.h"
+
+namespace extnc::simgpu {
+
+// Which side of the max(compute, memory) + launch model dominates a
+// kernel's modeled time: "compute", "memory", or "launch".
+const char* bottleneck_bound(double compute_s, double memory_s,
+                             double launch_s);
+
+void print_bottleneck_report(const Profiler& profiler, std::FILE* out,
+                             bool csv = false);
+
+}  // namespace extnc::simgpu

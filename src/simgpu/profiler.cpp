@@ -1,0 +1,58 @@
+#include "simgpu/profiler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace extnc::simgpu {
+
+void Profiler::record_launch(const DeviceSpec& spec, std::string_view label,
+                             const KernelMetrics& launch_metrics) {
+  LaunchProfile record;
+  record.label = label.empty() ? std::string("kernel") : std::string(label);
+  record.device = spec.name;
+  record.blocks = launch_metrics.blocks;
+  record.threads_per_block = launch_metrics.threads_per_block;
+  record.metrics = launch_metrics;
+  record.time = estimate_time(spec, launch_metrics, calibration_);
+  record.start_s = clock_s_;
+  clock_s_ += record.time.total_s;
+  record.end_s = clock_s_;
+  launches_.push_back(std::move(record));
+}
+
+void Profiler::clear() {
+  launches_.clear();
+  clock_s_ = 0;
+}
+
+std::vector<Profiler::LabelSummary> Profiler::by_label() const {
+  std::map<std::string, LabelSummary> grouped;
+  for (const LaunchProfile& launch : launches_) {
+    LabelSummary& s = grouped[launch.label];
+    s.label = launch.label;
+    s.launches += 1;
+    s.metrics.merge(launch.metrics);
+    s.total_s += launch.time.total_s;
+    s.compute_s += launch.time.compute_s;
+    s.memory_s += launch.time.memory_s;
+    s.launch_s += launch.time.launch_s;
+  }
+  std::vector<LabelSummary> out;
+  out.reserve(grouped.size());
+  for (auto& [label, summary] : grouped) out.push_back(std::move(summary));
+  std::sort(out.begin(), out.end(),
+            [](const LabelSummary& a, const LabelSummary& b) {
+              if (a.total_s != b.total_s) return a.total_s > b.total_s;
+              return a.label < b.label;
+            });
+  return out;
+}
+
+Profiler::LabelSummary Profiler::label_summary(std::string_view label) const {
+  for (const LabelSummary& s : by_label()) {
+    if (s.label == label) return s;
+  }
+  return LabelSummary{};
+}
+
+}  // namespace extnc::simgpu

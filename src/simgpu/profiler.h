@@ -1,0 +1,85 @@
+// Per-launch kernel profiling for the simulated GPU.
+//
+// The aggregate KernelMetrics a Launcher accumulates answers "how much work
+// did this run do"; the paper's Sec. 5.1 argument needs the finer question
+// "which *launch* pays for what" — bank-conflict cycles in the TB-1 encode
+// kernel vs the TB-5 one, the stage-1/stage-2 split of multi-segment
+// decoding, preprocessing amortization. A Profiler attached to a Launcher
+// records one LaunchProfile per kernel launch: the caller-assigned label
+// (stable names like "encode/tb5/exp_smem"), the launch geometry, the
+// KernelMetrics delta of exactly that launch, and the timing model's
+// compute/memory/launch breakdown. Records sit on a simulated timeline
+// (launches on one device execute back-to-back), which is what the
+// Chrome-trace exporter (trace_export.h) serializes and the bottleneck
+// report (profile_report.h) aggregates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simgpu/device_spec.h"
+#include "simgpu/metrics.h"
+#include "simgpu/timing.h"
+
+namespace extnc::simgpu {
+
+// One kernel launch as the profiler saw it.
+struct LaunchProfile {
+  std::string label;
+  std::string device;            // DeviceSpec::name
+  std::size_t blocks = 0;
+  std::size_t threads_per_block = 0;
+  KernelMetrics metrics;         // this launch only, not cumulative
+  TimeBreakdown time;            // modeled cost of this launch
+  double start_s = 0;            // position on the simulated timeline
+  double end_s = 0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(Calibration calibration = Calibration{})
+      : calibration_(calibration) {}
+
+  // Called by Launcher::launch (or directly by analytic models): appends a
+  // record and advances the simulated clock by the launch's modeled time.
+  void record_launch(const DeviceSpec& spec, std::string_view label,
+                     const KernelMetrics& launch_metrics);
+
+  const std::vector<LaunchProfile>& launches() const { return launches_; }
+  std::size_t launch_count() const { return launches_.size(); }
+  double total_seconds() const { return clock_s_; }
+  const Calibration& calibration() const { return calibration_; }
+  void clear();
+
+  // Aggregation of all launches sharing a label, for the bottleneck report
+  // and for tests that assert per-kernel claims (e.g. TB-5's
+  // shared_serialized_cycles per launch < TB-1's).
+  struct LabelSummary {
+    std::string label;
+    std::size_t launches = 0;
+    KernelMetrics metrics;  // summed over the label's launches
+    double total_s = 0;
+    double compute_s = 0;
+    double memory_s = 0;
+    double launch_s = 0;
+
+    double serialized_cycles_per_launch() const {
+      if (launches == 0) return 0;
+      return static_cast<double>(metrics.shared_serialized_cycles) /
+             static_cast<double>(launches);
+    }
+  };
+  // Sorted by descending total modeled time.
+  std::vector<LabelSummary> by_label() const;
+  // Summary for one label; a zero LabelSummary if the label never ran.
+  LabelSummary label_summary(std::string_view label) const;
+
+ private:
+  Calibration calibration_;
+  std::vector<LaunchProfile> launches_;
+  double clock_s_ = 0;
+};
+
+}  // namespace extnc::simgpu

@@ -1,0 +1,135 @@
+#include "simgpu/trace_export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace extnc::simgpu {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_event(std::string& out, const LaunchProfile& launch) {
+  out += "    {\"name\": ";
+  append_escaped(out, launch.label);
+  out += ", \"cat\": \"kernel\", \"ph\": \"X\"";
+  // Times in microseconds, the unit chrome://tracing expects.
+  append_fmt(out, ", \"ts\": %.4f, \"dur\": %.4f", launch.start_s * 1e6,
+             (launch.end_s - launch.start_s) * 1e6);
+  out += ", \"pid\": 0, \"tid\": 0, \"args\": {";
+  append_fmt(out, "\"blocks\": %zu, \"threads_per_block\": %zu",
+             launch.blocks, launch.threads_per_block);
+  append_fmt(out, ", \"alu_ops\": %.1f", launch.metrics.alu_ops);
+  append_fmt(out, ", \"global_load_bytes\": %" PRIu64,
+             launch.metrics.global_load_bytes);
+  append_fmt(out, ", \"global_store_bytes\": %" PRIu64,
+             launch.metrics.global_store_bytes);
+  append_fmt(out, ", \"global_transactions\": %" PRIu64,
+             launch.metrics.global_transactions);
+  append_fmt(out, ", \"shared_accesses\": %" PRIu64,
+             launch.metrics.shared_accesses);
+  append_fmt(out, ", \"shared_access_events\": %" PRIu64,
+             launch.metrics.shared_access_events);
+  append_fmt(out, ", \"shared_serialized_cycles\": %" PRIu64,
+             launch.metrics.shared_serialized_cycles);
+  append_fmt(out, ", \"shared_conflict_degree\": %.4f",
+             launch.metrics.shared_conflict_degree());
+  append_fmt(out, ", \"texture_fetches\": %" PRIu64,
+             launch.metrics.texture_fetches);
+  append_fmt(out, ", \"texture_hit_rate\": %.4f",
+             launch.metrics.texture_hit_rate());
+  append_fmt(out, ", \"barriers\": %" PRIu64, launch.metrics.barriers);
+  append_fmt(out, ", \"occupancy\": %.4f", launch.time.occupancy);
+  append_fmt(out, ", \"compute_us\": %.4f", launch.time.compute_s * 1e6);
+  append_fmt(out, ", \"memory_us\": %.4f", launch.time.memory_s * 1e6);
+  append_fmt(out, ", \"launch_us\": %.4f", launch.time.launch_s * 1e6);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Profiler& profiler,
+                            const TraceOptions& options) {
+  std::string out;
+  out += "{\n  \"traceEvents\": [\n";
+
+  const std::string device = profiler.launches().empty()
+                                 ? std::string("simgpu")
+                                 : profiler.launches().front().device;
+  out += "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"args\": {\"name\": ";
+  append_escaped(out, "simgpu " + device);
+  out += "}},\n";
+  out += "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"tid\": 0, \"args\": {\"name\": \"kernel launches\"}}";
+
+  for (const LaunchProfile& launch : profiler.launches()) {
+    out += ",\n";
+    append_event(out, launch);
+  }
+  out += "\n  ],\n  \"displayTimeUnit\": \"ms\"";
+
+  if (!options.metadata.empty()) {
+    out += ",\n  \"otherData\": {";
+    bool first = true;
+    for (const auto& [key, value] : options.metadata) {
+      if (!first) out += ", ";
+      first = false;
+      append_escaped(out, key);
+      out += ": ";
+      append_escaped(out, value);
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Profiler& profiler, const std::string& path,
+                        std::string* error, const TraceOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const std::string json = to_chrome_trace(profiler, options);
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) ==
+                     json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && closed)) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace extnc::simgpu

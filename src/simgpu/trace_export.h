@@ -1,0 +1,40 @@
+// Chrome-trace (chrome://tracing / Perfetto JSON) export of a profiled run.
+//
+// Each kernel launch becomes one complete ("ph":"X") event on the simulated
+// GPU timeline: ts/dur in microseconds, name == the launch label, and the
+// per-launch metrics (launch geometry, ALU ops, transactions, bank-conflict
+// cycles, texture hit rate, occupancy, compute/memory split) attached as
+// event args so they show up in the Perfetto side panel. Counter/gauge
+// values from the process-wide registry (util/metrics_registry.h) can be
+// appended as trace metadata. Output is deterministic: fixed field order,
+// fixed float formatting, events in launch order.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simgpu/profiler.h"
+
+namespace extnc::simgpu {
+
+struct TraceOptions {
+  // Extra top-level metadata recorded under "otherData" (e.g. the
+  // counter-registry snapshot, tool arguments). Keys and values are written
+  // as JSON strings, in the order given.
+  std::vector<std::pair<std::string, std::string>> metadata;
+};
+
+// Serialize the profiler's launches as a Chrome-trace JSON object.
+std::string to_chrome_trace(const Profiler& profiler,
+                            const TraceOptions& options = TraceOptions{});
+
+// Write the trace to `path`. Returns false and fills `error` (if non-null)
+// on failure — callers must treat that as fatal rather than continuing with
+// a half-written profile.
+bool write_chrome_trace(const Profiler& profiler, const std::string& path,
+                        std::string* error = nullptr,
+                        const TraceOptions& options = TraceOptions{});
+
+}  // namespace extnc::simgpu

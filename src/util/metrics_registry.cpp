@@ -1,0 +1,46 @@
+#include "util/metrics_registry.h"
+
+namespace extnc::metrics {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::set(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double Registry::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {values_.begin(), values_.end()};
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+}  // namespace extnc::metrics

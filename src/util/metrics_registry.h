@@ -1,0 +1,55 @@
+// Process-wide counter/gauge registry.
+//
+// A lightweight, thread-safe map from dotted metric names to doubles, fed
+// by whatever subsystem has something to report (the event simulator, the
+// fault-injecting channel, the swarm drivers) and drained by the
+// observability exporters: extnc_prof embeds a snapshot in its trace
+// metadata, and tools can print it for a quick "what did this run actually
+// do" check. Counters are monotonically accumulated with add(); gauges are
+// last-write-wins via set(). Names use "layer.component.metric" dotting,
+// e.g. "net.channel.corrupted".
+//
+// The registry is deliberately global (like the underlying process): tests
+// that assert on it should reset() first and not run such assertions
+// concurrently.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace extnc::metrics {
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(std::string_view name, double delta = 1.0);
+  void set(std::string_view name, double value);
+
+  // Current value; 0 for a name never touched.
+  double value(std::string_view name) const;
+
+  // All metrics in name order (counters and gauges interleaved).
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, double, std::less<>> values_;
+};
+
+// Convenience free functions for call sites.
+inline void count(std::string_view name, double delta = 1.0) {
+  Registry::instance().add(name, delta);
+}
+inline void gauge(std::string_view name, double value) {
+  Registry::instance().set(name, value);
+}
+
+}  // namespace extnc::metrics

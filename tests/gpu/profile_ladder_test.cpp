@@ -1,0 +1,87 @@
+// Profiling across the encode ladder: the per-launch records must back the
+// paper's Sec. 5.1.3 story — TB-5's bank-conflict-free exp-table layout
+// spends fewer serialized shared-memory cycles per multiply launch than
+// TB-1's naive layout.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "coding/segment.h"
+#include "gpu/encode_scheme.h"
+#include "gpu/gpu_encoder.h"
+#include "gpu/gpu_recoder.h"
+#include "simgpu/profiler.h"
+#include "util/rng.h"
+
+namespace extnc::gpu {
+namespace {
+
+simgpu::Profiler profile_encode(EncodeScheme scheme) {
+  Rng rng(1);
+  const coding::Segment segment =
+      coding::Segment::random({.n = 64, .k = 512}, rng);
+  simgpu::Profiler profiler;
+  GpuEncoder encoder(simgpu::gtx280(), segment, scheme, &profiler);
+  (void)encoder.encode_batch(16, rng);
+  return profiler;
+}
+
+TEST(ProfileLadder, Tb5HasFewerSerializedCyclesPerLaunchThanTb1) {
+  const simgpu::Profiler tb1 = profile_encode(EncodeScheme::kTable1);
+  const simgpu::Profiler tb5 = profile_encode(EncodeScheme::kTable5);
+  const auto tb1_mul = tb1.label_summary("encode/tb1/exp_smem");
+  const auto tb5_mul = tb5.label_summary("encode/tb5/exp_smem");
+  ASSERT_GT(tb1_mul.launches, 0u);
+  ASSERT_GT(tb5_mul.launches, 0u);
+  EXPECT_LT(tb5_mul.serialized_cycles_per_launch(),
+            tb1_mul.serialized_cycles_per_launch());
+  // And the modeled multiply is faster for it.
+  EXPECT_LT(tb5_mul.total_s / static_cast<double>(tb5_mul.launches),
+            tb1_mul.total_s / static_cast<double>(tb1_mul.launches));
+}
+
+TEST(ProfileLadder, EveryKernelLaunchGetsExactlyOneRecord) {
+  const simgpu::Profiler profiler = profile_encode(EncodeScheme::kTable5);
+  std::size_t recorded_launches = 0;
+  for (const auto& summary : profiler.by_label()) {
+    recorded_launches += summary.launches;
+  }
+  EXPECT_EQ(recorded_launches, profiler.launch_count());
+  for (const auto& launch : profiler.launches()) {
+    EXPECT_EQ(launch.metrics.kernel_launches, 1u);
+    EXPECT_GT(launch.end_s, launch.start_s);
+  }
+  // Preprocessing (segment + coefficients) and the multiply all show up.
+  EXPECT_GT(profiler.label_summary("encode/tb5/preprocess_segment").launches,
+            0u);
+  EXPECT_GT(profiler.label_summary("encode/tb5/preprocess_coeffs").launches,
+            0u);
+  EXPECT_GT(profiler.label_summary("encode/tb5/exp_smem").launches, 0u);
+}
+
+TEST(ProfileLadder, LoopAndTextureSchemesUseTheirOwnKernelLabels) {
+  const simgpu::Profiler loop = profile_encode(EncodeScheme::kLoopBased);
+  EXPECT_GT(loop.label_summary("encode/loop/mul_loop").launches, 0u);
+  const simgpu::Profiler tb4 = profile_encode(EncodeScheme::kTable4);
+  EXPECT_GT(tb4.label_summary("encode/tb4/exp_tex").launches, 0u);
+  EXPECT_GT(tb4.label_summary("encode/tb4/exp_tex").metrics.texture_fetches,
+            0u);
+}
+
+TEST(ProfileLadder, RecoderRecordsUnderRecodeLabels) {
+  Rng rng(2);
+  const coding::Params params{.n = 16, .k = 128};
+  const coding::Segment segment = coding::Segment::random(params, rng);
+  GpuEncoder encoder(simgpu::gtx280(), segment, EncodeScheme::kTable5);
+  coding::CodedBatch received = encoder.encode_batch(16, rng);
+  simgpu::Profiler profiler;
+  (void)gpu_recode(simgpu::gtx280(), received, 4, rng, EncodeScheme::kTable5,
+                   &profiler);
+  ASSERT_GT(profiler.launch_count(), 0u);
+  for (const auto& launch : profiler.launches()) {
+    EXPECT_EQ(launch.label.rfind("recode/", 0), 0u) << launch.label;
+  }
+}
+
+}  // namespace
+}  // namespace extnc::gpu

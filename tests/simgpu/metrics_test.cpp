@@ -1,0 +1,75 @@
+#include "simgpu/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::simgpu {
+namespace {
+
+TEST(KernelMetrics, MergeAccumulatesCounters) {
+  KernelMetrics a;
+  a.alu_ops = 10;
+  a.global_load_bytes = 100;
+  a.shared_serialized_cycles = 7;
+  a.kernel_launches = 1;
+  KernelMetrics b;
+  b.alu_ops = 5;
+  b.global_load_bytes = 50;
+  b.shared_serialized_cycles = 3;
+  b.kernel_launches = 2;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.alu_ops, 15.0);
+  EXPECT_EQ(a.global_load_bytes, 150u);
+  EXPECT_EQ(a.shared_serialized_cycles, 10u);
+  EXPECT_EQ(a.kernel_launches, 3u);
+}
+
+// Regression: merging a metrics object that never launched used to
+// overwrite the recorded launch geometry with zeros, zeroing occupancy in
+// every downstream report.
+TEST(KernelMetrics, MergeWithoutLaunchesKeepsGeometry) {
+  KernelMetrics a;
+  a.kernel_launches = 1;
+  a.blocks = 30;
+  a.threads_per_block = 256;
+  KernelMetrics idle;  // e.g. a pipeline stage that never ran
+  idle.alu_ops = 2;
+  a.merge(idle);
+  EXPECT_EQ(a.blocks, 30u);
+  EXPECT_EQ(a.threads_per_block, 256u);
+  EXPECT_DOUBLE_EQ(a.alu_ops, 2.0);
+  EXPECT_EQ(a.kernel_launches, 1u);
+}
+
+TEST(KernelMetrics, MergeWithLaunchesAdoptsLastGeometry) {
+  KernelMetrics a;
+  a.kernel_launches = 1;
+  a.blocks = 30;
+  a.threads_per_block = 256;
+  KernelMetrics b;
+  b.kernel_launches = 1;
+  b.blocks = 60;
+  b.threads_per_block = 128;
+  a.merge(b);
+  EXPECT_EQ(a.blocks, 60u);
+  EXPECT_EQ(a.threads_per_block, 128u);
+  EXPECT_EQ(a.kernel_launches, 2u);
+}
+
+TEST(KernelMetrics, ConflictDegreeIsCyclesPerEvent) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.shared_conflict_degree(), 1.0);  // no events
+  m.shared_access_events = 4;
+  m.shared_serialized_cycles = 10;
+  EXPECT_DOUBLE_EQ(m.shared_conflict_degree(), 2.5);
+}
+
+TEST(KernelMetrics, TextureHitRate) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.texture_hit_rate(), 1.0);  // no fetches
+  m.texture_fetches = 8;
+  m.texture_misses = 2;
+  EXPECT_DOUBLE_EQ(m.texture_hit_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace extnc::simgpu

@@ -1,0 +1,125 @@
+#include "simgpu/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/executor.h"
+#include "simgpu/profile_report.h"
+
+namespace extnc::simgpu {
+namespace {
+
+KernelMetrics small_metrics(std::uint64_t conflict_cycles) {
+  KernelMetrics m;
+  m.kernel_launches = 1;
+  m.blocks = 30;
+  m.threads_per_block = 256;
+  m.alu_ops = 1e6;
+  m.global_load_bytes = 1 << 20;
+  m.global_store_bytes = 1 << 18;
+  m.global_transactions = 1 << 14;
+  m.shared_accesses = 1 << 16;
+  m.shared_access_events = 1 << 12;
+  m.shared_serialized_cycles = conflict_cycles;
+  return m;
+}
+
+TEST(Profiler, RecordsOneProfilePerLaunch) {
+  Profiler profiler;
+  profiler.record_launch(gtx280(), "a/k1", small_metrics(1 << 12));
+  profiler.record_launch(gtx280(), "a/k2", small_metrics(1 << 13));
+  ASSERT_EQ(profiler.launch_count(), 2u);
+  EXPECT_EQ(profiler.launches()[0].label, "a/k1");
+  EXPECT_EQ(profiler.launches()[1].label, "a/k2");
+  EXPECT_EQ(profiler.launches()[0].device, std::string(gtx280().name));
+  EXPECT_EQ(profiler.launches()[0].blocks, 30u);
+  EXPECT_EQ(profiler.launches()[0].metrics.kernel_launches, 1u);
+}
+
+TEST(Profiler, TimelineIsBackToBackAndMonotonic) {
+  Profiler profiler;
+  profiler.record_launch(gtx280(), "k", small_metrics(1 << 12));
+  profiler.record_launch(gtx280(), "k", small_metrics(1 << 12));
+  const auto& l = profiler.launches();
+  EXPECT_DOUBLE_EQ(l[0].start_s, 0.0);
+  EXPECT_GT(l[0].end_s, l[0].start_s);
+  EXPECT_DOUBLE_EQ(l[1].start_s, l[0].end_s);
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), l[1].end_s);
+}
+
+TEST(Profiler, EmptyLabelDefaultsToKernel) {
+  Profiler profiler;
+  profiler.record_launch(gtx280(), "", small_metrics(1));
+  EXPECT_EQ(profiler.launches()[0].label, "kernel");
+}
+
+TEST(Profiler, ByLabelAggregatesAndSortsByTime) {
+  Profiler profiler;
+  // "hot" runs twice with heavy conflicts; "cold" once, light.
+  profiler.record_launch(gtx280(), "hot", small_metrics(1 << 20));
+  profiler.record_launch(gtx280(), "hot", small_metrics(1 << 20));
+  profiler.record_launch(gtx280(), "cold", small_metrics(0));
+  const auto by_label = profiler.by_label();
+  ASSERT_EQ(by_label.size(), 2u);
+  EXPECT_EQ(by_label[0].label, "hot");
+  EXPECT_EQ(by_label[0].launches, 2u);
+  EXPECT_GE(by_label[0].total_s, by_label[1].total_s);
+  EXPECT_DOUBLE_EQ(by_label[0].serialized_cycles_per_launch(),
+                   static_cast<double>(1 << 20));
+}
+
+TEST(Profiler, LabelSummaryForUnknownLabelIsEmpty) {
+  Profiler profiler;
+  profiler.record_launch(gtx280(), "k", small_metrics(1));
+  const auto summary = profiler.label_summary("never-ran");
+  EXPECT_EQ(summary.launches, 0u);
+  EXPECT_DOUBLE_EQ(summary.total_s, 0.0);
+  EXPECT_DOUBLE_EQ(summary.serialized_cycles_per_launch(), 0.0);
+}
+
+TEST(Profiler, ClearResetsTimelineAndLaunches) {
+  Profiler profiler;
+  profiler.record_launch(gtx280(), "k", small_metrics(1));
+  profiler.clear();
+  EXPECT_EQ(profiler.launch_count(), 0u);
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), 0.0);
+}
+
+TEST(Profiler, LauncherReportsPerLaunchDeltas) {
+  // Two launches of different sizes: each LaunchProfile must carry only its
+  // own launch's work, while the launcher keeps the cumulative total.
+  Profiler profiler;
+  Launcher launcher(gtx280());
+  launcher.set_profiler(&profiler);
+  launcher.set_launch_label("test/first");
+  launcher.launch({.blocks = 2, .threads_per_block = 32},
+                  [&](BlockCtx& block) {
+                    block.step([&](ThreadCtx& t) { t.count_alu(1); });
+                  });
+  launcher.set_launch_label("test/second");
+  launcher.launch({.blocks = 4, .threads_per_block = 32},
+                  [&](BlockCtx& block) {
+                    block.step([&](ThreadCtx& t) { t.count_alu(1); });
+                  });
+  ASSERT_EQ(profiler.launch_count(), 2u);
+  const auto& first = profiler.launches()[0];
+  const auto& second = profiler.launches()[1];
+  EXPECT_EQ(first.label, "test/first");
+  EXPECT_EQ(first.blocks, 2u);
+  EXPECT_EQ(second.blocks, 4u);
+  EXPECT_EQ(first.metrics.kernel_launches, 1u);
+  EXPECT_DOUBLE_EQ(first.metrics.alu_ops, 2.0 * 32);
+  EXPECT_DOUBLE_EQ(second.metrics.alu_ops, 4.0 * 32);
+  // Cumulative launcher metrics unchanged by profiling.
+  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops, 6.0 * 32);
+  EXPECT_EQ(launcher.metrics().kernel_launches, 2u);
+  EXPECT_EQ(launcher.metrics().blocks, 4u);  // geometry of the last launch
+}
+
+TEST(ProfileReport, BottleneckBoundPicksDominantTerm) {
+  EXPECT_STREQ(bottleneck_bound(3.0, 1.0, 0.5), "compute");
+  EXPECT_STREQ(bottleneck_bound(1.0, 3.0, 0.5), "memory");
+  EXPECT_STREQ(bottleneck_bound(1.0, 1.0, 5.0), "launch");
+}
+
+}  // namespace
+}  // namespace extnc::simgpu

@@ -1,0 +1,134 @@
+#include "simgpu/trace_export.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "simgpu/profiler.h"
+
+namespace extnc::simgpu {
+namespace {
+
+#ifndef EXTNC_TEST_DATA_DIR
+#define EXTNC_TEST_DATA_DIR "."
+#endif
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// A fixed, hand-built run: everything downstream of this (timing model
+// included) is deterministic, which is what makes a golden file possible.
+Profiler golden_profiler() {
+  Profiler profiler;
+  KernelMetrics encode;
+  encode.kernel_launches = 1;
+  encode.blocks = 30;
+  encode.threads_per_block = 256;
+  encode.alu_ops = 2.5e6;
+  encode.global_load_bytes = 1 << 20;
+  encode.global_store_bytes = 1 << 18;
+  encode.global_transactions = 1 << 14;
+  encode.shared_accesses = 1 << 16;
+  encode.shared_access_events = 1 << 12;
+  encode.shared_serialized_cycles = 3 << 12;
+  encode.barriers = 64;
+  profiler.record_launch(gtx280(), "golden/encode", encode);
+
+  KernelMetrics tex;
+  tex.kernel_launches = 1;
+  tex.blocks = 16;
+  tex.threads_per_block = 128;
+  tex.alu_ops = 1e5;
+  tex.texture_fetches = 4096;
+  tex.texture_misses = 512;
+  profiler.record_launch(gtx280(), "golden/tex \"quoted\\path\"", tex);
+  return profiler;
+}
+
+TraceOptions golden_options() {
+  TraceOptions options;
+  options.metadata = {{"tool", "trace_export_test"},
+                      {"note", "tab\there \"and\" back\\slash"}};
+  return options;
+}
+
+std::string golden_path() {
+  return std::string(EXTNC_TEST_DATA_DIR) + "/trace_golden.json";
+}
+
+// Golden-file test for the exact serialized shape (field order, float
+// formatting, escaping). Regenerate after intentional format or timing-model
+// changes with: EXTNC_REGEN_GOLDEN=1 ./simgpu_test
+TEST(TraceExport, MatchesGoldenFile) {
+  const std::string trace = to_chrome_trace(golden_profiler(),
+                                            golden_options());
+  if (std::getenv("EXTNC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << trace;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path();
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(trace, expected.str());
+}
+
+TEST(TraceExport, OneCompleteEventPerLaunch) {
+  const Profiler profiler = golden_profiler();
+  const std::string trace = to_chrome_trace(profiler);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\": \"X\""),
+            profiler.launch_count());
+  EXPECT_EQ(count_occurrences(trace, "\"ph\": \"M\""), 2u);  // process+thread
+  EXPECT_NE(trace.find("\"name\": \"golden/encode\""), std::string::npos);
+}
+
+TEST(TraceExport, EscapesLabelsAndMetadata) {
+  const std::string trace = to_chrome_trace(golden_profiler(),
+                                            golden_options());
+  EXPECT_NE(trace.find("golden/tex \\\"quoted\\\\path\\\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("tab\\there \\\"and\\\" back\\\\slash"),
+            std::string::npos);
+}
+
+TEST(TraceExport, EmptyProfilerStillValid) {
+  const Profiler profiler;
+  const std::string trace = to_chrome_trace(profiler);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("simgpu"), std::string::npos);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\": \"X\""), 0u);
+}
+
+TEST(TraceExport, WriteFailsOnUnwritablePath) {
+  std::string error;
+  EXPECT_FALSE(write_chrome_trace(golden_profiler(),
+                                  "/nonexistent-dir/trace.json", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceExport, WriteRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/extnc_trace_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_chrome_trace(golden_profiler(), path, &error)) << error;
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream written;
+  written << in.rdbuf();
+  EXPECT_EQ(written.str(), to_chrome_trace(golden_profiler()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace extnc::simgpu

@@ -1,0 +1,52 @@
+#include "util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::metrics {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(MetricsRegistryTest, UntouchedNameReadsZero) {
+  EXPECT_DOUBLE_EQ(Registry::instance().value("never.touched"), 0.0);
+}
+
+TEST_F(MetricsRegistryTest, CountAccumulates) {
+  count("net.test.events");
+  count("net.test.events");
+  count("net.test.events", 3.5);
+  EXPECT_DOUBLE_EQ(Registry::instance().value("net.test.events"), 5.5);
+}
+
+TEST_F(MetricsRegistryTest, GaugeIsLastWriteWins) {
+  gauge("net.test.level", 10.0);
+  gauge("net.test.level", 2.0);
+  EXPECT_DOUBLE_EQ(Registry::instance().value("net.test.level"), 2.0);
+}
+
+TEST_F(MetricsRegistryTest, SnapshotIsNameSorted) {
+  count("b.metric");
+  count("a.metric", 2.0);
+  count("c.metric");
+  const auto snapshot = Registry::instance().snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "a.metric");
+  EXPECT_DOUBLE_EQ(snapshot[0].second, 2.0);
+  EXPECT_EQ(snapshot[1].first, "b.metric");
+  EXPECT_EQ(snapshot[2].first, "c.metric");
+}
+
+TEST_F(MetricsRegistryTest, ResetClearsEverything) {
+  count("x");
+  gauge("y", 7.0);
+  Registry::instance().reset();
+  EXPECT_TRUE(Registry::instance().snapshot().empty());
+  EXPECT_DOUBLE_EQ(Registry::instance().value("x"), 0.0);
+}
+
+}  // namespace
+}  // namespace extnc::metrics

@@ -55,5 +55,37 @@ TEST(Stats, PercentileEmptyIsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
 }
 
+TEST(Stats, PercentileSingleSampleIsThatSample) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 9.0, 1.0}, 0.5), 5.0);
+}
+
+TEST(Stats, PercentileAllEqualSamples) {
+  std::vector<double> v{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.31), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 3.0);
+}
+
+TEST(Stats, SummarizeHandlesNegativeValues) {
+  Summary s = summarize({-4.0, -1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min, -4.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.mean, -2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, -1.0);
+}
+
+TEST(Stats, SummarizeTwoSamplesMedianIsMidpoint) {
+  Summary s = summarize({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 1.5);
+  EXPECT_NEAR(s.stddev, 0.7071, 1e-4);
+}
+
 }  // namespace
 }  // namespace extnc

@@ -1,0 +1,147 @@
+// extnc_prof: kernel-level profiling for the simulated GPU coding paths.
+//
+//   extnc_prof --device gtx280 --scheme tb5 --profile-json out.json
+//
+// Runs the requested encode scheme on a simulated device with a Profiler
+// attached, prints the bottleneck report (one aggregated row per kernel
+// label, launch counts, compute/memory/launch split, bank-conflict cycles
+// per launch), and optionally exports the per-launch timeline as
+// Chrome-trace JSON loadable in chrome://tracing or Perfetto.
+//
+// For table-based schemes a Table-based-1 baseline is profiled in the same
+// run (labels "baseline/tb1/..."), and the tool prints the Sec. 5.1.3
+// attribution: how the scheme's shared-memory serialized cycles per launch
+// compare to TB-1's — the quantity the TB ladder exists to reduce.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "coding/segment.h"
+#include "gpu/encode_scheme.h"
+#include "gpu/gpu_encoder.h"
+#include "simgpu/profile_report.h"
+#include "simgpu/profiler.h"
+#include "util/metrics_registry.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace extnc;
+using namespace extnc::bench;
+using namespace extnc::gpu;
+
+constexpr EncodeScheme kAllSchemes[] = {
+    EncodeScheme::kLoopBased, EncodeScheme::kTable0, EncodeScheme::kTable1,
+    EncodeScheme::kTable2,    EncodeScheme::kTable3, EncodeScheme::kTable4,
+    EncodeScheme::kTable5,
+};
+
+EncodeScheme scheme_by_label(const std::string& name) {
+  for (EncodeScheme scheme : kAllSchemes) {
+    if (name == scheme_label(scheme)) return scheme;
+  }
+  die("unknown scheme '" + name + "' (expected loop or tb0..tb5)");
+}
+
+std::size_t size_flag(int argc, char** argv, const char* flag,
+                      std::size_t fallback) {
+  const std::string value = flag_value(argc, argv, flag);
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed == 0) {
+    die(std::string(flag) + " expects a positive integer, got '" + value +
+        "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+// The per-scheme multiply kernel's launch label suffix.
+const char* multiply_kernel(EncodeScheme scheme) {
+  if (scheme == EncodeScheme::kLoopBased) return "mul_loop";
+  return scheme == EncodeScheme::kTable4 ? "exp_tex" : "exp_smem";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check_flags(argc, argv,
+              {"--device", "--scheme", "--n", "--k", "--blocks",
+               "--profile-json"},
+              {"--csv", "--no-baseline"});
+  const bool csv = has_flag(argc, argv, "--csv");
+  const std::string device_arg = flag_value(argc, argv, "--device");
+  const simgpu::DeviceSpec& spec =
+      device_by_name(device_arg.empty() ? "gtx280" : device_arg);
+  const std::string scheme_arg = flag_value(argc, argv, "--scheme");
+  const EncodeScheme scheme =
+      scheme_by_label(scheme_arg.empty() ? "tb5" : scheme_arg);
+  const coding::Params params{.n = size_flag(argc, argv, "--n", 128),
+                              .k = size_flag(argc, argv, "--k", 1024)};
+  const std::size_t coded_blocks = size_flag(argc, argv, "--blocks", 64);
+  const bool with_baseline = !has_flag(argc, argv, "--no-baseline") &&
+                             scheme_is_preprocessed(scheme) &&
+                             scheme != EncodeScheme::kTable1;
+  ProfileSink sink = profile_sink(argc, argv);
+
+  Rng rng(1);
+  const coding::Segment segment = coding::Segment::random(params, rng);
+  {
+    GpuEncoder encoder(spec, segment, scheme, &sink.profiler, "encode");
+    (void)encoder.encode_batch(coded_blocks, rng);
+  }
+  if (with_baseline) {
+    GpuEncoder baseline(spec, segment, EncodeScheme::kTable1, &sink.profiler,
+                        "baseline");
+    (void)baseline.encode_batch(coded_blocks, rng);
+  }
+
+  if (!csv) {
+    std::printf(
+        "extnc_prof: %s encode of %zu coded blocks (n=%zu, k=%zu) on %s — "
+        "%zu kernel launches\n\n",
+        scheme_name(scheme), coded_blocks, params.n, params.k, spec.name,
+        sink.profiler.launch_count());
+  }
+  simgpu::print_bottleneck_report(sink.profiler, stdout, csv);
+
+  if (with_baseline && !csv) {
+    const std::string main_label = std::string("encode/") +
+                                   scheme_label(scheme) + "/" +
+                                   multiply_kernel(scheme);
+    const auto main_sum = sink.profiler.label_summary(main_label);
+    const auto base_sum = sink.profiler.label_summary("baseline/tb1/exp_smem");
+    if (main_sum.launches > 0 && base_sum.launches > 0) {
+      const double base_cycles = base_sum.serialized_cycles_per_launch();
+      const double main_cycles = main_sum.serialized_cycles_per_launch();
+      std::printf(
+          "\nAttribution (tb1 -> %s, Sec. 5.1.3): shared-memory serialized "
+          "cycles per multiply launch %.0f -> %.0f",
+          scheme_label(scheme), base_cycles, main_cycles);
+      if (main_cycles > 0 && base_cycles > main_cycles) {
+        std::printf(" (%.1fx fewer bank-conflict cycles)",
+                    base_cycles / main_cycles);
+      }
+      std::printf("; multiply time per launch %.3f us -> %.3f us.\n",
+                  1e6 * base_sum.total_s /
+                      static_cast<double>(base_sum.launches),
+                  1e6 * main_sum.total_s /
+                      static_cast<double>(main_sum.launches));
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> metadata{
+      {"tool", "extnc_prof"},
+      {"device", spec.name},
+      {"scheme", scheme_label(scheme)}};
+  // Host-side counters (none for a pure encode run, but populated when the
+  // net layer is in play) ride along as trace metadata.
+  for (const auto& [name, value] : metrics::Registry::instance().snapshot()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    metadata.emplace_back(name, buf);
+  }
+  sink.write_or_die(std::move(metadata));
+  return 0;
+}
