@@ -26,12 +26,14 @@ constexpr std::size_t kReplicatedTables = 8;  // kTable5
 
 GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
                        const coding::Segment& segment, EncodeScheme scheme,
-                       simgpu::Profiler* profiler, std::string label_prefix)
+                       simgpu::Profiler* profiler, std::string label_prefix,
+                       simgpu::FaultInjector* injector)
     : segment_(&segment),
       scheme_(scheme),
       launcher_(spec),
       label_prefix_(std::move(label_prefix)) {
   launcher_.set_profiler(profiler);
+  launcher_.set_fault_injector(injector);
   const coding::Params& p = segment.params();
   EXTNC_CHECK(p.k % 4 == 0);  // GPU kernels operate on 32-bit words
   const gf256::Tables& t = gf256::tables();

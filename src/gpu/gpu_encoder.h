@@ -32,9 +32,13 @@ class GpuEncoder {
   // With a profiler attached every kernel launch (including the
   // construction-time segment preprocessing) is recorded under stable
   // "<prefix>/<scheme>/<kernel>" labels, e.g. "encode/tb5/exp_smem".
+  // With a fault injector attached (simgpu/fault_injector.h) every launch
+  // — including the construction-time preprocessing — is subject to the
+  // injector's fault plan, so construction can throw simgpu::DeviceError.
   GpuEncoder(const simgpu::DeviceSpec& spec, const coding::Segment& segment,
              EncodeScheme scheme, simgpu::Profiler* profiler = nullptr,
-             std::string label_prefix = "encode");
+             std::string label_prefix = "encode",
+             simgpu::FaultInjector* injector = nullptr);
 
   // Attach after construction (misses the segment-preprocess launches that
   // already ran; prefer the constructor argument when those matter).
@@ -44,6 +48,11 @@ class GpuEncoder {
   const coding::Params& params() const { return segment_->params(); }
   EncodeScheme scheme() const { return scheme_; }
   const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
+
+  // The simulated-device context this encoder launches on. Exposed so a
+  // supervisor (gpu/resilient_launcher.h) can attach a fault injector and
+  // read the modeled elapsed-time clock; the encoder remains the owner.
+  simgpu::Launcher& launcher() { return launcher_; }
 
   // Fill the payloads of `batch` from its (natural-domain) coefficient
   // rows by running the scheme's kernels functionally.

@@ -194,7 +194,8 @@ void GpuMultiSegmentDecoder::multiply_stage(
         params_, std::span(batches[seg].payloads_data(), n * k));
     GpuEncoder multiplier(launcher_.spec(), payload_segment,
                           EncodeScheme::kTable5, profiler_,
-                          "decode/multiseg/stage2");
+                          "decode/multiseg/stage2",
+                          launcher_.fault_injector());
     coding::CodedBatch product(params_, n);
     for (std::size_t r = 0; r < n; ++r) {
       std::memcpy(product.coefficients(r).data(),

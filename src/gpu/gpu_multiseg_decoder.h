@@ -42,6 +42,12 @@ class GpuMultiSegmentDecoder {
   const simgpu::DeviceSpec& spec() const { return launcher_.spec(); }
   void reset_metrics();
 
+  // Simulated-device context (fault-injector attachment, modeled clock).
+  // A fault injector attached here is propagated to the stage-2 multiplier
+  // encoders, so every launch of a decode is subject to the fault plan and
+  // decode_all can throw simgpu::DeviceError.
+  simgpu::Launcher& launcher() { return launcher_; }
+
   // Stage 1 launches record as "decode/multiseg/invert"; stage 2 reuses the
   // encode kernels under the "decode/multiseg/stage2" prefix.
   void attach_profiler(simgpu::Profiler* profiler);

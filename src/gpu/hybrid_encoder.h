@@ -36,8 +36,21 @@ class HybridEncoder {
   void encode_into(coding::CodedBatch& batch);
   coding::CodedBatch encode_batch(std::size_t count, Rng& rng);
 
-  // How many blocks of an m-block batch land on the GPU.
+  // How many blocks of an m-block batch land on the GPU (0 once the GPU
+  // half has been disabled by a device fault).
   std::size_t gpu_blocks(std::size_t batch_size) const;
+
+  // Subject the GPU half to a fault plan. If the GPU fails mid-batch
+  // (simgpu::DeviceError), encode_into re-encodes the whole batch on the
+  // CPU — output stays bit-exact — and, for a sticky device loss,
+  // rebalances permanently to a CPU-only split.
+  void attach_fault_injector(simgpu::FaultInjector* injector) {
+    gpu_encoder_.launcher().set_fault_injector(injector);
+  }
+  // True once a device loss has rebalanced the split to CPU-only.
+  bool gpu_disabled() const { return gpu_disabled_; }
+  // Re-enable the GPU half (after the injector's device was restored).
+  void restore_gpu() { gpu_disabled_ = false; }
 
   const GpuEncoder& gpu() const { return gpu_encoder_; }
   const cpu::CpuEncoder& cpu() const { return cpu_encoder_; }
@@ -53,6 +66,7 @@ class HybridEncoder {
   GpuEncoder gpu_encoder_;
   cpu::CpuEncoder cpu_encoder_;
   double gpu_share_;
+  bool gpu_disabled_ = false;
 };
 
 }  // namespace extnc::gpu

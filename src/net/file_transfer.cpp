@@ -47,6 +47,13 @@ std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
   Rng rng(options.seed);
   coding::GenerationEncoder encoder(options.params, content,
                                     options.systematic, options.wire_format);
+  FileEncodeOptions::SeedBlockFn seed_block;
+  if (options.make_seed_encoder) {
+    // The hook emits coded blocks only; systematic rounds need the
+    // built-in encoder's pass-through packets.
+    EXTNC_CHECK(!options.systematic);
+    seed_block = options.make_seed_encoder(options.params, content);
+  }
 
   const std::size_t per_generation = static_cast<std::size_t>(
       static_cast<double>(options.params.n) * (1.0 + options.redundancy) +
@@ -54,7 +61,10 @@ std::vector<std::uint8_t> encode_file(std::span<const std::uint8_t> content,
   std::vector<std::vector<std::uint8_t>> packets;
   for (std::uint32_t g = 0; g < encoder.generations(); ++g) {
     for (std::size_t i = 0; i < per_generation; ++i) {
-      auto packet = encoder.encode_packet(g, rng);
+      auto packet = seed_block
+                        ? coding::serialize(g, seed_block(g, rng),
+                                            options.wire_format)
+                        : encoder.encode_packet(g, rng);
       if (rng.next_double() < options.loss) continue;  // dropped in transit
       // Guarded so corruption-free runs keep the seeded rng trajectory of
       // the original (corruption-less) encoder, draw for draw.

@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "coding/coded_block.h"
 #include "coding/params.h"
 #include "coding/wire.h"
 #include "util/rng.h"
@@ -48,6 +50,16 @@ struct FileEncodeOptions {
   // XNC2 (checksummed) by default; kV1 shaves 4 bytes/packet but makes
   // corruption undetectable — bench/compat use only.
   coding::WireFormat wire_format = coding::WireFormat::kV2;
+  // Optional seed-encoder factory (same shape as the swarm hooks): invoked
+  // once with (params, content); the returned closure produces each coded
+  // block in place of the built-in GenerationEncoder. Incompatible with
+  // `systematic` (the hook only emits coded blocks). See
+  // gpu::ResilientSeed::bind_content.
+  using SeedBlockFn =
+      std::function<coding::CodedBlock(std::uint32_t, Rng&)>;
+  std::function<SeedBlockFn(const coding::Params&,
+                            std::span<const std::uint8_t>)>
+      make_seed_encoder;
 };
 
 struct FileInfo {

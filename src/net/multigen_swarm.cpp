@@ -43,6 +43,10 @@ MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
   for (auto& b : content) b = rng.next_byte();
   coding::GenerationEncoder seed_encoder(params, content);
   EXTNC_CHECK(seed_encoder.generations() == config.generations);
+  MultiGenSwarmConfig::SeedBlockFn seed_block;
+  if (config.make_seed_encoder) {
+    seed_block = config.make_seed_encoder(params, content);
+  }
 
   std::vector<Peer> peers;
   peers.reserve(config.peers);
@@ -163,9 +167,15 @@ MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
     const std::size_t target = rng.next_below(config.peers);
     const auto g = choose_generation(seed_has, peers[target]);
     if (g >= 0) {
-      deliver(target,
-              seed_encoder.encode_packet(static_cast<std::uint32_t>(g), rng),
-              static_cast<std::uint32_t>(g));
+      const auto generation = static_cast<std::uint32_t>(g);
+      if (seed_block) {
+        deliver(target,
+                coding::serialize(generation, seed_block(generation, rng)),
+                generation);
+      } else {
+        deliver(target, seed_encoder.encode_packet(generation, rng),
+                generation);
+      }
     }
     sim.schedule_in(1.0 / config.seed_blocks_per_second, seed_tick);
   };

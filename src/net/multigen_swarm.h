@@ -22,10 +22,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
+#include "coding/coded_block.h"
 #include "coding/params.h"
 #include "net/faulty_channel.h"
+#include "util/rng.h"
 
 namespace extnc::net {
 
@@ -55,6 +59,16 @@ struct MultiGenSwarmConfig {
   // caught by the wire CRC at the receiving peer (counted in
   // packets_rejected) and never buffered for recoding.
   FaultSpec faults{};
+  // Optional seed-encoder factory: invoked once with (params, content);
+  // the returned closure then produces the seed's coded block for a
+  // requested generation in place of the built-in GenerationEncoder
+  // (blocks are wrapped in the standard wire format before transmission).
+  // This is how an accelerated, fault-supervised seed plugs in without
+  // net linking against gpu — see gpu::ResilientSeed::bind_content.
+  using SeedBlockFn = std::function<coding::CodedBlock(std::uint32_t, Rng&)>;
+  std::function<SeedBlockFn(const coding::Params&,
+                            std::span<const std::uint8_t>)>
+      make_seed_encoder;
 };
 
 struct MultiGenSwarmResult {

@@ -34,6 +34,11 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   const coding::Params& params = config.params;
   const coding::Segment source = coding::Segment::random(params, rng);
   const coding::Encoder encoder(source);
+  SwarmConfig::SeedEncoderFn seed_encode;
+  if (config.make_seed_encoder) seed_encode = config.make_seed_encoder(source);
+  if (!seed_encode) {
+    seed_encode = [&encoder](Rng& r) { return encoder.encode(r); };
+  }
 
   std::vector<Peer> peers(config.peers, Peer(params));
   const std::size_t degree =
@@ -117,7 +122,7 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   // Server upload loop: a fresh coded block to a uniformly random peer.
   std::function<void()> server_tick = [&] {
     if (completed == config.peers) return;
-    deliver(rng.next_below(config.peers), encoder.encode(rng));
+    deliver(rng.next_below(config.peers), seed_encode(rng));
     sim.schedule_in(1.0 / config.server_blocks_per_second, server_tick);
   };
   sim.schedule_in(1.0 / config.server_blocks_per_second, server_tick);

@@ -12,10 +12,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "coding/coded_block.h"
 #include "coding/params.h"
+#include "coding/segment.h"
 #include "net/faulty_channel.h"
+#include "util/rng.h"
 
 namespace extnc::net {
 
@@ -34,6 +38,13 @@ struct SwarmConfig {
   // traffic travels as checksummed wire packets and peers CRC-check
   // before decoding or relaying, so corruption never pollutes the swarm.
   FaultSpec faults{};
+  // Optional seed-encoder factory, invoked once with the run's source
+  // segment; the returned closure then produces every server-emitted
+  // coded block in place of the built-in reference encoder. This is how
+  // an accelerated (and fault-supervised) seed plugs in without net
+  // linking against gpu — see gpu::ResilientSeed::bind_segment.
+  using SeedEncoderFn = std::function<coding::CodedBlock(Rng&)>;
+  std::function<SeedEncoderFn(const coding::Segment&)> make_seed_encoder;
 };
 
 struct SwarmResult {

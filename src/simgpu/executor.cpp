@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
 
+#include "simgpu/fault_injector.h"
 #include "simgpu/profiler.h"
+#include "simgpu/timing.h"
 
 namespace extnc::simgpu {
 
@@ -208,6 +211,20 @@ void Launcher::launch(const LaunchConfig& config,
   EXTNC_CHECK(config.threads_per_block >= 1);
   EXTNC_CHECK(config.threads_per_block <=
               static_cast<std::size_t>(spec_->max_threads_per_block));
+  // Fault gate: the injector may reject the launch outright (nothing runs,
+  // no metrics accrue) or decree damage to apply after it completes.
+  FaultClass fault = FaultClass::kNone;
+  if (injector_ != nullptr) {
+    fault = injector_->begin_launch();
+    if (fault == FaultClass::kDeviceLost ||
+        fault == FaultClass::kLaunchFailure) {
+      throw DeviceError(fault,
+                        std::string("simgpu: launch ") +
+                            (launch_label_.empty() ? "<unlabeled>"
+                                                   : launch_label_.c_str()) +
+                            " failed: " + fault_class_name(fault));
+    }
+  }
   // Account the launch into its own metrics object so an attached profiler
   // sees exactly this launch's delta; the cumulative metrics_ then absorbs
   // it (merge adopts the geometry, since kernel_launches == 1).
@@ -227,6 +244,15 @@ void Launcher::launch(const LaunchConfig& config,
     kernel(ctx);
   }
   metrics_.merge(launch_metrics);
+  // Advance the modeled clock; an injected hang stalls this launch by the
+  // plan's stall factor, which is what a supervisor's watchdog detects.
+  const double multiplier =
+      injector_ != nullptr ? injector_->time_multiplier(fault) : 1.0;
+  last_launch_s_ = estimate_time(*spec_, launch_metrics).total_s * multiplier;
+  elapsed_s_ += last_launch_s_;
+  if (injector_ != nullptr) {
+    injector_->finish_launch(fault, last_launch_s_);
+  }
   if (profiler_ != nullptr) {
     profiler_->record_launch(*spec_, launch_label_, launch_metrics);
   }

@@ -187,6 +187,7 @@ class BlockCtx {
   std::unordered_map<std::uint32_t, SharedGroup> shared_groups_;
 };
 
+class FaultInjector;
 class Profiler;
 
 // Owns metrics and the texture cache; launches kernels on a device spec.
@@ -211,12 +212,29 @@ class Launcher {
   }
   const std::string& launch_label() const { return launch_label_; }
 
+  // Optional fault model (simgpu/fault_injector.h). With an injector
+  // attached, every launch consults it first: a kLaunchFailure or
+  // kDeviceLost verdict aborts the launch with a DeviceError (nothing
+  // runs, no metrics accrue), a kHang verdict stalls the launch's modeled
+  // time by the plan's stall factor, and kHang/kBitFlip verdicts damage
+  // the injector's watched regions after the kernel completes. The
+  // injector is borrowed, never owned; one injector shared by several
+  // launchers models one device.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Run the kernel over every block (serially, deterministically). Shared
   // memory contents do NOT persist across blocks or launches, matching
   // CUDA semantics the paper leans on in Sec. 5.1.2 ("CUDA's shared memory
   // is not persistent across GPU kernel calls").
   void launch(const LaunchConfig& config,
               const std::function<void(BlockCtx&)>& kernel);
+
+  // Modeled seconds this launcher's launches have consumed (timing model,
+  // default calibration; includes injected hang stalls). This is the clock
+  // watchdog supervisors compare against a per-attempt budget.
+  double elapsed_seconds() const { return elapsed_s_; }
+  double last_launch_seconds() const { return last_launch_s_; }
 
   // The texture cache persists across launches (it is a hardware cache);
   // tests can clear it.
@@ -227,7 +245,10 @@ class Launcher {
   KernelMetrics metrics_;
   TextureCache texture_cache_;
   Profiler* profiler_ = nullptr;
+  FaultInjector* injector_ = nullptr;
   std::string launch_label_;
+  double elapsed_s_ = 0;
+  double last_launch_s_ = 0;
 };
 
 }  // namespace extnc::simgpu

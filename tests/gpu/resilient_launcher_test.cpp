@@ -1,0 +1,519 @@
+// The supervision layer: retry/backoff/watchdog/breaker state machine at
+// the closure level, then the supervised encoder and multi-segment decoder
+// against scripted device faults, and checkpoint/resume.
+#include "gpu/resilient_launcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coding/block_decoder.h"
+#include "coding/encoder.h"
+#include "cpu/multi_segment_decoder.h"
+#include "util/checksum.h"
+
+namespace extnc::gpu {
+namespace {
+
+using coding::CodedBatch;
+using coding::Encoder;
+using coding::Params;
+using coding::Segment;
+
+// --- supervisor state machine (synthetic closures, no GPU) -----------------
+
+TEST(ResilientLauncher, CleanOpRunsOnceOnGpu) {
+  ResilientLauncher supervisor;
+  int gpu_calls = 0;
+  SupervisedOp op;
+  op.label = "clean";
+  op.gpu = [&] { ++gpu_calls; };
+  op.verify = [] { return true; };
+  op.cpu = [] { FAIL() << "fallback must not run"; };
+  const OperationReport report = supervisor.run(op);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(gpu_calls, 1);
+  EXPECT_DOUBLE_EQ(report.backoff_s, 0.0);
+  EXPECT_EQ(supervisor.totals().gpu_ok, 1u);
+  EXPECT_EQ(supervisor.totals().retries, 0u);
+  EXPECT_FALSE(supervisor.breaker_open());
+}
+
+TEST(ResilientLauncher, CorruptedOutputRetriesWithExponentialBackoff) {
+  SupervisorConfig config;
+  config.backoff_initial_s = 1.0;
+  config.backoff_factor = 2.0;
+  ResilientLauncher supervisor(config);
+  int gpu_calls = 0;
+  SupervisedOp op;
+  op.gpu = [&] { ++gpu_calls; };
+  op.verify = [&] { return gpu_calls >= 3; };  // first two results corrupted
+  op.cpu = [] { FAIL() << "fallback must not run"; };
+  const OperationReport report = supervisor.run(op);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.corrupted_outputs, 2);
+  EXPECT_DOUBLE_EQ(report.backoff_s, 1.0 + 2.0);  // 1, then doubled
+  EXPECT_EQ(supervisor.totals().retries, 2u);
+  EXPECT_EQ(supervisor.totals().corrupted_outputs, 2u);
+}
+
+TEST(ResilientLauncher, WatchdogTripsOnClockOverrun) {
+  SupervisorConfig config;
+  config.watchdog_budget_s = 1.0;
+  config.max_attempts = 2;
+  ResilientLauncher supervisor(config);
+  double clock = 0.0;
+  bool cpu_ran = false;
+  SupervisedOp op;
+  op.gpu = [&] { clock += 5.0; };  // every attempt blows the budget
+  op.gpu_clock = [&] { return clock; };
+  op.verify = [] { return true; };
+  op.cpu = [&] { cpu_ran = true; };
+  const OperationReport report = supervisor.run(op);
+  EXPECT_EQ(report.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.watchdog_trips, 2);
+  EXPECT_TRUE(cpu_ran);
+  EXPECT_EQ(supervisor.totals().watchdog_trips, 2u);
+  EXPECT_EQ(supervisor.totals().fallbacks, 1u);
+}
+
+TEST(ResilientLauncher, TransientLaunchFailureIsRetried) {
+  ResilientLauncher supervisor;
+  int gpu_calls = 0;
+  SupervisedOp op;
+  op.gpu = [&] {
+    if (++gpu_calls == 1) {
+      throw simgpu::DeviceError(simgpu::FaultClass::kLaunchFailure, "boom");
+    }
+  };
+  op.verify = [] { return true; };
+  const OperationReport report = supervisor.run(op);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.launch_failures, 1);
+  EXPECT_FALSE(supervisor.breaker_open());
+}
+
+TEST(ResilientLauncher, DeviceLossOpensBreakerAndShortCircuitsNextOps) {
+  ResilientLauncher supervisor;
+  SupervisedOp lost_op;
+  lost_op.gpu = [] {
+    throw simgpu::DeviceError(simgpu::FaultClass::kDeviceLost, "gone");
+  };
+  bool cpu_ran = false;
+  lost_op.cpu = [&] { cpu_ran = true; };
+  const OperationReport report = supervisor.run(lost_op);
+  EXPECT_EQ(report.path, ComputePath::kCpuFallback);
+  EXPECT_TRUE(report.device_lost);
+  EXPECT_EQ(report.attempts, 1);  // no retry against a lost device
+  EXPECT_TRUE(cpu_ran);
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  // Breaker open: the GPU closure is never invoked again.
+  SupervisedOp next;
+  next.gpu = [] { FAIL() << "breaker must bypass the GPU"; };
+  bool next_cpu = false;
+  next.cpu = [&] { next_cpu = true; };
+  const OperationReport short_circuit = supervisor.run(next);
+  EXPECT_EQ(short_circuit.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(short_circuit.attempts, 0);
+  EXPECT_TRUE(next_cpu);
+
+  // reset_breaker models device recovery: GPU attempts resume.
+  supervisor.reset_breaker();
+  EXPECT_FALSE(supervisor.breaker_open());
+  SupervisedOp healthy;
+  int gpu_calls = 0;
+  healthy.gpu = [&] { ++gpu_calls; };
+  EXPECT_EQ(supervisor.run(healthy).path, ComputePath::kGpu);
+  EXPECT_EQ(gpu_calls, 1);
+}
+
+TEST(ResilientLauncher, BreakerOpensAfterConsecutiveExhaustedOps) {
+  SupervisorConfig config;
+  config.max_attempts = 1;
+  config.breaker_threshold = 2;
+  ResilientLauncher supervisor(config);
+  SupervisedOp bad;
+  bad.gpu = [] {};
+  bad.verify = [] { return false; };  // always corrupted
+  bad.cpu = [] {};
+  EXPECT_EQ(supervisor.run(bad).path, ComputePath::kCpuFallback);
+  EXPECT_FALSE(supervisor.breaker_open());  // 1 of 2
+  EXPECT_EQ(supervisor.run(bad).path, ComputePath::kCpuFallback);
+  EXPECT_TRUE(supervisor.breaker_open());  // threshold reached
+
+  // A success in between resets the consecutive count.
+  supervisor.reset_breaker();
+  (void)supervisor.run(bad);
+  SupervisedOp good;
+  good.gpu = [] {};
+  (void)supervisor.run(good);
+  (void)supervisor.run(bad);
+  EXPECT_FALSE(supervisor.breaker_open());
+}
+
+TEST(ResilientLauncher, NoFallbackWiredReportsFailed) {
+  SupervisorConfig config;
+  config.max_attempts = 1;
+  ResilientLauncher supervisor(config);
+  SupervisedOp op;
+  op.gpu = [] {};
+  op.verify = [] { return false; };
+  // op.cpu left null (stop-on-device-loss decode mode).
+  EXPECT_EQ(supervisor.run(op).path, ComputePath::kFailed);
+}
+
+// --- supervised encoder against scripted device faults ---------------------
+
+// The injector indexes launches device-wide. ResilientEncoder construction
+// does not consume indices (the injector attaches after the segment
+// preprocess); each encode attempt with a table scheme then issues two
+// launches: coefficient preprocess (even index), encode kernel (odd index).
+class ResilientEncoderFaults : public ::testing::Test {
+ protected:
+  static constexpr Params kParams{.n = 16, .k = 256};
+
+  ResilientEncoderFaults() : rng_(11), segment_(Segment::random(kParams, rng_)) {}
+
+  SupervisorConfig config() {
+    SupervisorConfig config;
+    config.watchdog_budget_s = 1e-3;  // a hang stalls ~1e6x past this
+    config.verify_sample = 64;        // >= batch size: every row checked
+    return config;
+  }
+
+  // Runs one supervised batch under `plan` and checks it against the
+  // reference encoder row by row.
+  OperationReport encode_and_check(const simgpu::FaultPlan& plan,
+                                   std::size_t count = 6) {
+    simgpu::FaultInjector injector(plan);
+    ResilientLauncher supervisor(config(), &injector);
+    ThreadPool pool(2);
+    ResilientEncoder encoder(simgpu::gtx280(), segment_, EncodeScheme::kTable5,
+                             pool, supervisor);
+    const CodedBatch batch = encoder.encode_batch(count, rng_);
+    const Encoder reference(segment_);
+    std::vector<std::uint8_t> expected(kParams.k);
+    for (std::size_t j = 0; j < batch.count(); ++j) {
+      reference.encode_with_coefficients(batch.coefficients(j), expected);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             batch.payload(j).begin()))
+          << "block " << j;
+    }
+    return encoder.last_report();
+  }
+
+  Rng rng_;
+  Segment segment_;
+};
+
+TEST_F(ResilientEncoderFaults, NoFaultStaysOnGpuFirstTry) {
+  const OperationReport report = encode_and_check(simgpu::FaultPlan{});
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.corrupted_outputs, 0);
+}
+
+TEST_F(ResilientEncoderFaults, BitFlipDetectedByVerifierAndRetried) {
+  simgpu::FaultPlan plan;
+  plan.scripted[1] = simgpu::FaultClass::kBitFlip;  // encode kernel, try 1
+  const OperationReport report = encode_and_check(plan);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.corrupted_outputs, 1);
+}
+
+TEST_F(ResilientEncoderFaults, HangTripsWatchdogAndRetried) {
+  simgpu::FaultPlan plan;
+  plan.scripted[1] = simgpu::FaultClass::kHang;
+  const OperationReport report = encode_and_check(plan);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.watchdog_trips, 1);
+  EXPECT_GT(report.backoff_s, 0.0);
+}
+
+TEST_F(ResilientEncoderFaults, LaunchFailureRetriedTransparently) {
+  simgpu::FaultPlan plan;
+  plan.scripted[0] = simgpu::FaultClass::kLaunchFailure;
+  const OperationReport report = encode_and_check(plan);
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.launch_failures, 1);
+}
+
+TEST_F(ResilientEncoderFaults, DeviceLossFallsBackToCpuBitExact) {
+  simgpu::FaultPlan plan;
+  plan.scripted[0] = simgpu::FaultClass::kDeviceLost;
+  const OperationReport report = encode_and_check(plan);
+  EXPECT_EQ(report.path, ComputePath::kCpuFallback);
+  EXPECT_TRUE(report.device_lost);
+}
+
+TEST_F(ResilientEncoderFaults, PersistentCorruptionExhaustsRetriesThenCpu) {
+  simgpu::FaultPlan plan;  // flip the encode kernel of all four attempts
+  plan.scripted[1] = simgpu::FaultClass::kBitFlip;
+  plan.scripted[3] = simgpu::FaultClass::kBitFlip;
+  plan.scripted[5] = simgpu::FaultClass::kBitFlip;
+  plan.scripted[7] = simgpu::FaultClass::kBitFlip;
+  const OperationReport report = encode_and_check(plan);
+  EXPECT_EQ(report.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(report.attempts, 4);
+  EXPECT_EQ(report.corrupted_outputs, 4);
+}
+
+// --- checkpoint wire format ------------------------------------------------
+
+TEST(DecodeCheckpoint, SerializeDeserializeRoundtrip) {
+  Rng rng(21);
+  const Params params{.n = 8, .k = 64};
+  DecodeCheckpoint ck;
+  ck.params = params;
+  ck.done = {1, 0, 1};
+  ck.decoded = {Segment::random(params, rng), Segment{},
+                Segment::random(params, rng)};
+  const auto bytes = ck.serialize();
+  const auto back = DecodeCheckpoint::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->params, params);
+  EXPECT_EQ(back->done, ck.done);
+  EXPECT_EQ(back->completed(), 2u);
+  EXPECT_FALSE(back->complete());
+  EXPECT_EQ(back->decoded[0], ck.decoded[0]);
+  EXPECT_EQ(back->decoded[2], ck.decoded[2]);
+}
+
+TEST(DecodeCheckpoint, RejectsDamagedBytes) {
+  Rng rng(22);
+  const Params params{.n = 4, .k = 32};
+  DecodeCheckpoint ck;
+  ck.params = params;
+  ck.done = {1, 1};
+  ck.decoded = {Segment::random(params, rng), Segment::random(params, rng)};
+  const auto bytes = ck.serialize();
+  ASSERT_TRUE(DecodeCheckpoint::deserialize(bytes).has_value());
+
+  auto flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;  // CRC catches payload damage
+  EXPECT_FALSE(DecodeCheckpoint::deserialize(flipped).has_value());
+
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(DecodeCheckpoint::deserialize(truncated).has_value());
+
+  auto bad_magic = bytes;
+  bad_magic[0] = 'Y';
+  EXPECT_FALSE(DecodeCheckpoint::deserialize(bad_magic).has_value());
+
+  EXPECT_FALSE(
+      DecodeCheckpoint::deserialize(std::span<const std::uint8_t>{})
+          .has_value());
+}
+
+// --- supervised multi-segment decode: fallback and checkpoint/resume -------
+
+CodedBatch independent_batch(const Segment& segment, Rng& rng) {
+  const Params& params = segment.params();
+  const Encoder encoder(segment);
+  coding::BlockDecoder probe(params);
+  CodedBatch batch(params, params.n);
+  std::size_t stored = 0;
+  while (stored < params.n) {
+    coding::CodedBlock block = encoder.encode(rng);
+    if (!probe.add(block)) continue;
+    std::copy(block.coefficients().begin(), block.coefficients().end(),
+              batch.coefficients(stored).begin());
+    std::copy(block.payload().begin(), block.payload().end(),
+              batch.payload(stored).begin());
+    ++stored;
+  }
+  return batch;
+}
+
+class ResilientMultiSegFaults : public ::testing::Test {
+ protected:
+  static constexpr Params kParams{.n = 8, .k = 64};
+  static constexpr std::size_t kSegments = 4;
+
+  ResilientMultiSegFaults() : rng_(31) {
+    for (std::size_t s = 0; s < kSegments; ++s) {
+      segments_.push_back(Segment::random(kParams, rng_));
+      batches_.push_back(independent_batch(segments_.back(), rng_));
+    }
+  }
+
+  // Device-wide launch count of one clean single-segment decode, so
+  // scripted faults can target an exact segment.
+  std::size_t launches_per_segment() {
+    simgpu::FaultInjector probe{simgpu::FaultPlan{}};
+    ResilientLauncher supervisor(SupervisorConfig{}, &probe);
+    ThreadPool pool(2);
+    ResilientMultiSegDecoder decoder(simgpu::gtx280(), kParams, pool,
+                                     supervisor);
+    const auto out = decoder.decode_all({batches_[0]});
+    EXPECT_EQ(out[0], segments_[0]);
+    EXPECT_GT(probe.counters().launches, 0u);
+    return probe.counters().launches;
+  }
+
+  Rng rng_;
+  std::vector<Segment> segments_;
+  std::vector<CodedBatch> batches_;
+};
+
+TEST_F(ResilientMultiSegFaults, CleanDecodeStaysOnGpu) {
+  ResilientLauncher supervisor;
+  ThreadPool pool(2);
+  ResilientMultiSegDecoder decoder(simgpu::gtx280(), kParams, pool,
+                                   supervisor);
+  const auto out = decoder.decode_all(batches_);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    EXPECT_EQ(out[s], segments_[s]) << s;
+  }
+  const MultiSegReport& report = decoder.last_report();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.gpu_segments, kSegments);
+  EXPECT_EQ(report.cpu_segments, 0u);
+  EXPECT_EQ(report.from_checkpoint, 0u);
+}
+
+TEST_F(ResilientMultiSegFaults, DeviceLossMidDecodeDegradesToCpu) {
+  // Lose the device on the first launch of segment 2's decode.
+  simgpu::FaultPlan plan;
+  plan.scripted[launches_per_segment() * 2] = simgpu::FaultClass::kDeviceLost;
+  simgpu::FaultInjector injector(plan);
+  ResilientLauncher supervisor(SupervisorConfig{}, &injector);
+  ThreadPool pool(2);
+  ResilientMultiSegDecoder decoder(simgpu::gtx280(), kParams, pool,
+                                   supervisor);
+  const auto out = decoder.decode_all(batches_);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    EXPECT_EQ(out[s], segments_[s]) << s;  // bit-exact despite the loss
+  }
+  const MultiSegReport& report = decoder.last_report();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.gpu_segments, 2u);
+  EXPECT_EQ(report.cpu_segments, 2u);
+  EXPECT_TRUE(supervisor.breaker_open());
+}
+
+TEST_F(ResilientMultiSegFaults, CheckpointResumeRedoesNoCompletedSegment) {
+  const std::size_t per_segment = launches_per_segment();
+
+  // Phase 1: decode until the device dies at the start of segment 2.
+  simgpu::FaultPlan plan;
+  plan.scripted[per_segment * 2] = simgpu::FaultClass::kDeviceLost;
+  simgpu::FaultInjector injector(plan);
+  ResilientLauncher supervisor(SupervisorConfig{}, &injector);
+  ThreadPool pool(2);
+  ResilientMultiSegDecoder decoder(simgpu::gtx280(), kParams, pool,
+                                   supervisor);
+  DecodeCheckpoint ck;
+  const auto partial = decoder.decode_all(batches_, &ck,
+                                          /*stop_on_device_loss=*/true);
+  EXPECT_TRUE(decoder.last_report().stopped_on_device_loss);
+  EXPECT_FALSE(decoder.last_report().complete);
+  EXPECT_EQ(ck.completed(), 2u);
+  EXPECT_EQ(partial[0], segments_[0]);
+  EXPECT_EQ(partial[1], segments_[1]);
+
+  // The checkpoint travels as bytes (e.g. to a replacement device).
+  const auto wire = ck.serialize();
+  auto restored = DecodeCheckpoint::deserialize(wire);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->completed(), 2u);
+
+  // Phase 2: resume on a healthy device. Completed segments are restored,
+  // not recomputed: the new device sees launches for 2 segments only.
+  simgpu::FaultInjector healthy{simgpu::FaultPlan{}};
+  ResilientLauncher supervisor2(SupervisorConfig{}, &healthy);
+  ResilientMultiSegDecoder decoder2(simgpu::gtx280(), kParams, pool,
+                                    supervisor2);
+  const auto out = decoder2.decode_all(batches_, &*restored);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    EXPECT_EQ(out[s], segments_[s]) << s;
+  }
+  const MultiSegReport& report = decoder2.last_report();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.from_checkpoint, 2u);
+  EXPECT_EQ(report.gpu_segments, 2u);
+  EXPECT_EQ(report.cpu_segments, 0u);
+  EXPECT_EQ(healthy.counters().launches, per_segment * 2);
+  EXPECT_TRUE(restored->complete());
+}
+
+TEST_F(ResilientMultiSegFaults, BitFlipInDecodeCaughtBySegmentVerifier) {
+  const std::size_t per_segment = launches_per_segment();
+  // Flip device memory during every launch of segment 1's first attempt.
+  simgpu::FaultPlan plan;
+  for (std::size_t i = 0; i < per_segment; ++i) {
+    plan.scripted[per_segment + i] = simgpu::FaultClass::kBitFlip;
+  }
+  simgpu::FaultInjector injector(plan);
+  SupervisorConfig config;
+  config.verify_sample = kParams.n;  // check every row of each segment
+  ResilientLauncher supervisor(config, &injector);
+  ThreadPool pool(2);
+  ResilientMultiSegDecoder decoder(simgpu::gtx280(), kParams, pool,
+                                   supervisor);
+  const auto out = decoder.decode_all(batches_);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    EXPECT_EQ(out[s], segments_[s]) << s;
+  }
+  EXPECT_TRUE(decoder.last_report().complete);
+  EXPECT_GT(supervisor.totals().corrupted_outputs, 0u);
+  EXPECT_GT(supervisor.totals().retries, 0u);
+}
+
+// --- seed-encoder bridge ---------------------------------------------------
+
+TEST(ResilientSeed, BoundSegmentClosureSurvivesDeviceLoss) {
+  Rng rng(41);
+  const Params params{.n = 8, .k = 64};
+  const Segment segment = Segment::random(params, rng);
+  simgpu::FaultPlan plan;
+  plan.scripted[4] = simgpu::FaultClass::kDeviceLost;
+  ResilientSeed seed(simgpu::gtx280(), EncodeScheme::kTable5,
+                     SupervisorConfig{}, plan, /*threads=*/2,
+                     /*blocks_per_launch=*/4);
+  ASSERT_NE(seed.injector(), nullptr);
+  auto encode = seed.bind_segment(segment);
+  const Encoder reference(segment);
+  std::vector<std::uint8_t> expected(params.k);
+  // Enough blocks to cross the scripted loss; all must stay bit-exact.
+  for (int i = 0; i < 24; ++i) {
+    const coding::CodedBlock block = encode(rng);
+    reference.encode_with_coefficients(block.coefficients(), expected);
+    EXPECT_EQ(crc32c(expected), crc32c(block.payload())) << i;
+  }
+  EXPECT_TRUE(seed.supervisor().breaker_open());
+  EXPECT_GT(seed.supervisor().totals().fallbacks, 0u);
+}
+
+TEST(ResilientSeed, BoundContentSplitsIntoGenerations) {
+  Rng rng(42);
+  const Params params{.n = 4, .k = 32};
+  std::vector<std::uint8_t> content(params.segment_bytes() * 2 + 17);
+  for (auto& b : content) b = static_cast<std::uint8_t>(rng.next_below(256));
+  ResilientSeed seed(simgpu::gtx280(), EncodeScheme::kTable5);
+  auto encode = seed.bind_content(params, content);
+  // Generation 2 is the 17-byte tail, zero-padded to a full segment.
+  coding::Segment tail = coding::Segment::from_bytes(
+      params,
+      std::span(content.data() + params.segment_bytes() * 2, std::size_t{17}));
+  const Encoder reference(tail);
+  std::vector<std::uint8_t> expected(params.k);
+  for (int i = 0; i < 6; ++i) {
+    const coding::CodedBlock block = encode(2, rng);
+    reference.encode_with_coefficients(block.coefficients(), expected);
+    EXPECT_EQ(crc32c(expected), crc32c(block.payload())) << i;
+  }
+}
+
+}  // namespace
+}  // namespace extnc::gpu

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 namespace extnc::metrics {
 namespace {
 
@@ -38,6 +42,69 @@ TEST_F(MetricsRegistryTest, SnapshotIsNameSorted) {
   EXPECT_DOUBLE_EQ(snapshot[0].second, 2.0);
   EXPECT_EQ(snapshot[1].first, "b.metric");
   EXPECT_EQ(snapshot[2].first, "c.metric");
+}
+
+// The registry is shared by every subsystem, including the thread-pooled
+// CPU coders and the supervision layer's fault accounting — concurrent
+// writers, readers, and snapshotters must neither race nor lose updates.
+// (Run under TSan/ASan in CI; the exact-total asserts catch lost adds.)
+TEST_F(MetricsRegistryTest, ConcurrentCountersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      const std::string own = "stress.thread." + std::to_string(t);
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        count("stress.shared");       // contended counter
+        count(own);                   // uncontended counter
+        gauge("stress.level", static_cast<double>(i));
+        if (i % 64 == 0) {
+          // Readers interleaved with writers.
+          (void)Registry::instance().value("stress.shared");
+          (void)Registry::instance().snapshot();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Integer-valued doubles this small are exact: any lost update shows.
+  EXPECT_DOUBLE_EQ(Registry::instance().value("stress.shared"),
+                   static_cast<double>(kThreads) * kAddsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(
+        Registry::instance().value("stress.thread." + std::to_string(t)),
+        static_cast<double>(kAddsPerThread));
+  }
+  EXPECT_DOUBLE_EQ(Registry::instance().value("stress.level"),
+                   static_cast<double>(kAddsPerThread - 1));
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentSnapshotsSeeConsistentMap) {
+  // Snapshot while names are being created: every snapshot must be
+  // internally sorted and never observe a torn entry.
+  constexpr int kNames = 200;
+  std::thread writer([] {
+    for (int i = 0; i < kNames; ++i) {
+      count("snap." + std::to_string(i), 2.0);
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const auto snapshot = Registry::instance().snapshot();
+    EXPECT_TRUE(std::is_sorted(
+        snapshot.begin(), snapshot.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }));
+    for (const auto& [name, value] : snapshot) {
+      if (name.rfind("snap.", 0) == 0) {
+        EXPECT_DOUBLE_EQ(value, 2.0);
+      }
+    }
+  }
+  writer.join();
+  EXPECT_EQ(Registry::instance().snapshot().size(),
+            static_cast<std::size_t>(kNames));
 }
 
 TEST_F(MetricsRegistryTest, ResetClearsEverything) {

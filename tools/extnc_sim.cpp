@@ -10,16 +10,31 @@
 // (--corrupt P, --truncate P, --dup P, --reorder P); the printed stats
 // then include what was injected vs. caught by the wire CRC.
 //
+// swarm and multigen can additionally run their seed on the supervised
+// GPU encoder with injected *device* faults: --fault-profile takes a
+// simgpu::FaultPlan spec ("hang@3,flip@7,lost@12,pfail=0.01"; classes
+// hang|flip|fail|lost, scripted by launch index with @ or drawn from
+// seeded probabilities with p<class>=), --fault-seed fixes the draw.
+// The run then prints a degradation report: faults injected, retries,
+// watchdog trips, CPU fallbacks, breaker state.
+//
+// Unknown subcommands or flags are rejected (usage + exit 2).
+//
 // Each prints the same statistics the corresponding tests assert on.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "gpu/resilient_launcher.h"
 #include "net/line_network.h"
 #include "net/live_stream.h"
 #include "net/multigen_swarm.h"
 #include "net/swarm.h"
+#include "simgpu/device_spec.h"
+#include "simgpu/fault_injector.h"
 
 namespace {
 
@@ -55,12 +70,48 @@ int usage() {
                "  common: --loss P --seed S\n"
                "  faults (swarm/line/multigen): --corrupt P --truncate P "
                "--dup P --reorder P\n"
+               "  device faults (swarm/multigen): --fault-profile SPEC "
+               "--fault-seed N\n"
+               "    SPEC: comma-separated hang|flip|fail|lost@LAUNCH or "
+               "p{hang|flip|fail|lost}=P\n"
                "  swarm:  --peers N --no-recoding\n"
                "  line:   --hops H --no-recoding\n"
                "  live:   --viewers N --rate BLOCKS_PER_S\n"
                "  multigen: --peers N --generations G "
                "--schedule random|sequential|rarest\n");
   return 2;
+}
+
+// Every flag a subcommand accepts; anything else on the command line is an
+// error, not silently ignored.
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+bool validate_flags(const Args& args, std::initializer_list<FlagSpec> known) {
+  for (int i = 2; i < args.argc; ++i) {
+    const FlagSpec* match = nullptr;
+    for (const auto& spec : known) {
+      if (std::strcmp(args.argv[i], spec.name) == 0) {
+        match = &spec;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "extnc_sim: unknown flag '%s'\n", args.argv[i]);
+      return false;
+    }
+    if (match->takes_value) {
+      if (i + 1 >= args.argc) {
+        std::fprintf(stderr, "extnc_sim: flag '%s' needs a value\n",
+                     args.argv[i]);
+        return false;
+      }
+      ++i;
+    }
+  }
+  return true;
 }
 
 net::FaultSpec fault_spec(const Args& args) {
@@ -78,7 +129,65 @@ void print_faults(const net::ChannelStats& s, std::size_t rejected) {
               s.damaged());
 }
 
+// Build the supervised GPU seed for --fault-profile / --fault-seed.
+// Returns nullptr (and prints an error) on a malformed profile; sets
+// `enabled` so callers can tell "no profile requested" from "bad profile".
+std::unique_ptr<gpu::ResilientSeed> make_faulty_seed(const Args& args,
+                                                     bool& enabled) {
+  const std::string profile = args.text("--fault-profile", "");
+  enabled = !profile.empty();
+  if (!enabled) return nullptr;
+  const auto plan = simgpu::FaultPlan::parse(
+      profile, static_cast<std::uint64_t>(args.number("--fault-seed", 1)));
+  if (!plan) {
+    std::fprintf(stderr, "extnc_sim: bad --fault-profile '%s'\n",
+                 profile.c_str());
+    return nullptr;
+  }
+  return std::make_unique<gpu::ResilientSeed>(simgpu::gtx280(),
+                                              gpu::EncodeScheme::kTable5,
+                                              gpu::SupervisorConfig{}, *plan);
+}
+
+void print_degradation(gpu::ResilientSeed& seed) {
+  const auto& t = seed.supervisor().totals();
+  auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("  gpu seed       : %llu ops (%llu gpu, %llu cpu-fallback), "
+              "%llu retries, %.3fs backoff\n",
+              u(t.operations), u(t.gpu_ok), u(t.fallbacks), u(t.retries),
+              t.backoff_seconds);
+  std::printf("  detections     : %llu watchdog, %llu corrupted-output, "
+              "%llu launch-failure, %llu device-lost\n",
+              u(t.watchdog_trips), u(t.corrupted_outputs),
+              u(t.launch_failures), u(t.device_losses));
+  std::printf("  breaker        : %s\n",
+              seed.supervisor().breaker_open() ? "OPEN (cpu-only)" : "closed");
+  if (seed.injector() != nullptr) {
+    const auto& c = seed.injector()->counters();
+    std::printf("  injected       : %llu faults over %llu launches "
+                "(%llu hang, %llu flip, %llu fail, %llu lost)\n",
+                u(c.faults()), u(c.launches), u(c.hangs), u(c.bit_flips),
+                u(c.launch_failures), u(c.device_losses));
+  }
+}
+
 int cmd_swarm(const Args& args) {
+  if (!validate_flags(args, {{"--peers", true},
+                             {"--loss", true},
+                             {"--seed", true},
+                             {"--no-recoding", false},
+                             {"--corrupt", true},
+                             {"--truncate", true},
+                             {"--dup", true},
+                             {"--reorder", true},
+                             {"--fault-profile", true},
+                             {"--fault-seed", true}})) {
+    return usage();
+  }
+  bool device_faults = false;
+  auto seed = make_faulty_seed(args, device_faults);
+  if (device_faults && seed == nullptr) return usage();
+
   net::SwarmConfig config;
   config.params = {.n = 16, .k = 256};
   config.peers = static_cast<std::size_t>(args.number("--peers", 16));
@@ -86,10 +195,16 @@ int cmd_swarm(const Args& args) {
   config.use_recoding = !args.flag("--no-recoding");
   config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
   config.faults = fault_spec(args);
+  if (seed != nullptr) {
+    config.make_seed_encoder = [&seed](const coding::Segment& segment) {
+      return seed->bind_segment(segment);
+    };
+  }
   const auto r = net::run_swarm(config);
-  std::printf("swarm: %zu peers, loss %.0f%%, %s\n", config.peers,
+  std::printf("swarm: %zu peers, loss %.0f%%, %s%s\n", config.peers,
               100 * config.loss_probability,
-              config.use_recoding ? "recoding" : "forwarding");
+              config.use_recoding ? "recoding" : "forwarding",
+              seed != nullptr ? ", gpu seed (supervised)" : "");
   std::printf("  completed      : %s (%.1f s)\n",
               r.all_completed ? "yes" : "NO", r.completion_seconds);
   std::printf("  sent/lost      : %zu / %zu\n", r.blocks_sent, r.blocks_lost);
@@ -97,10 +212,21 @@ int cmd_swarm(const Args& args) {
               100 * r.dependent_overhead());
   std::printf("  verified       : %s\n", r.all_decoded_correctly ? "yes" : "NO");
   if (config.faults.any()) print_faults(r.channel, r.blocks_rejected);
+  if (seed != nullptr) print_degradation(*seed);
   return r.all_completed ? 0 : 1;
 }
 
 int cmd_line(const Args& args) {
+  if (!validate_flags(args, {{"--hops", true},
+                             {"--loss", true},
+                             {"--seed", true},
+                             {"--no-recoding", false},
+                             {"--corrupt", true},
+                             {"--truncate", true},
+                             {"--dup", true},
+                             {"--reorder", true}})) {
+    return usage();
+  }
   net::LineNetworkConfig config;
   config.params = {.n = 32, .k = 64};
   config.hops = static_cast<std::size_t>(args.number("--hops", 3));
@@ -129,6 +255,11 @@ int cmd_line(const Args& args) {
 }
 
 int cmd_live(const Args& args) {
+  if (!validate_flags(args, {{"--viewers", true},
+                             {"--rate", true},
+                             {"--loss", true}})) {
+    return usage();
+  }
   net::LiveStreamConfig config;
   config.viewers = static_cast<std::size_t>(args.number("--viewers", 10));
   config.server_blocks_per_second = args.number("--rate", 200.0);
@@ -147,6 +278,23 @@ int cmd_live(const Args& args) {
 }
 
 int cmd_multigen(const Args& args) {
+  if (!validate_flags(args, {{"--peers", true},
+                             {"--generations", true},
+                             {"--loss", true},
+                             {"--seed", true},
+                             {"--schedule", true},
+                             {"--corrupt", true},
+                             {"--truncate", true},
+                             {"--dup", true},
+                             {"--reorder", true},
+                             {"--fault-profile", true},
+                             {"--fault-seed", true}})) {
+    return usage();
+  }
+  bool device_faults = false;
+  auto seed = make_faulty_seed(args, device_faults);
+  if (device_faults && seed == nullptr) return usage();
+
   net::MultiGenSwarmConfig config;
   config.peers = static_cast<std::size_t>(args.number("--peers", 8));
   config.generations =
@@ -159,13 +307,24 @@ int cmd_multigen(const Args& args) {
     config.schedule = net::GenerationSchedule::kSequential;
   } else if (schedule == "rarest") {
     config.schedule = net::GenerationSchedule::kRarestFirst;
-  } else {
+  } else if (schedule == "random") {
     config.schedule = net::GenerationSchedule::kRandom;
+  } else {
+    std::fprintf(stderr, "extnc_sim: unknown schedule '%s'\n",
+                 schedule.c_str());
+    return usage();
+  }
+  if (seed != nullptr) {
+    config.make_seed_encoder = [&seed](const coding::Params& params,
+                                       std::span<const std::uint8_t> content) {
+      return seed->bind_content(params, content);
+    };
   }
   const auto r = net::run_multigen_swarm(config);
-  std::printf("multigen: %zu peers, %zu generations, %s schedule\n",
+  std::printf("multigen: %zu peers, %zu generations, %s schedule%s\n",
               config.peers, config.generations,
-              net::schedule_name(config.schedule));
+              net::schedule_name(config.schedule),
+              seed != nullptr ? ", gpu seed (supervised)" : "");
   std::printf("  completed      : %s (%.1f s)\n",
               r.all_completed ? "yes" : "NO", r.completion_seconds);
   std::printf("  packets        : %zu sent, %zu lost, %zu rejected\n",
@@ -174,6 +333,7 @@ int cmd_multigen(const Args& args) {
   for (double t : r.generation_half_completion) std::printf(" %.1fs", t);
   std::printf("\n  verified       : %s\n", r.content_verified ? "yes" : "NO");
   if (config.faults.any()) print_faults(r.channel, r.packets_rejected);
+  if (seed != nullptr) print_degradation(*seed);
   return r.all_completed ? 0 : 1;
 }
 
@@ -186,5 +346,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "line") == 0) return cmd_line(args);
   if (std::strcmp(argv[1], "live") == 0) return cmd_live(args);
   if (std::strcmp(argv[1], "multigen") == 0) return cmd_multigen(args);
+  std::fprintf(stderr, "extnc_sim: unknown subcommand '%s'\n", argv[1]);
   return usage();
 }
