@@ -93,7 +93,12 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
       static_cast<std::size_t>(launcher_.spec().max_threads_per_block));
   const std::size_t coeff_words = (n + 3) / 4;
 
-  Result result = Result::kLinearlyDependent;
+  // Every block replicates the coefficient-side decisions, so each lands
+  // on the same pivot; blocks report theirs into a disjoint slot and the
+  // host applies the bookkeeping (present_/rank_) after the launch. The
+  // kernel itself must not mutate present_ — blocks still reading it may
+  // run on other worker threads under the parallel engine.
+  std::vector<std::size_t> pivots(data_blocks_, n);
 
   launcher_.launch(
       {.blocks = data_blocks_, .threads_per_block = threads},
@@ -233,14 +238,17 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
           }
         });
 
-        if (b == data_blocks_ - 1) {
-          present_[pivot] = true;
-          ++rank_;
-          result = Result::kAccepted;
-        }
+        pivots[b] = pivot;
       });
 
-  return result;
+  const std::size_t pivot = pivots.front();
+  for (std::size_t b = 1; b < data_blocks_; ++b) {
+    EXTNC_CHECK(pivots[b] == pivot);  // replicated decisions must agree
+  }
+  if (pivot == n) return Result::kLinearlyDependent;
+  present_[pivot] = true;
+  ++rank_;
+  return Result::kAccepted;
 }
 
 coding::Segment GpuSingleSegmentDecoder::decoded_segment() const {

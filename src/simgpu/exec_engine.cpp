@@ -1,0 +1,67 @@
+#include "simgpu/exec_engine.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace extnc::simgpu {
+
+const char* engine_name(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kAuto: return "auto";
+    case ExecEngine::kSerial: return "serial";
+    case ExecEngine::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+std::optional<ExecEngine> parse_engine(std::string_view text) {
+  if (text == "auto") return ExecEngine::kAuto;
+  if (text == "serial") return ExecEngine::kSerial;
+  if (text == "parallel") return ExecEngine::kParallel;
+  return std::nullopt;
+}
+
+namespace {
+
+ExecEngine engine_from_env() {
+  const char* value = std::getenv("EXTNC_SIMGPU_ENGINE");
+  if (value == nullptr) return ExecEngine::kAuto;
+  return parse_engine(value).value_or(ExecEngine::kAuto);
+}
+
+std::size_t threads_from_env() {
+  const char* value = std::getenv("EXTNC_SIMGPU_THREADS");
+  if (value == nullptr) return 0;
+  std::string_view text(value);
+  std::size_t threads = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), threads);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return 0;
+  return threads;
+}
+
+std::atomic<ExecEngine>& default_engine_slot() {
+  static std::atomic<ExecEngine> slot(engine_from_env());
+  return slot;
+}
+
+}  // namespace
+
+ExecEngine default_engine() {
+  return default_engine_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_engine(ExecEngine engine) {
+  default_engine_slot().store(engine, std::memory_order_relaxed);
+}
+
+ThreadPool& engine_pool() {
+  static ThreadPool pool(threads_from_env());
+  return pool;
+}
+
+}  // namespace extnc::simgpu

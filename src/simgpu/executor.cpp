@@ -1,12 +1,13 @@
 #include "simgpu/executor.h"
 
 #include <algorithm>
-#include <array>
 #include <string>
 
+#include "simgpu/exec_engine.h"
 #include "simgpu/fault_injector.h"
 #include "simgpu/profiler.h"
 #include "simgpu/timing.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::simgpu {
 
@@ -44,13 +45,13 @@ std::size_t ThreadCtx::global_index() const {
 
 std::uint8_t ThreadCtx::gload_u8(const std::uint8_t* p) {
   block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
-  block_->metrics_->global_load_bytes += 1;
+  block_->pending_load_bytes_ += 1;
   return *p;
 }
 
 std::uint32_t ThreadCtx::gload_u32(const void* p) {
   block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
-  block_->metrics_->global_load_bytes += 4;
+  block_->pending_load_bytes_ += 4;
   std::uint32_t v;
   std::memcpy(&v, p, 4);
   return v;
@@ -58,13 +59,13 @@ std::uint32_t ThreadCtx::gload_u32(const void* p) {
 
 void ThreadCtx::gstore_u8(std::uint8_t* p, std::uint8_t v) {
   block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
-  block_->metrics_->global_store_bytes += 1;
+  block_->pending_store_bytes_ += 1;
   *p = v;
 }
 
 void ThreadCtx::gstore_u32(void* p, std::uint32_t v) {
   block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
-  block_->metrics_->global_store_bytes += 4;
+  block_->pending_store_bytes_ += 4;
   std::memcpy(p, &v, 4);
 }
 
@@ -92,7 +93,7 @@ std::uint32_t ThreadCtx::atomic_min_shared(std::size_t offset,
                                            std::uint32_t v) {
   EXTNC_CHECK(block_->spec().has_shared_atomics);
   block_->record_shared(seq_++, offset, 4);
-  block_->metrics_->atomic_ops += 1;
+  block_->pending_atomic_ops_ += 1;
   const std::uint32_t old = block_->shared().read_u32(offset);
   block_->shared().write_u32(offset, std::min(old, v));
   return old;
@@ -142,68 +143,166 @@ void BlockCtx::step_partial(std::size_t count,
 
 void BlockCtx::record_global(std::uint32_t seq, std::uintptr_t addr,
                              std::size_t size) {
-  const std::uint64_t seg_bytes = spec_->coalesce_segment_bytes;
+  if (seq >= global_groups_.size()) global_groups_.resize(seq + 1);
   GlobalGroup& group = global_groups_[seq];
+  if (group.count == 0) global_live_.push_back(seq);
+  const std::uint64_t seg_bytes = spec_->coalesce_segment_bytes;
   const std::uint64_t first = addr / seg_bytes;
   const std::uint64_t last = (addr + size - 1) / seg_bytes;
   for (std::uint64_t seg = first; seg <= last; ++seg) {
-    if (std::find(group.segments.begin(), group.segments.end(), seg) ==
-        group.segments.end()) {
-      group.segments.push_back(seg);
+    bool seen = false;
+    for (std::uint32_t i = 0; i < group.count; ++i) {
+      if (group.segments[i] == seg) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      EXTNC_DASSERT(group.count < group.segments.size());
+      group.segments[group.count++] = seg;
     }
   }
   // Memory instructions occupy issue slots like ALU instructions do.
-  metrics_->alu_ops += 1;
+  pending_mem_instrs_ += 1;
 }
 
 void BlockCtx::record_shared(std::uint32_t seq, std::size_t offset,
                              std::size_t size) {
+  if (seq >= shared_groups_.size()) shared_groups_.resize(seq + 1);
+  SharedGroup& group = shared_groups_[seq];
+  if (group.count == 0) shared_live_.push_back(seq);
   // Bank of a shared access is determined by its 32-bit word address.
   const std::uintptr_t word = offset / 4;
-  const std::uint32_t bank =
+  EXTNC_DASSERT(group.count < group.banks.size());
+  group.banks[group.count] =
       static_cast<std::uint32_t>(word % spec_->shared_banks);
-  shared_groups_[seq].accesses.emplace_back(bank, word);
+  group.words[group.count] = word;
+  ++group.count;
   (void)size;
-  metrics_->shared_accesses += 1;
-  metrics_->alu_ops += 1;
+  pending_shared_accesses_ += 1;
+  pending_mem_instrs_ += 1;
 }
 
 void BlockCtx::record_texture(std::uintptr_t addr, std::size_t size) {
-  metrics_->texture_fetches += 1;
-  metrics_->alu_ops += 1;
-  if (!texture_->access(addr)) metrics_->texture_misses += 1;
+  pending_texture_fetches_ += 1;
+  pending_mem_instrs_ += 1;
+  if (!texture_->access(addr)) pending_texture_misses_ += 1;
   (void)size;
 }
 
 void BlockCtx::flush_half_warp() {
-  for (auto& [seq, group] : global_groups_) {
-    metrics_->global_transactions += group.segments.size();
+  for (const std::uint32_t seq : global_live_) {
+    GlobalGroup& group = global_groups_[seq];
+    metrics_->global_transactions += group.count;
+    group.count = 0;
   }
-  global_groups_.clear();
-  for (auto& [seq, group] : shared_groups_) {
+  global_live_.clear();
+  for (const std::uint32_t seq : shared_live_) {
+    SharedGroup& group = shared_groups_[seq];
     // Serialized cycles for one half-warp access step: the worst bank must
     // serve one cycle per *distinct word* addressed in it (lanes reading
-    // the same word are satisfied by one broadcast).
-    std::array<std::vector<std::uintptr_t>, 32> words_per_bank;
+    // the same word are satisfied by one broadcast). At most kGroupLanes
+    // entries per group, so the quadratic dedup stays allocation-free and
+    // cheap.
+    std::array<std::uint32_t, 32> bank_words{};
     std::uint64_t degree = 1;
-    for (const auto& [bank, word] : group.accesses) {
-      auto& words = words_per_bank[bank % 32];
-      if (std::find(words.begin(), words.end(), word) == words.end()) {
-        words.push_back(word);
-        degree = std::max<std::uint64_t>(degree, words.size());
+    for (std::uint32_t i = 0; i < group.count; ++i) {
+      bool seen = false;
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (group.words[j] == group.words[i]) {
+          seen = true;
+          break;
+        }
       }
+      if (seen) continue;
+      const std::uint32_t words = ++bank_words[group.banks[i] % 32];
+      degree = std::max<std::uint64_t>(degree, words);
     }
     metrics_->shared_access_events += 1;
     metrics_->shared_serialized_cycles += degree;
+    group.count = 0;
   }
-  shared_groups_.clear();
+  shared_live_.clear();
+  // Drain the batched counters. Folding the memory-instruction issue slots
+  // into alu_ops here (instead of += 1 per access) changes only the
+  // floating-point association of integer-valued addends, which is exact;
+  // both engines execute this identical per-block sequence either way.
+  metrics_->alu_ops += static_cast<double>(pending_mem_instrs_);
+  metrics_->global_load_bytes += pending_load_bytes_;
+  metrics_->global_store_bytes += pending_store_bytes_;
+  metrics_->shared_accesses += pending_shared_accesses_;
+  metrics_->texture_fetches += pending_texture_fetches_;
+  metrics_->texture_misses += pending_texture_misses_;
+  metrics_->atomic_ops += pending_atomic_ops_;
+  pending_mem_instrs_ = 0;
+  pending_load_bytes_ = 0;
+  pending_store_bytes_ = 0;
+  pending_shared_accesses_ = 0;
+  pending_texture_fetches_ = 0;
+  pending_texture_misses_ = 0;
+  pending_atomic_ops_ = 0;
 }
 
 // ---------------------------------------------------------------- Launcher
 
-Launcher::Launcher(const DeviceSpec& spec)
-    : spec_(&spec),
-      texture_cache_(spec.texture_cache_bytes, spec.texture_cache_line_bytes) {}
+namespace {
+
+std::size_t num_texture_units(const DeviceSpec& spec) {
+  const std::size_t per =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::max(1, spec.sms_per_texture_cache)));
+  const std::size_t sms =
+      std::max<std::size_t>(1, static_cast<std::size_t>(spec.num_sms));
+  return (sms + per - 1) / per;
+}
+
+}  // namespace
+
+Launcher::Launcher(const DeviceSpec& spec) : spec_(&spec) {
+  texture_caches_.assign(
+      num_texture_units(spec),
+      TextureCache(spec.texture_cache_bytes, spec.texture_cache_line_bytes));
+}
+
+std::size_t Launcher::texture_unit_of(std::size_t block) const {
+  const std::size_t sms =
+      std::max<std::size_t>(1, static_cast<std::size_t>(spec_->num_sms));
+  const std::size_t per = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::max(1, spec_->sms_per_texture_cache)));
+  return (block % sms) / per;
+}
+
+void Launcher::run_blocks(const LaunchConfig& config,
+                          const std::function<void(BlockCtx&)>& kernel,
+                          std::size_t only_unit,
+                          std::vector<KernelMetrics>& block_metrics,
+                          BlockError& error) {
+  // One reusable context per caller: shared memory is re-zeroed for every
+  // block (CUDA's non-persistence contract) and the accounting scratch
+  // keeps only its capacity across blocks.
+  SharedMemory shared(spec_->shared_mem_per_sm);
+  BlockCtx ctx;
+  ctx.spec_ = spec_;
+  ctx.config_ = config;
+  ctx.shared_ = &shared;
+  bool first = true;
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    const std::size_t unit = texture_unit_of(b);
+    if (only_unit != kAllUnits && unit != only_unit) continue;
+    if (!first) std::memset(shared.data(), 0, shared.size());
+    first = false;
+    ctx.block_index_ = b;
+    ctx.texture_ = &texture_caches_[unit];
+    ctx.metrics_ = &block_metrics[b];
+    try {
+      kernel(ctx);
+    } catch (...) {
+      error.block = b;
+      error.error = std::current_exception();
+      return;
+    }
+  }
+}
 
 void Launcher::launch(const LaunchConfig& config,
                       const std::function<void(BlockCtx&)>& kernel) {
@@ -211,6 +310,8 @@ void Launcher::launch(const LaunchConfig& config,
   EXTNC_CHECK(config.threads_per_block >= 1);
   EXTNC_CHECK(config.threads_per_block <=
               static_cast<std::size_t>(spec_->max_threads_per_block));
+  EXTNC_CHECK(static_cast<std::size_t>(spec_->half_warp) <=
+              BlockCtx::kGroupLanes);
   // Fault gate: the injector may reject the launch outright (nothing runs,
   // no metrics accrue) or decree damage to apply after it completes.
   FaultClass fault = FaultClass::kNone;
@@ -225,24 +326,61 @@ void Launcher::launch(const LaunchConfig& config,
                             " failed: " + fault_class_name(fault));
     }
   }
-  // Account the launch into its own metrics object so an attached profiler
-  // sees exactly this launch's delta; the cumulative metrics_ then absorbs
-  // it (merge adopts the geometry, since kernel_launches == 1).
+
+  // Engine resolution: per-launch override first, then the process default
+  // (environment-initialized). kAuto means "parallel when it can help".
+  const ExecEngine requested = config.engine != ExecEngine::kAuto
+                                   ? config.engine
+                                   : default_engine();
+  const std::size_t per_unit = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::max(1, spec_->sms_per_texture_cache)));
+  const bool use_parallel = requested != ExecEngine::kSerial &&
+                            texture_caches_.size() > 1 &&
+                            config.blocks > per_unit &&
+                            engine_pool().num_threads() > 1;
+
+  // Account each block into its own metrics slot and merge in ascending
+  // block order below: integer counters are order-insensitive anyway, and
+  // the double alu_ops accumulates in one fixed order, so the reduction is
+  // bit-identical no matter which host thread ran which block.
   KernelMetrics launch_metrics;
   launch_metrics.kernel_launches = 1;
   launch_metrics.blocks = config.blocks;
   launch_metrics.threads_per_block = config.threads_per_block;
-  for (std::size_t b = 0; b < config.blocks; ++b) {
-    SharedMemory shared(spec_->shared_mem_per_sm);
-    BlockCtx ctx;
-    ctx.spec_ = spec_;
-    ctx.config_ = config;
-    ctx.block_index_ = b;
-    ctx.shared_ = &shared;
-    ctx.texture_ = &texture_cache_;
-    ctx.metrics_ = &launch_metrics;
-    kernel(ctx);
+  std::vector<KernelMetrics> block_metrics(config.blocks);
+  const std::uint64_t ticket =
+      profiler_ != nullptr ? profiler_->begin_ticket() : 0;
+
+  BlockError failure;
+  try {
+    if (use_parallel) {
+      // One task per texture-cache unit: a unit's cache is touched only by
+      // its own task, and that task visits the unit's blocks in ascending
+      // order — exactly the subsequence the serial engine would feed it.
+      const std::size_t units = texture_caches_.size();
+      std::vector<BlockError> errors(units);
+      engine_pool().run_batch(units, [&](std::size_t unit) {
+        run_blocks(config, kernel, unit, block_metrics, errors[unit]);
+      });
+      for (const BlockError& e : errors) {
+        if (e.error != nullptr && e.block < failure.block) failure = e;
+      }
+    } else {
+      run_blocks(config, kernel, kAllUnits, block_metrics, failure);
+    }
+    if (failure.error != nullptr) std::rethrow_exception(failure.error);
+  } catch (...) {
+    // A throwing kernel aborts the launch: nothing is accounted, and the
+    // injector/profiler are told so their launch-granularity state stays
+    // consistent for the next launch.
+    if (injector_ != nullptr) injector_->cancel_launch();
+    if (profiler_ != nullptr) profiler_->abandon_ticket(ticket);
+    throw;
   }
+  metrics::count(use_parallel ? "simgpu.launch.parallel"
+                              : "simgpu.launch.serial");
+
+  for (const KernelMetrics& bm : block_metrics) launch_metrics.merge(bm);
   metrics_.merge(launch_metrics);
   // Advance the modeled clock; an injected hang stalls this launch by the
   // plan's stall factor, which is what a supervisor's watchdog detects.
@@ -254,10 +392,12 @@ void Launcher::launch(const LaunchConfig& config,
     injector_->finish_launch(fault, last_launch_s_);
   }
   if (profiler_ != nullptr) {
-    profiler_->record_launch(*spec_, launch_label_, launch_metrics);
+    profiler_->record_launch_at(ticket, *spec_, launch_label_, launch_metrics);
   }
 }
 
-void Launcher::invalidate_texture_cache() { texture_cache_.invalidate(); }
+void Launcher::invalidate_texture_cache() {
+  for (TextureCache& cache : texture_caches_) cache.invalidate();
+}
 
 }  // namespace extnc::simgpu

@@ -3,11 +3,13 @@
 // Kernels are written against a BlockCtx and executed bit-exactly on the
 // host. The execution model is "barrier-segmented": BlockCtx::step runs a
 // callable for every thread of the block in lane order, and the boundary
-// between two steps is a __syncthreads(). This keeps kernels deterministic
-// and single-threaded while preserving exactly the synchronization
-// structure the paper's kernels have (per-block barriers only — CUDA has
-// no global barrier, which is what forces the decoder's task-partitioning
-// scheme in Sec. 4.2.2).
+// between two steps is a __syncthreads(). This keeps each block
+// deterministic and single-threaded while preserving exactly the
+// synchronization structure the paper's kernels have (per-block barriers
+// only — CUDA has no global barrier, which is what forces the decoder's
+// task-partitioning scheme in Sec. 4.2.2). Blocks of one launch never
+// share state, so the launcher may run them serially or across host
+// worker threads with bit-identical results (exec_engine.h).
 //
 // Every memory access goes through ThreadCtx, which aggregates accesses at
 // half-warp granularity (16 lanes, the GT200 coalescing/bank-conflict
@@ -28,14 +30,16 @@
 // wrong functional results).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "simgpu/device_spec.h"
+#include "simgpu/exec_engine.h"
 #include "simgpu/metrics.h"
 #include "util/aligned_buffer.h"
 #include "util/assert.h"
@@ -45,6 +49,9 @@ namespace extnc::simgpu {
 struct LaunchConfig {
   std::size_t blocks = 1;
   std::size_t threads_per_block = 256;
+  // Per-launch engine override; kAuto defers to the process default (see
+  // exec_engine.h for the full selection order).
+  ExecEngine engine = ExecEngine::kAuto;
 };
 
 // Per-block scratchpad (the 16 KB on-chip shared memory of one SM).
@@ -174,17 +181,40 @@ class BlockCtx {
   TextureCache* texture_ = nullptr;
   KernelMetrics* metrics_ = nullptr;
 
-  // Half-warp aggregation state.
-  std::size_t current_half_warp_ = 0;
+  // Half-warp aggregation state (fast path): groups are flat vectors
+  // indexed by the per-thread access sequence number — the grouping key —
+  // with a first-touch list so a flush only visits live groups. The
+  // vectors are reused across half-warps, steps and blocks; only their
+  // capacity persists, never accounting state.
+  //
+  // Per-group storage is inline and fixed-size: a group collects the
+  // accesses of one half-warp (<= 16 lanes on every spec), and a single
+  // 4-byte access spans at most two 64-byte coalescing segments.
+  static constexpr std::size_t kGroupLanes = 16;
   struct GlobalGroup {
-    std::vector<std::uint64_t> segments;  // distinct 64B segment ids
+    std::uint32_t count = 0;  // live entries in segments
+    std::array<std::uint64_t, 2 * kGroupLanes> segments;  // distinct 64B ids
   };
   struct SharedGroup {
-    // (bank, word-address) pairs seen this half-warp.
-    std::vector<std::pair<std::uint32_t, std::uintptr_t>> accesses;
+    std::uint32_t count = 0;  // live (bank, word) pairs
+    std::array<std::uint32_t, kGroupLanes> banks;
+    std::array<std::uintptr_t, kGroupLanes> words;
   };
-  std::unordered_map<std::uint32_t, GlobalGroup> global_groups_;
-  std::unordered_map<std::uint32_t, SharedGroup> shared_groups_;
+  std::size_t current_half_warp_ = 0;
+  std::vector<GlobalGroup> global_groups_;   // indexed by seq
+  std::vector<SharedGroup> shared_groups_;   // indexed by seq
+  std::vector<std::uint32_t> global_live_;   // seqs touched this half-warp
+  std::vector<std::uint32_t> shared_live_;
+
+  // Metric increments batched per half-warp; flushed by flush_half_warp so
+  // the hot access paths touch only these plain counters.
+  std::uint64_t pending_mem_instrs_ = 0;  // issue slots -> alu_ops
+  std::uint64_t pending_load_bytes_ = 0;
+  std::uint64_t pending_store_bytes_ = 0;
+  std::uint64_t pending_shared_accesses_ = 0;
+  std::uint64_t pending_texture_fetches_ = 0;
+  std::uint64_t pending_texture_misses_ = 0;
+  std::uint64_t pending_atomic_ops_ = 0;
 };
 
 class FaultInjector;
@@ -223,10 +253,20 @@ class Launcher {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
-  // Run the kernel over every block (serially, deterministically). Shared
-  // memory contents do NOT persist across blocks or launches, matching
-  // CUDA semantics the paper leans on in Sec. 5.1.2 ("CUDA's shared memory
-  // is not persistent across GPU kernel calls").
+  // Run the kernel over every block. Shared memory contents do NOT persist
+  // across blocks or launches, matching CUDA semantics the paper leans on
+  // in Sec. 5.1.2 ("CUDA's shared memory is not persistent across GPU
+  // kernel calls").
+  //
+  // Blocks are independent (barriers only synchronize within a block), so
+  // the engine may schedule them across host worker threads; results —
+  // output bytes, KernelMetrics, modeled timing, profiler records — are
+  // bit-identical to the serial engine either way. See exec_engine.h for
+  // how the engine is selected and DESIGN.md ("Parallel block execution")
+  // for the determinism argument. Blocks are accounted into per-block
+  // KernelMetrics and merged in ascending block order, and each
+  // texture-cache unit is only ever touched by the worker that owns it,
+  // which is what makes the reduction deterministic.
   void launch(const LaunchConfig& config,
               const std::function<void(BlockCtx&)>& kernel);
 
@@ -236,14 +276,36 @@ class Launcher {
   double elapsed_seconds() const { return elapsed_s_; }
   double last_launch_seconds() const { return last_launch_s_; }
 
-  // The texture cache persists across launches (it is a hardware cache);
-  // tests can clear it.
+  // The texture caches persist across launches (they are hardware caches);
+  // tests can clear them. The device has one texture cache per TPC
+  // (DeviceSpec::sms_per_texture_cache SMs share one unit); block b runs on
+  // SM (b % num_sms) and fetches through that SM's unit, on the serial and
+  // the parallel engine alike.
   void invalidate_texture_cache();
+  std::size_t texture_cache_units() const { return texture_caches_.size(); }
+  std::size_t texture_unit_of(std::size_t block) const;
 
  private:
+  // The failing block (lowest index wins so the parallel engine reports
+  // the same error the serial engine would hit first) and its exception.
+  struct BlockError {
+    std::size_t block = static_cast<std::size_t>(-1);
+    std::exception_ptr error;
+  };
+
+  // Run this launch's blocks whose texture unit == only_unit (or every
+  // block when only_unit == kAllUnits), in ascending block order, each
+  // accounted into block_metrics[b]. Stops at the first throwing block.
+  static constexpr std::size_t kAllUnits = static_cast<std::size_t>(-1);
+  void run_blocks(const LaunchConfig& config,
+                  const std::function<void(BlockCtx&)>& kernel,
+                  std::size_t only_unit,
+                  std::vector<KernelMetrics>& block_metrics,
+                  BlockError& error);
+
   const DeviceSpec* spec_;
   KernelMetrics metrics_;
-  TextureCache texture_cache_;
+  std::vector<TextureCache> texture_caches_;  // one per TPC unit
   Profiler* profiler_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::string launch_label_;

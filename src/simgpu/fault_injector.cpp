@@ -102,6 +102,9 @@ void FaultInjector::watch_region(std::span<std::uint8_t> region) {
 void FaultInjector::clear_regions() { regions_.clear(); }
 
 FaultClass FaultInjector::begin_launch() {
+  // Launch-granularity contract: one launch in flight at a time, begun and
+  // finished on the launching thread. Kernel blocks never call in here.
+  EXTNC_CHECK(!launch_in_flight_);
   const std::uint64_t index = next_launch_++;
   ++counters_.launches;
   if (device_lost_) return FaultClass::kDeviceLost;
@@ -142,15 +145,24 @@ FaultClass FaultInjector::begin_launch() {
     case FaultClass::kNone:
       break;
   }
+  // Aborted launches (rejected up front) are already over: the caller
+  // throws instead of running blocks, and finish_launch is never called.
+  if (fault != FaultClass::kDeviceLost && fault != FaultClass::kLaunchFailure) {
+    launch_in_flight_ = true;
+  }
   return fault;
 }
 
 void FaultInjector::finish_launch(FaultClass fault, double modeled_seconds) {
+  EXTNC_CHECK(launch_in_flight_);
+  launch_in_flight_ = false;
   observed_s_ += modeled_seconds;
   if (fault == FaultClass::kBitFlip || fault == FaultClass::kHang) {
     damage_regions(fault);
   }
 }
+
+void FaultInjector::cancel_launch() { launch_in_flight_ = false; }
 
 double FaultInjector::time_multiplier(FaultClass fault) const {
   return fault == FaultClass::kHang ? plan_.hang_stall_factor : 1.0;

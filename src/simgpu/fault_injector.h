@@ -133,14 +133,27 @@ class FaultInjector {
   void apply_pending_damage(std::span<std::uint8_t> region);
 
   // --- Launcher interface ------------------------------------------------
+  // The injector operates at LAUNCH granularity, on the launching thread
+  // only: begin_launch is called once before any block runs, finish_launch
+  // (or cancel_launch) once after every block has finished. Blocks — which
+  // the parallel engine spreads across worker threads — never touch the
+  // injector; fault decisions, RNG draws and damage all key off the launch
+  // index, so injected faults are identical on the serial and parallel
+  // engines. One launch must be in flight at a time per injector; the
+  // pairing is asserted (EXTNC_CHECK aborts on a violation).
+  //
   // Decide this launch's fate; advances the launch index and draws
-  // probabilistic faults. Returns the fault class (kLaunchFailure and
-  // kDeviceLost mean the caller must abort the launch).
+  // probabilistic faults. Returns the fault class. kLaunchFailure and
+  // kDeviceLost mean the caller must abort the launch — such a launch is
+  // already finished, so finish_launch must NOT be called for it.
   FaultClass begin_launch();
   // Called after the kernel ran functionally; applies hang/bit-flip damage
   // to the watched regions and accounts the launch's modeled seconds
   // (already scaled by time_multiplier) onto the device timeline.
   void finish_launch(FaultClass fault, double modeled_seconds);
+  // Abandon the in-flight launch without damage or timeline accounting
+  // (the kernel threw; nothing completed, nothing is observable).
+  void cancel_launch();
   // Stall factor for a launch's modeled time (hang_stall_factor for kHang,
   // 1.0 otherwise).
   double time_multiplier(FaultClass fault) const;
@@ -166,6 +179,7 @@ class FaultInjector {
   std::uint64_t next_launch_ = 0;
   std::size_t pending_damage_ = 0;
   bool device_lost_ = false;
+  bool launch_in_flight_ = false;  // enforces the begin/finish pairing
   double observed_s_ = 0;
 };
 

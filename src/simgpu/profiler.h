@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,19 +40,45 @@ struct LaunchProfile {
   double end_s = 0;
 };
 
+// Thread safety: launches may be recorded concurrently (several Launchers
+// sharing one profiler, each launching from its own host thread). Records
+// are ordered by *ticket* — an index reserved when a launch begins — never
+// by completion order, so the simulated timeline is deterministic: a
+// record only becomes visible (and advances the simulated clock) once
+// every earlier ticket has been recorded or abandoned. Readers (launches,
+// by_label, total_seconds, …) must run with no launch in flight.
 class Profiler {
  public:
   explicit Profiler(Calibration calibration = Calibration{})
       : calibration_(calibration) {}
 
+  // Movable for by-value plumbing (ProfileSink and friends); moving is
+  // setup-time only — never move a profiler with a launch in flight.
+  Profiler(Profiler&& other);
+  Profiler& operator=(Profiler&& other);
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
   // Called by Launcher::launch (or directly by analytic models): appends a
   // record and advances the simulated clock by the launch's modeled time.
+  // Equivalent to begin_ticket() + record_launch_at() back to back.
   void record_launch(const DeviceSpec& spec, std::string_view label,
                      const KernelMetrics& launch_metrics);
 
+  // Reserve the next position on the simulated timeline. Every reserved
+  // ticket must eventually be passed to record_launch_at or
+  // abandon_ticket, else later records queue up invisibly forever.
+  std::uint64_t begin_ticket();
+  void record_launch_at(std::uint64_t ticket, const DeviceSpec& spec,
+                        std::string_view label,
+                        const KernelMetrics& launch_metrics);
+  // Give up a reserved ticket (the launch failed before completing); the
+  // timeline closes over the gap.
+  void abandon_ticket(std::uint64_t ticket);
+
   const std::vector<LaunchProfile>& launches() const { return launches_; }
-  std::size_t launch_count() const { return launches_.size(); }
-  double total_seconds() const { return clock_s_; }
+  std::size_t launch_count() const;
+  double total_seconds() const;
   const Calibration& calibration() const { return calibration_; }
   void clear();
 
@@ -77,9 +106,22 @@ class Profiler {
   LabelSummary label_summary(std::string_view label) const;
 
  private:
+  // A completed-but-not-yet-finalized record: its ticket is ahead of some
+  // still-outstanding earlier ticket.
+  struct Pending {
+    bool abandoned = false;
+    LaunchProfile record;  // timeline fields unset until finalized
+  };
+
+  void finalize_ready_locked();
+
   Calibration calibration_;
+  mutable std::mutex mutex_;
   std::vector<LaunchProfile> launches_;
   double clock_s_ = 0;
+  std::uint64_t next_ticket_ = 0;    // next ticket to hand out
+  std::uint64_t next_finalize_ = 0;  // next ticket owed to the timeline
+  std::map<std::uint64_t, Pending> pending_;
 };
 
 }  // namespace extnc::simgpu

@@ -1,5 +1,8 @@
 #include "util/metrics_registry.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace extnc::metrics {
 
 Registry& Registry::instance() {
@@ -7,40 +10,60 @@ Registry& Registry::instance() {
   return registry;
 }
 
+Registry::Shard& Registry::shard_for(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+const Registry::Shard& Registry::shard_for(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
 void Registry::add(std::string_view name, double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = values_.find(name);
-  if (it == values_.end()) {
-    values_.emplace(std::string(name), delta);
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.values.find(name);
+  if (it == shard.values.end()) {
+    shard.values.emplace(std::string(name), delta);
   } else {
     it->second += delta;
   }
 }
 
 void Registry::set(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = values_.find(name);
-  if (it == values_.end()) {
-    values_.emplace(std::string(name), value);
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.values.find(name);
+  if (it == shard.values.end()) {
+    shard.values.emplace(std::string(name), value);
   } else {
     it->second = value;
   }
 }
 
 double Registry::value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = values_.find(name);
-  return it == values_.end() ? 0.0 : it->second;
+  const Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.values.find(name);
+  return it == shard.values.end() ? 0.0 : it->second;
 }
 
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return {values_.begin(), values_.end()};
+  std::vector<std::pair<std::string, double>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.values.begin(), shard.values.end());
+  }
+  // Shards partition by hash; restore the global name order the callers
+  // (trace metadata, report printers) rely on.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  values_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.values.clear();
+  }
 }
 
 }  // namespace extnc::metrics

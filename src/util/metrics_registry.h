@@ -12,8 +12,16 @@
 // The registry is deliberately global (like the underlying process): tests
 // that assert on it should reset() first and not run such assertions
 // concurrently.
+//
+// Thread safety: all operations are safe to call concurrently. The name
+// space is sharded by hash so hot counters fed from many threads at once
+// (every simgpu launch records its engine; every injected fault is
+// counted) do not serialize on one lock. snapshot() locks shard by shard:
+// it is consistent per entry, not a global atomic cut — fine for the
+// observability exporters it feeds.
 #pragma once
 
+#include <array>
 #include <map>
 #include <mutex>
 #include <string>
@@ -40,8 +48,15 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, double, std::less<>> values_;
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, double, std::less<>> values;
+  };
+  Shard& shard_for(std::string_view name);
+  const Shard& shard_for(std::string_view name) const;
+
+  std::array<Shard, kShards> shards_;
 };
 
 // Convenience free functions for call sites.

@@ -41,6 +41,26 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::run_batch(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  struct Latch {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+  };
+  Latch latch{.remaining = count};
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, &latch, i] {
+      fn(i);
+      std::lock_guard lock(latch.m);
+      if (--latch.remaining == 0) latch.done.notify_one();
+    });
+  }
+  std::unique_lock lock(latch.m);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   for (std::size_t i = 0; i < count; ++i) {

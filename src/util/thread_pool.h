@@ -34,6 +34,14 @@ class ThreadPool {
   // Block until every submitted task has finished.
   void wait_idle();
 
+  // Run fn(i) for i in [0, count) across the pool and wait for exactly
+  // these tasks. Unlike parallel_for (which joins via the pool-wide
+  // wait_idle), completion is tracked by a per-call latch, so concurrent
+  // callers from different threads do not wait on each other's work.
+  // fn must not submit nested run_batch work from inside a task (the
+  // caller's wait would then depend on queue slots the wait itself holds).
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
+
   // Run fn(i) for i in [0, count) across the pool and wait. fn is invoked
   // concurrently; it must handle its own data partitioning.
   void parallel_for(std::size_t count,

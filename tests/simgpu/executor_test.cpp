@@ -41,10 +41,12 @@ TEST(Executor, StepsAreBarrierOrdered) {
 
 TEST(Executor, SharedMemoryDoesNotPersistAcrossBlocks) {
   Launcher launcher(gtx280());
-  std::vector<std::uint32_t> first_reads;
-  launcher.launch({.blocks = 3, .threads_per_block = 1}, [&](BlockCtx& block) {
+  // Indexed by block (not push_back): kernels must only write
+  // block-disjoint host state, since blocks may run on worker threads.
+  std::vector<std::uint32_t> first_reads(7, 1);
+  launcher.launch({.blocks = 7, .threads_per_block = 1}, [&](BlockCtx& block) {
     block.step([&](ThreadCtx& t) {
-      first_reads.push_back(t.sload_u32(8));
+      first_reads[t.block_index()] = t.sload_u32(8);
       t.sstore_u32(8, 99);
     });
   });

@@ -53,7 +53,10 @@ TEST(FaultInjector, ScriptedFaultsFireAtExactLaunchIndices) {
   for (int i = 0; i < 8; ++i) {
     const FaultClass fault = injector.begin_launch();
     observed.push_back(fault);
-    injector.finish_launch(fault, 0.001);
+    // Rejected launches never run; begin_launch alone was the whole launch.
+    if (fault != FaultClass::kLaunchFailure && fault != FaultClass::kDeviceLost) {
+      injector.finish_launch(fault, 0.001);
+    }
   }
   for (int i = 0; i < 8; ++i) {
     if (i == 2) {
@@ -74,10 +77,15 @@ TEST(FaultInjector, ProbabilisticDrawsAreSeedDeterministic) {
   FaultPlan plan;
   plan.p_bit_flip = 0.3;
   plan.seed = 77;
+  // Using the injector as a bare fault oracle still owes it the launch
+  // pairing: cancel each launch we begin but never run.
   auto draw = [&] {
     FaultInjector injector(plan);
     std::vector<FaultClass> faults;
-    for (int i = 0; i < 64; ++i) faults.push_back(injector.begin_launch());
+    for (int i = 0; i < 64; ++i) {
+      faults.push_back(injector.begin_launch());
+      injector.cancel_launch();
+    }
     return faults;
   };
   const auto a = draw();
@@ -89,7 +97,10 @@ TEST(FaultInjector, ProbabilisticDrawsAreSeedDeterministic) {
   plan.seed = 78;
   FaultInjector other(plan);
   std::vector<FaultClass> c;
-  for (int i = 0; i < 64; ++i) c.push_back(other.begin_launch());
+  for (int i = 0; i < 64; ++i) {
+    c.push_back(other.begin_launch());
+    other.cancel_launch();
+  }
   EXPECT_NE(a, c);  // different seed, different trajectory
 }
 
@@ -98,6 +109,9 @@ TEST(FaultInjector, DeviceLostIsStickyUntilRestore) {
   plan.scripted[1] = FaultClass::kDeviceLost;
   FaultInjector injector(plan);
   EXPECT_EQ(injector.begin_launch(), FaultClass::kNone);
+  injector.finish_launch(FaultClass::kNone, 0.001);
+  // Rejected launches are already finished; begin_launch alone is the
+  // whole launch for them.
   EXPECT_EQ(injector.begin_launch(), FaultClass::kDeviceLost);
   EXPECT_TRUE(injector.device_lost());
   // Every subsequent launch fails, but only the transition is counted.
@@ -107,6 +121,7 @@ TEST(FaultInjector, DeviceLostIsStickyUntilRestore) {
   injector.restore_device();
   EXPECT_FALSE(injector.device_lost());
   EXPECT_EQ(injector.begin_launch(), FaultClass::kNone);
+  injector.cancel_launch();
 }
 
 TEST(FaultInjector, BitFlipDamagesWatchedRegion) {
@@ -195,6 +210,36 @@ TEST(FaultInjector, LauncherThrowsDeviceErrorOnRejectedLaunch) {
   injector.restore_device();
   launcher.launch(config, kernel);
   EXPECT_EQ(ran, 1);
+}
+
+// The launch-granularity contract: one launch in flight per injector at a
+// time, begun and finished (or cancelled) on the launching thread. The
+// parallel engine depends on this — blocks never touch the injector, so
+// fault decisions and damage stay keyed to the launch index alone.
+using FaultInjectorDeathTest = ::testing::Test;
+
+TEST(FaultInjectorDeathTest, OverlappingLaunchesAreRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FaultInjector injector(FaultPlan{});
+  (void)injector.begin_launch();
+  EXPECT_DEATH((void)injector.begin_launch(), "EXTNC_CHECK failed");
+  injector.cancel_launch();
+  (void)injector.begin_launch();  // paired again: fine
+  injector.finish_launch(FaultClass::kNone, 0.001);
+}
+
+TEST(FaultInjectorDeathTest, FinishWithoutBeginIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FaultInjector injector(FaultPlan{});
+  EXPECT_DEATH(injector.finish_launch(FaultClass::kNone, 0.001),
+               "EXTNC_CHECK failed");
+  // A rejected launch is already finished: finishing it is also misuse.
+  FaultPlan plan;
+  plan.scripted[0] = FaultClass::kLaunchFailure;
+  FaultInjector rejecting(plan);
+  EXPECT_EQ(rejecting.begin_launch(), FaultClass::kLaunchFailure);
+  EXPECT_DEATH(rejecting.finish_launch(FaultClass::kLaunchFailure, 0.001),
+               "EXTNC_CHECK failed");
 }
 
 TEST(FaultInjector, HangStallsLauncherElapsedClock) {

@@ -28,8 +28,15 @@ std::size_t count_occurrences(const std::string& haystack,
 
 // A fixed, hand-built run: everything downstream of this (timing model
 // included) is deterministic, which is what makes a golden file possible.
-Profiler golden_profiler() {
+// (Profiler owns a mutex now, so the golden run is wrapped in a
+// default-constructible holder rather than returned by value.)
+struct GoldenProfiler {
   Profiler profiler;
+  GoldenProfiler();
+  operator const Profiler&() const { return profiler; }
+};
+
+GoldenProfiler::GoldenProfiler() {
   KernelMetrics encode;
   encode.kernel_launches = 1;
   encode.blocks = 30;
@@ -52,7 +59,6 @@ Profiler golden_profiler() {
   tex.texture_fetches = 4096;
   tex.texture_misses = 512;
   profiler.record_launch(gtx280(), "golden/tex \"quoted\\path\"", tex);
-  return profiler;
 }
 
 TraceOptions golden_options() {
@@ -70,7 +76,7 @@ std::string golden_path() {
 // formatting, escaping). Regenerate after intentional format or timing-model
 // changes with: EXTNC_REGEN_GOLDEN=1 ./simgpu_test
 TEST(TraceExport, MatchesGoldenFile) {
-  const std::string trace = to_chrome_trace(golden_profiler(),
+  const std::string trace = to_chrome_trace(GoldenProfiler(),
                                             golden_options());
   if (std::getenv("EXTNC_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(golden_path(), std::ios::binary);
@@ -86,7 +92,8 @@ TEST(TraceExport, MatchesGoldenFile) {
 }
 
 TEST(TraceExport, OneCompleteEventPerLaunch) {
-  const Profiler profiler = golden_profiler();
+  const GoldenProfiler golden;
+  const Profiler& profiler = golden.profiler;
   const std::string trace = to_chrome_trace(profiler);
   EXPECT_EQ(count_occurrences(trace, "\"ph\": \"X\""),
             profiler.launch_count());
@@ -95,7 +102,7 @@ TEST(TraceExport, OneCompleteEventPerLaunch) {
 }
 
 TEST(TraceExport, EscapesLabelsAndMetadata) {
-  const std::string trace = to_chrome_trace(golden_profiler(),
+  const std::string trace = to_chrome_trace(GoldenProfiler(),
                                             golden_options());
   EXPECT_NE(trace.find("golden/tex \\\"quoted\\\\path\\\""),
             std::string::npos);
@@ -113,7 +120,7 @@ TEST(TraceExport, EmptyProfilerStillValid) {
 
 TEST(TraceExport, WriteFailsOnUnwritablePath) {
   std::string error;
-  EXPECT_FALSE(write_chrome_trace(golden_profiler(),
+  EXPECT_FALSE(write_chrome_trace(GoldenProfiler(),
                                   "/nonexistent-dir/trace.json", &error));
   EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
@@ -122,11 +129,11 @@ TEST(TraceExport, WriteRoundTrips) {
   const std::string path =
       ::testing::TempDir() + "/extnc_trace_roundtrip.json";
   std::string error;
-  ASSERT_TRUE(write_chrome_trace(golden_profiler(), path, &error)) << error;
+  ASSERT_TRUE(write_chrome_trace(GoldenProfiler(), path, &error)) << error;
   std::ifstream in(path, std::ios::binary);
   std::stringstream written;
   written << in.rdbuf();
-  EXPECT_EQ(written.str(), to_chrome_trace(golden_profiler()));
+  EXPECT_EQ(written.str(), to_chrome_trace(GoldenProfiler()));
   std::remove(path.c_str());
 }
 

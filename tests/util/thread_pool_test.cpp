@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -56,6 +57,50 @@ TEST(ThreadPool, ParallelForChunksMoreWorkersThanItems) {
     for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
   });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunBatchCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_batch(64, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunBatchZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.run_batch(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+// The property the simgpu parallel engine depends on: run_batch joins
+// exactly its own tasks, so a caller returns even while another caller's
+// longer batch is still draining (wait_idle would wait on everything).
+TEST(ThreadPool, RunBatchConcurrentCallersAreIsolated) {
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_done{0};
+  std::thread slow_caller([&] {
+    pool.run_batch(2, [&](std::size_t) {
+      while (!release.load()) std::this_thread::yield();
+      slow_done.fetch_add(1);
+    });
+  });
+  // The fast batch must complete while the slow batch is still blocked.
+  std::atomic<int> fast_done{0};
+  pool.run_batch(8, [&fast_done](std::size_t) { fast_done.fetch_add(1); });
+  EXPECT_EQ(fast_done.load(), 8);
+  EXPECT_EQ(slow_done.load(), 0);
+  release.store(true);
+  slow_caller.join();
+  EXPECT_EQ(slow_done.load(), 2);
+}
+
+TEST(ThreadPool, RunBatchReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.run_batch(10, [&counter](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
 }
 
 TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
