@@ -21,6 +21,7 @@
 #include "simgpu/device_spec.h"
 #include "simgpu/profiler.h"
 #include "simgpu/trace_export.h"
+#include "util/cli_flags.h"
 #include "util/table_printer.h"
 
 namespace extnc::bench {
@@ -56,29 +57,21 @@ inline std::string flag_value(int argc, char** argv, const char* flag) {
 }
 
 // Reject mistyped arguments: every argv entry must be one of value_flags
-// (which consume the next entry) or bool_flags.
+// (which consume the next entry) or bool_flags. Thin wrapper over the
+// shared strict parser (util/cli_flags.h); benches keep their positional
+// flag_value/has_flag reads after validation.
 inline void check_flags(int argc, char** argv,
                         std::initializer_list<const char*> value_flags,
                         std::initializer_list<const char*> bool_flags) {
-  for (int i = 1; i < argc; ++i) {
-    bool known = false;
-    for (const char* flag : value_flags) {
-      if (std::strcmp(argv[i], flag) == 0) {
-        if (i + 1 >= argc) die(std::string(flag) + " requires a value");
-        ++i;
-        known = true;
-        break;
-      }
-    }
-    if (known) continue;
-    for (const char* flag : bool_flags) {
-      if (std::strcmp(argv[i], flag) == 0) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) die(std::string("unknown argument '") + argv[i] + "'");
+  std::vector<CliFlag> known;
+  for (const char* flag : value_flags) {
+    known.push_back({flag, CliFlag::Kind::kText});
   }
+  for (const char* flag : bool_flags) {
+    known.push_back({flag, CliFlag::Kind::kBool});
+  }
+  std::string error;
+  if (!CliFlags::parse(argc, argv, 1, known, &error).has_value()) die(error);
 }
 
 // Simulated device by CLI name; fatal on anything unrecognized.

@@ -48,7 +48,9 @@ GpuSingleSegmentDecoder::GpuSingleSegmentDecoder(
   EXTNC_CHECK(params_.n % 4 == 0);
   if (options_.use_atomic_min) EXTNC_CHECK(spec.has_shared_atomics);
   if (options_.cache_coefficients) {
-    EXTNC_CHECK(params_.n * params_.n <= spec.shared_mem_per_sm);
+    // The atomic pivot word lives just past the cached matrix (see add()).
+    const std::size_t scratch = options_.use_atomic_min ? 4 : 0;
+    EXTNC_CHECK(params_.n * params_.n + scratch <= spec.shared_mem_per_sm);
   }
   // One thread block per SM; the payload is divided evenly among them
   // (Fig. 3), in whole words.
@@ -86,6 +88,20 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
   AlignedBuffer scratch_p(k);
   std::memcpy(scratch_p.data(), payload.data(), k);
 
+  // Under the sanitizer, the per-call scratch buffers are valid regions
+  // only for the duration of this add().
+  simgpu::Checker* checker = launcher_.checker();
+  std::vector<simgpu::Checker::ScopedWatch> scratch_watches;
+  if (checker != nullptr) {
+    scratch_watches.reserve(data_blocks_ + 1);
+    for (AlignedBuffer& copy : scratch_c) {
+      scratch_watches.emplace_back(checker, copy.data(), copy.size(),
+                                   "scratch_coeffs");
+    }
+    scratch_watches.emplace_back(checker, scratch_p.data(), scratch_p.size(),
+                                 "scratch_payload");
+  }
+
   // Thread geometry: threads cover the widest aggregate row [C_row | x_b].
   const std::size_t aggregate_words = (n + slice_bytes_) / 4 + 1;
   const std::size_t threads = std::min<std::size_t>(
@@ -100,8 +116,20 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
   // run on other worker threads under the parallel engine.
   std::vector<std::size_t> pivots(data_blocks_, n);
 
+  // Shared word receiving the atomicMin pivot reports; placed after the
+  // cached coefficient matrix when both Sec. 5.4 options are on. It must
+  // be seeded before the search (a lane whose words are all zero
+  // contributes n, and the minimum over lanes must start from n, not from
+  // whatever the scratchpad held) — a single-lane partial step, declared
+  // in the launch shape so the sanitizer knows it is intentional.
+  const std::size_t pivot_scratch =
+      options_.cache_coefficients ? n * n : 0;
+  simgpu::LaunchConfig config{.blocks = data_blocks_,
+                              .threads_per_block = threads};
+  if (options_.use_atomic_min) config.shape.partial_counts = {1};
+
   launcher_.launch(
-      {.blocks = data_blocks_, .threads_per_block = threads},
+      config,
       [&](BlockCtx& block) {
         const std::size_t b = block.block_index();
         std::uint8_t* my_coeffs = coeff_copies_[b].data();
@@ -175,6 +203,11 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
         // Pivot search (the per-block synchronization point the paper
         // calls the obstacle to deep parallelization).
         std::size_t pivot = n;
+        if (options_.use_atomic_min) {
+          block.step_partial(1, [&](ThreadCtx& thread) {
+            thread.sstore_u32(pivot_scratch, static_cast<std::uint32_t>(n));
+          });
+        }
         block.step([&](ThreadCtx& thread) {
           // Threads covering the coefficient side scan their words.
           if (thread.lane() >= coeff_words) return;
@@ -187,7 +220,8 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
           }
           if (options_.use_atomic_min) {
             thread.count_alu(kDecodeCost.pivot_reduce_atomic);
-            thread.atomic_min_shared(0, static_cast<std::uint32_t>(local));
+            thread.atomic_min_shared(pivot_scratch,
+                                     static_cast<std::uint32_t>(local));
           } else {
             thread.count_alu(kDecodeCost.pivot_reduce_per_thread);
           }
@@ -249,6 +283,15 @@ GpuSingleSegmentDecoder::Result GpuSingleSegmentDecoder::add(
   present_[pivot] = true;
   ++rank_;
   return Result::kAccepted;
+}
+
+void GpuSingleSegmentDecoder::attach_checker(simgpu::Checker* checker) {
+  launcher_.set_checker(checker);
+  if (checker == nullptr) return;
+  for (AlignedBuffer& copy : coeff_copies_) {
+    checker->watch_global(copy.data(), copy.size(), "coeff_copy");
+  }
+  checker->watch_global(payloads_.data(), payloads_.size(), "payloads");
 }
 
 coding::Segment GpuSingleSegmentDecoder::decoded_segment() const {

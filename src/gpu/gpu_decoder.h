@@ -57,6 +57,10 @@ class GpuSingleSegmentDecoder {
     launcher_.set_launch_label("decode/single/add_block");
   }
 
+  // Run every add() launch under the kernel sanitizer (simgpu/checker.h)
+  // with the decoder's device buffers registered as watched regions.
+  void attach_checker(simgpu::Checker* checker);
+
  private:
   coding::Params params_;
   DecodeOptions options_;

@@ -27,7 +27,8 @@ constexpr std::size_t kReplicatedTables = 8;  // kTable5
 GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
                        const coding::Segment& segment, EncodeScheme scheme,
                        simgpu::Profiler* profiler, std::string label_prefix,
-                       simgpu::FaultInjector* injector)
+                       simgpu::FaultInjector* injector,
+                       simgpu::Checker* checker)
     : segment_(&segment),
       scheme_(scheme),
       launcher_(spec),
@@ -62,6 +63,9 @@ GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
       }
     }
   }
+  // Attach before the construction-time preprocessing launch so it runs
+  // checked too.
+  attach_checker(checker);
   if (scheme_is_preprocessed(scheme_)) {
     preprocess_segment();
   }
@@ -71,6 +75,51 @@ void GpuEncoder::attach_profiler(simgpu::Profiler* profiler,
                                  std::string label_prefix) {
   launcher_.set_profiler(profiler);
   label_prefix_ = std::move(label_prefix);
+}
+
+GpuEncoder::~GpuEncoder() { unwatch_all(); }
+
+void GpuEncoder::unwatch_all() {
+  if (checker_ == nullptr) return;
+  checker_->unwatch_global(segment_->data());
+  checker_->unwatch_global(exp_table_bytes_.data());
+  if (!log_table_bytes_.empty()) {
+    checker_->unwatch_global(log_table_bytes_.data());
+  }
+  if (!exp_table_words_.empty()) {
+    checker_->unwatch_global(exp_table_words_.data());
+  }
+  if (!log_segment_.empty()) {
+    checker_->unwatch_global(log_segment_.data());
+  }
+  if (!log_coefficients_.empty()) {
+    checker_->unwatch_global(log_coefficients_.data());
+  }
+}
+
+void GpuEncoder::attach_checker(simgpu::Checker* checker) {
+  if (checker_ != nullptr && checker != checker_) unwatch_all();
+  checker_ = checker;
+  launcher_.set_checker(checker);
+  if (checker == nullptr) return;
+  // Steady-state device buffers; per-batch buffers are registered by the
+  // call that allocates or receives them.
+  const coding::Params& p = params();
+  checker->watch_global(segment_->data(), p.segment_bytes(), "segment");
+  checker->watch_global(exp_table_bytes_.data(), exp_table_bytes_.size(),
+                        "exp_table");
+  if (!log_table_bytes_.empty()) {
+    checker->watch_global(log_table_bytes_.data(), log_table_bytes_.size(),
+                          "log_table");
+  }
+  if (!exp_table_words_.empty()) {
+    checker->watch_global(exp_table_words_.data(), exp_table_words_.size(),
+                          "exp_table_words");
+  }
+  if (!log_segment_.empty()) {
+    checker->watch_global(log_segment_.data(), log_segment_.size(),
+                          "log_segment");
+  }
 }
 
 void GpuEncoder::set_launch_label(const char* kernel) {
@@ -95,6 +144,14 @@ coding::CodedBatch GpuEncoder::encode_batch(std::size_t count, Rng& rng) {
 void GpuEncoder::encode_into(coding::CodedBatch& batch) {
   EXTNC_CHECK(batch.params() == params());
   if (batch.count() == 0) return;
+  // The batch's buffers live only for this call; scoped registration keeps
+  // the checker's region table free of dead entries.
+  const coding::Params& p = params();
+  simgpu::Checker::ScopedWatch watch_coeffs(
+      checker_, batch.coefficients_data(), batch.count() * p.n,
+      "batch.coefficients");
+  simgpu::Checker::ScopedWatch watch_payloads(
+      checker_, batch.payloads_data(), batch.count() * p.k, "batch.payloads");
   if (scheme_is_preprocessed(scheme_)) {
     preprocess_coefficients(batch);
   }
@@ -112,6 +169,10 @@ void GpuEncoder::encode_into(coding::CodedBatch& batch) {
 void GpuEncoder::preprocess_segment() {
   const coding::Params& p = params();
   log_segment_ = AlignedBuffer(p.segment_bytes());
+  if (checker_ != nullptr) {
+    checker_->watch_global(log_segment_.data(), log_segment_.size(),
+                           "log_segment");
+  }
   const gf256::Tables& t = gf256::tables();
   const bool shifted = scheme_uses_shifted_log(scheme_);
   const std::uint8_t* log_table = shifted ? t.log_shifted : t.log;
@@ -152,7 +213,14 @@ void GpuEncoder::preprocess_segment() {
 void GpuEncoder::preprocess_coefficients(const coding::CodedBatch& batch) {
   const coding::Params& p = params();
   const std::size_t bytes = batch.count() * p.n;
+  if (checker_ != nullptr && !log_coefficients_.empty()) {
+    checker_->unwatch_global(log_coefficients_.data());  // being reallocated
+  }
   log_coefficients_ = AlignedBuffer(bytes);
+  if (checker_ != nullptr) {
+    checker_->watch_global(log_coefficients_.data(), log_coefficients_.size(),
+                           "log_coefficients");
+  }
   const gf256::Tables& t = gf256::tables();
   const bool shifted = scheme_uses_shifted_log(scheme_);
   const std::uint8_t* log_table = shifted ? t.log_shifted : t.log;

@@ -35,15 +35,26 @@ class GpuEncoder {
   // With a fault injector attached (simgpu/fault_injector.h) every launch
   // — including the construction-time preprocessing — is subject to the
   // injector's fault plan, so construction can throw simgpu::DeviceError.
+  // With a checker attached (simgpu/checker.h) every launch runs under the
+  // kernel sanitizer with the encoder's device buffers registered as
+  // watched global regions, so OOB accesses become findings instead of
+  // silent reads; in throw mode launches can throw simgpu::CheckError.
   GpuEncoder(const simgpu::DeviceSpec& spec, const coding::Segment& segment,
              EncodeScheme scheme, simgpu::Profiler* profiler = nullptr,
              std::string label_prefix = "encode",
-             simgpu::FaultInjector* injector = nullptr);
+             simgpu::FaultInjector* injector = nullptr,
+             simgpu::Checker* checker = nullptr);
+
+  // Unregisters this encoder's watched regions from an attached checker,
+  // so short-lived encoders (the multi-segment decoder's stage-2
+  // multipliers) leave a shared checker's region table clean.
+  ~GpuEncoder();
 
   // Attach after construction (misses the segment-preprocess launches that
   // already ran; prefer the constructor argument when those matter).
   void attach_profiler(simgpu::Profiler* profiler,
                        std::string label_prefix = "encode");
+  void attach_checker(simgpu::Checker* checker);
 
   const coding::Params& params() const { return segment_->params(); }
   EncodeScheme scheme() const { return scheme_; }
@@ -76,10 +87,12 @@ class GpuEncoder {
   void run_loop_based(coding::CodedBatch& batch);
   void run_table_based(coding::CodedBatch& batch);
   void set_launch_label(const char* kernel);
+  void unwatch_all();
 
   const coding::Segment* segment_;
   EncodeScheme scheme_;
   simgpu::Launcher launcher_;
+  simgpu::Checker* checker_ = nullptr;
   std::string label_prefix_;
   simgpu::KernelMetrics encode_metrics_;
   simgpu::KernelMetrics preprocess_metrics_;

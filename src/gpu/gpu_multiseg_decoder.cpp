@@ -89,9 +89,24 @@ void GpuMultiSegmentDecoder::invert_stage(
     work.push_back(std::move(aug));
   }
 
+  // Under the sanitizer: the working matrices are this stage's only
+  // device buffers, and the per-column pivot search runs on one lane (a
+  // declared partial step).
+  std::vector<simgpu::Checker::ScopedWatch> work_watches;
+  if (launcher_.checker() != nullptr) {
+    work_watches.reserve(s);
+    for (AlignedBuffer& aug : work) {
+      work_watches.emplace_back(launcher_.checker(), aug.data(), aug.size(),
+                                "invert_work");
+    }
+  }
+
   launcher_.reset_metrics();
   launcher_.launch(
-      {.blocks = s, .threads_per_block = threads}, [&](BlockCtx& block) {
+      {.blocks = s,
+       .threads_per_block = threads,
+       .shape = {.partial_counts = {1}}},
+      [&](BlockCtx& block) {
         std::uint8_t* aug = work[block.block_index()].data();
         auto row = [&](std::size_t r) { return aug + r * row_bytes; };
 
@@ -195,7 +210,7 @@ void GpuMultiSegmentDecoder::multiply_stage(
     GpuEncoder multiplier(launcher_.spec(), payload_segment,
                           EncodeScheme::kTable5, profiler_,
                           "decode/multiseg/stage2",
-                          launcher_.fault_injector());
+                          launcher_.fault_injector(), launcher_.checker());
     coding::CodedBatch product(params_, n);
     for (std::size_t r = 0; r < n; ++r) {
       std::memcpy(product.coefficients(r).data(),

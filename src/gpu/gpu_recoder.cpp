@@ -10,7 +10,8 @@ coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
                               const coding::CodedBatch& received,
                               std::size_t count, Rng& rng,
                               EncodeScheme scheme,
-                              simgpu::Profiler* profiler) {
+                              simgpu::Profiler* profiler,
+                              simgpu::Checker* checker) {
   const coding::Params& p = received.params();
   EXTNC_CHECK(received.count() >= 1);
   EXTNC_CHECK(p.n % 4 == 0);
@@ -26,7 +27,8 @@ coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
                 p.k);
   }
 
-  GpuEncoder encoder(spec, pseudo, scheme, profiler, "recode");
+  GpuEncoder encoder(spec, pseudo, scheme, profiler, "recode",
+                     /*injector=*/nullptr, checker);
   const coding::CodedBatch mixed = encoder.encode_batch(count, rng);
 
   // Split the aggregate outputs back into coefficient/payload halves.

@@ -21,11 +21,13 @@ namespace extnc::gpu {
 
 // Produce `count` recoded blocks from `received` (which holds m >= 1 coded
 // blocks of one generation). Requires n % 4 == 0 and k % 4 == 0. With a
-// profiler the internal encode launches record under "recode/..." labels.
+// profiler the internal encode launches record under "recode/..." labels;
+// with a checker they run under the kernel sanitizer.
 coding::CodedBatch gpu_recode(const simgpu::DeviceSpec& spec,
                               const coding::CodedBatch& received,
                               std::size_t count, Rng& rng,
                               EncodeScheme scheme = EncodeScheme::kTable5,
-                              simgpu::Profiler* profiler = nullptr);
+                              simgpu::Profiler* profiler = nullptr,
+                              simgpu::Checker* checker = nullptr);
 
 }  // namespace extnc::gpu

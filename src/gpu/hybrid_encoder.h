@@ -61,6 +61,12 @@ class HybridEncoder {
     gpu_encoder_.attach_profiler(profiler, "hybrid/gpu");
   }
 
+  // Run the GPU half under the kernel sanitizer (the CPU half is real
+  // host code with nothing to instrument).
+  void attach_checker(simgpu::Checker* checker) {
+    gpu_encoder_.attach_checker(checker);
+  }
+
  private:
   const coding::Segment* segment_;
   GpuEncoder gpu_encoder_;

@@ -43,49 +43,91 @@ std::size_t ThreadCtx::global_index() const {
   return block_->block_index() * block_->num_threads() + lane_;
 }
 
+// Checked launches route every access through BlockCheckState; a refused
+// access (OOB) is suppressed — loads read 0, stores are dropped — so the
+// kernel finishes and the checker reports every finding. Unchecked
+// launches fall through to SharedMemory's own always-on bounds CHECKs
+// (global accesses have no region info to validate against there).
+
 std::uint8_t ThreadCtx::gload_u8(const std::uint8_t* p) {
-  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  block_->record_global(seq_++, addr, 1);
   block_->pending_load_bytes_ += 1;
+  if (block_->check_ != nullptr && !block_->check_->on_global(lane_, addr, 1)) {
+    return 0;
+  }
   return *p;
 }
 
 std::uint32_t ThreadCtx::gload_u32(const void* p) {
-  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  block_->record_global(seq_++, addr, 4);
   block_->pending_load_bytes_ += 4;
+  if (block_->check_ != nullptr && !block_->check_->on_global(lane_, addr, 4)) {
+    return 0;
+  }
   std::uint32_t v;
   std::memcpy(&v, p, 4);
   return v;
 }
 
 void ThreadCtx::gstore_u8(std::uint8_t* p, std::uint8_t v) {
-  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  block_->record_global(seq_++, addr, 1);
   block_->pending_store_bytes_ += 1;
+  if (block_->check_ != nullptr && !block_->check_->on_global(lane_, addr, 1)) {
+    return;
+  }
   *p = v;
 }
 
 void ThreadCtx::gstore_u32(void* p, std::uint32_t v) {
-  block_->record_global(seq_++, reinterpret_cast<std::uintptr_t>(p), 4);
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  block_->record_global(seq_++, addr, 4);
   block_->pending_store_bytes_ += 4;
+  if (block_->check_ != nullptr && !block_->check_->on_global(lane_, addr, 4)) {
+    return;
+  }
   std::memcpy(p, &v, 4);
 }
 
 std::uint8_t ThreadCtx::sload_u8(std::size_t offset) {
   block_->record_shared(seq_++, offset, 1);
+  if (block_->check_ != nullptr &&
+      !block_->check_->on_shared(lane_, offset, 1, /*is_write=*/false,
+                                 /*is_atomic=*/false)) {
+    return 0;
+  }
   return block_->shared().read_u8(offset);
 }
 
 std::uint32_t ThreadCtx::sload_u32(std::size_t offset) {
   block_->record_shared(seq_++, offset, 4);
+  if (block_->check_ != nullptr &&
+      !block_->check_->on_shared(lane_, offset, 4, /*is_write=*/false,
+                                 /*is_atomic=*/false)) {
+    return 0;
+  }
   return block_->shared().read_u32(offset);
 }
 
 void ThreadCtx::sstore_u8(std::size_t offset, std::uint8_t v) {
   block_->record_shared(seq_++, offset, 1);
+  if (block_->check_ != nullptr &&
+      !block_->check_->on_shared(lane_, offset, 1, /*is_write=*/true,
+                                 /*is_atomic=*/false)) {
+    return;
+  }
   block_->shared().write_u8(offset, v);
 }
 
 void ThreadCtx::sstore_u32(std::size_t offset, std::uint32_t v) {
   block_->record_shared(seq_++, offset, 4);
+  if (block_->check_ != nullptr &&
+      !block_->check_->on_shared(lane_, offset, 4, /*is_write=*/true,
+                                 /*is_atomic=*/false)) {
+    return;
+  }
   block_->shared().write_u32(offset, v);
 }
 
@@ -94,6 +136,11 @@ std::uint32_t ThreadCtx::atomic_min_shared(std::size_t offset,
   EXTNC_CHECK(block_->spec().has_shared_atomics);
   block_->record_shared(seq_++, offset, 4);
   block_->pending_atomic_ops_ += 1;
+  if (block_->check_ != nullptr &&
+      !block_->check_->on_shared(lane_, offset, 4, /*is_write=*/true,
+                                 /*is_atomic=*/true)) {
+    return 0;
+  }
   const std::uint32_t old = block_->shared().read_u32(offset);
   block_->shared().write_u32(offset, std::min(old, v));
   return old;
@@ -123,6 +170,7 @@ void BlockCtx::step(const std::function<void(ThreadCtx&)>& fn) {
 void BlockCtx::step_partial(std::size_t count,
                             const std::function<void(ThreadCtx&)>& fn) {
   EXTNC_CHECK(count <= config_.threads_per_block);
+  if (check_ != nullptr) check_->on_partial_step(count);
   const std::size_t half = static_cast<std::size_t>(spec_->half_warp);
   current_half_warp_ = 0;
   for (std::size_t lane = 0; lane < count; ++lane) {
@@ -139,6 +187,8 @@ void BlockCtx::step_partial(std::size_t count,
   }
   flush_half_warp();
   metrics_->barriers += 1;
+  // The step boundary is the barrier: per-segment hazard state rolls over.
+  if (check_ != nullptr) check_->on_barrier();
 }
 
 void BlockCtx::record_global(std::uint32_t seq, std::uintptr_t addr,
@@ -194,6 +244,9 @@ void BlockCtx::flush_half_warp() {
   for (const std::uint32_t seq : global_live_) {
     GlobalGroup& group = global_groups_[seq];
     metrics_->global_transactions += group.count;
+    if (check_ != nullptr) {
+      check_->on_global_group(current_half_warp_, seq, group.count);
+    }
     group.count = 0;
   }
   global_live_.clear();
@@ -220,6 +273,9 @@ void BlockCtx::flush_half_warp() {
     }
     metrics_->shared_access_events += 1;
     metrics_->shared_serialized_cycles += degree;
+    if (check_ != nullptr) {
+      check_->on_shared_group(current_half_warp_, seq, degree);
+    }
     group.count = 0;
   }
   shared_live_.clear();
@@ -276,15 +332,28 @@ void Launcher::run_blocks(const LaunchConfig& config,
                           const std::function<void(BlockCtx&)>& kernel,
                           std::size_t only_unit,
                           std::vector<KernelMetrics>& block_metrics,
+                          Checker* checker,
+                          std::vector<BlockCheckSink>* check_sinks,
                           BlockError& error) {
   // One reusable context per caller: shared memory is re-zeroed for every
   // block (CUDA's non-persistence contract) and the accounting scratch
-  // keeps only its capacity across blocks.
+  // keeps only its capacity across blocks. The sanitizer scratch follows
+  // the same pattern — per worker, per-block state reset in begin_block —
+  // and its findings land in per-block sinks, so the merged report is
+  // engine-independent just like the metrics.
   SharedMemory shared(spec_->shared_mem_per_sm);
   BlockCtx ctx;
   ctx.spec_ = spec_;
   ctx.config_ = config;
   ctx.shared_ = &shared;
+  BlockCheckState check_state;
+  if (checker != nullptr) {
+    check_state.attach(*checker, config.threads_per_block,
+                       config.shape.partial_counts,
+                       static_cast<std::size_t>(spec_->half_warp),
+                       shared.size(), launch_label_);
+    ctx.check_ = &check_state;
+  }
   bool first = true;
   for (std::size_t b = 0; b < config.blocks; ++b) {
     const std::size_t unit = texture_unit_of(b);
@@ -294,6 +363,7 @@ void Launcher::run_blocks(const LaunchConfig& config,
     ctx.block_index_ = b;
     ctx.texture_ = &texture_caches_[unit];
     ctx.metrics_ = &block_metrics[b];
+    if (checker != nullptr) check_state.begin_block(b, &(*check_sinks)[b]);
     try {
       kernel(ctx);
     } catch (...) {
@@ -348,6 +418,11 @@ void Launcher::launch(const LaunchConfig& config,
   launch_metrics.blocks = config.blocks;
   launch_metrics.threads_per_block = config.threads_per_block;
   std::vector<KernelMetrics> block_metrics(config.blocks);
+  Checker* checker = resolve_checker(config);
+  std::vector<BlockCheckSink> check_sinks(checker != nullptr ? config.blocks
+                                                             : 0);
+  std::vector<BlockCheckSink>* sinks =
+      checker != nullptr ? &check_sinks : nullptr;
   const std::uint64_t ticket =
       profiler_ != nullptr ? profiler_->begin_ticket() : 0;
 
@@ -360,13 +435,15 @@ void Launcher::launch(const LaunchConfig& config,
       const std::size_t units = texture_caches_.size();
       std::vector<BlockError> errors(units);
       engine_pool().run_batch(units, [&](std::size_t unit) {
-        run_blocks(config, kernel, unit, block_metrics, errors[unit]);
+        run_blocks(config, kernel, unit, block_metrics, checker, sinks,
+                   errors[unit]);
       });
       for (const BlockError& e : errors) {
         if (e.error != nullptr && e.block < failure.block) failure = e;
       }
     } else {
-      run_blocks(config, kernel, kAllUnits, block_metrics, failure);
+      run_blocks(config, kernel, kAllUnits, block_metrics, checker, sinks,
+                 failure);
     }
     if (failure.error != nullptr) std::rethrow_exception(failure.error);
   } catch (...) {
@@ -382,6 +459,25 @@ void Launcher::launch(const LaunchConfig& config,
 
   for (const KernelMetrics& bm : block_metrics) launch_metrics.merge(bm);
   metrics_.merge(launch_metrics);
+  // Fold per-block check sinks into one launch report, in ascending block
+  // order: the parallel engine filled disjoint slots, so this merge makes
+  // its report bit-identical to the serial engine's.
+  CheckReport launch_report;
+  std::uint64_t check_events = 0;
+  if (checker != nullptr) {
+    launch_report.checked_launches = 1;
+    const std::size_t cap = checker->config().max_findings_per_launch;
+    for (const BlockCheckSink& sink : check_sinks) {
+      for (std::size_t i = 0; i < kCheckKindCount; ++i) {
+        launch_report.counts[i] += sink.counts[i];
+      }
+      for (const CheckFinding& finding : sink.findings) {
+        if (launch_report.findings.size() >= cap) break;
+        launch_report.findings.push_back(finding);
+      }
+    }
+    check_events = launch_report.total();
+  }
   // Advance the modeled clock; an injected hang stalls this launch by the
   // plan's stall factor, which is what a supervisor's watchdog detects.
   const double multiplier =
@@ -392,8 +488,30 @@ void Launcher::launch(const LaunchConfig& config,
     injector_->finish_launch(fault, last_launch_s_);
   }
   if (profiler_ != nullptr) {
-    profiler_->record_launch_at(ticket, *spec_, launch_label_, launch_metrics);
+    profiler_->record_launch_at(ticket, *spec_, launch_label_, launch_metrics,
+                                check_events);
   }
+  // The throw comes last: the launch ran to completion and every consumer
+  // (metrics, injector, profiler) saw it, so a caught CheckError leaves the
+  // device in the same state as a clean launch.
+  if (checker != nullptr && checker->absorb(launch_report)) {
+    throw CheckError(std::move(launch_report));
+  }
+}
+
+Checker* Launcher::resolve_checker(const LaunchConfig& config) {
+  if (config.check == CheckToggle::kOff) return nullptr;
+  if (checker_ != nullptr) return checker_;
+  const std::optional<CheckConfig::Mode> env = env_check_mode();
+  if (config.check == CheckToggle::kDefault && !env.has_value()) {
+    return nullptr;
+  }
+  if (owned_checker_ == nullptr) {
+    CheckConfig cfg;
+    cfg.mode = env.value_or(CheckConfig::Mode::kThrow);
+    owned_checker_ = std::make_unique<Checker>(cfg);
+  }
+  return owned_checker_.get();
 }
 
 void Launcher::invalidate_texture_cache() {

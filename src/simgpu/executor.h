@@ -35,9 +35,11 @@
 #include <cstring>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "simgpu/checker.h"
 #include "simgpu/device_spec.h"
 #include "simgpu/exec_engine.h"
 #include "simgpu/metrics.h"
@@ -46,12 +48,27 @@
 
 namespace extnc::simgpu {
 
+// Per-launch sanitizer toggle; kDefault means "checked iff a Checker is
+// attached to the Launcher or EXTNC_SIMGPU_CHECK enables one".
+enum class CheckToggle { kDefault, kOff, kOn };
+
+// The kernel's declared execution shape, consumed by the sanitizer: every
+// lane count a step_partial may legitimately use (full steps are always
+// legitimate). A checked launch flags any other partial width as barrier
+// divergence.
+struct LaunchShape {
+  std::vector<std::size_t> partial_counts;
+};
+
 struct LaunchConfig {
   std::size_t blocks = 1;
   std::size_t threads_per_block = 256;
   // Per-launch engine override; kAuto defers to the process default (see
   // exec_engine.h for the full selection order).
   ExecEngine engine = ExecEngine::kAuto;
+  // Kernel sanitizer (simgpu/checker.h): opt-in/out and declared shape.
+  CheckToggle check = CheckToggle::kDefault;
+  LaunchShape shape;
 };
 
 // Per-block scratchpad (the 16 KB on-chip shared memory of one SM).
@@ -62,22 +79,31 @@ class SharedMemory {
   std::size_t size() const { return storage_.size(); }
   std::uint8_t* data() { return storage_.data(); }
 
+  // True when [offset, offset+size) lies inside the scratchpad. Every
+  // accessor routes through this one bounds predicate, and enforces it
+  // with EXTNC_CHECK — in release builds too: an OOB shared access is
+  // kernel corruption, never a hot-path cost worth compiling out. (The
+  // sanitizer uses the same predicate to *report* instead of abort.)
+  bool contains(std::size_t offset, std::size_t size) const {
+    return size <= storage_.size() && offset <= storage_.size() - size;
+  }
+
   std::uint8_t read_u8(std::size_t offset) const {
-    EXTNC_DASSERT(offset < storage_.size());
+    EXTNC_CHECK(contains(offset, 1));
     return storage_[offset];
   }
   void write_u8(std::size_t offset, std::uint8_t value) {
-    EXTNC_DASSERT(offset < storage_.size());
+    EXTNC_CHECK(contains(offset, 1));
     storage_[offset] = value;
   }
   std::uint32_t read_u32(std::size_t offset) const {
-    EXTNC_DASSERT(offset + 4 <= storage_.size());
+    EXTNC_CHECK(contains(offset, 4));
     std::uint32_t v;
     std::memcpy(&v, storage_.data() + offset, 4);
     return v;
   }
   void write_u32(std::size_t offset, std::uint32_t value) {
-    EXTNC_DASSERT(offset + 4 <= storage_.size());
+    EXTNC_CHECK(contains(offset, 4));
     std::memcpy(storage_.data() + offset, &value, 4);
   }
 
@@ -180,6 +206,9 @@ class BlockCtx {
   SharedMemory* shared_ = nullptr;
   TextureCache* texture_ = nullptr;
   KernelMetrics* metrics_ = nullptr;
+  // Sanitizer hook; null on unchecked launches so the hot paths pay one
+  // pointer test. Per worker, like the accounting scratch below.
+  BlockCheckState* check_ = nullptr;
 
   // Half-warp aggregation state (fast path): groups are flat vectors
   // indexed by the per-thread access sequence number — the grouping key —
@@ -253,6 +282,21 @@ class Launcher {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  // Optional kernel sanitizer (simgpu/checker.h). With a checker attached
+  // every launch (unless LaunchConfig::check == kOff) runs instrumented:
+  // shared-memory hazards, OOB/misalignment, barrier divergence, stale
+  // shared reads and advisory perf lints are collected per block, merged
+  // in ascending block order (bit-identical on both engines) and absorbed
+  // into the checker's cumulative report. In kThrow mode a launch with
+  // error findings throws CheckError — after metrics, profiler record and
+  // injector accounting completed, so device state stays consistent.
+  // Without an attached checker, EXTNC_SIMGPU_CHECK=1|throw|collect (or
+  // LaunchConfig::check == kOn) makes the launcher create an internal
+  // one. The attached checker is borrowed, never owned; one checker
+  // shared by several launchers aggregates across them.
+  void set_checker(Checker* checker) { checker_ = checker; }
+  Checker* checker() const { return checker_; }
+
   // Run the kernel over every block. Shared memory contents do NOT persist
   // across blocks or launches, matching CUDA semantics the paper leans on
   // in Sec. 5.1.2 ("CUDA's shared memory is not persistent across GPU
@@ -295,19 +339,27 @@ class Launcher {
 
   // Run this launch's blocks whose texture unit == only_unit (or every
   // block when only_unit == kAllUnits), in ascending block order, each
-  // accounted into block_metrics[b]. Stops at the first throwing block.
+  // accounted into block_metrics[b] (and, when checking, check_sinks[b]).
+  // Stops at the first throwing block.
   static constexpr std::size_t kAllUnits = static_cast<std::size_t>(-1);
   void run_blocks(const LaunchConfig& config,
                   const std::function<void(BlockCtx&)>& kernel,
                   std::size_t only_unit,
                   std::vector<KernelMetrics>& block_metrics,
+                  Checker* checker, std::vector<BlockCheckSink>* check_sinks,
                   BlockError& error);
+
+  // The checker this launch runs under: the attached one, an internal
+  // env/kOn-created one, or null (unchecked).
+  Checker* resolve_checker(const LaunchConfig& config);
 
   const DeviceSpec* spec_;
   KernelMetrics metrics_;
   std::vector<TextureCache> texture_caches_;  // one per TPC unit
   Profiler* profiler_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  Checker* checker_ = nullptr;
+  std::unique_ptr<Checker> owned_checker_;  // EXTNC_SIMGPU_CHECK / kOn
   std::string launch_label_;
   double elapsed_s_ = 0;
   double last_launch_s_ = 0;

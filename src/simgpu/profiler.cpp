@@ -39,7 +39,8 @@ std::uint64_t Profiler::begin_ticket() {
 
 void Profiler::record_launch_at(std::uint64_t ticket, const DeviceSpec& spec,
                                 std::string_view label,
-                                const KernelMetrics& launch_metrics) {
+                                const KernelMetrics& launch_metrics,
+                                std::uint64_t check_findings) {
   Pending pending;
   pending.record.label =
       label.empty() ? std::string("kernel") : std::string(label);
@@ -48,6 +49,7 @@ void Profiler::record_launch_at(std::uint64_t ticket, const DeviceSpec& spec,
   pending.record.threads_per_block = launch_metrics.threads_per_block;
   pending.record.metrics = launch_metrics;
   pending.record.time = estimate_time(spec, launch_metrics, calibration_);
+  pending.record.check_findings = check_findings;
 
   std::lock_guard lock(mutex_);
   pending_.emplace(ticket, std::move(pending));

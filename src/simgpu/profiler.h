@@ -38,6 +38,9 @@ struct LaunchProfile {
   TimeBreakdown time;            // modeled cost of this launch
   double start_s = 0;            // position on the simulated timeline
   double end_s = 0;
+  // Sanitizer events (errors + advisories) this launch, when it ran under
+  // simgpu::Checker; 0 for unchecked launches.
+  std::uint64_t check_findings = 0;
 };
 
 // Thread safety: launches may be recorded concurrently (several Launchers
@@ -71,7 +74,8 @@ class Profiler {
   std::uint64_t begin_ticket();
   void record_launch_at(std::uint64_t ticket, const DeviceSpec& spec,
                         std::string_view label,
-                        const KernelMetrics& launch_metrics);
+                        const KernelMetrics& launch_metrics,
+                        std::uint64_t check_findings = 0);
   // Give up a reserved ticket (the launch failed before completing); the
   // timeline closes over the gap.
   void abandon_ticket(std::uint64_t ticket);

@@ -72,6 +72,11 @@ void append_event(std::string& out, const LaunchProfile& launch) {
   append_fmt(out, ", \"compute_us\": %.4f", launch.time.compute_s * 1e6);
   append_fmt(out, ", \"memory_us\": %.4f", launch.time.memory_s * 1e6);
   append_fmt(out, ", \"launch_us\": %.4f", launch.time.launch_s * 1e6);
+  // Only checked launches carry the field, so unchecked traces (and the
+  // golden file) are byte-stable.
+  if (launch.check_findings > 0) {
+    append_fmt(out, ", \"check_findings\": %" PRIu64, launch.check_findings);
+  }
   out += "}}";
 }
 

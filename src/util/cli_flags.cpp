@@ -1,0 +1,107 @@
+#include "util/cli_flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace extnc {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::optional<CliFlags> CliFlags::parse(int argc, char** argv, int first,
+                                        const std::vector<CliFlag>& known,
+                                        std::string* error) {
+  CliFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const CliFlag* spec = nullptr;
+    for (const CliFlag& candidate : known) {
+      if (std::strcmp(argv[i], candidate.name) == 0) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      set_error(error, std::string("unknown flag '") + argv[i] + "'");
+      return std::nullopt;
+    }
+    if (flags.values_.count(spec->name) != 0) {
+      set_error(error, std::string("flag '") + spec->name + "' repeated");
+      return std::nullopt;
+    }
+    Value value;
+    value.kind = spec->kind;
+    if (spec->kind != CliFlag::Kind::kBool) {
+      if (i + 1 >= argc) {
+        set_error(error,
+                  std::string("flag '") + spec->name + "' needs a value");
+        return std::nullopt;
+      }
+      const char* raw = argv[++i];
+      switch (spec->kind) {
+        case CliFlag::Kind::kText:
+          value.text = raw;
+          break;
+        case CliFlag::Kind::kNumber: {
+          char* end = nullptr;
+          value.number = std::strtod(raw, &end);
+          if (end == raw || *end != '\0') {
+            set_error(error, std::string("flag '") + spec->name +
+                                 "' expects a number, got '" + raw + "'");
+            return std::nullopt;
+          }
+          break;
+        }
+        case CliFlag::Kind::kSize: {
+          char* end = nullptr;
+          const unsigned long long parsed = std::strtoull(raw, &end, 10);
+          if (end == raw || *end != '\0' || parsed == 0 || raw[0] == '-') {
+            set_error(error, std::string("flag '") + spec->name +
+                                 "' expects a positive integer, got '" + raw +
+                                 "'");
+            return std::nullopt;
+          }
+          value.size = static_cast<std::size_t>(parsed);
+          break;
+        }
+        case CliFlag::Kind::kBool:
+          break;  // unreachable
+      }
+    }
+    flags.values_.emplace(spec->name, std::move(value));
+  }
+  return flags;
+}
+
+bool CliFlags::has(const char* name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliFlags::text(const char* name, std::string fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  EXTNC_CHECK(it->second.kind == CliFlag::Kind::kText);
+  return it->second.text;
+}
+
+double CliFlags::number(const char* name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  EXTNC_CHECK(it->second.kind == CliFlag::Kind::kNumber);
+  return it->second.number;
+}
+
+std::size_t CliFlags::size(const char* name, std::size_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  EXTNC_CHECK(it->second.kind == CliFlag::Kind::kSize);
+  return it->second.size;
+}
+
+}  // namespace extnc

@@ -1,0 +1,72 @@
+// Strict command-line flag parsing shared by the tools and benches.
+//
+// Every CLI in the repo follows the same failure policy: an unknown flag,
+// a missing value or a malformed number exits non-zero with a message
+// instead of being silently ignored or defaulted. Before this helper each
+// tool re-implemented that scan (extnc_sim's Args, extnc_prof's
+// size_flag, bench_common's check_flags); CliFlags is the one shared
+// implementation. Kinds are validated at parse time — "--n banana" is
+// rejected up front, so the typed accessors below are infallible.
+//
+//   const auto flags = CliFlags::parse(argc, argv, 1,
+//       {{"--device", CliFlag::Kind::kText},
+//        {"--blocks", CliFlag::Kind::kSize},
+//        {"--loss", CliFlag::Kind::kNumber},
+//        {"--csv", CliFlag::Kind::kBool}}, &error);
+//   if (!flags) { ...print error, exit 2... }
+//   const std::size_t blocks = flags->size("--blocks", 64);
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace extnc {
+
+struct CliFlag {
+  enum class Kind {
+    kBool,    // presence only, consumes no value
+    kText,    // any value
+    kNumber,  // double (strtod, whole value must parse)
+    kSize,    // positive integer
+  };
+  const char* name;
+  Kind kind;
+};
+
+class CliFlags {
+ public:
+  // Parse argv[first, argc) against `known`. Returns nullopt and sets
+  // *error (if non-null) on an unknown flag, a flag missing its value, a
+  // malformed number, or a repeated flag.
+  static std::optional<CliFlags> parse(int argc, char** argv, int first,
+                                       const std::vector<CliFlag>& known,
+                                       std::string* error);
+  static std::optional<CliFlags> parse(int argc, char** argv, int first,
+                                       std::initializer_list<CliFlag> known,
+                                       std::string* error) {
+    return parse(argc, argv, first, std::vector<CliFlag>(known), error);
+  }
+
+  // True when the flag appeared (any kind).
+  bool has(const char* name) const;
+  // Typed values with fallbacks for absent flags. Precondition: the flag
+  // was declared with the matching kind in parse() (checked).
+  std::string text(const char* name, std::string fallback = "") const;
+  double number(const char* name, double fallback) const;
+  std::size_t size(const char* name, std::size_t fallback) const;
+
+ private:
+  struct Value {
+    CliFlag::Kind kind;
+    std::string text;      // kText
+    double number = 0;     // kNumber
+    std::size_t size = 0;  // kSize
+  };
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace extnc

@@ -22,6 +22,7 @@
 #include "gpu/gpu_encoder.h"
 #include "simgpu/profile_report.h"
 #include "simgpu/profiler.h"
+#include "util/cli_flags.h"
 #include "util/metrics_registry.h"
 #include "util/rng.h"
 
@@ -44,19 +45,6 @@ EncodeScheme scheme_by_label(const std::string& name) {
   die("unknown scheme '" + name + "' (expected loop or tb0..tb5)");
 }
 
-std::size_t size_flag(int argc, char** argv, const char* flag,
-                      std::size_t fallback) {
-  const std::string value = flag_value(argc, argv, flag);
-  if (value.empty()) return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || parsed == 0) {
-    die(std::string(flag) + " expects a positive integer, got '" + value +
-        "'");
-  }
-  return static_cast<std::size_t>(parsed);
-}
-
 // The per-scheme multiply kernel's launch label suffix.
 const char* multiply_kernel(EncodeScheme scheme) {
   if (scheme == EncodeScheme::kLoopBased) return "mul_loop";
@@ -66,24 +54,32 @@ const char* multiply_kernel(EncodeScheme scheme) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  check_flags(argc, argv,
-              {"--device", "--scheme", "--n", "--k", "--blocks",
-               "--profile-json"},
-              {"--csv", "--no-baseline"});
-  const bool csv = has_flag(argc, argv, "--csv");
-  const std::string device_arg = flag_value(argc, argv, "--device");
+  std::string error;
+  const auto flags = CliFlags::parse(
+      argc, argv, 1,
+      {{"--device", CliFlag::Kind::kText},
+       {"--scheme", CliFlag::Kind::kText},
+       {"--n", CliFlag::Kind::kSize},
+       {"--k", CliFlag::Kind::kSize},
+       {"--blocks", CliFlag::Kind::kSize},
+       {"--profile-json", CliFlag::Kind::kText},
+       {"--csv", CliFlag::Kind::kBool},
+       {"--no-baseline", CliFlag::Kind::kBool}},
+      &error);
+  if (!flags.has_value()) die(error);
+  const bool csv = flags->has("--csv");
   const simgpu::DeviceSpec& spec =
-      device_by_name(device_arg.empty() ? "gtx280" : device_arg);
-  const std::string scheme_arg = flag_value(argc, argv, "--scheme");
+      device_by_name(flags->text("--device", "gtx280"));
   const EncodeScheme scheme =
-      scheme_by_label(scheme_arg.empty() ? "tb5" : scheme_arg);
-  const coding::Params params{.n = size_flag(argc, argv, "--n", 128),
-                              .k = size_flag(argc, argv, "--k", 1024)};
-  const std::size_t coded_blocks = size_flag(argc, argv, "--blocks", 64);
-  const bool with_baseline = !has_flag(argc, argv, "--no-baseline") &&
+      scheme_by_label(flags->text("--scheme", "tb5"));
+  const coding::Params params{.n = flags->size("--n", 128),
+                              .k = flags->size("--k", 1024)};
+  const std::size_t coded_blocks = flags->size("--blocks", 64);
+  const bool with_baseline = !flags->has("--no-baseline") &&
                              scheme_is_preprocessed(scheme) &&
                              scheme != EncodeScheme::kTable1;
-  ProfileSink sink = profile_sink(argc, argv);
+  ProfileSink sink;
+  sink.path = flags->text("--profile-json");
 
   Rng rng(1);
   const coding::Segment segment = coding::Segment::random(params, rng);

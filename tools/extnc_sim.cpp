@@ -35,34 +35,12 @@
 #include "net/swarm.h"
 #include "simgpu/device_spec.h"
 #include "simgpu/fault_injector.h"
+#include "util/cli_flags.h"
 
 namespace {
 
 using namespace extnc;
-
-struct Args {
-  int argc;
-  char** argv;
-
-  double number(const char* flag, double fallback) const {
-    for (int i = 2; i < argc - 1; ++i) {
-      if (std::strcmp(argv[i], flag) == 0) return std::strtod(argv[i + 1], nullptr);
-    }
-    return fallback;
-  }
-  bool flag(const char* name) const {
-    for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], name) == 0) return true;
-    }
-    return false;
-  }
-  std::string text(const char* flag, const char* fallback) const {
-    for (int i = 2; i < argc - 1; ++i) {
-      if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-    }
-    return fallback;
-  }
-};
+using Kind = CliFlag::Kind;
 
 int usage() {
   std::fprintf(stderr,
@@ -82,39 +60,20 @@ int usage() {
   return 2;
 }
 
-// Every flag a subcommand accepts; anything else on the command line is an
-// error, not silently ignored.
-struct FlagSpec {
-  const char* name;
-  bool takes_value;
-};
-
-bool validate_flags(const Args& args, std::initializer_list<FlagSpec> known) {
-  for (int i = 2; i < args.argc; ++i) {
-    const FlagSpec* match = nullptr;
-    for (const auto& spec : known) {
-      if (std::strcmp(args.argv[i], spec.name) == 0) {
-        match = &spec;
-        break;
-      }
-    }
-    if (match == nullptr) {
-      std::fprintf(stderr, "extnc_sim: unknown flag '%s'\n", args.argv[i]);
-      return false;
-    }
-    if (match->takes_value) {
-      if (i + 1 >= args.argc) {
-        std::fprintf(stderr, "extnc_sim: flag '%s' needs a value\n",
-                     args.argv[i]);
-        return false;
-      }
-      ++i;
-    }
+// Every flag a subcommand accepts (with its value kind) is declared to the
+// shared strict parser (util/cli_flags.h); anything else on the command
+// line — or a malformed value — is an error, not silently ignored.
+std::optional<CliFlags> parse_flags(int argc, char** argv,
+                                    std::initializer_list<CliFlag> known) {
+  std::string error;
+  auto flags = CliFlags::parse(argc, argv, 2, known, &error);
+  if (!flags.has_value()) {
+    std::fprintf(stderr, "extnc_sim: %s\n", error.c_str());
   }
-  return true;
+  return flags;
 }
 
-net::FaultSpec fault_spec(const Args& args) {
+net::FaultSpec fault_spec(const CliFlags& args) {
   return net::FaultSpec{.corrupt = args.number("--corrupt", 0),
                         .truncate = args.number("--truncate", 0),
                         .duplicate = args.number("--dup", 0),
@@ -132,7 +91,7 @@ void print_faults(const net::ChannelStats& s, std::size_t rejected) {
 // Build the supervised GPU seed for --fault-profile / --fault-seed.
 // Returns nullptr (and prints an error) on a malformed profile; sets
 // `enabled` so callers can tell "no profile requested" from "bad profile".
-std::unique_ptr<gpu::ResilientSeed> make_faulty_seed(const Args& args,
+std::unique_ptr<gpu::ResilientSeed> make_faulty_seed(const CliFlags& args,
                                                      bool& enabled) {
   const std::string profile = args.text("--fault-profile", "");
   enabled = !profile.empty();
@@ -171,28 +130,29 @@ void print_degradation(gpu::ResilientSeed& seed) {
   }
 }
 
-int cmd_swarm(const Args& args) {
-  if (!validate_flags(args, {{"--peers", true},
-                             {"--loss", true},
-                             {"--seed", true},
-                             {"--no-recoding", false},
-                             {"--corrupt", true},
-                             {"--truncate", true},
-                             {"--dup", true},
-                             {"--reorder", true},
-                             {"--fault-profile", true},
-                             {"--fault-seed", true}})) {
-    return usage();
-  }
+int cmd_swarm(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv,
+                                 {{"--peers", Kind::kSize},
+                                  {"--loss", Kind::kNumber},
+                                  {"--seed", Kind::kNumber},
+                                  {"--no-recoding", Kind::kBool},
+                                  {"--corrupt", Kind::kNumber},
+                                  {"--truncate", Kind::kNumber},
+                                  {"--dup", Kind::kNumber},
+                                  {"--reorder", Kind::kNumber},
+                                  {"--fault-profile", Kind::kText},
+                                  {"--fault-seed", Kind::kNumber}});
+  if (!flags.has_value()) return usage();
+  const CliFlags& args = *flags;
   bool device_faults = false;
   auto seed = make_faulty_seed(args, device_faults);
   if (device_faults && seed == nullptr) return usage();
 
   net::SwarmConfig config;
   config.params = {.n = 16, .k = 256};
-  config.peers = static_cast<std::size_t>(args.number("--peers", 16));
+  config.peers = args.size("--peers", 16);
   config.loss_probability = args.number("--loss", 0.0);
-  config.use_recoding = !args.flag("--no-recoding");
+  config.use_recoding = !args.has("--no-recoding");
   config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
   config.faults = fault_spec(args);
   if (seed != nullptr) {
@@ -216,22 +176,23 @@ int cmd_swarm(const Args& args) {
   return r.all_completed ? 0 : 1;
 }
 
-int cmd_line(const Args& args) {
-  if (!validate_flags(args, {{"--hops", true},
-                             {"--loss", true},
-                             {"--seed", true},
-                             {"--no-recoding", false},
-                             {"--corrupt", true},
-                             {"--truncate", true},
-                             {"--dup", true},
-                             {"--reorder", true}})) {
-    return usage();
-  }
+int cmd_line(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv,
+                                 {{"--hops", Kind::kSize},
+                                  {"--loss", Kind::kNumber},
+                                  {"--seed", Kind::kNumber},
+                                  {"--no-recoding", Kind::kBool},
+                                  {"--corrupt", Kind::kNumber},
+                                  {"--truncate", Kind::kNumber},
+                                  {"--dup", Kind::kNumber},
+                                  {"--reorder", Kind::kNumber}});
+  if (!flags.has_value()) return usage();
+  const CliFlags& args = *flags;
   net::LineNetworkConfig config;
   config.params = {.n = 32, .k = 64};
-  config.hops = static_cast<std::size_t>(args.number("--hops", 3));
+  config.hops = args.size("--hops", 3);
   config.loss_probability = args.number("--loss", 0.2);
-  config.recode_at_relays = !args.flag("--no-recoding");
+  config.recode_at_relays = !args.has("--no-recoding");
   config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
   config.max_rounds = 1000000;
   config.faults = fault_spec(args);
@@ -254,14 +215,15 @@ int cmd_line(const Args& args) {
   return r.completed ? 0 : 1;
 }
 
-int cmd_live(const Args& args) {
-  if (!validate_flags(args, {{"--viewers", true},
-                             {"--rate", true},
-                             {"--loss", true}})) {
-    return usage();
-  }
+int cmd_live(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv,
+                                 {{"--viewers", Kind::kSize},
+                                  {"--rate", Kind::kNumber},
+                                  {"--loss", Kind::kNumber}});
+  if (!flags.has_value()) return usage();
+  const CliFlags& args = *flags;
   net::LiveStreamConfig config;
-  config.viewers = static_cast<std::size_t>(args.number("--viewers", 10));
+  config.viewers = args.size("--viewers", 10);
   config.server_blocks_per_second = args.number("--rate", 200.0);
   config.loss_probability = args.number("--loss", 0.0);
   const auto r = net::run_live_stream(config);
@@ -277,28 +239,28 @@ int cmd_live(const Args& args) {
   return 0;
 }
 
-int cmd_multigen(const Args& args) {
-  if (!validate_flags(args, {{"--peers", true},
-                             {"--generations", true},
-                             {"--loss", true},
-                             {"--seed", true},
-                             {"--schedule", true},
-                             {"--corrupt", true},
-                             {"--truncate", true},
-                             {"--dup", true},
-                             {"--reorder", true},
-                             {"--fault-profile", true},
-                             {"--fault-seed", true}})) {
-    return usage();
-  }
+int cmd_multigen(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv,
+                                 {{"--peers", Kind::kSize},
+                                  {"--generations", Kind::kSize},
+                                  {"--loss", Kind::kNumber},
+                                  {"--seed", Kind::kNumber},
+                                  {"--schedule", Kind::kText},
+                                  {"--corrupt", Kind::kNumber},
+                                  {"--truncate", Kind::kNumber},
+                                  {"--dup", Kind::kNumber},
+                                  {"--reorder", Kind::kNumber},
+                                  {"--fault-profile", Kind::kText},
+                                  {"--fault-seed", Kind::kNumber}});
+  if (!flags.has_value()) return usage();
+  const CliFlags& args = *flags;
   bool device_faults = false;
   auto seed = make_faulty_seed(args, device_faults);
   if (device_faults && seed == nullptr) return usage();
 
   net::MultiGenSwarmConfig config;
-  config.peers = static_cast<std::size_t>(args.number("--peers", 8));
-  config.generations =
-      static_cast<std::size_t>(args.number("--generations", 4));
+  config.peers = args.size("--peers", 8);
+  config.generations = args.size("--generations", 4);
   config.loss_probability = args.number("--loss", 0.0);
   config.rng_seed = static_cast<std::uint64_t>(args.number("--seed", 1));
   config.faults = fault_spec(args);
@@ -341,11 +303,10 @@ int cmd_multigen(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const Args args{argc, argv};
-  if (std::strcmp(argv[1], "swarm") == 0) return cmd_swarm(args);
-  if (std::strcmp(argv[1], "line") == 0) return cmd_line(args);
-  if (std::strcmp(argv[1], "live") == 0) return cmd_live(args);
-  if (std::strcmp(argv[1], "multigen") == 0) return cmd_multigen(args);
+  if (std::strcmp(argv[1], "swarm") == 0) return cmd_swarm(argc, argv);
+  if (std::strcmp(argv[1], "line") == 0) return cmd_line(argc, argv);
+  if (std::strcmp(argv[1], "live") == 0) return cmd_live(argc, argv);
+  if (std::strcmp(argv[1], "multigen") == 0) return cmd_multigen(argc, argv);
   std::fprintf(stderr, "extnc_sim: unknown subcommand '%s'\n", argv[1]);
   return usage();
 }
