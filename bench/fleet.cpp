@@ -1,0 +1,178 @@
+// Fleet serving capacity: sessions served and p99 segment latency as a
+// function of offered load, with the fleet healthy and with a scripted
+// mid-run device kill (1 of N) plus doubled load — the BENCH_fleet.json
+// robustness curves.
+//
+// Usage:
+//   fleet [--devices N] [--quick] [--json] [--csv] [--min-sessions N]
+//
+// Each sweep point plays the same Poisson session workload through the
+// CodingService (admission queue, degradation ladder, hedged dispatch,
+// epoch-guarded failover) and records the terminal-state accounting and
+// the healthy/faulted-phase latency quantiles. --min-sessions exits
+// non-zero if the lightest healthy run completes fewer sessions (CI
+// smoke floor). Any accounting mismatch or bit-exactness failure exits
+// non-zero unconditionally: the bench doubles as a soak.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+#include "util/table_printer.h"
+
+namespace extnc::bench {
+namespace {
+
+struct SweepPoint {
+  double load = 0;
+  bool faulted = false;
+  serve::ServiceReport report;
+};
+
+serve::ServiceConfig make_config(std::size_t devices, double load,
+                                 bool faulted, bool quick) {
+  serve::ServiceConfig config;
+  config.fleet.params = {.n = 16, .k = 256};
+  for (std::size_t i = 0; i < devices; ++i) {
+    config.fleet.devices.push_back(i % 2 == 0 ? simgpu::gtx280()
+                                              : simgpu::geforce_8800gt());
+  }
+  config.fleet.threads = 1;
+  config.offered_load = load;
+  config.duration_s = quick ? 0.04 : 0.15;
+  config.admission.capacity = 16;
+  config.admission.policy = serve::ShedPolicy::kDegrade;
+  config.seed = 42;
+  if (faulted) {
+    const double mid = config.duration_s / 2;
+    config.plan.events.push_back(
+        serve::FleetEvent{.at = mid, .device = 1, .kill = true});
+    config.plan.load.push_back(
+        serve::LoadPhase{.at = mid, .multiplier = 2.0});
+    // A light probabilistic fault background on the surviving devices.
+    config.fleet.faults.p_bit_flip = 0.01;
+    config.fleet.faults.p_hang = 0.002;
+    config.fleet.faults.seed = 42;
+  }
+  return config;
+}
+
+double p99(const StreamingHistogram& histogram) {
+  return histogram.count() > 0 ? histogram.quantile(0.99) : 0.0;
+}
+
+void print_json(const std::vector<SweepPoint>& points, std::size_t devices,
+                bool quick) {
+  auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("{\n");
+  std::printf("  \"bench\": \"fleet\",\n");
+  std::printf("  \"devices\": %zu,\n", devices);
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"host_cores\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& point = points[i];
+    const serve::ServiceReport& r = point.report;
+    std::printf("    {\"offered_load\": %.2f, \"scenario\": \"%s\", "
+                "\"arrivals\": %llu, \"sessions_served\": %llu, "
+                "\"completed\": %llu, \"degraded\": %llu, \"shed\": %llu, "
+                "\"failed\": %llu, \"hedges\": %llu, "
+                "\"stale_completions\": %llu, "
+                "\"p99_segment_s\": %.9f, \"p99_segment_healthy_s\": %.9f, "
+                "\"p99_segment_faulted_s\": %.9f, "
+                "\"p50_segment_s\": %.9f}%s\n",
+                point.load, point.faulted ? "faulted" : "healthy",
+                u(r.arrivals), u(r.completed + r.degraded), u(r.completed),
+                u(r.degraded), u(r.shed), u(r.failed), u(r.hedges),
+                u(r.stale_completions), p99(r.segment_latency_s),
+                p99(r.segment_latency_healthy_s),
+                p99(r.segment_latency_faulted_s),
+                r.segment_latency_s.count() > 0
+                    ? r.segment_latency_s.quantile(0.5)
+                    : 0.0,
+                i + 1 < points.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int run(int argc, char** argv) {
+  check_flags(argc, argv, {"--devices", "--min-sessions"},
+              {"--quick", "--json", "--csv"});
+  const bool quick = has_flag(argc, argv, "--quick");
+  const bool json = has_flag(argc, argv, "--json");
+  const bool csv = has_flag(argc, argv, "--csv");
+  const std::string devices_arg = flag_value(argc, argv, "--devices");
+  const std::size_t devices =
+      devices_arg.empty() ? 3 : static_cast<std::size_t>(
+                                    std::atoll(devices_arg.c_str()));
+  if (devices < 2) die("--devices must be >= 2 (the faulted sweep kills 1)");
+  const std::string min_arg = flag_value(argc, argv, "--min-sessions");
+  const std::uint64_t min_sessions =
+      min_arg.empty() ? 0 : static_cast<std::uint64_t>(
+                                std::atoll(min_arg.c_str()));
+
+  const std::vector<double> loads =
+      quick ? std::vector<double>{0.5, 1.0, 1.5}
+            : std::vector<double>{0.3, 0.6, 0.9, 1.2, 1.5};
+
+  std::vector<SweepPoint> points;
+  for (const bool faulted : {false, true}) {
+    for (const double load : loads) {
+      SweepPoint point;
+      point.load = load;
+      point.faulted = faulted;
+      serve::CodingService service(
+          make_config(devices, load, faulted, quick));
+      point.report = service.run();
+      if (!point.report.accounting_exact() ||
+          point.report.bitexact_failures != 0 ||
+          point.report.decode_mismatches != 0) {
+        std::fprintf(stderr,
+                     "error: load %.2f %s: accounting or bit-exactness "
+                     "violated\n",
+                     load, faulted ? "faulted" : "healthy");
+        return 1;
+      }
+      points.push_back(std::move(point));
+    }
+  }
+
+  if (json) {
+    print_json(points, devices, quick);
+  } else {
+    TablePrinter table({"load", "scenario", "arrivals", "served", "shed",
+                        "failed", "p99 seg ms", "p99 faulted ms"});
+    for (const SweepPoint& point : points) {
+      const serve::ServiceReport& r = point.report;
+      table.add_row({std::to_string(point.load),
+                     point.faulted ? "faulted" : "healthy",
+                     std::to_string(r.arrivals),
+                     std::to_string(r.completed + r.degraded),
+                     std::to_string(r.shed), std::to_string(r.failed),
+                     std::to_string(p99(r.segment_latency_s) * 1e3),
+                     std::to_string(p99(r.segment_latency_faulted_s) * 1e3)});
+    }
+    print_table(table, csv);
+  }
+
+  if (min_sessions > 0) {
+    const serve::ServiceReport& lightest = points.front().report;
+    const std::uint64_t served = lightest.completed + lightest.degraded;
+    if (served < min_sessions) {
+      std::fprintf(stderr,
+                   "error: lightest healthy load served %llu sessions, "
+                   "floor is %llu\n",
+                   static_cast<unsigned long long>(served),
+                   static_cast<unsigned long long>(min_sessions));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace extnc::bench
+
+int main(int argc, char** argv) { return extnc::bench::run(argc, argv); }

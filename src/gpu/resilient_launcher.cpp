@@ -82,18 +82,36 @@ void ResilientLauncher::count(const char* metric, double delta) {
   metrics::count(config_.metric_prefix + "." + metric, delta);
 }
 
+void ResilientLauncher::set_clock(std::function<double()> now) {
+  clock_ = std::move(now);
+}
+
 void ResilientLauncher::open_breaker() {
+  breaker_opened_at_s_ = clock_ ? clock_() : 0.0;
   if (breaker_open_) return;
   breaker_open_ = true;
   metrics::gauge(config_.metric_prefix + ".breaker_open", 1);
   trace("fault/breaker_open");
 }
 
-void ResilientLauncher::reset_breaker() {
+void ResilientLauncher::close_breaker() {
   breaker_open_ = false;
   consecutive_failed_ops_ = 0;
-  if (injector_ != nullptr) injector_->restore_device();
   metrics::gauge(config_.metric_prefix + ".breaker_open", 0);
+}
+
+bool ResilientLauncher::half_open_due() const {
+  return breaker_open_ && config_.breaker_cooldown_s > 0 && clock_ &&
+         clock_() - breaker_opened_at_s_ >= config_.breaker_cooldown_s;
+}
+
+void ResilientLauncher::trip_breaker() {
+  open_breaker();
+}
+
+void ResilientLauncher::reset_breaker() {
+  close_breaker();
+  if (injector_ != nullptr) injector_->restore_device();
 }
 
 OperationReport ResilientLauncher::run(const SupervisedOp& op) {
@@ -102,10 +120,22 @@ OperationReport ResilientLauncher::run(const SupervisedOp& op) {
   ++totals_.operations;
   count("operations");
 
-  if (!breaker_open_) {
+  // Half-open probe: the breaker has been open long enough (on the
+  // supervisor clock) to try the GPU again — one attempt, no retries.
+  const bool probing = half_open_due();
+  if (probing) {
+    count("breaker_half_open");
+    trace("fault/breaker_half_open");
+    // Clear sticky device loss so the probe exercises the real device
+    // state rather than the remembered failure.
+    if (injector_ != nullptr) injector_->restore_device();
+  }
+
+  if (!breaker_open_ || probing) {
+    const int max_attempts = probing ? 1 : config_.max_attempts;
     double backoff = config_.backoff_initial_s;
     bool ok = false;
-    for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       report.attempts = attempt;
       if (attempt > 1) {
         ++totals_.retries;
@@ -151,13 +181,23 @@ OperationReport ResilientLauncher::run(const SupervisedOp& op) {
       if (ok) break;
     }
     if (ok) {
+      if (probing) {
+        close_breaker();
+        count("breaker_reclosed");
+        trace("fault/breaker_close");
+      }
       consecutive_failed_ops_ = 0;
       ++totals_.gpu_ok;
       count("gpu_ok");
       report.path = ComputePath::kGpu;
       return report;
     }
-    if (!report.device_lost) {
+    if (probing) {
+      // Failed probe: breaker stays open and the cool-down restarts from
+      // now (open_breaker refreshes the timestamp even when already open).
+      open_breaker();
+      count("breaker_probe_failed");
+    } else if (!report.device_lost) {
       ++consecutive_failed_ops_;
       if (consecutive_failed_ops_ >= config_.breaker_threshold) open_breaker();
     }

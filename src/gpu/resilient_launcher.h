@@ -55,6 +55,15 @@ struct SupervisorConfig {
   // Consecutive operations that exhausted their attempts before the
   // circuit breaker opens (device loss opens it immediately).
   int breaker_threshold = 3;
+  // Half-open probing: once the breaker has been open for this many
+  // seconds on the supervisor clock (set_clock — the service's simulated
+  // wall clock, NOT the per-op device clock, which freezes while no
+  // launches run), the next operation runs ONE GPU probe attempt. Probe
+  // success closes the breaker; probe failure re-opens it and restarts
+  // the cool-down. 0 keeps the PR 3 behavior: open stays open until
+  // reset_breaker(). Requires a clock; with none attached the breaker
+  // never half-opens.
+  double breaker_cooldown_s = 0;
   // Rows sampled by the CRC spot-check verifiers.
   std::size_t verify_sample = 2;
   // Metric name prefix.
@@ -131,11 +140,23 @@ class ResilientLauncher {
   // "fault/<event>" labels on this profiler.
   void set_trace(simgpu::Profiler* profiler, const simgpu::DeviceSpec* spec);
 
+  // The supervisor's notion of "now" (modeled seconds), used for the
+  // breaker cool-down bookkeeping. Distinct from SupervisedOp::gpu_clock:
+  // the device clock only advances while launches run, so an open breaker
+  // would freeze it and the cool-down could never elapse. A service wires
+  // this to its discrete-event clock; tests wire a manual counter.
+  void set_clock(std::function<double()> now);
+
   // Run one operation to completion: GPU with watchdog/verify/retry, then
   // CPU fallback if the GPU path cannot produce a verified result.
   OperationReport run(const SupervisedOp& op);
 
   bool breaker_open() const { return breaker_open_; }
+  // Open the breaker from outside the retry loop — the fleet scheduler's
+  // "this device is dead" signal (a scripted kill, a failed health
+  // probe). Subsequent operations skip the GPU until reset_breaker() or a
+  // successful half-open probe.
+  void trip_breaker();
   // Close the breaker after the device recovered (also clears the
   // injector's sticky lost state when one is attached).
   void reset_breaker();
@@ -146,14 +167,20 @@ class ResilientLauncher {
   void trace(const char* label);
   void count(const char* metric, double delta = 1.0);
   void open_breaker();
+  void close_breaker();
+  // True when an open breaker should grant this operation one half-open
+  // probe attempt (cool-down elapsed on the supervisor clock).
+  bool half_open_due() const;
 
   SupervisorConfig config_;
   simgpu::FaultInjector* injector_;
   simgpu::Profiler* trace_profiler_ = nullptr;
   const simgpu::DeviceSpec* trace_spec_ = nullptr;
+  std::function<double()> clock_;
   SupervisorTotals totals_;
   int consecutive_failed_ops_ = 0;
   bool breaker_open_ = false;
+  double breaker_opened_at_s_ = 0;  // clock_ value when last opened
 };
 
 // GPU encoder under supervision: same interface shape as GpuEncoder, but

@@ -1,0 +1,81 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace extnc::serve {
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kReject:
+      return "reject";
+    case ShedPolicy::kShedOldest:
+      return "oldest";
+    case ShedPolicy::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+std::optional<ShedPolicy> parse_shed_policy(std::string_view name) {
+  if (name == "reject") return ShedPolicy::kReject;
+  if (name == "oldest") return ShedPolicy::kShedOldest;
+  if (name == "degrade") return ShedPolicy::kDegrade;
+  return std::nullopt;
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  EXTNC_CHECK(config_.capacity >= 1);
+  EXTNC_CHECK(config_.degrade_headroom >= 1.0);
+}
+
+std::size_t AdmissionQueue::hard_cap() const {
+  if (config_.policy != ShedPolicy::kDegrade) return config_.capacity;
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(config_.capacity) *
+                config_.degrade_headroom));
+}
+
+AdmissionDecision AdmissionQueue::offer(std::uint64_t session_id) {
+  AdmissionDecision decision;
+  if (queue_.size() < config_.capacity) {
+    queue_.push_back(session_id);
+    decision.admitted = true;
+    return decision;
+  }
+  switch (config_.policy) {
+    case ShedPolicy::kReject:
+      return decision;  // tail drop
+    case ShedPolicy::kShedOldest:
+      decision.evicted = queue_.front();
+      queue_.pop_front();
+      queue_.push_back(session_id);
+      decision.admitted = true;
+      return decision;
+    case ShedPolicy::kDegrade:
+      if (queue_.size() >= hard_cap()) return decision;
+      queue_.push_back(session_id);
+      decision.admitted = true;
+      decision.force_degraded = true;
+      return decision;
+  }
+  return decision;
+}
+
+std::optional<std::uint64_t> AdmissionQueue::pop() {
+  if (queue_.empty()) return std::nullopt;
+  const std::uint64_t id = queue_.front();
+  queue_.pop_front();
+  return id;
+}
+
+bool AdmissionQueue::remove(std::uint64_t session_id) {
+  auto it = std::find(queue_.begin(), queue_.end(), session_id);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+}  // namespace extnc::serve

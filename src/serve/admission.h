@@ -1,0 +1,83 @@
+// Bounded admission queue with load-shedding policies.
+//
+// The service admits sessions into a single fleet-wide FIFO; devices pull
+// from its head. The queue is the backpressure signal: its fill fraction
+// ("pressure") drives the degradation ladder, and when it is full one of
+// three policies decides who pays:
+//
+//   kReject    — the new arrival is turned away (classic tail drop).
+//                Protects waiters; freshest work is lost.
+//   kShedOldest— the oldest waiter is evicted and the arrival admitted.
+//                The head of the queue has waited longest and is most
+//                likely to blow its deadline anyway; fresh work has the
+//                best chance of finishing in time.
+//   kDegrade   — the arrival is admitted in forced-degraded (thinned)
+//                mode past capacity, up to a hard cap at
+//                degrade_headroom * capacity; beyond the cap it is
+//                rejected. Trades fidelity for admission.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+namespace extnc::serve {
+
+enum class ShedPolicy { kReject, kShedOldest, kDegrade };
+
+const char* shed_policy_name(ShedPolicy policy);
+// "reject" | "oldest" | "degrade"; nullopt on anything else.
+std::optional<ShedPolicy> parse_shed_policy(std::string_view name);
+
+struct AdmissionConfig {
+  std::size_t capacity = 32;
+  ShedPolicy policy = ShedPolicy::kReject;
+  // kDegrade only: admissions allowed up to capacity * degrade_headroom.
+  double degrade_headroom = 2.0;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  // kDegrade admitted this session past capacity: serve it thinned.
+  bool force_degraded = false;
+  // kShedOldest evicted this waiting session to make room.
+  std::optional<std::uint64_t> evicted;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  // Admission decision for one arriving session. Mutates the queue
+  // (enqueues the arrival and/or evicts) according to the policy.
+  AdmissionDecision offer(std::uint64_t session_id);
+
+  // Next session to serve (FIFO), if any.
+  std::optional<std::uint64_t> pop();
+
+  // Remove a waiting session wherever it sits (deadline sheds). Returns
+  // false if the id is not queued.
+  bool remove(std::uint64_t session_id);
+
+  std::size_t depth() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  // Fill fraction of the nominal capacity. Exceeds 1.0 only under the
+  // kDegrade policy's headroom band.
+  double pressure() const {
+    return static_cast<double>(queue_.size()) /
+           static_cast<double>(config_.capacity);
+  }
+
+  std::size_t hard_cap() const;
+
+ private:
+  AdmissionConfig config_;
+  std::deque<std::uint64_t> queue_;
+};
+
+}  // namespace extnc::serve

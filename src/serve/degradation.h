@@ -1,0 +1,51 @@
+// Overload-degradation ladder with hysteresis.
+//
+// Maps the admission queue's pressure (fill fraction) to a ServiceMode.
+// Rising pressure climbs the ladder one or more rungs immediately (the
+// service must react to a spike within the dispatch it sees it); falling
+// pressure steps down only after dropping `hysteresis` BELOW the rung's
+// entry threshold, so a queue hovering at a boundary does not flap between
+// modes on every dispatch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "serve/session.h"
+
+namespace extnc::serve {
+
+struct LadderConfig {
+  // Entry thresholds (pressure, i.e. queue depth / capacity) for
+  // kBatched, kCpuCodec, kThinned. Must be non-decreasing.
+  std::array<double, kServiceModes - 1> enter = {0.5, 0.75, 0.95};
+  // Step down a rung only when pressure < enter[rung-1] - hysteresis.
+  double hysteresis = 0.15;
+};
+
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(LadderConfig config = {});
+
+  const LadderConfig& config() const { return config_; }
+
+  // Feed the current pressure; returns the (possibly changed) mode.
+  ServiceMode update(double pressure);
+
+  ServiceMode mode() const { return static_cast<ServiceMode>(level_); }
+
+  // Mode transitions so far (both directions).
+  std::uint64_t transitions() const { return transitions_; }
+  // Dispatches spent in each mode (update() calls).
+  const std::array<std::uint64_t, kServiceModes>& dwell() const {
+    return dwell_;
+  }
+
+ private:
+  LadderConfig config_;
+  int level_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::array<std::uint64_t, kServiceModes> dwell_ = {};
+};
+
+}  // namespace extnc::serve

@@ -1,0 +1,291 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coding/block_decoder.h"
+#include "cpu/xeon_model.h"
+#include "gpu/gpu_model.h"
+#include "util/assert.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+
+namespace extnc::serve {
+
+struct FleetScheduler::Slot {
+  Slot(const simgpu::DeviceSpec& device_spec, simgpu::FaultPlan plan,
+       gpu::SupervisorConfig supervisor_config)
+      : spec(device_spec),
+        injector(std::move(plan)),
+        supervisor(std::move(supervisor_config), &injector) {}
+
+  simgpu::DeviceSpec spec;
+  simgpu::FaultInjector injector;
+  gpu::ResilientLauncher supervisor;
+  std::unique_ptr<gpu::ResilientEncoder> encoder;
+  double gpu_mb_per_s = 0;
+  bool alive = true;
+  std::uint64_t epoch = 0;
+  double busy_until_s = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t gpu_segments = 0;
+  std::uint64_t cpu_segments = 0;
+};
+
+FleetScheduler::FleetScheduler(FleetConfig config, std::function<double()> clock)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      content_([&] {
+        Rng rng(config_.content_seed);
+        return coding::Segment::random(config_.params, rng);
+      }()),
+      reference_(content_),
+      pool_(config_.threads) {
+  EXTNC_CHECK(!config_.devices.empty());
+  cpu_mb_per_s_ = cpu::XeonModel{}.encode_table_mb_per_s(config_.params);
+  EXTNC_CHECK(cpu_mb_per_s_ > 0);
+  slots_.reserve(config_.devices.size());
+  for (std::size_t i = 0; i < config_.devices.size(); ++i) {
+    // Per-device fault stream: same plan shape, decorrelated draws.
+    simgpu::FaultPlan plan = config_.faults;
+    plan.seed = config_.faults.seed + i * 0x9e3779b9ULL;
+    gpu::SupervisorConfig supervisor = config_.supervisor;
+    supervisor.metric_prefix += ".dev" + std::to_string(i);
+    // The service delivers with a bit-exact contract: spot-checking is not
+    // enough, every row of every batch is verified so a corrupting fault
+    // always surfaces as a failed attempt (and retries/fallback repair it).
+    supervisor.verify_sample = std::numeric_limits<std::size_t>::max();
+    slots_.push_back(
+        std::make_unique<Slot>(config_.devices[i], std::move(plan),
+                               std::move(supervisor)));
+    Slot& slot = *slots_.back();
+    if (clock_) slot.supervisor.set_clock(clock_);
+    // Nominal un-faulted bandwidth of this device for the workload shape —
+    // the unit deadlines and hedging thresholds are expressed in.
+    gpu::EncodeModelOptions options;
+    options.include_preprocessing = false;
+    slot.gpu_mb_per_s =
+        gpu::model_encode_bandwidth(slot.spec, config_.scheme, config_.params,
+                                    options)
+            .mb_per_s;
+    EXTNC_CHECK(slot.gpu_mb_per_s > 0);
+    // The encoder adopts the slot's injector, so its launches share the
+    // device's fault plan and modeled clock.
+    slot.encoder = std::make_unique<gpu::ResilientEncoder>(
+        slot.spec, content_, config_.scheme, pool_, slot.supervisor);
+  }
+}
+
+FleetScheduler::~FleetScheduler() = default;
+
+SegmentResult FleetScheduler::encode_segment(std::size_t device,
+                                             std::uint64_t seed,
+                                             std::size_t blocks,
+                                             ServiceMode mode,
+                                             coding::CodedBatch* out) {
+  EXTNC_CHECK(device < slots_.size());
+  EXTNC_CHECK(blocks >= 1);
+  Slot& slot = *slots_[device];
+  EXTNC_CHECK(slot.alive);
+
+  SegmentResult result;
+  Rng rng(seed);
+  coding::CodedBatch batch(config_.params, blocks);
+  // Coefficients are a pure function of the job seed: replicas of this
+  // job (hedges, post-kill re-dispatches) draw the same rows anywhere.
+  for (std::size_t j = 0; j < blocks; ++j) {
+    reference_.draw_coefficients(rng, batch.coefficients(j));
+  }
+
+  if (mode == ServiceMode::kCpuCodec) {
+    // Ladder-forced CPU codec: bypass the device entirely.
+    for (std::size_t j = 0; j < blocks; ++j) {
+      reference_.encode_with_coefficients(batch.coefficients(j),
+                                          batch.payload(j));
+    }
+    result.report.path = gpu::ComputePath::kCpuFallback;
+    result.report.attempts = 0;
+    result.service_s = cpu_segment_s(blocks);
+    ++slot.cpu_segments;
+  } else {
+    slot.encoder->encode_into(batch);
+    result.report = slot.encoder->last_report();
+    const double attempt_s = gpu_segment_s(device, blocks, mode);
+    // Hung attempts are killed at the watchdog budget; clean (successful
+    // or promptly-failed) attempts cost a full pass; backoff is charged
+    // as reported, in the same modeled seconds.
+    double service = result.report.backoff_s;
+    service += result.report.watchdog_trips * config_.supervisor.watchdog_budget_s;
+    const int clean_attempts =
+        result.report.attempts - result.report.watchdog_trips;
+    service += std::max(clean_attempts, 0) * attempt_s;
+    if (result.report.path == gpu::ComputePath::kGpu) {
+      result.gpu_path = true;
+      ++slot.gpu_segments;
+    } else {
+      service += cpu_segment_s(blocks);
+      ++slot.cpu_segments;
+    }
+    result.service_s = service;
+  }
+  ++slot.segments;
+
+  // Full bit-exactness audit against the reference encoder (cheap at
+  // service params; the supervisor's own verify only spot-checks).
+  std::vector<std::uint8_t> scratch(config_.params.k);
+  for (std::size_t j = 0; j < blocks; ++j) {
+    reference_.encode_with_coefficients(batch.coefficients(j), scratch);
+    if (crc32c(scratch) != crc32c(batch.payload(j))) {
+      result.bit_exact = false;
+      break;
+    }
+  }
+  if (out != nullptr) *out = std::move(batch);
+  return result;
+}
+
+DecodeCheck FleetScheduler::verify_decode(
+    const coding::CodedBatch& batch) const {
+  coding::BlockDecoder decoder(config_.params);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    decoder.add(batch.coefficients(j), batch.payload(j));
+    if (decoder.is_ready()) break;
+  }
+  if (!decoder.is_ready()) return DecodeCheck::kRankShort;
+  return decoder.decode() == content_ ? DecodeCheck::kBitExact
+                                      : DecodeCheck::kMismatch;
+}
+
+void FleetScheduler::kill(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  Slot& slot = *slots_[device];
+  if (!slot.alive) return;
+  slot.alive = false;
+  ++slot.epoch;  // in-flight results of the old incarnation are stale
+  slot.supervisor.trip_breaker();
+}
+
+void FleetScheduler::restore(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  Slot& slot = *slots_[device];
+  if (slot.alive) return;
+  slot.alive = true;
+  slot.supervisor.reset_breaker();
+}
+
+bool FleetScheduler::alive(std::size_t device) const {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->alive;
+}
+
+std::size_t FleetScheduler::alive_count() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) count += slot->alive ? 1 : 0;
+  return count;
+}
+
+bool FleetScheduler::all_healthy() const {
+  for (const auto& slot : slots_) {
+    if (!slot->alive || slot->supervisor.breaker_open()) return false;
+  }
+  return true;
+}
+
+std::uint64_t FleetScheduler::epoch(std::size_t device) const {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->epoch;
+}
+
+std::optional<std::size_t> FleetScheduler::pick_device(
+    std::optional<std::size_t> exclude) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]->alive) continue;
+    if (exclude && *exclude == i) continue;
+    if (!best || slots_[i]->busy_until_s < slots_[*best]->busy_until_s) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double FleetScheduler::busy_until(std::size_t device) const {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->busy_until_s;
+}
+
+void FleetScheduler::set_busy_until(std::size_t device, double until_s) {
+  EXTNC_CHECK(device < slots_.size());
+  slots_[device]->busy_until_s = until_s;
+}
+
+DeviceHealth FleetScheduler::health(std::size_t device) const {
+  EXTNC_CHECK(device < slots_.size());
+  const Slot& slot = *slots_[device];
+  DeviceHealth health;
+  health.index = device;
+  health.alive = slot.alive;
+  health.breaker_open = slot.supervisor.breaker_open();
+  health.epoch = slot.epoch;
+  health.busy_until_s = slot.busy_until_s;
+  health.segments = slot.segments;
+  health.gpu_segments = slot.gpu_segments;
+  health.cpu_segments = slot.cpu_segments;
+  health.totals = slot.supervisor.totals();
+  health.faults = slot.injector.counters();
+  return health;
+}
+
+std::vector<DeviceHealth> FleetScheduler::fleet_health() const {
+  std::vector<DeviceHealth> all;
+  all.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) all.push_back(health(i));
+  return all;
+}
+
+double FleetScheduler::gpu_segment_s(std::size_t device, std::size_t blocks,
+                                     ServiceMode mode) const {
+  EXTNC_CHECK(device < slots_.size());
+  const double bytes =
+      static_cast<double>(blocks) * static_cast<double>(config_.params.k);
+  const double overhead =
+      mode == ServiceMode::kBatched
+          ? config_.dispatch_overhead_s * config_.batched_overhead_factor
+          : config_.dispatch_overhead_s;
+  return bytes / (slots_[device]->gpu_mb_per_s * 1e6) + overhead;
+}
+
+double FleetScheduler::cpu_segment_s(std::size_t blocks) const {
+  const double bytes =
+      static_cast<double>(blocks) * static_cast<double>(config_.params.k);
+  return bytes / (cpu_mb_per_s_ * 1e6) + config_.dispatch_overhead_s;
+}
+
+double FleetScheduler::nominal_segment_s(std::size_t blocks) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    sum += gpu_segment_s(i, blocks, ServiceMode::kFull);
+  }
+  return sum / static_cast<double>(slots_.size());
+}
+
+void FleetScheduler::set_trace(simgpu::Profiler* profiler) {
+  for (auto& slot : slots_) {
+    slot->supervisor.set_trace(profiler, &slot->spec);
+  }
+}
+
+gpu::ResilientLauncher& FleetScheduler::supervisor(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->supervisor;
+}
+
+simgpu::FaultInjector& FleetScheduler::injector(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->injector;
+}
+
+}  // namespace extnc::serve

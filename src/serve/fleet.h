@@ -1,0 +1,162 @@
+// Fleet scheduler: N simulated devices serving coded segments.
+//
+// Each device slot owns the full PR 3 supervision stack — a FaultInjector
+// scripted from the fleet's fault plan (per-device seed), a
+// ResilientLauncher (watchdog, bounded retry, circuit breaker with
+// half-open probing on the service clock, bit-exact CPU fallback), and a
+// supervised encoder bound to the fleet's reference content. Sessions are
+// SHARDED: a session is pinned to one device and its segments run there
+// serially (busy_until models the device queue); the service re-shards
+// only when the device dies.
+//
+// Work is deterministic per (job seed): coefficients are drawn from an Rng
+// seeded by the caller, so a hedge replica or a post-kill re-dispatch on a
+// DIFFERENT device produces byte-identical output — that is what makes
+// hedging and failover safe to deduplicate.
+//
+// Time is modeled, not measured: encode work executes eagerly (the
+// simulator is functional), and the returned service_s charges the
+// device's modeled bandwidth for each attempt, the watchdog budget for
+// each hang, the supervisor's backoff, and the CPU codec's modeled
+// bandwidth (cpu::XeonModel) when the op degraded — so retries and
+// fallbacks are visible as latency, exactly like on real hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coding/batch.h"
+#include "coding/encoder.h"
+#include "coding/segment.h"
+#include "gpu/encode_scheme.h"
+#include "gpu/resilient_launcher.h"
+#include "serve/session.h"
+#include "simgpu/device_spec.h"
+#include "simgpu/fault_injector.h"
+#include "util/thread_pool.h"
+
+namespace extnc::serve {
+
+struct FleetConfig {
+  coding::Params params{.n = 16, .k = 256};
+  std::vector<simgpu::DeviceSpec> devices;  // one slot per entry
+  // Fault plan applied to every device (each with its own injector and a
+  // per-device seed, so probabilistic faults differ across the fleet).
+  simgpu::FaultPlan faults;
+  gpu::SupervisorConfig supervisor;
+  gpu::EncodeScheme scheme = gpu::EncodeScheme::kTable5;
+  std::size_t threads = 2;
+  // Modeled per-dispatch overhead (driver + PCIe round trip), and its
+  // multiplier under ServiceMode::kBatched (coarser dispatches amortize).
+  double dispatch_overhead_s = 2e-4;
+  double batched_overhead_factor = 0.25;
+  std::uint64_t content_seed = 0x5e55e;
+};
+
+// What serving one segment cost and produced.
+struct SegmentResult {
+  gpu::OperationReport report;  // zeroed attempts for the forced-CPU mode
+  double service_s = 0;         // modeled seconds of device/codec time
+  bool gpu_path = false;
+  bool bit_exact = true;  // every payload matched the reference encoder
+};
+
+enum class DecodeCheck { kBitExact, kRankShort, kMismatch };
+
+struct DeviceHealth {
+  std::size_t index = 0;
+  bool alive = true;
+  bool breaker_open = false;
+  std::uint64_t epoch = 0;
+  double busy_until_s = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t gpu_segments = 0;
+  std::uint64_t cpu_segments = 0;  // fallback + forced CPU codec
+  gpu::SupervisorTotals totals;
+  simgpu::FaultCounters faults;
+};
+
+class FleetScheduler {
+ public:
+  // `clock` is the service's simulated wall clock; it drives the circuit
+  // breakers' half-open cool-downs.
+  FleetScheduler(FleetConfig config, std::function<double()> clock);
+  ~FleetScheduler();
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  const FleetConfig& config() const { return config_; }
+  std::size_t size() const { return slots_.size(); }
+
+  // --- dispatch ----------------------------------------------------------
+  // Encode `blocks` coded blocks of the reference segment on device
+  // `device`, coefficients drawn deterministically from `seed`. The batch
+  // (for decode verification / delivery) is written to *out when non-null.
+  SegmentResult encode_segment(std::size_t device, std::uint64_t seed,
+                               std::size_t blocks, ServiceMode mode,
+                               coding::CodedBatch* out = nullptr);
+
+  // Full decode verification of a served batch against the reference
+  // content (collect blocks, invert, compare bytes).
+  DecodeCheck verify_decode(const coding::CodedBatch& batch) const;
+
+  // --- health ------------------------------------------------------------
+  // Scripted device death: trips the breaker, bumps the epoch (results
+  // produced by the previous incarnation are stale) and stops dispatch.
+  void kill(std::size_t device);
+  // Device returns to service (breaker reset, injector restored).
+  void restore(std::size_t device);
+
+  bool alive(std::size_t device) const;
+  std::size_t alive_count() const;
+  // True when every device is alive with a closed breaker (the healthy /
+  // faulted phase split in reports).
+  bool all_healthy() const;
+  std::uint64_t epoch(std::size_t device) const;
+
+  // Least-loaded (earliest busy_until) alive device, optionally excluding
+  // one; nullopt when no device qualifies.
+  std::optional<std::size_t> pick_device(
+      std::optional<std::size_t> exclude = std::nullopt) const;
+
+  double busy_until(std::size_t device) const;
+  void set_busy_until(std::size_t device, double until_s);
+
+  DeviceHealth health(std::size_t device) const;
+  std::vector<DeviceHealth> fleet_health() const;
+
+  // --- modeled timings ---------------------------------------------------
+  // One clean GPU attempt / CPU codec pass for `blocks` coded blocks.
+  double gpu_segment_s(std::size_t device, std::size_t blocks,
+                       ServiceMode mode) const;
+  double cpu_segment_s(std::size_t blocks) const;
+  // Clean full-density GPU segment time averaged across the fleet — the
+  // service's nominal unit for deadlines, hedging and offered load.
+  double nominal_segment_s(std::size_t blocks) const;
+
+  gpu::ResilientLauncher& supervisor(std::size_t device);
+  simgpu::FaultInjector& injector(std::size_t device);
+  const coding::Segment& content() const { return content_; }
+
+  // Record fault events of every device's supervisor on this profiler
+  // (each under its own device spec).
+  void set_trace(simgpu::Profiler* profiler);
+
+ private:
+  struct Slot;
+
+  FleetConfig config_;
+  std::function<double()> clock_;
+  coding::Segment content_;
+  coding::Encoder reference_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  double cpu_mb_per_s_ = 0;
+};
+
+}  // namespace extnc::serve

@@ -1,0 +1,436 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <utility>
+
+#include "gpu/gpu_model.h"
+#include "util/assert.h"
+#include "util/metrics_registry.h"
+
+namespace extnc::serve {
+
+namespace {
+
+std::optional<double> parse_number(std::string_view text) {
+  double value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+// --- FleetPlan -------------------------------------------------------------
+
+std::optional<FleetPlan> FleetPlan::parse(std::string_view spec) {
+  FleetPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size() && !spec.empty()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view token =
+        spec.substr(pos, comma == std::string_view::npos ? spec.size() - pos
+                                                         : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) return std::nullopt;
+
+    const std::size_t at = token.find('@');
+    if (at == std::string_view::npos) return std::nullopt;
+    const std::string_view kind = token.substr(0, at);
+    const std::string_view rest = token.substr(at + 1);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const auto time = parse_number(rest.substr(0, colon));
+    const auto value = parse_number(rest.substr(colon + 1));
+    if (!time || !value || *time < 0) return std::nullopt;
+
+    if (kind == "kill" || kind == "restore") {
+      if (*value < 0 || *value != std::floor(*value)) return std::nullopt;
+      plan.events.push_back(FleetEvent{
+          .at = *time,
+          .device = static_cast<std::size_t>(*value),
+          .kill = kind == "kill"});
+    } else if (kind == "load") {
+      if (*value <= 0) return std::nullopt;
+      plan.load.push_back(LoadPhase{.at = *time, .multiplier = *value});
+    } else {
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) break;
+  }
+  auto by_time = [](const auto& a, const auto& b) { return a.at < b.at; };
+  std::stable_sort(plan.events.begin(), plan.events.end(), by_time);
+  std::stable_sort(plan.load.begin(), plan.load.end(), by_time);
+  return plan;
+}
+
+// --- CodingService ---------------------------------------------------------
+
+CodingService::CodingService(ServiceConfig config, simgpu::Profiler* profiler)
+    : config_(std::move(config)),
+      profiler_(profiler),
+      queue_(config_.admission),
+      ladder_(config_.ladder),
+      arrival_rng_(config_.seed ^ 0xa11a5eedULL) {
+  EXTNC_CHECK(!config_.fleet.devices.empty());
+  EXTNC_CHECK(config_.segments_per_session >= 1);
+  EXTNC_CHECK(config_.duration_s > 0);
+  EXTNC_CHECK(config_.offered_load > 0);
+
+  // Nominal segment time, computed from the device models BEFORE the
+  // fleet exists so the supervisor's time constants can be scaled to the
+  // workload they will actually police.
+  const std::size_t blocks_full = config_.fleet.params.n + config_.blocks_extra;
+  double sum = 0;
+  for (const auto& spec : config_.fleet.devices) {
+    gpu::EncodeModelOptions options;
+    options.include_preprocessing = false;
+    const double mb_per_s =
+        gpu::model_encode_bandwidth(spec, config_.fleet.scheme,
+                                    config_.fleet.params, options)
+            .mb_per_s;
+    EXTNC_CHECK(mb_per_s > 0);
+    sum += static_cast<double>(blocks_full * config_.fleet.params.k) /
+               (mb_per_s * 1e6) +
+           config_.fleet.dispatch_overhead_s;
+  }
+  const double nominal_segment =
+      sum / static_cast<double>(config_.fleet.devices.size());
+  if (config_.auto_tune_supervisor) {
+    auto& supervisor = config_.fleet.supervisor;
+    supervisor.watchdog_budget_s = config_.watchdog_factor * nominal_segment;
+    supervisor.backoff_initial_s =
+        config_.backoff_factor_of_nominal * nominal_segment;
+    supervisor.breaker_cooldown_s = config_.cooldown_factor * nominal_segment;
+  }
+
+  fleet_ = std::make_unique<FleetScheduler>(config_.fleet,
+                                            [this] { return sim_.now(); });
+  if (profiler_ != nullptr) fleet_->set_trace(profiler_);
+  device_load_.assign(fleet_->size(), 0);
+
+  report_.nominal_segment_s = fleet_->nominal_segment_s(blocks_full);
+  report_.nominal_session_s =
+      report_.nominal_segment_s *
+      static_cast<double>(config_.segments_per_session);
+  // Offered load 1.0 == the whole fleet encoding full-density sessions
+  // back to back with no faults and no queueing.
+  base_rate_hz_ = config_.offered_load *
+                  static_cast<double>(fleet_->size()) /
+                  report_.nominal_session_s;
+  report_.offered_rate_hz = base_rate_hz_;
+  hedge_threshold_s_ = config_.hedge_factor * report_.nominal_segment_s;
+}
+
+CodingService::~CodingService() = default;
+
+ServiceReport CodingService::run() {
+  EXTNC_CHECK(!ran_);
+  ran_ = true;
+
+  for (const FleetEvent& event : config_.plan.events) {
+    EXTNC_CHECK(event.device < fleet_->size());
+    sim_.schedule_at(event.at, [this, event] {
+      if (event.kill) {
+        fleet_->kill(event.device);
+        metrics::count("serve.device_kills");
+      } else {
+        fleet_->restore(event.device);
+        metrics::count("serve.device_restores");
+        pump();  // the restored device can pull waiting sessions
+      }
+    });
+  }
+  for (const LoadPhase& phase : config_.plan.load) {
+    if (phase.at <= 0) {
+      current_multiplier_ = phase.multiplier;
+      continue;
+    }
+    sim_.schedule_at(phase.at,
+                     [this, phase] { current_multiplier_ = phase.multiplier; });
+  }
+
+  schedule_next_arrival();
+  sim_.run_all();
+
+  // Sessions stranded in the queue (the whole fleet died): the service
+  // could not produce their output — failed, not silently lost.
+  while (const auto id = queue_.pop()) {
+    Session& session = sessions_[*id];
+    if (!is_terminal(session.state)) finish(session, SessionState::kFailed);
+  }
+
+  report_.sim_end_s = sim_.now();
+  report_.ladder_transitions = ladder_.transitions();
+  report_.devices = fleet_->fleet_health();
+  EXTNC_CHECK(report_.accounting_exact());
+  return report_;
+}
+
+void CodingService::schedule_next_arrival() {
+  if (sim_.now() >= config_.duration_s) return;
+  const double rate = base_rate_hz_ * current_multiplier_;
+  EXTNC_CHECK(rate > 0);
+  // Exponential inter-arrival; the rate is sampled at scheduling time, so
+  // a load phase boundary takes effect from the next arrival onwards.
+  const double u = arrival_rng_.next_double();
+  const double at = sim_.now() + -std::log1p(-u) / rate;
+  if (at >= config_.duration_s) return;
+  sim_.schedule_at(at, [this] {
+    on_arrival();
+    schedule_next_arrival();
+  });
+}
+
+void CodingService::on_arrival() {
+  const std::uint64_t id = sessions_.size();
+  {
+    Session session;
+    session.id = id;
+    session.arrival_s = sim_.now();
+    session.deadline_s =
+        session.arrival_s +
+        config_.deadline_factor * report_.nominal_session_s;
+    session.segments = config_.segments_per_session;
+    sessions_.push_back(session);
+  }
+  ++report_.arrivals;
+  metrics::count("serve.arrivals");
+
+  const AdmissionDecision decision = queue_.offer(id);
+  metrics::gauge("serve.queue_depth", static_cast<double>(queue_.depth()));
+  if (decision.evicted) {
+    ++report_.shed_evicted;
+    metrics::count("serve.shed_evicted");
+    finish(sessions_[*decision.evicted], SessionState::kShed);
+  }
+  Session& session = sessions_[id];
+  if (!decision.admitted) {
+    ++report_.shed_rejected;
+    metrics::count("serve.shed_rejected");
+    finish(session, SessionState::kShed);
+    return;
+  }
+  ++report_.admitted;
+  metrics::count("serve.admitted");
+  session.admitted_s = sim_.now();
+  session.force_degraded = decision.force_degraded;
+  pump();
+}
+
+void CodingService::pump() {
+  for (;;) {
+    if (queue_.empty()) return;
+    // Least-loaded alive device with no session assigned (sharding: one
+    // session per device at a time; re-sharded refugees may stack).
+    std::optional<std::size_t> best;
+    for (std::size_t d = 0; d < fleet_->size(); ++d) {
+      if (!fleet_->alive(d) || device_load_[d] != 0) continue;
+      if (!best || fleet_->busy_until(d) < fleet_->busy_until(*best)) best = d;
+    }
+    if (!best) return;
+    const auto id = queue_.pop();
+    Session& session = sessions_[*id];
+    if (sim_.now() >= session.deadline_s) {
+      ++report_.shed_deadline;
+      metrics::count("serve.shed_deadline");
+      finish(session, SessionState::kShed);
+      continue;
+    }
+    session.state = SessionState::kServing;
+    session.device = *best;
+    ++device_load_[*best];
+    if (session.first_dispatch_s < 0) session.first_dispatch_s = sim_.now();
+    dispatch_segment(*id);
+  }
+}
+
+void CodingService::dispatch_segment(std::uint64_t id) {
+  Session& session = sessions_[id];
+  const double now = sim_.now();
+  if (now >= session.deadline_s) {
+    ++report_.shed_deadline;
+    metrics::count("serve.shed_deadline");
+    finish(session, SessionState::kShed);
+    pump();
+    return;
+  }
+  // The session's shard died while another device carried its last
+  // segment (hedge win): re-shard before dispatching.
+  if (!fleet_->alive(session.device)) {
+    const auto next = fleet_->pick_device();
+    if (!next) {
+      finish(session, SessionState::kFailed);
+      pump();
+      return;
+    }
+    --device_load_[session.device];
+    ++device_load_[*next];
+    session.device = *next;
+    ++report_.redispatches;
+    metrics::count("serve.redispatches");
+  }
+
+  ServiceMode mode = ladder_.update(queue_.pressure());
+  if (session.force_degraded) mode = ServiceMode::kThinned;
+  ++report_.mode_dispatches[static_cast<std::size_t>(mode)];
+  if (mode == ServiceMode::kCpuCodec || mode == ServiceMode::kThinned) {
+    session.served_degraded = true;
+  }
+
+  const std::size_t blocks = blocks_for(mode);
+  const std::uint64_t seed = job_seed(id, session.segments_done);
+  const std::size_t device = session.device;
+
+  coding::CodedBatch batch;
+  const SegmentResult result = fleet_->encode_segment(
+      device, seed, blocks, mode, config_.verify_decode ? &batch : nullptr);
+  ++report_.segments_served;
+  if (!result.bit_exact) ++report_.bitexact_failures;
+  if (config_.verify_decode) {
+    switch (fleet_->verify_decode(batch)) {
+      case DecodeCheck::kBitExact:
+        break;
+      case DecodeCheck::kRankShort:
+        session.rank_short = true;
+        ++report_.rank_short_segments;
+        break;
+      case DecodeCheck::kMismatch:
+        ++report_.decode_mismatches;
+        break;
+    }
+  }
+
+  const double start = std::max(now, fleet_->busy_until(device));
+  const double done = start + result.service_s;
+  fleet_->set_busy_until(device, done);
+
+  std::size_t winner = device;
+  std::uint64_t winner_epoch = fleet_->epoch(device);
+  double winner_done = done;
+  // Hedged re-dispatch: a straggler (faulted retries, hung attempts, CPU
+  // fallback) is replicated on the least-loaded other device. Same seed,
+  // same bytes — whichever finishes first delivers.
+  if (result.service_s > hedge_threshold_s_ &&
+      mode != ServiceMode::kCpuCodec) {
+    if (const auto other = fleet_->pick_device(device)) {
+      ++report_.hedges;
+      metrics::count("serve.hedges");
+      const SegmentResult replica =
+          fleet_->encode_segment(*other, seed, blocks, mode, nullptr);
+      const double replica_start =
+          std::max(now, fleet_->busy_until(*other));
+      const double replica_done = replica_start + replica.service_s;
+      fleet_->set_busy_until(*other, replica_done);
+      if (replica_done < winner_done) {
+        winner = *other;
+        winner_epoch = fleet_->epoch(*other);
+        winner_done = replica_done;
+        ++report_.hedge_wins;
+        metrics::count("serve.hedge_wins");
+      }
+    }
+  }
+
+  const std::size_t segment = session.segments_done;
+  sim_.schedule_at(winner_done, [this, id, segment, winner, winner_epoch,
+                                 now] {
+    on_segment_done(id, segment, winner, winner_epoch, now);
+  });
+}
+
+void CodingService::on_segment_done(std::uint64_t id, std::size_t segment,
+                                    std::size_t device, std::uint64_t epoch,
+                                    double dispatched_s) {
+  Session& session = sessions_[id];
+  if (is_terminal(session.state)) return;
+  EXTNC_CHECK(session.segments_done == segment);
+
+  if (fleet_->epoch(device) != epoch || !fleet_->alive(device)) {
+    // The incarnation that produced these bytes died before delivering.
+    // Deterministic seeds make the re-dispatch byte-identical.
+    ++report_.stale_completions;
+    metrics::count("serve.stale_completions");
+    dispatch_segment(id);  // re-shards off a dead device internally
+    return;
+  }
+
+  const double latency = sim_.now() - dispatched_s;
+  report_.segment_latency_s.observe(latency);
+  metrics::observe("serve.segment_latency_s", latency);
+  if (fleet_->all_healthy()) {
+    report_.segment_latency_healthy_s.observe(latency);
+  } else {
+    report_.segment_latency_faulted_s.observe(latency);
+  }
+
+  ++session.segments_done;
+  if (session.segments_done == session.segments) {
+    finish(session, session.served_degraded || session.force_degraded
+                        ? SessionState::kDegraded
+                        : SessionState::kCompleted);
+    pump();
+  } else {
+    dispatch_segment(id);
+  }
+}
+
+void CodingService::finish(Session& session, SessionState state) {
+  EXTNC_CHECK(!is_terminal(session.state));
+  EXTNC_CHECK(is_terminal(state));
+  if (session.state == SessionState::kServing) {
+    EXTNC_CHECK(device_load_[session.device] > 0);
+    --device_load_[session.device];
+  }
+  session.state = state;
+  session.finished_s = sim_.now();
+  switch (state) {
+    case SessionState::kCompleted:
+      ++report_.completed;
+      metrics::count("serve.completed");
+      break;
+    case SessionState::kDegraded:
+      ++report_.degraded;
+      metrics::count("serve.degraded");
+      break;
+    case SessionState::kShed:
+      ++report_.shed;
+      metrics::count("serve.shed");
+      break;
+    case SessionState::kFailed:
+      ++report_.failed;
+      metrics::count("serve.failed");
+      break;
+    case SessionState::kQueued:
+    case SessionState::kServing:
+      EXTNC_CHECK(false);
+  }
+  if (state == SessionState::kCompleted || state == SessionState::kDegraded) {
+    const double latency = session.finished_s - session.arrival_s;
+    report_.session_latency_s.observe(latency);
+    metrics::observe("serve.session_latency_s", latency);
+  }
+}
+
+double CodingService::load_multiplier() const { return current_multiplier_; }
+
+std::uint64_t CodingService::job_seed(std::uint64_t session,
+                                      std::size_t segment) const {
+  // splitmix-style hash: replicas of (session, segment) agree everywhere.
+  std::uint64_t x = config_.seed * 0x9e3779b97f4a7c15ULL +
+                    session * 0x100000001b3ULL + segment + 1;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x | 1;
+}
+
+std::size_t CodingService::blocks_for(ServiceMode mode) const {
+  const std::size_t n = config_.fleet.params.n;
+  return mode == ServiceMode::kThinned ? n + config_.blocks_extra_thinned
+                                       : n + config_.blocks_extra;
+}
+
+}  // namespace extnc::serve

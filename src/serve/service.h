@@ -1,0 +1,205 @@
+// Fleet coding service: a long-running session-serving loop over the
+// discrete-event simulator.
+//
+// CodingService ties the pieces together: Poisson session arrivals (with
+// a scripted offered-load timeline) flow through the bounded
+// AdmissionQueue, the DegradationLadder maps queue pressure to a
+// ServiceMode at every dispatch, and the FleetScheduler shards each
+// admitted session onto a device where its segments are encoded under PR
+// 3 supervision. On top of the per-device resilience the service adds the
+// fleet-level behaviors:
+//
+//   deadline-aware dispatch — a session past its deadline is shed at the
+//     next dispatch point instead of burning device time;
+//   hedged re-dispatch — a dispatch whose modeled service time marks it a
+//     straggler (> hedge_factor x nominal) is replicated on the
+//     least-loaded other device; the earlier completion wins and the
+//     bytes are identical by construction (per-job seeds);
+//   epoch-guarded failover — a scripted device kill bumps the device's
+//     epoch; in-flight completions from the old incarnation are detected
+//     as stale and the segment re-dispatches (same seed, same bytes) on a
+//     surviving device.
+//
+// Every arrived session ends in exactly one terminal state; the report
+// carries the full accounting plus streaming latency histograms split
+// into healthy and faulted fleet phases.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/event_sim.h"
+#include "serve/admission.h"
+#include "serve/degradation.h"
+#include "serve/fleet.h"
+#include "serve/session.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace extnc::serve {
+
+// One scripted change of the offered-load multiplier.
+struct LoadPhase {
+  double at = 0;
+  double multiplier = 1.0;
+};
+
+// One scripted device kill or restore.
+struct FleetEvent {
+  double at = 0;
+  std::size_t device = 0;
+  bool kill = true;
+};
+
+// The scripted scenario a service run plays: device kills/restores plus
+// an offered-load timeline (the FaultPlan-style grammar for fleets).
+struct FleetPlan {
+  std::vector<FleetEvent> events;
+  std::vector<LoadPhase> load;
+
+  bool any() const { return !events.empty() || !load.empty(); }
+
+  // Comma-separated tokens:
+  //   kill@<t>:<device>      device dies at sim time t
+  //   restore@<t>:<device>   device returns at sim time t
+  //   load@<t>:<multiplier>  offered-load multiplier becomes m at time t
+  // Example: "kill@20:1,load@30:2.0,restore@45:1".
+  // Returns nullopt (no partial state) on any malformed token.
+  static std::optional<FleetPlan> parse(std::string_view spec);
+};
+
+struct ServiceConfig {
+  FleetConfig fleet;  // params, device specs, fault plan, supervisor
+  std::size_t segments_per_session = 4;
+  // Generation density: full service emits n + blocks_extra coded blocks
+  // per segment; thinned service emits n + blocks_extra_thinned.
+  std::size_t blocks_extra = 4;
+  std::size_t blocks_extra_thinned = 1;
+
+  // Fraction of the fleet's nominal capacity offered as load (before the
+  // plan's load multipliers).
+  double offered_load = 0.7;
+  // Arrival window in sim seconds (service then drains the backlog).
+  double duration_s = 30.0;
+  // Session deadline = arrival + deadline_factor * nominal session time.
+  double deadline_factor = 25.0;
+  // Hedge a dispatch whose service time exceeds hedge_factor * nominal
+  // segment time.
+  double hedge_factor = 4.0;
+
+  AdmissionConfig admission;
+  LadderConfig ladder;
+  FleetPlan plan;
+
+  // Auto-scale the supervisor's time constants to the workload: watchdog
+  // budget, initial backoff and breaker cool-down become these multiples
+  // of the nominal segment time (a 1-second default watchdog is absurd
+  // when a segment takes 200 microseconds). Set false to use
+  // fleet.supervisor verbatim.
+  bool auto_tune_supervisor = true;
+  double watchdog_factor = 20.0;
+  double backoff_factor_of_nominal = 1.0;
+  double cooldown_factor = 200.0;
+
+  std::uint64_t seed = 1;
+  // Decode-verify every served segment against the reference content.
+  bool verify_decode = true;
+};
+
+struct ServiceReport {
+  // Volume.
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  // Terminal states (completed + degraded + shed + failed == arrivals).
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  // Shed breakdown.
+  std::uint64_t shed_rejected = 0;  // admission tail drop / over hard cap
+  std::uint64_t shed_evicted = 0;   // oldest-waiter eviction
+  std::uint64_t shed_deadline = 0;  // deadline passed before/mid service
+  // Fleet-level resilience events.
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t stale_completions = 0;
+  std::uint64_t redispatches = 0;
+  // Work and verification.
+  std::uint64_t segments_served = 0;
+  std::uint64_t bitexact_failures = 0;   // must be 0
+  std::uint64_t decode_mismatches = 0;   // must be 0
+  std::uint64_t rank_short_segments = 0;  // possible under thinned density
+  // Degradation.
+  std::uint64_t ladder_transitions = 0;
+  std::array<std::uint64_t, kServiceModes> mode_dispatches = {};
+  // Latency (sim seconds). Segment latency = dispatch -> completion;
+  // session latency = arrival -> finish (completed/degraded only).
+  StreamingHistogram segment_latency_s;
+  StreamingHistogram session_latency_s;
+  StreamingHistogram segment_latency_healthy_s;
+  StreamingHistogram segment_latency_faulted_s;
+  // Context.
+  double nominal_segment_s = 0;
+  double nominal_session_s = 0;
+  double offered_rate_hz = 0;
+  double sim_end_s = 0;
+  std::vector<DeviceHealth> devices;
+
+  std::uint64_t terminal_total() const {
+    return completed + degraded + shed + failed;
+  }
+  // The invariant the overload tests pin: every arrival accounted for in
+  // exactly one terminal state.
+  bool accounting_exact() const { return terminal_total() == arrivals; }
+};
+
+class CodingService {
+ public:
+  explicit CodingService(ServiceConfig config,
+                         simgpu::Profiler* profiler = nullptr);
+  ~CodingService();
+
+  CodingService(const CodingService&) = delete;
+  CodingService& operator=(const CodingService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  FleetScheduler& fleet() { return *fleet_; }
+
+  // Play the whole scenario to completion (one call per service object).
+  ServiceReport run();
+
+ private:
+  void on_arrival();
+  void schedule_next_arrival();
+  void pump();
+  void dispatch_segment(std::uint64_t id);
+  void on_segment_done(std::uint64_t id, std::size_t segment,
+                       std::size_t device, std::uint64_t epoch,
+                       double dispatched_s);
+  void finish(Session& session, SessionState state);
+  double load_multiplier() const;
+  std::uint64_t job_seed(std::uint64_t session, std::size_t segment) const;
+  std::size_t blocks_for(ServiceMode mode) const;
+
+  ServiceConfig config_;
+  simgpu::Profiler* profiler_;
+  net::EventSim sim_;
+  std::unique_ptr<FleetScheduler> fleet_;
+  AdmissionQueue queue_;
+  DegradationLadder ladder_;
+  Rng arrival_rng_;
+  std::vector<Session> sessions_;
+  std::vector<std::size_t> device_load_;  // sessions assigned per device
+  ServiceReport report_;
+  double base_rate_hz_ = 0;
+  double current_multiplier_ = 1.0;
+  double hedge_threshold_s_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace extnc::serve

@@ -1,0 +1,85 @@
+// Session model of the fleet coding service.
+//
+// A session is one client's unit of service: `segments` generations to be
+// encoded (and delivered bit-exactly) by whichever device the fleet
+// scheduler shards it onto. Every session that arrives ends in EXACTLY one
+// terminal state — the accounting invariant the overload tests pin:
+//
+//   kCompleted — served at full fidelity (GPU or transparent fault
+//                fallback; the client cannot tell).
+//   kDegraded  — served, but under the degradation ladder: forced to the
+//                CPU codec, thinned generation density, or admitted in
+//                forced-degraded mode. Output is still verified.
+//   kShed      — dropped by admission control (rejected, evicted as the
+//                oldest waiter, or past its deadline before service
+//                finished).
+//   kFailed    — the fleet could not produce the output (no device left).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace extnc::serve {
+
+enum class SessionState {
+  kQueued,     // admitted, waiting for a device
+  kServing,    // sharded onto a device, segments in flight
+  kCompleted,  // terminal
+  kDegraded,   // terminal
+  kShed,       // terminal
+  kFailed,     // terminal
+};
+
+const char* session_state_name(SessionState state);
+
+inline bool is_terminal(SessionState state) {
+  return state == SessionState::kCompleted ||
+         state == SessionState::kDegraded || state == SessionState::kShed ||
+         state == SessionState::kFailed;
+}
+
+// The overload-degradation ladder, mildest first. The service maps queue
+// pressure to a level; each level trades fidelity or latency for capacity:
+//   kFull    — GPU encode, full generation density, per-segment dispatch.
+//   kBatched — batch harder: coarser dispatch amortizes per-launch
+//              overhead (higher per-segment latency, higher throughput).
+//   kCpuCodec— route new segments to the CPU codec, keeping the GPU for
+//              the backlog (sessions finish slower; counted degraded).
+//   kThinned — reduce generation density to the decode minimum (smallest
+//              possible work per session; counted degraded).
+// Beyond kThinned the admission queue sheds — that step lives in
+// admission control, not here.
+enum class ServiceMode {
+  kFull = 0,
+  kBatched = 1,
+  kCpuCodec = 2,
+  kThinned = 3,
+};
+
+inline constexpr int kServiceModes = 4;
+
+const char* service_mode_name(ServiceMode mode);
+
+struct Session {
+  std::uint64_t id = 0;
+  double arrival_s = 0;
+  double deadline_s = 0;  // absolute sim time; past it the session sheds
+  double admitted_s = -1;
+  double first_dispatch_s = -1;
+  double finished_s = -1;
+
+  std::size_t segments = 0;
+  std::size_t segments_done = 0;
+  std::size_t device = SIZE_MAX;  // shard target while kServing
+
+  SessionState state = SessionState::kQueued;
+  // Admission (degrade policy) forced this session to thinned service.
+  bool force_degraded = false;
+  // Any segment was served under a degraded ladder mode.
+  bool served_degraded = false;
+  // Any segment's decode verification fell short of full rank (possible
+  // only under thinned density).
+  bool rank_short = false;
+};
+
+}  // namespace extnc::serve

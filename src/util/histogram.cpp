@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace extnc {
+
+std::size_t StreamingHistogram::bucket_index(double value) {
+  if (!(value > kMinValue)) return 0;  // NaN, negatives, zero, tiny
+  // Bucket b (b >= 1) covers (kMinValue * 2^((b-1)/octave),
+  //                           kMinValue * 2^(b/octave)].
+  const double octaves = std::log2(value / kMinValue);
+  const double index = std::ceil(octaves * kBucketsPerOctave);
+  if (index >= static_cast<double>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double StreamingHistogram::bucket_floor(std::size_t index) {
+  if (index == 0) return 0.0;
+  return kMinValue *
+         std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+}
+
+void StreamingHistogram::observe(double value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double StreamingHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the answering sample, 1-based: q=0 -> first, q=1 -> last.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  std::size_t bucket = kBuckets - 1;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  double answer;
+  if (bucket == 0) {
+    answer = kMinValue;  // sub-resolution bucket; clamp below does the rest
+  } else {
+    const double lo = bucket_floor(bucket);
+    const double hi = bucket_floor(bucket + 1);
+    answer = std::sqrt(lo * hi);  // geometric midpoint: bounded rel. error
+  }
+  return std::clamp(answer, min_, max_);
+}
+
+}  // namespace extnc

@@ -40,11 +40,41 @@ void Registry::set(std::string_view name, double value) {
   }
 }
 
+void Registry::observe(std::string_view name, double sample) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms.emplace(std::string(name), StreamingHistogram{})
+             .first;
+  }
+  it->second.observe(sample);
+}
+
 double Registry::value(std::string_view name) const {
   const Shard& shard = shard_for(name);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.values.find(name);
   return it == shard.values.end() ? 0.0 : it->second;
+}
+
+StreamingHistogram Registry::histogram(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.histograms.find(name);
+  return it == shard.histograms.end() ? StreamingHistogram{} : it->second;
+}
+
+std::vector<std::pair<std::string, StreamingHistogram>> Registry::histograms()
+    const {
+  std::vector<std::pair<std::string, StreamingHistogram>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.histograms.begin(), shard.histograms.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
@@ -63,6 +93,7 @@ void Registry::reset() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.values.clear();
+    shard.histograms.clear();
   }
 }
 

@@ -1,13 +1,15 @@
-// Process-wide counter/gauge registry.
+// Process-wide counter/gauge/histogram registry.
 //
 // A lightweight, thread-safe map from dotted metric names to doubles, fed
 // by whatever subsystem has something to report (the event simulator, the
-// fault-injecting channel, the swarm drivers) and drained by the
-// observability exporters: extnc_prof embeds a snapshot in its trace
-// metadata, and tools can print it for a quick "what did this run actually
-// do" check. Counters are monotonically accumulated with add(); gauges are
-// last-write-wins via set(). Names use "layer.component.metric" dotting,
-// e.g. "net.channel.corrupted".
+// fault-injecting channel, the swarm drivers, the fleet scheduler) and
+// drained by the observability exporters: extnc_prof embeds a snapshot in
+// its trace metadata, and tools can print it for a quick "what did this
+// run actually do" check. Counters are monotonically accumulated with
+// add(); gauges are last-write-wins via set(); distributions (latency
+// samples) stream into named StreamingHistograms via observe(), so
+// services never buffer raw sample vectors just to report p99. Names use
+// "layer.component.metric" dotting, e.g. "net.channel.corrupted".
 //
 // The registry is deliberately global (like the underlying process): tests
 // that assert on it should reset() first and not run such assertions
@@ -28,6 +30,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/histogram.h"
+
 namespace extnc::metrics {
 
 class Registry {
@@ -36,12 +40,21 @@ class Registry {
 
   void add(std::string_view name, double delta = 1.0);
   void set(std::string_view name, double value);
+  // Record one sample into the named streaming histogram (created on
+  // first observe). Histograms live in a separate namespace from
+  // counters/gauges; the same name can hold both.
+  void observe(std::string_view name, double sample);
 
   // Current value; 0 for a name never touched.
   double value(std::string_view name) const;
+  // Copy of the named histogram; an empty histogram for a name never
+  // observed.
+  StreamingHistogram histogram(std::string_view name) const;
 
   // All metrics in name order (counters and gauges interleaved).
   std::vector<std::pair<std::string, double>> snapshot() const;
+  // All histograms in name order.
+  std::vector<std::pair<std::string, StreamingHistogram>> histograms() const;
 
   void reset();
 
@@ -52,6 +65,7 @@ class Registry {
   struct Shard {
     mutable std::mutex mutex;
     std::map<std::string, double, std::less<>> values;
+    std::map<std::string, StreamingHistogram, std::less<>> histograms;
   };
   Shard& shard_for(std::string_view name);
   const Shard& shard_for(std::string_view name) const;
@@ -65,6 +79,9 @@ inline void count(std::string_view name, double delta = 1.0) {
 }
 inline void gauge(std::string_view name, double value) {
   Registry::instance().set(name, value);
+}
+inline void observe(std::string_view name, double sample) {
+  Registry::instance().observe(name, sample);
 }
 
 }  // namespace extnc::metrics

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -37,8 +38,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(pending_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::run_batch(std::size_t count,
@@ -48,17 +54,28 @@ void ThreadPool::run_batch(std::size_t count,
     std::mutex m;
     std::condition_variable done;
     std::size_t remaining;
+    std::exception_ptr error;  // first exception of this batch
   };
   Latch latch{.remaining = count};
   for (std::size_t i = 0; i < count; ++i) {
+    // The try/catch lives inside the submitted closure, so a batch task's
+    // exception is owned by this batch's latch — never by the pool-wide
+    // pending_error_ another caller's wait_idle would pick up.
     submit([&fn, &latch, i] {
-      fn(i);
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
       std::lock_guard lock(latch.m);
+      if (error && !latch.error) latch.error = std::move(error);
       if (--latch.remaining == 0) latch.done.notify_one();
     });
   }
   std::unique_lock lock(latch.m);
   latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  if (latch.error) std::rethrow_exception(latch.error);
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -94,9 +111,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !pending_error_) pending_error_ = std::move(error);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

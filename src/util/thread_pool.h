@@ -3,12 +3,20 @@
 // The CPU coding backend follows the paper's two partitioning schemes
 // (per-block partitioned work and full-block-per-thread work); both reduce
 // to "run N independent tasks and wait", which is exactly what this pool
-// provides. Tasks must not throw; a task that throws terminates (coding
-// kernels are noexcept by construction).
+// provides.
+//
+// Exceptions: a task that throws no longer escapes its worker thread (an
+// escaped exception would std::terminate the process). run_batch rethrows
+// the first exception its own tasks raised, after every task of the batch
+// has finished; submit-path exceptions are held and rethrown by the next
+// wait_idle() (one waiter receives it — with concurrent waiters, the first
+// to wake). parallel_for and parallel_for_chunks wait via wait_idle, so
+// their callers see their tasks' exceptions the same way.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,16 +36,21 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  // Enqueue one task. Pair with wait_idle() to join a batch.
+  // Enqueue one task. Pair with wait_idle() to join a batch. If the task
+  // throws, the exception is captured and rethrown by a later wait_idle().
   void submit(std::function<void()> task);
 
-  // Block until every submitted task has finished.
+  // Block until every submitted task has finished, then rethrow the first
+  // exception any of them raised (if one did).
   void wait_idle();
 
   // Run fn(i) for i in [0, count) across the pool and wait for exactly
   // these tasks. Unlike parallel_for (which joins via the pool-wide
   // wait_idle), completion is tracked by a per-call latch, so concurrent
   // callers from different threads do not wait on each other's work.
+  // The remaining tasks of the batch run to completion even after one
+  // throws; the first exception is rethrown to this caller afterwards
+  // (never leaked to other callers' waits).
   // fn must not submit nested run_batch work from inside a task (the
   // caller's wait would then depend on queue slots the wait itself holds).
   void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
@@ -64,6 +77,9 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  // First exception thrown by a submit-path task since the last
+  // wait_idle(); guarded by mutex_.
+  std::exception_ptr pending_error_;
 };
 
 }  // namespace extnc

@@ -157,6 +157,136 @@ TEST(ResilientLauncher, BreakerOpensAfterConsecutiveExhaustedOps) {
   EXPECT_FALSE(supervisor.breaker_open());
 }
 
+// --- backoff schedule and breaker half-open --------------------------------
+
+TEST(ResilientLauncher, BackoffScheduleIsExactGeometricSeries) {
+  SupervisorConfig config;
+  config.backoff_initial_s = 0.25;
+  config.backoff_factor = 3.0;
+  config.max_attempts = 5;
+  ResilientLauncher supervisor(config);
+  SupervisedOp op;
+  op.gpu = [] {};
+  op.verify = [] { return false; };  // exhaust every attempt
+  op.cpu = [] {};
+  const OperationReport report = supervisor.run(op);
+  EXPECT_EQ(report.attempts, 5);
+  // Attempts 2..5 sleep 0.25 * 3^k, k = 0..3 — simulated seconds, summed.
+  const double expected = 0.25 * (1.0 + 3.0 + 9.0 + 27.0);
+  EXPECT_DOUBLE_EQ(report.backoff_s, expected);
+  EXPECT_DOUBLE_EQ(supervisor.totals().backoff_seconds, expected);
+}
+
+TEST(ResilientLauncher, BreakerHalfOpensAfterCooldownAndRecloses) {
+  SupervisorConfig config;
+  config.breaker_cooldown_s = 10.0;
+  ResilientLauncher supervisor(config);
+  double now = 100.0;
+  supervisor.set_clock([&now] { return now; });
+
+  SupervisedOp lost;
+  lost.gpu = [] {
+    throw simgpu::DeviceError(simgpu::FaultClass::kDeviceLost, "gone");
+  };
+  lost.cpu = [] {};
+  EXPECT_EQ(supervisor.run(lost).path, ComputePath::kCpuFallback);
+  EXPECT_TRUE(supervisor.breaker_open());  // opened at t=100
+
+  // Inside the cool-down window the GPU closure is still bypassed.
+  now = 105.0;
+  SupervisedOp blocked;
+  blocked.gpu = [] { FAIL() << "cool-down not elapsed"; };
+  bool cpu_ran = false;
+  blocked.cpu = [&] { cpu_ran = true; };
+  const OperationReport during = supervisor.run(blocked);
+  EXPECT_EQ(during.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(during.attempts, 0);
+  EXPECT_TRUE(cpu_ran);
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  // Cool-down elapsed: one half-open probe runs; success recloses.
+  now = 110.0;
+  int gpu_calls = 0;
+  SupervisedOp probe;
+  probe.gpu = [&] { ++gpu_calls; };
+  probe.verify = [] { return true; };
+  probe.cpu = [] { FAIL() << "probe succeeded; no fallback"; };
+  const OperationReport reopened = supervisor.run(probe);
+  EXPECT_EQ(reopened.path, ComputePath::kGpu);
+  EXPECT_EQ(reopened.attempts, 1);
+  EXPECT_EQ(gpu_calls, 1);
+  EXPECT_FALSE(supervisor.breaker_open());
+
+  // Fully closed again: normal multi-attempt operation resumes.
+  const OperationReport after = supervisor.run(probe);
+  EXPECT_EQ(after.path, ComputePath::kGpu);
+  EXPECT_EQ(gpu_calls, 2);
+}
+
+TEST(ResilientLauncher, FailedProbeKeepsBreakerOpenAndRestartsCooldown) {
+  SupervisorConfig config;
+  config.breaker_cooldown_s = 10.0;
+  ResilientLauncher supervisor(config);
+  double now = 0.0;
+  supervisor.set_clock([&now] { return now; });
+  supervisor.trip_breaker();  // external health signal at t=0
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  // Probe at t=10 fails: exactly ONE attempt (no retry burst against a
+  // device that just proved unhealthy), breaker stays open.
+  now = 10.0;
+  int gpu_calls = 0;
+  SupervisedOp flaky;
+  flaky.gpu = [&] {
+    ++gpu_calls;
+    throw simgpu::DeviceError(simgpu::FaultClass::kLaunchFailure, "still bad");
+  };
+  flaky.cpu = [] {};
+  const OperationReport failed_probe = supervisor.run(flaky);
+  EXPECT_EQ(failed_probe.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(failed_probe.attempts, 1);
+  EXPECT_EQ(gpu_calls, 1);
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  // Cool-down restarted at t=10: t=19 grants no probe, t=20 does.
+  now = 19.0;
+  SupervisedOp blocked;
+  blocked.gpu = [&] { ++gpu_calls; };
+  blocked.cpu = [] {};
+  EXPECT_EQ(supervisor.run(blocked).attempts, 0);
+  EXPECT_EQ(gpu_calls, 1);
+  now = 20.0;
+  SupervisedOp healthy;
+  healthy.gpu = [&] { ++gpu_calls; };
+  EXPECT_EQ(supervisor.run(healthy).path, ComputePath::kGpu);
+  EXPECT_EQ(gpu_calls, 2);
+  EXPECT_FALSE(supervisor.breaker_open());
+}
+
+TEST(ResilientLauncher, BreakerWithoutCooldownOrClockNeverHalfOpens) {
+  // cooldown set but no clock attached
+  SupervisorConfig with_cooldown;
+  with_cooldown.breaker_cooldown_s = 1.0;
+  ResilientLauncher no_clock(with_cooldown);
+  no_clock.trip_breaker();
+  SupervisedOp op;
+  op.gpu = [] { FAIL() << "breaker must stay open"; };
+  op.cpu = [] {};
+  EXPECT_EQ(no_clock.run(op).attempts, 0);
+  EXPECT_TRUE(no_clock.breaker_open());
+
+  // clock attached but cooldown disabled (PR 3 semantics preserved)
+  ResilientLauncher no_cooldown;
+  double now = 0.0;
+  no_cooldown.set_clock([&now] { return now; });
+  no_cooldown.trip_breaker();
+  now = 1e9;
+  EXPECT_EQ(no_cooldown.run(op).attempts, 0);
+  EXPECT_TRUE(no_cooldown.breaker_open());
+  no_cooldown.reset_breaker();
+  EXPECT_FALSE(no_cooldown.breaker_open());
+}
+
 TEST(ResilientLauncher, NoFallbackWiredReportsFailed) {
   SupervisorConfig config;
   config.max_attempts = 1;
@@ -265,6 +395,79 @@ TEST_F(ResilientEncoderFaults, PersistentCorruptionExhaustsRetriesThenCpu) {
   EXPECT_EQ(report.path, ComputePath::kCpuFallback);
   EXPECT_EQ(report.attempts, 4);
   EXPECT_EQ(report.corrupted_outputs, 4);
+}
+
+TEST_F(ResilientEncoderFaults, ScriptedBurstBackoffFollowsSimClockSchedule) {
+  // Corrupt the encode kernel of attempts 1..3 (device-wide launch
+  // indices 1, 3, 5); attempt 4 is clean. The supervisor must have slept
+  // the exact geometric series in simulated seconds before it.
+  simgpu::FaultPlan plan;
+  plan.scripted[1] = simgpu::FaultClass::kBitFlip;
+  plan.scripted[3] = simgpu::FaultClass::kBitFlip;
+  plan.scripted[5] = simgpu::FaultClass::kBitFlip;
+  simgpu::FaultInjector injector(plan);
+  SupervisorConfig config = this->config();
+  config.backoff_initial_s = 1e-3;
+  config.backoff_factor = 2.0;
+  ResilientLauncher supervisor(config, &injector);
+  ThreadPool pool(2);
+  ResilientEncoder encoder(simgpu::gtx280(), segment_, EncodeScheme::kTable5,
+                           pool, supervisor);
+  const CodedBatch batch = encoder.encode_batch(6, rng_);
+  const OperationReport report = encoder.last_report();
+  EXPECT_EQ(report.path, ComputePath::kGpu);
+  EXPECT_EQ(report.attempts, 4);
+  EXPECT_EQ(report.corrupted_outputs, 3);
+  EXPECT_DOUBLE_EQ(report.backoff_s, 1e-3 * (1.0 + 2.0 + 4.0));
+  EXPECT_DOUBLE_EQ(supervisor.totals().backoff_seconds, report.backoff_s);
+  // Output stays bit-exact after the burst.
+  const Encoder reference(segment_);
+  std::vector<std::uint8_t> expected(kParams.k);
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    reference.encode_with_coefficients(batch.coefficients(j), expected);
+    EXPECT_EQ(crc32c(expected), crc32c(batch.payload(j))) << j;
+  }
+}
+
+TEST_F(ResilientEncoderFaults, BreakerHalfOpenProbeRecoversGpuAfterLoss) {
+  // Device dies on the very first launch; a supervisor clock drives the
+  // cool-down; the half-open probe (which clears the injector's sticky
+  // lost state) brings the GPU path back. All batches stay bit-exact.
+  simgpu::FaultPlan plan;
+  plan.scripted[0] = simgpu::FaultClass::kDeviceLost;
+  simgpu::FaultInjector injector(plan);
+  SupervisorConfig config = this->config();
+  config.breaker_cooldown_s = 5.0;
+  ResilientLauncher supervisor(config, &injector);
+  double now = 0.0;
+  supervisor.set_clock([&now] { return now; });
+  ThreadPool pool(2);
+  ResilientEncoder encoder(simgpu::gtx280(), segment_, EncodeScheme::kTable5,
+                           pool, supervisor);
+
+  const CodedBatch dead = encoder.encode_batch(4, rng_);
+  EXPECT_EQ(encoder.last_report().path, ComputePath::kCpuFallback);
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  now = 2.0;  // within cool-down: still served by the CPU codec
+  const CodedBatch shielded = encoder.encode_batch(4, rng_);
+  EXPECT_EQ(encoder.last_report().path, ComputePath::kCpuFallback);
+  EXPECT_EQ(encoder.last_report().attempts, 0);
+  EXPECT_TRUE(supervisor.breaker_open());
+
+  now = 6.0;  // cool-down elapsed: probe succeeds, breaker recloses
+  const CodedBatch recovered = encoder.encode_batch(4, rng_);
+  EXPECT_EQ(encoder.last_report().path, ComputePath::kGpu);
+  EXPECT_FALSE(supervisor.breaker_open());
+
+  const Encoder reference(segment_);
+  std::vector<std::uint8_t> expected(kParams.k);
+  for (const CodedBatch* batch : {&dead, &shielded, &recovered}) {
+    for (std::size_t j = 0; j < batch->count(); ++j) {
+      reference.encode_with_coefficients(batch->coefficients(j), expected);
+      EXPECT_EQ(crc32c(expected), crc32c(batch->payload(j))) << j;
+    }
+  }
 }
 
 // --- checkpoint wire format ------------------------------------------------

@@ -1,0 +1,70 @@
+// Admission queue: capacity, the three shedding policies, FIFO order.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace extnc::serve {
+namespace {
+
+TEST(AdmissionQueue, AdmitsUpToCapacityThenRejects) {
+  AdmissionQueue queue({.capacity = 2, .policy = ShedPolicy::kReject});
+  EXPECT_TRUE(queue.offer(0).admitted);
+  EXPECT_TRUE(queue.offer(1).admitted);
+  const AdmissionDecision third = queue.offer(2);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_FALSE(third.evicted.has_value());
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_DOUBLE_EQ(queue.pressure(), 1.0);
+}
+
+TEST(AdmissionQueue, ShedOldestEvictsHeadAndAdmits) {
+  AdmissionQueue queue({.capacity = 2, .policy = ShedPolicy::kShedOldest});
+  EXPECT_TRUE(queue.offer(10).admitted);
+  EXPECT_TRUE(queue.offer(11).admitted);
+  const AdmissionDecision third = queue.offer(12);
+  EXPECT_TRUE(third.admitted);
+  ASSERT_TRUE(third.evicted.has_value());
+  EXPECT_EQ(*third.evicted, 10u);  // oldest waiter pays
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(11));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(12));
+}
+
+TEST(AdmissionQueue, DegradeAdmitsIntoHeadroomThenRejects) {
+  AdmissionQueue queue({.capacity = 2,
+                        .policy = ShedPolicy::kDegrade,
+                        .degrade_headroom = 2.0});
+  EXPECT_EQ(queue.hard_cap(), 4u);
+  EXPECT_FALSE(queue.offer(0).force_degraded);
+  EXPECT_FALSE(queue.offer(1).force_degraded);
+  const AdmissionDecision over = queue.offer(2);
+  EXPECT_TRUE(over.admitted);
+  EXPECT_TRUE(over.force_degraded);  // past capacity: thinned service
+  EXPECT_TRUE(queue.offer(3).admitted);
+  EXPECT_FALSE(queue.offer(4).admitted);  // past the hard cap
+  EXPECT_EQ(queue.depth(), 4u);
+  EXPECT_GT(queue.pressure(), 1.0);
+}
+
+TEST(AdmissionQueue, PopIsFifoAndRemoveDropsWaiters) {
+  AdmissionQueue queue({.capacity = 4});
+  for (std::uint64_t id : {1, 2, 3}) queue.offer(id);
+  EXPECT_TRUE(queue.remove(2));
+  EXPECT_FALSE(queue.remove(2));  // already gone
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(3));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(ShedPolicy, NamesRoundTrip) {
+  for (ShedPolicy policy : {ShedPolicy::kReject, ShedPolicy::kShedOldest,
+                            ShedPolicy::kDegrade}) {
+    const auto parsed = parse_shed_policy(shed_policy_name(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(parse_shed_policy("yolo").has_value());
+}
+
+}  // namespace
+}  // namespace extnc::serve

@@ -1,0 +1,156 @@
+// FleetScheduler: deterministic sharded encodes, health transitions,
+// modeled timings, decode verification.
+#include "serve/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/device_spec.h"
+#include "util/checksum.h"
+
+namespace extnc::serve {
+namespace {
+
+FleetConfig small_fleet(std::size_t devices) {
+  FleetConfig config;
+  config.params = {.n = 8, .k = 64};
+  for (std::size_t i = 0; i < devices; ++i) {
+    config.devices.push_back(i % 2 == 0 ? simgpu::gtx280()
+                                        : simgpu::geforce_8800gt());
+  }
+  config.threads = 1;
+  return config;
+}
+
+std::uint32_t batch_crc(const coding::CodedBatch& batch) {
+  std::uint32_t crc = 0;
+  for (std::size_t j = 0; j < batch.count(); ++j) {
+    crc ^= crc32c(batch.coefficients(j)) ^ crc32c(batch.payload(j));
+  }
+  return crc;
+}
+
+class FleetSchedulerTest : public ::testing::Test {
+ protected:
+  FleetSchedulerTest() : fleet_(small_fleet(3), [this] { return now_; }) {}
+
+  double now_ = 0;
+  FleetScheduler fleet_;
+};
+
+TEST_F(FleetSchedulerTest, SameSeedSameBytesAcrossDevicesAndModes) {
+  coding::CodedBatch on_dev0;
+  coding::CodedBatch on_dev2;
+  coding::CodedBatch forced_cpu;
+  const std::uint64_t seed = 0xfeedbeef;
+  const SegmentResult a =
+      fleet_.encode_segment(0, seed, 12, ServiceMode::kFull, &on_dev0);
+  const SegmentResult b =
+      fleet_.encode_segment(2, seed, 12, ServiceMode::kFull, &on_dev2);
+  const SegmentResult c =
+      fleet_.encode_segment(1, seed, 12, ServiceMode::kCpuCodec, &forced_cpu);
+  EXPECT_TRUE(a.bit_exact);
+  EXPECT_TRUE(b.bit_exact);
+  EXPECT_TRUE(c.bit_exact);
+  EXPECT_FALSE(c.gpu_path);  // forced CPU codec never touches the device
+  EXPECT_EQ(c.report.attempts, 0u);
+  // Hedge replicas and post-kill re-dispatches rely on this: identical
+  // seed -> identical bytes, whatever device or path served it.
+  EXPECT_EQ(batch_crc(on_dev0), batch_crc(on_dev2));
+  EXPECT_EQ(batch_crc(on_dev0), batch_crc(forced_cpu));
+}
+
+TEST_F(FleetSchedulerTest, ServedBatchDecodesBitExactly) {
+  coding::CodedBatch batch;
+  fleet_.encode_segment(0, 7, 12, ServiceMode::kFull, &batch);
+  EXPECT_EQ(fleet_.verify_decode(batch), DecodeCheck::kBitExact);
+}
+
+TEST_F(FleetSchedulerTest, RankShortBatchIsDetected) {
+  // Fewer coded blocks than generation size n: cannot possibly decode.
+  coding::CodedBatch thin;
+  fleet_.encode_segment(0, 7, fleet_.config().params.n - 1,
+                        ServiceMode::kThinned, &thin);
+  EXPECT_EQ(fleet_.verify_decode(thin), DecodeCheck::kRankShort);
+}
+
+TEST_F(FleetSchedulerTest, CorruptedPayloadIsAMismatch) {
+  coding::CodedBatch batch;
+  fleet_.encode_segment(0, 7, 12, ServiceMode::kFull, &batch);
+  batch.payload(3)[5] ^= 0x40;
+  EXPECT_NE(fleet_.verify_decode(batch), DecodeCheck::kBitExact);
+}
+
+TEST_F(FleetSchedulerTest, KillBumpsEpochTripsBreakerAndRestoreHeals) {
+  EXPECT_TRUE(fleet_.alive(1));
+  EXPECT_TRUE(fleet_.all_healthy());
+  const std::uint64_t epoch_before = fleet_.epoch(1);
+
+  fleet_.kill(1);
+  EXPECT_FALSE(fleet_.alive(1));
+  EXPECT_EQ(fleet_.alive_count(), 2u);
+  EXPECT_EQ(fleet_.epoch(1), epoch_before + 1);
+  EXPECT_TRUE(fleet_.health(1).breaker_open);
+  EXPECT_FALSE(fleet_.all_healthy());
+
+  fleet_.restore(1);
+  EXPECT_TRUE(fleet_.alive(1));
+  EXPECT_FALSE(fleet_.health(1).breaker_open);
+  EXPECT_TRUE(fleet_.all_healthy());
+  EXPECT_EQ(fleet_.epoch(1), epoch_before + 1);  // epoch never rolls back
+}
+
+TEST_F(FleetSchedulerTest, PickDevicePrefersLeastBusyAndHonorsExclusion) {
+  fleet_.set_busy_until(0, 5.0);
+  fleet_.set_busy_until(1, 1.0);
+  fleet_.set_busy_until(2, 3.0);
+  EXPECT_EQ(fleet_.pick_device(), std::optional<std::size_t>(1));
+  EXPECT_EQ(fleet_.pick_device(1), std::optional<std::size_t>(2));
+  fleet_.kill(1);
+  EXPECT_EQ(fleet_.pick_device(), std::optional<std::size_t>(2));
+  fleet_.kill(2);
+  EXPECT_EQ(fleet_.pick_device(0), std::nullopt);  // nobody left
+}
+
+TEST_F(FleetSchedulerTest, ModeledTimingsOrderSanely) {
+  const double full = fleet_.gpu_segment_s(0, 12, ServiceMode::kFull);
+  const double batched = fleet_.gpu_segment_s(0, 12, ServiceMode::kBatched);
+  const double cpu = fleet_.cpu_segment_s(12);
+  EXPECT_GT(full, 0);
+  EXPECT_LT(batched, full);  // batched dispatch amortizes overhead
+  EXPECT_GT(cpu, 0);
+  EXPECT_GT(fleet_.nominal_segment_s(12), 0);
+  // Thinned emits fewer blocks, so it must be cheaper than full density.
+  EXPECT_LT(fleet_.gpu_segment_s(0, 9, ServiceMode::kThinned), full);
+}
+
+TEST_F(FleetSchedulerTest, FaultedEncodeStaysBitExactAndChargesRetries) {
+  FleetConfig config = small_fleet(1);
+  ASSERT_TRUE(simgpu::FaultPlan::parse("flip@1,flip@3").has_value());
+  config.faults = *simgpu::FaultPlan::parse("flip@1,flip@3");
+  config.supervisor.backoff_initial_s = 1e-3;
+  FleetScheduler faulted(std::move(config), [] { return 0.0; });
+
+  coding::CodedBatch batch;
+  const SegmentResult result =
+      faulted.encode_segment(0, 99, 12, ServiceMode::kFull, &batch);
+  EXPECT_TRUE(result.bit_exact);
+  EXPECT_EQ(faulted.verify_decode(batch), DecodeCheck::kBitExact);
+  // The scripted bit-flips forced retries; the modeled service time must
+  // charge them (attempts > 1 and backoff included).
+  EXPECT_GT(result.report.attempts, 1u);
+  const double clean = faulted.gpu_segment_s(0, 12, ServiceMode::kFull);
+  EXPECT_GT(result.service_s, clean);
+}
+
+TEST_F(FleetSchedulerTest, FleetHealthReportsPerDeviceCounters) {
+  fleet_.encode_segment(0, 1, 12, ServiceMode::kFull);
+  fleet_.encode_segment(0, 2, 12, ServiceMode::kCpuCodec);
+  const DeviceHealth health = fleet_.health(0);
+  EXPECT_EQ(health.segments, 2u);
+  EXPECT_EQ(health.gpu_segments, 1u);
+  EXPECT_EQ(health.cpu_segments, 1u);
+  EXPECT_EQ(fleet_.fleet_health().size(), 3u);
+}
+
+}  // namespace
+}  // namespace extnc::serve

@@ -1,0 +1,255 @@
+// CodingService end-to-end: plan parsing, quiet runs, overload shedding
+// and degradation, device-kill failover, hedging, and the acceptance soak
+// (kill 1 of 3 devices and double offered load mid-run; every admitted
+// session must end in exactly one terminal state with bit-exact output).
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/device_spec.h"
+
+namespace extnc::serve {
+namespace {
+
+ServiceConfig base_config(std::size_t devices) {
+  ServiceConfig config;
+  config.fleet.params = {.n = 8, .k = 64};
+  for (std::size_t i = 0; i < devices; ++i) {
+    config.fleet.devices.push_back(simgpu::gtx280());
+  }
+  config.fleet.threads = 1;
+  config.segments_per_session = 4;
+  config.duration_s = 0.05;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FleetPlan, ParsesKillRestoreAndLoadTokens) {
+  const auto plan = FleetPlan::parse("kill@20:1,load@30:2.0,restore@45:1");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan->events[0].at, 20.0);
+  EXPECT_EQ(plan->events[0].device, 1u);
+  EXPECT_TRUE(plan->events[0].kill);
+  EXPECT_DOUBLE_EQ(plan->events[1].at, 45.0);
+  EXPECT_FALSE(plan->events[1].kill);
+  ASSERT_EQ(plan->load.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->load[0].at, 30.0);
+  EXPECT_DOUBLE_EQ(plan->load[0].multiplier, 2.0);
+}
+
+TEST(FleetPlan, SortsEventsByTimeAndAcceptsEmptySpec) {
+  const auto plan = FleetPlan::parse("restore@45:0,kill@5:0");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->events[0].kill);
+  EXPECT_DOUBLE_EQ(plan->events[0].at, 5.0);
+
+  const auto empty = FleetPlan::parse("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->any());
+}
+
+TEST(FleetPlan, RejectsMalformedTokensWithoutPartialState) {
+  EXPECT_FALSE(FleetPlan::parse("kill@20").has_value());
+  EXPECT_FALSE(FleetPlan::parse("explode@20:1").has_value());
+  EXPECT_FALSE(FleetPlan::parse("kill@-5:1").has_value());
+  EXPECT_FALSE(FleetPlan::parse("kill@20:1.5").has_value());
+  EXPECT_FALSE(FleetPlan::parse("load@10:0").has_value());
+  EXPECT_FALSE(FleetPlan::parse("kill@20:1,").has_value());
+  EXPECT_FALSE(FleetPlan::parse("kill@20:1,,load@5:2").has_value());
+}
+
+TEST(CodingService, QuietRunCompletesEverySessionBitExactly) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 0.3;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_GT(report.arrivals, 10u);
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_EQ(report.completed, report.arrivals);
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.bitexact_failures, 0u);
+  EXPECT_EQ(report.decode_mismatches, 0u);
+  EXPECT_EQ(report.rank_short_segments, 0u);
+  // Every segment landed in the healthy-phase histogram.
+  EXPECT_EQ(report.segment_latency_s.count(), report.segments_served);
+  EXPECT_EQ(report.segment_latency_healthy_s.count(), report.segments_served);
+  EXPECT_EQ(report.segment_latency_faulted_s.count(), 0u);
+  EXPECT_GT(report.session_latency_s.quantile(0.99), 0.0);
+}
+
+TEST(CodingService, OverloadUnderRejectPolicyShedsAndDegrades) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 4.0;  // far past fleet capacity
+  config.admission.capacity = 8;
+  config.admission.policy = ShedPolicy::kReject;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_GT(report.shed_rejected, 0u);
+  EXPECT_GT(report.shed, 0u);
+  // Pressure saturates at 1.0 under kReject: the ladder must have climbed
+  // past every threshold and thinned dispatches must have happened.
+  EXPECT_GT(report.ladder_transitions, 0u);
+  EXPECT_GT(report.mode_dispatches[static_cast<int>(ServiceMode::kThinned)],
+            0u);
+  EXPECT_GT(report.degraded, 0u);
+  EXPECT_EQ(report.bitexact_failures, 0u);
+  EXPECT_EQ(report.decode_mismatches, 0u);
+}
+
+TEST(CodingService, ShedOldestEvictsWaitersUnderOverload) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 4.0;
+  config.admission.capacity = 8;
+  config.admission.policy = ShedPolicy::kShedOldest;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_GT(report.shed_evicted, 0u);
+  EXPECT_EQ(report.shed_rejected, 0u);  // arrivals always admitted
+}
+
+TEST(CodingService, DegradePolicyTradesFidelityForAdmission) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 4.0;
+  config.admission.capacity = 8;
+  config.admission.policy = ShedPolicy::kDegrade;
+  config.admission.degrade_headroom = 2.0;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_GT(report.degraded, 0u);
+  // Headroom admits sessions a reject queue would have dropped, so with
+  // identical load the degrade policy must shed strictly fewer arrivals
+  // at the door than its hard cap implies and still serve thinned.
+  EXPECT_GT(report.mode_dispatches[static_cast<int>(ServiceMode::kThinned)],
+            0u);
+  EXPECT_EQ(report.bitexact_failures, 0u);
+  EXPECT_EQ(report.decode_mismatches, 0u);
+}
+
+TEST(CodingService, HangsTriggerHedgedRedispatch) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 0.5;
+  // Frequent hangs: each costs the watchdog budget (20x nominal), far past
+  // the hedge threshold (2x), so stragglers must hedge onto the peer.
+  ASSERT_TRUE(simgpu::FaultPlan::parse("phang=0.2").has_value());
+  config.fleet.faults = *simgpu::FaultPlan::parse("phang=0.2");
+  config.hedge_factor = 2.0;
+  config.deadline_factor = 1e6;  // isolate hedging from deadline sheds
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_GT(report.hedges, 0u);
+  EXPECT_GT(report.hedge_wins, 0u);
+  EXPECT_EQ(report.bitexact_failures, 0u);
+  EXPECT_EQ(report.decode_mismatches, 0u);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+// The ISSUE acceptance soak: 3 devices, the scripted plan kills one and
+// doubles offered load mid-run. Every admitted session must end in exactly
+// one terminal state, completed sessions decode bit-exactly, and the
+// faulted phase is visible in the split latency histograms.
+TEST(CodingService, KillOneOfThreeAndDoubleLoadSoak) {
+  ServiceConfig config = base_config(3);
+  config.offered_load = 0.9;
+  config.duration_s = 0.1;
+  config.admission.capacity = 12;
+  config.admission.policy = ShedPolicy::kDegrade;
+  const double t_kill = 0.04;
+  const auto plan = FleetPlan::parse("kill@0.04:1,load@0.04:2.0");
+  ASSERT_TRUE(plan.has_value());
+  config.plan = *plan;
+  // A light probabilistic fault background on top of the scripted kill.
+  ASSERT_TRUE(simgpu::FaultPlan::parse("pflip=0.01").has_value());
+  config.fleet.faults = *simgpu::FaultPlan::parse("pflip=0.01");
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  // Exact terminal accounting: nothing lost, nothing double-counted.
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_EQ(report.completed + report.degraded + report.shed + report.failed,
+            report.arrivals);
+  EXPECT_GT(report.arrivals, 50u);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_EQ(report.failed, 0u);  // two devices always survive
+
+  // Bit-exactness under faults and failover.
+  EXPECT_EQ(report.bitexact_failures, 0u);
+  EXPECT_EQ(report.decode_mismatches, 0u);
+
+  // The kill was observed: the victim's in-flight work re-dispatched onto
+  // survivors, and the faulted phase produced latency samples.
+  ASSERT_EQ(report.devices.size(), 3u);
+  EXPECT_FALSE(report.devices[1].alive);
+  EXPECT_GT(report.stale_completions, 0u);
+  EXPECT_GT(report.redispatches, 0u);
+  EXPECT_GT(report.segment_latency_faulted_s.count(), 0u);
+  EXPECT_GT(report.segment_latency_healthy_s.count(), 0u);
+  EXPECT_EQ(report.segment_latency_s.count(),
+            report.segment_latency_healthy_s.count() +
+                report.segment_latency_faulted_s.count());
+
+  // Doubled load on two survivors is overload: degradation engaged.
+  EXPECT_GT(report.degraded + report.shed, 0u);
+  EXPECT_GT(report.ladder_transitions, 0u);
+
+  // The dead device served nothing after the kill.
+  for (const DeviceHealth& device : report.devices) {
+    EXPECT_EQ(device.segments, device.gpu_segments + device.cpu_segments);
+  }
+  EXPECT_GT(report.devices[0].segments + report.devices[2].segments,
+            report.devices[1].segments);
+
+  // p99s exist for both phases (the BENCH_fleet contract).
+  EXPECT_GT(report.segment_latency_healthy_s.quantile(0.99), 0.0);
+  EXPECT_GT(report.segment_latency_faulted_s.quantile(0.99), 0.0);
+  (void)t_kill;
+}
+
+TEST(CodingService, WholeFleetDeathFailsStrandedSessionsExplicitly) {
+  ServiceConfig config = base_config(1);
+  config.offered_load = 0.5;
+  config.duration_s = 0.05;
+  const auto plan = FleetPlan::parse("kill@0.02:0");
+  ASSERT_TRUE(plan.has_value());
+  config.plan = *plan;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  // The only device died mid-run with no restore: everything in flight or
+  // queued afterwards must end failed (or shed at a deadline) — never
+  // silently lost.
+  EXPECT_GT(report.failed, 0u);
+  EXPECT_GT(report.completed, 0u);  // pre-kill sessions finished
+}
+
+TEST(CodingService, RestoreBringsTheDeviceBackIntoRotation) {
+  ServiceConfig config = base_config(2);
+  config.offered_load = 0.6;
+  config.duration_s = 0.1;
+  const auto plan = FleetPlan::parse("kill@0.02:0,restore@0.05:0");
+  ASSERT_TRUE(plan.has_value());
+  config.plan = *plan;
+  CodingService service(std::move(config));
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(report.accounting_exact());
+  EXPECT_EQ(report.failed, 0u);
+  ASSERT_EQ(report.devices.size(), 2u);
+  EXPECT_TRUE(report.devices[0].alive);  // restored
+  EXPECT_TRUE(report.devices[1].alive);
+}
+
+}  // namespace
+}  // namespace extnc::serve

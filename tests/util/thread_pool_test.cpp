@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -106,6 +107,73 @@ TEST(ThreadPool, RunBatchReusableAcrossCalls) {
 TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
+}
+
+// --- exception propagation -------------------------------------------------
+// A throwing task used to escape its worker thread and std::terminate the
+// process; now the waiter receives it.
+
+TEST(ThreadPool, RunBatchPropagatesTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run_batch(16,
+                     [&ran](std::size_t i) {
+                       ran.fetch_add(1);
+                       if (i == 5) throw std::runtime_error("task 5 failed");
+                     }),
+      std::runtime_error);
+  // Every task of the batch still ran (the batch drains; it is not
+  // cancelled mid-flight).
+  EXPECT_EQ(ran.load(), 16);
+  // The pool stays usable and the error does not leak into later waits.
+  std::atomic<int> after{0};
+  pool.run_batch(4, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+  pool.wait_idle();  // no stored exception on the submit path
+}
+
+TEST(ThreadPool, RunBatchPreservesExceptionMessage) {
+  ThreadPool pool(2);
+  try {
+    pool.run_batch(1, [](std::size_t) {
+      throw std::runtime_error("exact message");
+    });
+    FAIL() << "run_batch must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "exact message");
+  }
+}
+
+TEST(ThreadPool, WaitIdleRethrowsSubmitTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("submit failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Delivered once: the next wait is clean.
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForPropagatesViaWaitIdle) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  std::atomic<int> after{0};
+  pool.parallel_for(4, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPool, DestructorWithPendingExceptionDoesNotTerminate) {
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never observed"); });
+    // Destroyed without wait_idle: the stored exception is discarded.
+  }
+  SUCCEED();
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {

@@ -1,0 +1,300 @@
+// extnc_serve — run the fleet coding service against a scripted scenario.
+//
+//   extnc_serve [--devices N] [--device gtx280|8800gt|mixed]
+//               [--n N] [--k K] [--segments N]
+//               [--load X] [--duration S] [--seed S]
+//               [--policy reject|oldest|degrade] [--capacity N]
+//               [--plan SPEC] [--fault-profile SPEC] [--fault-seed N]
+//               [--hedge-factor X] [--deadline-factor X] [--no-verify]
+//               [--json] [--min-completed N]
+//
+// --plan scripts the fleet scenario (serve::FleetPlan grammar):
+//   kill@<t>:<dev>,restore@<t>:<dev>,load@<t>:<multiplier>
+// --fault-profile scripts per-device faults (simgpu::FaultPlan grammar):
+//   hang@3,flip@7,lost@12,pfail=0.01
+//
+// Prints the service report (volume, terminal-state accounting, shed
+// breakdown, resilience events, p50/p90/p99 latency for the healthy and
+// faulted phases, per-device health). Exit status is the robustness
+// contract, so CI can soak it directly:
+//   0  every arrival in exactly one terminal state, zero bit-exactness
+//      failures, zero decode mismatches (and --min-completed met);
+//   1  the contract was violated;
+//   2  bad usage.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "serve/service.h"
+#include "simgpu/device_spec.h"
+#include "util/cli_flags.h"
+
+namespace {
+
+using namespace extnc;
+using Kind = CliFlag::Kind;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: extnc_serve [options]\n"
+      "  fleet:    --devices N --device gtx280|8800gt|mixed --n N --k K\n"
+      "  load:     --load X --duration S --segments N --seed S\n"
+      "  admission:--policy reject|oldest|degrade --capacity N\n"
+      "  scenario: --plan \"kill@t:dev,restore@t:dev,load@t:mult\"\n"
+      "            --fault-profile \"hang@3,flip@7,pfail=0.01\" "
+      "--fault-seed N\n"
+      "  tuning:   --hedge-factor X --deadline-factor X --no-verify\n"
+      "  output:   --json --min-completed N\n");
+  return 2;
+}
+
+void print_quantiles(const char* label, const StreamingHistogram& histogram) {
+  if (histogram.count() == 0) {
+    std::printf("  %-22s: (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-22s: p50 %.3fms  p90 %.3fms  p99 %.3fms  (%llu samples)\n",
+              label, histogram.quantile(0.50) * 1e3,
+              histogram.quantile(0.90) * 1e3, histogram.quantile(0.99) * 1e3,
+              static_cast<unsigned long long>(histogram.count()));
+}
+
+void json_quantiles(const char* key, const StreamingHistogram& histogram,
+                    const char* suffix) {
+  std::printf("  \"%s\": {\"count\": %llu", key,
+              static_cast<unsigned long long>(histogram.count()));
+  if (histogram.count() > 0) {
+    std::printf(", \"p50_s\": %.9f, \"p90_s\": %.9f, \"p99_s\": %.9f",
+                histogram.quantile(0.50), histogram.quantile(0.90),
+                histogram.quantile(0.99));
+  }
+  std::printf("}%s\n", suffix);
+}
+
+void print_report(const serve::ServiceReport& report, bool json) {
+  auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"arrivals\": %llu,\n", u(report.arrivals));
+    std::printf("  \"admitted\": %llu,\n", u(report.admitted));
+    std::printf("  \"completed\": %llu,\n", u(report.completed));
+    std::printf("  \"degraded\": %llu,\n", u(report.degraded));
+    std::printf("  \"shed\": %llu,\n", u(report.shed));
+    std::printf("  \"failed\": %llu,\n", u(report.failed));
+    std::printf("  \"shed_rejected\": %llu,\n", u(report.shed_rejected));
+    std::printf("  \"shed_evicted\": %llu,\n", u(report.shed_evicted));
+    std::printf("  \"shed_deadline\": %llu,\n", u(report.shed_deadline));
+    std::printf("  \"hedges\": %llu,\n", u(report.hedges));
+    std::printf("  \"hedge_wins\": %llu,\n", u(report.hedge_wins));
+    std::printf("  \"stale_completions\": %llu,\n",
+                u(report.stale_completions));
+    std::printf("  \"redispatches\": %llu,\n", u(report.redispatches));
+    std::printf("  \"segments_served\": %llu,\n", u(report.segments_served));
+    std::printf("  \"bitexact_failures\": %llu,\n",
+                u(report.bitexact_failures));
+    std::printf("  \"decode_mismatches\": %llu,\n",
+                u(report.decode_mismatches));
+    std::printf("  \"rank_short_segments\": %llu,\n",
+                u(report.rank_short_segments));
+    std::printf("  \"ladder_transitions\": %llu,\n",
+                u(report.ladder_transitions));
+    std::printf("  \"mode_dispatches\": {");
+    for (std::size_t m = 0; m < serve::kServiceModes; ++m) {
+      std::printf("\"%s\": %llu%s",
+                  serve::service_mode_name(
+                      static_cast<serve::ServiceMode>(m)),
+                  u(report.mode_dispatches[m]),
+                  m + 1 < serve::kServiceModes ? ", " : "},\n");
+    }
+    json_quantiles("segment_latency", report.segment_latency_s, ",");
+    json_quantiles("segment_latency_healthy",
+                   report.segment_latency_healthy_s, ",");
+    json_quantiles("segment_latency_faulted",
+                   report.segment_latency_faulted_s, ",");
+    json_quantiles("session_latency", report.session_latency_s, ",");
+    std::printf("  \"nominal_segment_s\": %.9f,\n", report.nominal_segment_s);
+    std::printf("  \"offered_rate_hz\": %.3f,\n", report.offered_rate_hz);
+    std::printf("  \"sim_end_s\": %.6f,\n", report.sim_end_s);
+    std::printf("  \"devices\": [\n");
+    for (std::size_t i = 0; i < report.devices.size(); ++i) {
+      const serve::DeviceHealth& d = report.devices[i];
+      std::printf("    {\"device\": %zu, \"alive\": %s, "
+                  "\"breaker_open\": %s, \"epoch\": %llu, "
+                  "\"segments\": %llu, \"gpu\": %llu, \"cpu\": %llu, "
+                  "\"retries\": %llu, \"faults\": %llu}%s\n",
+                  d.index, d.alive ? "true" : "false",
+                  d.breaker_open ? "true" : "false", u(d.epoch),
+                  u(d.segments), u(d.gpu_segments), u(d.cpu_segments),
+                  u(d.totals.retries), u(d.faults.faults()),
+                  i + 1 < report.devices.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return;
+  }
+
+  std::printf("fleet service: %llu arrivals at %.0f/s offered "
+              "(nominal segment %.3fms), sim end %.3fs\n",
+              u(report.arrivals), report.offered_rate_hz,
+              report.nominal_segment_s * 1e3, report.sim_end_s);
+  std::printf("  terminal states       : %llu completed, %llu degraded, "
+              "%llu shed, %llu failed%s\n",
+              u(report.completed), u(report.degraded), u(report.shed),
+              u(report.failed),
+              report.accounting_exact() ? "" : "  [ACCOUNTING MISMATCH]");
+  std::printf("  shed breakdown        : %llu rejected, %llu evicted, "
+              "%llu deadline\n",
+              u(report.shed_rejected), u(report.shed_evicted),
+              u(report.shed_deadline));
+  std::printf("  resilience            : %llu hedges (%llu wins), "
+              "%llu stale completions, %llu re-dispatches\n",
+              u(report.hedges), u(report.hedge_wins),
+              u(report.stale_completions), u(report.redispatches));
+  std::printf("  verification          : %llu segments, %llu bit-exactness "
+              "failures, %llu decode mismatches, %llu rank-short\n",
+              u(report.segments_served), u(report.bitexact_failures),
+              u(report.decode_mismatches), u(report.rank_short_segments));
+  std::printf("  degradation           : %llu ladder transitions; dispatches",
+              u(report.ladder_transitions));
+  for (std::size_t m = 0; m < serve::kServiceModes; ++m) {
+    std::printf(" %s=%llu",
+                serve::service_mode_name(static_cast<serve::ServiceMode>(m)),
+                u(report.mode_dispatches[m]));
+  }
+  std::printf("\n");
+  print_quantiles("segment latency", report.segment_latency_s);
+  print_quantiles("  healthy phase", report.segment_latency_healthy_s);
+  print_quantiles("  faulted phase", report.segment_latency_faulted_s);
+  print_quantiles("session latency", report.session_latency_s);
+  for (const serve::DeviceHealth& d : report.devices) {
+    std::printf("  dev%zu: %s%s epoch %llu, %llu segments "
+                "(%llu gpu, %llu cpu), %llu retries, %llu faults injected\n",
+                d.index, d.alive ? "alive" : "DEAD",
+                d.breaker_open ? " breaker-open" : "", u(d.epoch),
+                u(d.segments), u(d.gpu_segments), u(d.cpu_segments),
+                u(d.totals.retries), u(d.faults.faults()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto flags =
+      CliFlags::parse(argc, argv, 1,
+                      {{"--devices", Kind::kSize},
+                       {"--device", Kind::kText},
+                       {"--n", Kind::kSize},
+                       {"--k", Kind::kSize},
+                       {"--segments", Kind::kSize},
+                       {"--load", Kind::kNumber},
+                       {"--duration", Kind::kNumber},
+                       {"--seed", Kind::kNumber},
+                       {"--policy", Kind::kText},
+                       {"--capacity", Kind::kSize},
+                       {"--plan", Kind::kText},
+                       {"--fault-profile", Kind::kText},
+                       {"--fault-seed", Kind::kNumber},
+                       {"--hedge-factor", Kind::kNumber},
+                       {"--deadline-factor", Kind::kNumber},
+                       {"--no-verify", Kind::kBool},
+                       {"--json", Kind::kBool},
+                       {"--min-completed", Kind::kSize}},
+                      &error);
+  if (!flags.has_value()) {
+    std::fprintf(stderr, "extnc_serve: %s\n", error.c_str());
+    return usage();
+  }
+  const CliFlags& args = *flags;
+
+  serve::ServiceConfig config;
+  config.fleet.params = {.n = args.size("--n", 16),
+                         .k = args.size("--k", 256)};
+  const std::size_t devices = args.size("--devices", 3);
+  const std::string device = args.text("--device", "gtx280");
+  for (std::size_t i = 0; i < devices; ++i) {
+    if (device == "gtx280") {
+      config.fleet.devices.push_back(simgpu::gtx280());
+    } else if (device == "8800gt") {
+      config.fleet.devices.push_back(simgpu::geforce_8800gt());
+    } else if (device == "mixed") {
+      config.fleet.devices.push_back(i % 2 == 0 ? simgpu::gtx280()
+                                                : simgpu::geforce_8800gt());
+    } else {
+      std::fprintf(stderr, "extnc_serve: unknown --device '%s'\n",
+                   device.c_str());
+      return usage();
+    }
+  }
+  config.segments_per_session = args.size("--segments", 4);
+  config.offered_load = args.number("--load", 0.7);
+  config.duration_s = args.number("--duration", 0.1);
+  config.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  config.hedge_factor = args.number("--hedge-factor", config.hedge_factor);
+  config.deadline_factor =
+      args.number("--deadline-factor", config.deadline_factor);
+  config.verify_decode = !args.has("--no-verify");
+  config.admission.capacity = args.size("--capacity", 32);
+
+  const std::string policy = args.text("--policy", "reject");
+  const auto parsed_policy = serve::parse_shed_policy(policy);
+  if (!parsed_policy.has_value()) {
+    std::fprintf(stderr, "extnc_serve: unknown --policy '%s'\n",
+                 policy.c_str());
+    return usage();
+  }
+  config.admission.policy = *parsed_policy;
+
+  const std::string plan = args.text("--plan", "");
+  if (!plan.empty()) {
+    const auto parsed_plan = serve::FleetPlan::parse(plan);
+    if (!parsed_plan.has_value()) {
+      std::fprintf(stderr, "extnc_serve: bad --plan '%s'\n", plan.c_str());
+      return usage();
+    }
+    for (const serve::FleetEvent& event : parsed_plan->events) {
+      if (event.device >= devices) {
+        std::fprintf(stderr,
+                     "extnc_serve: --plan device %zu out of range "
+                     "(fleet has %zu)\n",
+                     event.device, devices);
+        return usage();
+      }
+    }
+    config.plan = *parsed_plan;
+  }
+
+  const std::string profile = args.text("--fault-profile", "");
+  if (!profile.empty()) {
+    const auto parsed_faults = simgpu::FaultPlan::parse(
+        profile, static_cast<std::uint64_t>(args.number("--fault-seed", 1)));
+    if (!parsed_faults.has_value()) {
+      std::fprintf(stderr, "extnc_serve: bad --fault-profile '%s'\n",
+                   profile.c_str());
+      return usage();
+    }
+    config.fleet.faults = *parsed_faults;
+  }
+
+  const std::size_t min_completed = args.size("--min-completed", 0);
+  const bool json = args.has("--json");
+
+  serve::CodingService service(std::move(config));
+  const serve::ServiceReport report = service.run();
+  print_report(report, json);
+
+  // The robustness contract CI soaks against.
+  if (!report.accounting_exact()) return 1;
+  if (report.bitexact_failures != 0) return 1;
+  if (report.decode_mismatches != 0) return 1;
+  if (report.completed < min_completed) {
+    std::fprintf(stderr,
+                 "extnc_serve: only %llu sessions completed "
+                 "(--min-completed %zu)\n",
+                 static_cast<unsigned long long>(report.completed),
+                 min_completed);
+    return 1;
+  }
+  return 0;
+}
