@@ -50,7 +50,7 @@ double gpu_alu_per_word(double density) {
   }
   encoder.encode_into(batch);
   const double words = 16 * 512 / 4.0;
-  return encoder.encode_metrics().alu_ops / words;
+  return encoder.encode_metrics().alu_ops() / words;
 }
 
 double dependent_fraction(double density) {

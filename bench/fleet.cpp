@@ -14,12 +14,14 @@
 // smoke floor). Any accounting mismatch or bit-exactness failure exits
 // non-zero unconditionally: the bench doubles as a soak.
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "serve/service.h"
+#include "simgpu/exec_engine.h"
 #include "util/table_printer.h"
 
 namespace extnc::bench {
@@ -59,8 +61,22 @@ serve::ServiceConfig make_config(std::size_t devices, double load,
   return config;
 }
 
-double p99(const StreamingHistogram& histogram) {
-  return histogram.count() > 0 ? histogram.quantile(0.99) : 0.0;
+// JSON fragment for a quantile: "null" when the histogram has no samples
+// (a healthy run has an empty faulted-phase histogram, and printing 0.0
+// there poisons downstream trend tooling with a fake zero-latency tail).
+std::string quantile_json(const StreamingHistogram& histogram, double q) {
+  const std::optional<double> value = histogram.quantile_if_any(q);
+  if (!value.has_value()) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9f", *value);
+  return buffer;
+}
+
+// Table cell for a quantile in milliseconds; "-" when empty.
+std::string quantile_ms_cell(const StreamingHistogram& histogram, double q) {
+  const std::optional<double> value = histogram.quantile_if_any(q);
+  if (!value.has_value()) return "-";
+  return std::to_string(*value * 1e3);
 }
 
 void print_json(const std::vector<SweepPoint>& points, std::size_t devices,
@@ -70,7 +86,12 @@ void print_json(const std::vector<SweepPoint>& points, std::size_t devices,
   std::printf("  \"bench\": \"fleet\",\n");
   std::printf("  \"devices\": %zu,\n", devices);
   std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  // Both the detected cores and the pool size actually used: the engine
+  // pool honors EXTNC_SIMGPU_THREADS, so the two can differ and BENCH
+  // baselines need to be honest about which environment produced them.
   std::printf("  \"host_cores\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"pool_threads\": %zu,\n",
+              simgpu::engine_pool().num_threads());
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& point = points[i];
@@ -80,18 +101,17 @@ void print_json(const std::vector<SweepPoint>& points, std::size_t devices,
                 "\"completed\": %llu, \"degraded\": %llu, \"shed\": %llu, "
                 "\"failed\": %llu, \"hedges\": %llu, "
                 "\"stale_completions\": %llu, "
-                "\"p99_segment_s\": %.9f, \"p99_segment_healthy_s\": %.9f, "
-                "\"p99_segment_faulted_s\": %.9f, "
-                "\"p50_segment_s\": %.9f}%s\n",
+                "\"p99_segment_s\": %s, \"p99_segment_healthy_s\": %s, "
+                "\"p99_segment_faulted_s\": %s, "
+                "\"p50_segment_s\": %s}%s\n",
                 point.load, point.faulted ? "faulted" : "healthy",
                 u(r.arrivals), u(r.completed + r.degraded), u(r.completed),
                 u(r.degraded), u(r.shed), u(r.failed), u(r.hedges),
-                u(r.stale_completions), p99(r.segment_latency_s),
-                p99(r.segment_latency_healthy_s),
-                p99(r.segment_latency_faulted_s),
-                r.segment_latency_s.count() > 0
-                    ? r.segment_latency_s.quantile(0.5)
-                    : 0.0,
+                u(r.stale_completions),
+                quantile_json(r.segment_latency_s, 0.99).c_str(),
+                quantile_json(r.segment_latency_healthy_s, 0.99).c_str(),
+                quantile_json(r.segment_latency_faulted_s, 0.99).c_str(),
+                quantile_json(r.segment_latency_s, 0.5).c_str(),
                 i + 1 < points.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
@@ -151,8 +171,8 @@ int run(int argc, char** argv) {
                      std::to_string(r.arrivals),
                      std::to_string(r.completed + r.degraded),
                      std::to_string(r.shed), std::to_string(r.failed),
-                     std::to_string(p99(r.segment_latency_s) * 1e3),
-                     std::to_string(p99(r.segment_latency_faulted_s) * 1e3)});
+                     quantile_ms_cell(r.segment_latency_s, 0.99),
+                     quantile_ms_cell(r.segment_latency_faulted_s, 0.99)});
     }
     print_table(table, csv);
   }

@@ -1,18 +1,23 @@
 // Host wall-clock throughput of the simgpu executor itself: how fast the
 // simulator runs, not how fast the simulated device would be. This is the
-// regression harness for the parallel block execution engine — the same
-// workloads (fig4a-style encodes, fig9-style multi-segment decode) run
-// under the serial and the parallel engine, and the JSON report records
-// seconds, simulated-payload throughput, and the parallel/serial speedup.
+// regression harness for the execution engines — the same workloads
+// (fig4a-style encodes, fig9-style multi-segment decode) run under the
+// interpreted serial engine, the interpreted parallel engine, and the
+// warp-batched fast path (the default configuration: fast path on, engine
+// auto). The JSON report records seconds, simulated-payload throughput,
+// the parallel/serial speedup, and the fast/serial speedup.
 //
 // Usage:
-//   simspeed [--engine serial|parallel|both] [--device gtx280|8800gt]
-//            [--quick] [--json] [--csv] [--min-speedup X]
+//   simspeed [--engine serial|parallel|fast|both|all]
+//            [--device gtx280|8800gt] [--quick] [--json] [--csv]
+//            [--min-speedup X] [--min-fast-speedup X]
 //
 // --min-speedup X exits non-zero if any workload's parallel engine is
 // slower than X times the serial engine (CI smoke: X < 1 tolerates
-// few-core runners, still catching pathological slowdowns). Requires
-// --engine both.
+// few-core runners, still catching pathological slowdowns). Requires the
+// serial and parallel dimensions. --min-fast-speedup X is the same floor
+// for the fast path against the interpreted serial engine; the fast path
+// is single-host-thread SIMD, so this floor holds on any runner.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -133,12 +138,19 @@ struct Row {
   std::string workload;
   Measurement serial;
   Measurement parallel;
+  Measurement fast;
   bool has_serial = false;
   bool has_parallel = false;
+  bool has_fast = false;
 
   double speedup() const {
     return (has_serial && has_parallel && parallel.seconds > 0)
                ? serial.seconds / parallel.seconds
+               : 0;
+  }
+  double fast_speedup() const {
+    return (has_serial && has_fast && fast.seconds > 0)
+               ? serial.seconds / fast.seconds
                : 0;
   }
 };
@@ -165,8 +177,15 @@ void print_json(const std::vector<Row>& rows, const std::string& device,
       std::printf(", \"parallel_s\": %.6f, \"parallel_mb_per_s\": %.2f",
                   row.parallel.seconds, row.parallel.mb_per_s);
     }
+    if (row.has_fast) {
+      std::printf(", \"fast_s\": %.6f, \"fast_mb_per_s\": %.2f",
+                  row.fast.seconds, row.fast.mb_per_s);
+    }
     if (row.has_serial && row.has_parallel) {
       std::printf(", \"speedup\": %.3f", row.speedup());
+    }
+    if (row.has_serial && row.has_fast) {
+      std::printf(", \"fast_speedup\": %.3f", row.fast_speedup());
     }
     std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
   }
@@ -175,63 +194,97 @@ void print_json(const std::vector<Row>& rows, const std::string& device,
 }
 
 int run(int argc, char** argv) {
-  check_flags(argc, argv, {"--engine", "--device", "--min-speedup"},
+  check_flags(argc, argv,
+              {"--engine", "--device", "--min-speedup", "--min-fast-speedup"},
               {"--quick", "--json", "--csv"});
   const std::string engine_arg = flag_value(argc, argv, "--engine");
   const std::string device_arg = flag_value(argc, argv, "--device");
   const std::string min_speedup_arg =
       flag_value(argc, argv, "--min-speedup");
+  const std::string min_fast_arg =
+      flag_value(argc, argv, "--min-fast-speedup");
   const bool quick = has_flag(argc, argv, "--quick");
   const bool json = has_flag(argc, argv, "--json");
   const bool csv = has_flag(argc, argv, "--csv");
 
-  const std::string engine_mode = engine_arg.empty() ? "both" : engine_arg;
-  bool run_serial = engine_mode == "both" || engine_mode == "serial";
-  bool run_parallel = engine_mode == "both" || engine_mode == "parallel";
-  if (!run_serial && !run_parallel) {
+  const std::string engine_mode = engine_arg.empty() ? "all" : engine_arg;
+  const bool run_serial = engine_mode == "all" || engine_mode == "both" ||
+                          engine_mode == "serial";
+  const bool run_parallel = engine_mode == "all" || engine_mode == "both" ||
+                            engine_mode == "parallel";
+  const bool run_fast = engine_mode == "all" || engine_mode == "fast";
+  if (!run_serial && !run_parallel && !run_fast) {
     die("unknown --engine '" + engine_mode +
-        "' (expected serial, parallel or both)");
+        "' (expected serial, parallel, fast, both or all)");
   }
   double min_speedup = 0;
   if (!min_speedup_arg.empty()) {
-    if (engine_mode != "both") die("--min-speedup requires --engine both");
+    if (!run_serial || !run_parallel) {
+      die("--min-speedup requires the serial and parallel dimensions");
+    }
     min_speedup = std::atof(min_speedup_arg.c_str());
     if (min_speedup <= 0) die("--min-speedup must be a positive number");
+  }
+  double min_fast_speedup = 0;
+  if (!min_fast_arg.empty()) {
+    if (!run_serial || !run_fast) {
+      die("--min-fast-speedup requires the serial and fast dimensions");
+    }
+    min_fast_speedup = std::atof(min_fast_arg.c_str());
+    if (min_fast_speedup <= 0) {
+      die("--min-fast-speedup must be a positive number");
+    }
   }
   const std::string device = device_arg.empty() ? "gtx280" : device_arg;
   const simgpu::DeviceSpec& spec = device_by_name(device);
   const int repeats = quick ? 2 : 3;
 
+  const bool fast_saved = simgpu::fast_path_enabled();
   std::vector<Row> rows;
   for (const Workload& workload : build_workloads(spec, quick)) {
     Row row;
     row.workload = workload.name;
+    // The serial and parallel dimensions measure the interpreted engines —
+    // the historical baselines — so the fast path is pinned off for them.
     if (run_serial) {
+      simgpu::set_fast_path_enabled(false);
       simgpu::set_default_engine(ExecEngine::kSerial);
       row.serial = measure(workload, repeats);
       row.has_serial = true;
     }
     if (run_parallel) {
+      simgpu::set_fast_path_enabled(false);
       simgpu::set_default_engine(ExecEngine::kParallel);
       row.parallel = measure(workload, repeats);
       row.has_parallel = true;
     }
+    // The fast dimension is the shipping default: fast path on, engine
+    // auto (which keeps small launches serial).
+    if (run_fast) {
+      simgpu::set_fast_path_enabled(true);
+      simgpu::set_default_engine(ExecEngine::kAuto);
+      row.fast = measure(workload, repeats);
+      row.has_fast = true;
+    }
     simgpu::set_default_engine(ExecEngine::kAuto);
+    simgpu::set_fast_path_enabled(fast_saved);
     rows.push_back(row);
   }
 
   if (json) {
     print_json(rows, device, quick);
   } else {
-    TablePrinter table({"workload", "serial s", "parallel s", "speedup",
-                        "parallel MB/s"});
+    TablePrinter table({"workload", "serial s", "parallel s", "fast s",
+                        "speedup", "fast speedup", "fast MB/s"});
     for (const Row& row : rows) {
       table.add_row(
           {row.workload,
            row.has_serial ? std::to_string(row.serial.seconds) : "-",
            row.has_parallel ? std::to_string(row.parallel.seconds) : "-",
+           row.has_fast ? std::to_string(row.fast.seconds) : "-",
            row.speedup() > 0 ? std::to_string(row.speedup()) : "-",
-           row.has_parallel ? std::to_string(row.parallel.mb_per_s) : "-"});
+           row.fast_speedup() > 0 ? std::to_string(row.fast_speedup()) : "-",
+           row.has_fast ? std::to_string(row.fast.mb_per_s) : "-"});
     }
     print_table(table, csv);
   }
@@ -244,6 +297,18 @@ int run(int argc, char** argv) {
                      "--min-speedup %.3f (pool=%zu threads)\n",
                      row.workload.c_str(), row.speedup(), min_speedup,
                      simgpu::engine_pool().num_threads());
+        return 1;
+      }
+    }
+  }
+  if (min_fast_speedup > 0) {
+    for (const Row& row : rows) {
+      if (row.fast_speedup() < min_fast_speedup) {
+        std::fprintf(stderr,
+                     "error: %s: fast/serial speedup %.3f below "
+                     "--min-fast-speedup %.3f\n",
+                     row.workload.c_str(), row.fast_speedup(),
+                     min_fast_speedup);
         return 1;
       }
     }

@@ -62,8 +62,8 @@ int main() {
     if (decoded[s] == originals[s]) ++correct;
   }
   std::printf("Decoded %zu/%zu segments correctly\n", correct, segments);
-  const double s1 = decoder.stage1_metrics().alu_ops;
-  const double s2 = decoder.stage2_metrics().alu_ops;
+  const double s1 = decoder.stage1_metrics().alu_ops();
+  const double s2 = decoder.stage2_metrics().alu_ops();
   std::printf("ALU work split: stage 1 (inversions) %.0f%%, stage 2 "
               "(multiply) %.0f%%\n\n",
               100 * s1 / (s1 + s2), 100 * s2 / (s1 + s2));

@@ -50,7 +50,7 @@ int main() {
   const auto& m = encoder.encode_metrics();
   std::printf("Kernel metrics: %.0fM ALU ops, %.1f MB global traffic, "
               "shared-mem conflict degree %.2f\n\n",
-              m.alu_ops / 1e6,
+              m.alu_ops() / 1e6,
               static_cast<double>(m.global_bytes()) / 1e6,
               m.shared_conflict_degree());
 

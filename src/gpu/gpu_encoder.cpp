@@ -4,9 +4,11 @@
 #include <cstring>
 
 #include "gf256/gf.h"
+#include "gf256/region.h"
 #include "gf256/swar.h"
 #include "gpu/kernel_cost.h"
 #include "util/assert.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::gpu {
 
@@ -186,26 +188,54 @@ void GpuEncoder::preprocess_segment() {
 
   set_launch_label("preprocess_segment");
   launcher_.reset_metrics();
-  launcher_.launch({.blocks = blocks, .threads_per_block = threads},
-                   [&](BlockCtx& block) {
-                     const std::size_t stride = blocks * threads;
-                     block.step([&](ThreadCtx& thread) {
-                       for (std::size_t w = block.block_index() * threads +
-                                            thread.lane();
-                            w < words; w += stride) {
-                         std::uint32_t in = thread.gload_u32(src + w * 4);
-                         std::uint32_t out = 0;
-                         for (int b = 0; b < 4; ++b) {
-                           const auto byte =
-                               static_cast<std::uint8_t>(in >> (8 * b));
-                           out |= static_cast<std::uint32_t>(log_table[byte])
-                                  << (8 * b);
-                           thread.count_alu(kPreprocessPerByte);
-                         }
-                         thread.gstore_u32(dst + w * 4, out);
-                       }
-                     });
-                   });
+  launcher_.launch(
+      {.blocks = blocks, .threads_per_block = threads},
+      [&](BlockCtx& block) {
+        const std::size_t stride = blocks * threads;
+        if (block.fast_path()) {
+          metrics::count("simgpu.fast.lowered_blocks");
+          // Bulk lowering; partial half-warps (tail of the word range) are
+          // contiguous low lanes, so each group is one span.
+          const std::size_t half = block.spec().half_warp;
+          const std::uint64_t byte_deci =
+              simgpu::KernelMetrics::deciops(kPreprocessPerByte);
+          std::uint64_t alu = 0;
+          for (std::size_t base = block.block_index() * threads;
+               base < words; base += stride) {
+            const std::size_t lanes_end = std::min(threads, words - base);
+            for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
+              const std::size_t w0 = base + l0;
+              const std::size_t cnt = std::min(half, words - w0);
+              block.fast_global_span(
+                  reinterpret_cast<std::uintptr_t>(src + w0 * 4), cnt * 4,
+                  cnt, cnt * 4, 0);
+              for (std::size_t x = w0 * 4; x < (w0 + cnt) * 4; ++x) {
+                dst[x] = log_table[src[x]];
+              }
+              alu += cnt * 4 * byte_deci;
+              block.fast_global_span(
+                  reinterpret_cast<std::uintptr_t>(dst + w0 * 4), cnt * 4,
+                  cnt, 0, cnt * 4);
+            }
+          }
+          block.fast_alu_deciops(alu);
+          block.fast_barriers(1);
+          return;
+        }
+        block.step([&](ThreadCtx& thread) {
+          for (std::size_t w = block.block_index() * threads + thread.lane();
+               w < words; w += stride) {
+            std::uint32_t in = thread.gload_u32(src + w * 4);
+            std::uint32_t out = 0;
+            for (int b = 0; b < 4; ++b) {
+              const auto byte = static_cast<std::uint8_t>(in >> (8 * b));
+              out |= static_cast<std::uint32_t>(log_table[byte]) << (8 * b);
+              thread.count_alu(kPreprocessPerByte);
+            }
+            thread.gstore_u32(dst + w * 4, out);
+          }
+        });
+      });
   preprocess_metrics_.merge(launcher_.metrics());
 }
 
@@ -232,19 +262,47 @@ void GpuEncoder::preprocess_coefficients(const coding::CodedBatch& batch) {
       launcher_.spec().num_sms, (bytes + threads - 1) / threads);
   set_launch_label("preprocess_coeffs");
   launcher_.reset_metrics();
-  launcher_.launch({.blocks = blocks, .threads_per_block = threads},
-                   [&](BlockCtx& block) {
-                     const std::size_t stride = blocks * threads;
-                     block.step([&](ThreadCtx& thread) {
-                       for (std::size_t i = block.block_index() * threads +
-                                            thread.lane();
-                            i < bytes; i += stride) {
-                         const std::uint8_t c = thread.gload_u8(src + i);
-                         thread.count_alu(kPreprocessPerByte);
-                         thread.gstore_u8(dst + i, log_table[c]);
-                       }
-                     });
-                   });
+  launcher_.launch(
+      {.blocks = blocks, .threads_per_block = threads},
+      [&](BlockCtx& block) {
+        const std::size_t stride = blocks * threads;
+        if (block.fast_path()) {
+          metrics::count("simgpu.fast.lowered_blocks");
+          const std::size_t half = block.spec().half_warp;
+          const std::uint64_t byte_deci =
+              simgpu::KernelMetrics::deciops(kPreprocessPerByte);
+          std::uint64_t alu = 0;
+          for (std::size_t base = block.block_index() * threads;
+               base < bytes; base += stride) {
+            const std::size_t lanes_end = std::min(threads, bytes - base);
+            for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
+              const std::size_t i0 = base + l0;
+              const std::size_t cnt = std::min(half, bytes - i0);
+              block.fast_global_span(
+                  reinterpret_cast<std::uintptr_t>(src + i0), cnt, cnt, cnt,
+                  0);
+              for (std::size_t x = 0; x < cnt; ++x) {
+                dst[i0 + x] = log_table[src[i0 + x]];
+              }
+              alu += cnt * byte_deci;
+              block.fast_global_span(
+                  reinterpret_cast<std::uintptr_t>(dst + i0), cnt, cnt, 0,
+                  cnt);
+            }
+          }
+          block.fast_alu_deciops(alu);
+          block.fast_barriers(1);
+          return;
+        }
+        block.step([&](ThreadCtx& thread) {
+          for (std::size_t i = block.block_index() * threads + thread.lane();
+               i < bytes; i += stride) {
+            const std::uint8_t c = thread.gload_u8(src + i);
+            thread.count_alu(kPreprocessPerByte);
+            thread.gstore_u8(dst + i, log_table[c]);
+          }
+        });
+      });
   preprocess_metrics_.merge(launcher_.metrics());
 }
 
@@ -264,6 +322,49 @@ void GpuEncoder::run_loop_based(coding::CodedBatch& batch) {
   set_launch_label("mul_loop");
   launcher_.launch(
       {.blocks = blocks, .threads_per_block = threads}, [&](BlockCtx& block) {
+        // Bulk lowering: one SIMD region op per (half-warp, coded-block-i)
+        // pair instead of 16 interpreted lanes, with group accounting that
+        // mirrors the lane-at-a-time groups exactly (BlockCtx::fast_path).
+        // Half-warps must not straddle coded blocks and the block must be
+        // whole half-warps; otherwise interpret.
+        const std::size_t half = block.spec().half_warp;
+        if (block.fast_path() && words_per_block % half == 0 &&
+            threads % half == 0) {
+          metrics::count("simgpu.fast.lowered_blocks");
+          const gf256::Ops& gops = gf256::ops();
+          const std::size_t span = half * 4;
+          const std::uint64_t word_deci =
+              half * simgpu::KernelMetrics::deciops(cost.per_word);
+          std::uint64_t alu_deci = 0;
+          const std::size_t begin = block.block_index() * threads;
+          const std::size_t end = std::min(begin + threads, total_words);
+          for (std::size_t w0 = begin; w0 < end; w0 += half) {
+            const std::size_t j = w0 / words_per_block;
+            const std::size_t word = w0 % words_per_block;
+            const std::uint8_t* coeff_row = coeffs + j * p.n;
+            std::uint8_t* dst = out + j * p.k + word * 4;
+            std::memset(dst, 0, span);
+            for (std::size_t i = 0; i < p.n; ++i) {
+              const std::uint8_t c = coeff_row[i];
+              block.fast_global_span(
+                  reinterpret_cast<std::uintptr_t>(coeff_row + i), 1, half,
+                  half, 0);
+              const std::uint8_t* s = src + i * p.k + word * 4;
+              block.fast_global_span(reinterpret_cast<std::uintptr_t>(s),
+                                     span, half, span, 0);
+              gops.mul_add_region(dst, s, c, span);
+              alu_deci += half * simgpu::KernelMetrics::deciops(
+                                     cost.per_iteration *
+                                     gf256::loop_iterations(c));
+            }
+            alu_deci += word_deci;
+            block.fast_global_span(reinterpret_cast<std::uintptr_t>(dst),
+                                   span, half, 0, span);
+          }
+          block.fast_alu_deciops(alu_deci);
+          block.fast_barriers(1);
+          return;
+        }
         block.step([&](ThreadCtx& thread) {
           const std::size_t w =
               block.block_index() * threads + thread.lane();
@@ -311,6 +412,14 @@ void GpuEncoder::run_table_based(coding::CodedBatch& batch) {
   set_launch_label(scheme_ == EncodeScheme::kTable4 ? "exp_tex" : "exp_smem");
   launcher_.launch(
       {.blocks = blocks, .threads_per_block = threads}, [&](BlockCtx& block) {
+        const std::size_t half = block.spec().half_warp;
+        if (block.fast_path() && words_per_block % half == 0 &&
+            threads % half == 0 && half <= 16) {
+          metrics::count("simgpu.fast.lowered_blocks");
+          run_table_based_fast(block, batch, cost, total_words, threads,
+                               blocks, src, coeffs, out, sentinel);
+          return;
+        }
         // --- cooperative table load (coalesced, Sec. 5.1) ---------------
         if (scheme_ == EncodeScheme::kTable5) {
           const std::size_t table_words =
@@ -401,6 +510,177 @@ void GpuEncoder::run_table_based(coding::CodedBatch& batch) {
           }
         });
       });
+}
+
+// Fast-path body for one table-based block. Outputs come from SIMD region
+// multiplies over the natural-domain segment/coefficients (the log-domain
+// round trip is exact GF(2^8) arithmetic, so the bytes are identical);
+// accounting walks the same (half-warp, access-sequence) groups the
+// interpreted step produces, reading the accounting-domain buffers for the
+// sentinel tests so skip patterns match byte for byte.
+void GpuEncoder::run_table_based_fast(BlockCtx& block,
+                                      coding::CodedBatch& batch,
+                                      const EncodeCost& cost,
+                                      std::size_t total_words,
+                                      std::size_t threads, std::size_t blocks,
+                                      const std::uint8_t* src,
+                                      const std::uint8_t* coeffs,
+                                      std::uint8_t* out,
+                                      std::uint8_t sentinel) {
+  const coding::Params p = params();
+  const std::size_t words_per_block = p.k / 4;
+  const std::size_t half = block.spec().half_warp;
+  const std::size_t span = half * 4;
+  const std::size_t stride = blocks * threads;
+  const gf256::Ops& gops = gf256::ops();
+  const std::uint8_t* raw_src = segment_->data();
+  const std::uint8_t* raw_coeffs = batch.coefficients_data();
+  const bool tb0 = scheme_ == EncodeScheme::kTable0;
+  const bool tb4 = scheme_ == EncodeScheme::kTable4;
+  const bool tb5 = scheme_ == EncodeScheme::kTable5;
+  const std::uint8_t* log_table = tb0 ? log_table_bytes_.data() : nullptr;
+  std::array<std::uintptr_t, 16> words_buf;
+  std::uint64_t alu = 0;
+
+  // --- cooperative table load (one barrier, like the interpreted step) ---
+  if (tb5) {
+    const std::size_t table_words = kExpTableEntries * kReplicatedTables;
+    for (std::size_t it = 0; it * threads < table_words; ++it) {
+      for (std::size_t l0 = 0;
+           l0 < threads && it * threads + l0 < table_words; l0 += half) {
+        const std::size_t w0 = it * threads + l0;
+        const std::size_t cnt = std::min(half, table_words - w0);
+        block.fast_global_span(
+            reinterpret_cast<std::uintptr_t>(exp_table_words_.data() +
+                                             w0 * 4),
+            cnt * 4, cnt, cnt * 4, 0);
+        for (std::size_t l = 0; l < cnt; ++l) words_buf[l] = w0 + l;
+        block.fast_shared_group(words_buf.data(), cnt);
+      }
+    }
+    block.fast_barriers(1);
+  } else if (!tb4) {
+    const std::size_t exp_words = kExpTableEntries / 4;
+    for (std::size_t l0 = 0; l0 < threads && l0 < exp_words; l0 += half) {
+      const std::size_t cnt = std::min(half, exp_words - l0);
+      block.fast_global_span(
+          reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data() + l0 * 4),
+          cnt * 4, cnt, cnt * 4, 0);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        words_buf[l] = kExpBytesOffset / 4 + l0 + l;
+      }
+      block.fast_shared_group(words_buf.data(), cnt);
+    }
+    if (tb0) {
+      const std::size_t log_words = 256 / 4;
+      for (std::size_t l0 = 0; l0 < threads && l0 < log_words; l0 += half) {
+        const std::size_t cnt = std::min(half, log_words - l0);
+        block.fast_global_span(
+            reinterpret_cast<std::uintptr_t>(log_table_bytes_.data() +
+                                             l0 * 4),
+            cnt * 4, cnt, cnt * 4, 0);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          words_buf[l] = kLogBytesOffset / 4 + l0 + l;
+        }
+        block.fast_shared_group(words_buf.data(), cnt);
+      }
+    }
+    block.fast_barriers(1);
+  }
+
+  // --- encode words, strided (one barrier) -------------------------------
+  const std::uint64_t word_deci =
+      simgpu::KernelMetrics::deciops(cost.per_word);
+  const std::uint64_t byte_deci =
+      simgpu::KernelMetrics::deciops(cost.per_byte);
+  for (std::size_t bb = block.block_index() * threads; bb < total_words;
+       bb += stride) {
+    const std::size_t lanes_end = std::min(threads, total_words - bb);
+    for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
+      const std::size_t wb = bb + l0;
+      const std::size_t j = wb / words_per_block;
+      const std::size_t word = wb % words_per_block;
+      const std::uint8_t* coeff_row = coeffs + j * p.n;
+      const std::uint8_t* raw_row = raw_coeffs + j * p.n;
+      std::uint8_t* dst = out + j * p.k + word * 4;
+      std::memset(dst, 0, span);
+      for (std::size_t i = 0; i < p.n; ++i) {
+        std::uint8_t log_c = coeff_row[i];
+        block.fast_global_span(
+            reinterpret_cast<std::uintptr_t>(coeff_row + i), 1, half, half,
+            0);
+        if (tb0) {
+          // Broadcast lookup: all lanes hit the same log-table word.
+          const std::uintptr_t lw = (kLogBytesOffset + log_c) / 4;
+          for (std::size_t l = 0; l < half; ++l) words_buf[l] = lw;
+          block.fast_shared_group(words_buf.data(), half);
+          log_c = log_table[log_c];
+        }
+        const std::uint8_t* s = src + i * p.k + word * 4;
+        block.fast_global_span(reinterpret_cast<std::uintptr_t>(s), span,
+                               half, span, 0);
+        alu += half * word_deci;
+        gops.mul_add_region(dst, raw_src + i * p.k + word * 4, raw_row[i],
+                            span);
+        if (log_c == sentinel) continue;
+        for (int b = 0; b < 4; ++b) {
+          if (tb0) {
+            for (std::size_t l = 0; l < half; ++l) {
+              words_buf[l] = (kLogBytesOffset + s[l * 4 + b]) / 4;
+            }
+            block.fast_shared_group(words_buf.data(), half);
+          }
+          alu += half * byte_deci;
+          if (tb4) continue;  // exp fetches replayed lane-major below
+          std::size_t cnt = 0;
+          for (std::size_t l = 0; l < half; ++l) {
+            std::uint8_t log_s = s[l * 4 + b];
+            if (tb0) log_s = log_table[log_s];
+            if (log_s == sentinel) continue;  // interpreted skip_access
+            const std::size_t idx = static_cast<std::size_t>(log_c) + log_s;
+            words_buf[cnt++] =
+                tb5 ? idx * kReplicatedTables +
+                          ((l0 + l) % kReplicatedTables)
+                    : kExpBytesOffset / 4 + idx / 4;
+          }
+          // An all-sentinel byte position makes no accesses at this
+          // sequence point, hence no group and no event.
+          if (cnt > 0) block.fast_shared_group(words_buf.data(), cnt);
+        }
+      }
+      block.fast_global_span(reinterpret_cast<std::uintptr_t>(dst), span,
+                             half, 0, span);
+    }
+  }
+  block.fast_barriers(1);
+  block.fast_alu_deciops(alu);
+
+  // --- kTable4: replay exp fetches lane-major through the texture model.
+  // The cache is stateful and the interpreted step runs lanes to
+  // completion in order, so the evolution (and the miss count) depends on
+  // that order.
+  if (tb4) {
+    for (std::size_t lane = 0; lane < threads; ++lane) {
+      for (std::size_t w = block.block_index() * threads + lane;
+           w < total_words; w += stride) {
+        const std::size_t j = w / words_per_block;
+        const std::size_t word = w % words_per_block;
+        const std::uint8_t* coeff_row = coeffs + j * p.n;
+        for (std::size_t i = 0; i < p.n; ++i) {
+          const std::uint8_t log_c = coeff_row[i];
+          if (log_c == sentinel) continue;
+          const std::uint8_t* s = src + i * p.k + word * 4;
+          for (int b = 0; b < 4; ++b) {
+            const std::uint8_t log_s = s[b];
+            if (log_s == sentinel) continue;
+            block.fast_texture_fetch(
+                reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data()) +
+                log_c + log_s);
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace extnc::gpu

@@ -21,6 +21,7 @@
 #include "coding/batch.h"
 #include "coding/segment.h"
 #include "gpu/encode_scheme.h"
+#include "gpu/kernel_cost.h"
 #include "simgpu/executor.h"
 #include "util/aligned_buffer.h"
 #include "util/rng.h"
@@ -86,6 +87,19 @@ class GpuEncoder {
   void preprocess_coefficients(const coding::CodedBatch& batch);
   void run_loop_based(coding::CodedBatch& batch);
   void run_table_based(coding::CodedBatch& batch);
+  // Bulk lowering of the table-based kernel body for one block (taken when
+  // BlockCtx::fast_path() holds and the geometry preconditions are met):
+  // SIMD region math over the natural-domain buffers plus group accounting
+  // that is bit-identical to the interpreted lane stepping. `src`/`coeffs`
+  // are the accounting-domain pointers (log domain for preprocessed
+  // schemes); kTable4 replays its exp fetches lane-major through the
+  // texture-cache model in a second pass.
+  void run_table_based_fast(simgpu::BlockCtx& block, coding::CodedBatch& batch,
+                            const EncodeCost& cost, std::size_t total_words,
+                            std::size_t threads, std::size_t blocks,
+                            const std::uint8_t* src,
+                            const std::uint8_t* coeffs, std::uint8_t* out,
+                            std::uint8_t sentinel);
   void set_launch_label(const char* kernel);
   void unwatch_all();
 

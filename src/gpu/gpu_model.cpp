@@ -60,7 +60,7 @@ PerWordCosts calibrate_encode(const simgpu::DeviceSpec& spec,
   const double words = static_cast<double>(options.calibration_blocks) *
                        options.calibration_k / 4.0;
   PerWordCosts costs;
-  costs.alu = m.alu_ops / words;
+  costs.alu = m.alu_ops() / words;
   costs.global_load_bytes = static_cast<double>(m.global_load_bytes) / words;
   costs.global_store_bytes = static_cast<double>(m.global_store_bytes) / words;
   costs.transactions = static_cast<double>(m.global_transactions) / words;
@@ -96,7 +96,7 @@ KernelMetrics scaled_encode_metrics(const simgpu::DeviceSpec& spec,
   const double words = static_cast<double>(coded_blocks) * params.k / 4.0;
 
   KernelMetrics m;
-  m.alu_ops = per_word.alu * words;
+  m.set_alu_ops(per_word.alu * words);
   m.global_load_bytes =
       static_cast<std::uint64_t>(per_word.global_load_bytes * words);
   m.global_store_bytes =
@@ -132,7 +132,7 @@ KernelMetrics scaled_encode_metrics(const simgpu::DeviceSpec& spec,
         static_cast<double>(segments) * params.segment_bytes() +
         static_cast<double>(coded_blocks) * params.n;
     KernelMetrics pre;
-    pre.alu_ops = pre_bytes * (kPreprocessPerByte + 0.5 /*amortized loads*/);
+    pre.set_alu_ops(pre_bytes * (kPreprocessPerByte + 0.5 /*amortized loads*/));
     pre.global_load_bytes = static_cast<std::uint64_t>(pre_bytes);
     pre.global_store_bytes = static_cast<std::uint64_t>(pre_bytes);
     pre.global_transactions = static_cast<std::uint64_t>(2 * pre_bytes / 64);
@@ -193,14 +193,14 @@ KernelMetrics analytic_single_segment_decode_metrics(
       kDecodeCost.per_word + kDecodeCost.per_iteration * kAvgLoopIterations +
       3.0;  // 2 loads + 1 store issue slots
   KernelMetrics m;
-  m.alu_ops = row_ops * row_words_total * per_word_alu;
+  m.set_alu_ops(row_ops * row_words_total * per_word_alu);
   // Pivot searches: n launches, each scanning the n-byte coefficient row
   // in every block.
   const double reduce = options.use_atomic_min
                             ? kDecodeCost.pivot_reduce_atomic
                             : kDecodeCost.pivot_reduce_per_thread;
-  m.alu_ops += n * blocks *
-               (n * kDecodeCost.pivot_search_per_byte + coeff_words * reduce);
+  m.add_alu_ops(n * blocks *
+                (n * kDecodeCost.pivot_search_per_byte + coeff_words * reduce));
   const double row_bytes_touched = row_ops * row_words_total * 4.0;
   m.global_load_bytes = static_cast<std::uint64_t>(2.0 * row_bytes_touched);
   m.global_store_bytes = static_cast<std::uint64_t>(row_bytes_touched);
@@ -278,8 +278,8 @@ KernelMetrics analytic_inversion_metrics(const simgpu::DeviceSpec& spec,
       kDecodeCost.per_word + kDecodeCost.per_iteration * kAvgLoopIterations +
       3.0;
   KernelMetrics m;
-  m.alu_ops = row_ops * row_words * per_word_alu;
-  m.alu_ops += s * n * n / 2.0 * kDecodeCost.pivot_search_per_byte;
+  m.set_alu_ops(row_ops * row_words * per_word_alu);
+  m.add_alu_ops(s * n * n / 2.0 * kDecodeCost.pivot_search_per_byte);
   const double bytes = row_ops * row_words * 4.0;
   m.global_load_bytes = static_cast<std::uint64_t>(2.0 * bytes);
   m.global_store_bytes = static_cast<std::uint64_t>(bytes);

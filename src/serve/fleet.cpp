@@ -113,7 +113,7 @@ SegmentResult FleetScheduler::encode_segment(std::size_t device,
   } else {
     slot.encoder->encode_into(batch);
     result.report = slot.encoder->last_report();
-    const double attempt_s = gpu_segment_s(device, blocks, mode);
+    const double attempt_s = gpu_segment_s(device, blocks);
     // Hung attempts are killed at the watchdog budget; clean (successful
     // or promptly-failed) attempts cost a full pass; backoff is charged
     // as reported, in the same modeled seconds.
@@ -246,16 +246,13 @@ std::vector<DeviceHealth> FleetScheduler::fleet_health() const {
   return all;
 }
 
-double FleetScheduler::gpu_segment_s(std::size_t device, std::size_t blocks,
-                                     ServiceMode mode) const {
+double FleetScheduler::gpu_segment_s(std::size_t device,
+                                     std::size_t blocks) const {
   EXTNC_CHECK(device < slots_.size());
   const double bytes =
       static_cast<double>(blocks) * static_cast<double>(config_.params.k);
-  const double overhead =
-      mode == ServiceMode::kBatched
-          ? config_.dispatch_overhead_s * config_.batched_overhead_factor
-          : config_.dispatch_overhead_s;
-  return bytes / (slots_[device]->gpu_mb_per_s * 1e6) + overhead;
+  return bytes / (slots_[device]->gpu_mb_per_s * 1e6) +
+         config_.dispatch_overhead_s;
 }
 
 double FleetScheduler::cpu_segment_s(std::size_t blocks) const {
@@ -267,7 +264,7 @@ double FleetScheduler::cpu_segment_s(std::size_t blocks) const {
 double FleetScheduler::nominal_segment_s(std::size_t blocks) const {
   double sum = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    sum += gpu_segment_s(i, blocks, ServiceMode::kFull);
+    sum += gpu_segment_s(i, blocks);
   }
   return sum / static_cast<double>(slots_.size());
 }

@@ -41,8 +41,9 @@ inline bool is_terminal(SessionState state) {
 // The overload-degradation ladder, mildest first. The service maps queue
 // pressure to a level; each level trades fidelity or latency for capacity:
 //   kFull    — GPU encode, full generation density, per-segment dispatch.
-//   kBatched — batch harder: coarser dispatch amortizes per-launch
-//              overhead (higher per-segment latency, higher throughput).
+//   kBatched — batch harder: coarser dispatch under pressure. No modeled
+//              latency discount anymore (launches are genuinely fast);
+//              the level remains the mildest signal on the ladder.
 //   kCpuCodec— route new segments to the CPU codec, keeping the GPU for
 //              the backlog (sessions finish slower; counted degraded).
 //   kThinned — reduce generation density to the decode minimum (smallest

@@ -25,8 +25,6 @@ std::optional<ExecEngine> parse_engine(std::string_view text) {
   return std::nullopt;
 }
 
-namespace {
-
 ExecEngine engine_from_env() {
   const char* value = std::getenv("EXTNC_SIMGPU_ENGINE");
   if (value == nullptr) return ExecEngine::kAuto;
@@ -44,8 +42,21 @@ std::size_t threads_from_env() {
   return threads;
 }
 
+bool fast_from_env() {
+  const char* value = std::getenv("EXTNC_SIMGPU_FAST");
+  if (value == nullptr) return true;
+  return std::string_view(value) != "0";
+}
+
+namespace {
+
 std::atomic<ExecEngine>& default_engine_slot() {
   static std::atomic<ExecEngine> slot(engine_from_env());
+  return slot;
+}
+
+std::atomic<bool>& fast_path_slot() {
+  static std::atomic<bool> slot(fast_from_env());
   return slot;
 }
 
@@ -62,6 +73,14 @@ void set_default_engine(ExecEngine engine) {
 ThreadPool& engine_pool() {
   static ThreadPool pool(threads_from_env());
   return pool;
+}
+
+bool fast_path_enabled() {
+  return fast_path_slot().load(std::memory_order_relaxed);
+}
+
+void set_fast_path_enabled(bool enabled) {
+  fast_path_slot().store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace extnc::simgpu

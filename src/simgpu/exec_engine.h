@@ -49,4 +49,27 @@ void set_default_engine(ExecEngine engine);
 // lazily on first use; sized from EXTNC_SIMGPU_THREADS.
 ThreadPool& engine_pool();
 
+// Process-wide toggle for the zero-instrumentation fast path: kernels that
+// ship a bulk lowering (src/gpu) execute whole half-warps through the host
+// SIMD GF(2^8) region ops with bulk accounting instead of interpreting
+// lane-at-a-time, whenever the launch runs unchecked (no sanitizer). The
+// fast path is bit-identical to the interpreted engines — outputs, every
+// KernelMetrics field, modeled clocks, traces — so it defaults to ON; it
+// exists as a toggle so equivalence tests and overhead measurements can
+// pin the interpreted path. First use initializes from EXTNC_SIMGPU_FAST
+// ("0" disables; anything else, or unset, enables).
+bool fast_path_enabled();
+void set_fast_path_enabled(bool enabled);
+
+// Raw environment readers behind the lazy defaults above, exposed so the
+// environment contract stays regression-testable: the defaults latch once
+// per process, but these re-read the environment on every call.
+//   engine_from_env  — EXTNC_SIMGPU_ENGINE, kAuto when unset/unparsable
+//   threads_from_env — EXTNC_SIMGPU_THREADS, 0 (hardware concurrency)
+//                      when unset/unparsable
+//   fast_from_env    — EXTNC_SIMGPU_FAST, true unless exactly "0"
+ExecEngine engine_from_env();
+std::size_t threads_from_env();
+bool fast_from_env();
+
 }  // namespace extnc::simgpu

@@ -159,9 +159,79 @@ std::uint8_t ThreadCtx::tex1d_u8(const std::uint8_t* base, std::size_t index) {
   return base[index];
 }
 
-void ThreadCtx::count_alu(double ops) { block_->metrics_->alu_ops += ops; }
+void ThreadCtx::count_alu(double ops) {
+  block_->metrics_->alu_deciops += KernelMetrics::deciops(ops);
+}
 
 // ---------------------------------------------------------------- BlockCtx
+
+namespace {
+
+// Serialized cycles for one half-warp shared access step: the worst bank
+// must serve one cycle per *distinct word* addressed in it (lanes reading
+// the same word are satisfied by one broadcast). At most kGroupLanes
+// entries per group, so the quadratic dedup stays allocation-free and
+// cheap. Shared by the interpreted flush and the fast-path bulk groups so
+// the two paths can never disagree.
+std::uint64_t shared_group_degree(const std::uintptr_t* words,
+                                  std::size_t count, std::uint32_t banks) {
+  std::array<std::uint32_t, 32> bank_words{};
+  std::uint64_t degree = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (words[j] == words[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const std::uint32_t in_bank = ++bank_words[(words[i] % banks) % 32];
+    degree = std::max<std::uint64_t>(degree, in_bank);
+  }
+  return degree;
+}
+
+}  // namespace
+
+void BlockCtx::fast_global_group(const std::uintptr_t* addrs,
+                                 std::size_t count, std::size_t access_bytes,
+                                 std::uint64_t load_bytes,
+                                 std::uint64_t store_bytes) {
+  const std::uint64_t seg_bytes = spec_->coalesce_segment_bytes;
+  std::array<std::uint64_t, 2 * kGroupLanes> segments;
+  std::uint32_t live = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t first = addrs[i] / seg_bytes;
+    const std::uint64_t last = (addrs[i] + access_bytes - 1) / seg_bytes;
+    for (std::uint64_t seg = first; seg <= last; ++seg) {
+      bool seen = false;
+      for (std::uint32_t j = 0; j < live; ++j) {
+        if (segments[j] == seg) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        EXTNC_DASSERT(live < segments.size());
+        segments[live++] = seg;
+      }
+    }
+  }
+  metrics_->global_transactions += live;
+  metrics_->global_load_bytes += load_bytes;
+  metrics_->global_store_bytes += store_bytes;
+  metrics_->alu_deciops += static_cast<std::uint64_t>(count) * 10;
+}
+
+void BlockCtx::fast_shared_group(const std::uintptr_t* words,
+                                 std::size_t count) {
+  metrics_->shared_accesses += count;
+  metrics_->shared_access_events += 1;
+  metrics_->shared_serialized_cycles += shared_group_degree(
+      words, count, static_cast<std::uint32_t>(spec_->shared_banks));
+  metrics_->alu_deciops += static_cast<std::uint64_t>(count) * 10;
+}
 
 void BlockCtx::step(const std::function<void(ThreadCtx&)>& fn) {
   step_partial(config_.threads_per_block, fn);
@@ -221,11 +291,10 @@ void BlockCtx::record_shared(std::uint32_t seq, std::size_t offset,
   if (seq >= shared_groups_.size()) shared_groups_.resize(seq + 1);
   SharedGroup& group = shared_groups_[seq];
   if (group.count == 0) shared_live_.push_back(seq);
-  // Bank of a shared access is determined by its 32-bit word address.
+  // Bank of a shared access is determined by its 32-bit word address
+  // (derived from the word at flush time).
   const std::uintptr_t word = offset / 4;
-  EXTNC_DASSERT(group.count < group.banks.size());
-  group.banks[group.count] =
-      static_cast<std::uint32_t>(word % spec_->shared_banks);
+  EXTNC_DASSERT(group.count < group.words.size());
   group.words[group.count] = word;
   ++group.count;
   (void)size;
@@ -252,25 +321,9 @@ void BlockCtx::flush_half_warp() {
   global_live_.clear();
   for (const std::uint32_t seq : shared_live_) {
     SharedGroup& group = shared_groups_[seq];
-    // Serialized cycles for one half-warp access step: the worst bank must
-    // serve one cycle per *distinct word* addressed in it (lanes reading
-    // the same word are satisfied by one broadcast). At most kGroupLanes
-    // entries per group, so the quadratic dedup stays allocation-free and
-    // cheap.
-    std::array<std::uint32_t, 32> bank_words{};
-    std::uint64_t degree = 1;
-    for (std::uint32_t i = 0; i < group.count; ++i) {
-      bool seen = false;
-      for (std::uint32_t j = 0; j < i; ++j) {
-        if (group.words[j] == group.words[i]) {
-          seen = true;
-          break;
-        }
-      }
-      if (seen) continue;
-      const std::uint32_t words = ++bank_words[group.banks[i] % 32];
-      degree = std::max<std::uint64_t>(degree, words);
-    }
+    const std::uint64_t degree =
+        shared_group_degree(group.words.data(), group.count,
+                            static_cast<std::uint32_t>(spec_->shared_banks));
     metrics_->shared_access_events += 1;
     metrics_->shared_serialized_cycles += degree;
     if (check_ != nullptr) {
@@ -279,11 +332,10 @@ void BlockCtx::flush_half_warp() {
     group.count = 0;
   }
   shared_live_.clear();
-  // Drain the batched counters. Folding the memory-instruction issue slots
-  // into alu_ops here (instead of += 1 per access) changes only the
-  // floating-point association of integer-valued addends, which is exact;
-  // both engines execute this identical per-block sequence either way.
-  metrics_->alu_ops += static_cast<double>(pending_mem_instrs_);
+  // Drain the batched counters. Memory instructions occupy issue slots and
+  // are integer-valued, so folding them here (instead of += 1 per access)
+  // charges the identical deci-op total.
+  metrics_->alu_deciops += pending_mem_instrs_ * 10;
   metrics_->global_load_bytes += pending_load_bytes_;
   metrics_->global_store_bytes += pending_store_bytes_;
   metrics_->shared_accesses += pending_shared_accesses_;
@@ -346,6 +398,11 @@ void Launcher::run_blocks(const LaunchConfig& config,
   ctx.spec_ = spec_;
   ctx.config_ = config;
   ctx.shared_ = &shared;
+  // Bulk lowerings are only offered to unchecked launches: the sanitizer
+  // needs to see every individual access, so a resolved checker forces the
+  // interpreted path (this is also what keeps the checker-gate CI job
+  // honest without any extra plumbing).
+  ctx.fast_ = checker == nullptr && fast_path_enabled();
   BlockCheckState check_state;
   if (checker != nullptr) {
     check_state.attach(*checker, config.threads_per_block,
@@ -404,15 +461,23 @@ void Launcher::launch(const LaunchConfig& config,
                                    : default_engine();
   const std::size_t per_unit = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::max(1, spec_->sms_per_texture_cache)));
+  // kAuto additionally requires enough blocks to amortize the run_batch
+  // latch: small launches lose more to dispatch overhead than block
+  // parallelism wins back (BENCH_simspeed showed 0.92-0.97x there). An
+  // explicit kParallel still forces the pool — the equivalence suites pin
+  // small launches onto it deliberately.
+  constexpr std::size_t kAutoDispatchMinBlocks = 16;
   const bool use_parallel = requested != ExecEngine::kSerial &&
                             texture_caches_.size() > 1 &&
                             config.blocks > per_unit &&
-                            engine_pool().num_threads() > 1;
+                            engine_pool().num_threads() > 1 &&
+                            (requested == ExecEngine::kParallel ||
+                             config.blocks >= kAutoDispatchMinBlocks);
 
   // Account each block into its own metrics slot and merge in ascending
-  // block order below: integer counters are order-insensitive anyway, and
-  // the double alu_ops accumulates in one fixed order, so the reduction is
-  // bit-identical no matter which host thread ran which block.
+  // block order below: every counter (scalar work included, stored as
+  // integer deci-ops) is integral, so the reduction is bit-identical no
+  // matter which host thread ran which block.
   KernelMetrics launch_metrics;
   launch_metrics.kernel_launches = 1;
   launch_metrics.blocks = config.blocks;
@@ -482,7 +547,8 @@ void Launcher::launch(const LaunchConfig& config,
   // plan's stall factor, which is what a supervisor's watchdog detects.
   const double multiplier =
       injector_ != nullptr ? injector_->time_multiplier(fault) : 1.0;
-  last_launch_s_ = estimate_time(*spec_, launch_metrics).total_s * multiplier;
+  last_launch_s_ =
+      estimate_time_cached(*spec_, launch_metrics).total_s * multiplier;
   elapsed_s_ += last_launch_s_;
   if (injector_ != nullptr) {
     injector_->finish_launch(fault, last_launch_s_);

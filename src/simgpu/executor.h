@@ -191,6 +191,68 @@ class BlockCtx {
   void step_partial(std::size_t count,
                     const std::function<void(ThreadCtx&)>& fn);
 
+  // --- zero-instrumentation fast path -----------------------------------
+  // True when this launch runs unchecked (no sanitizer resolved) and the
+  // process-wide fast path is enabled (exec_engine.h). A kernel that ships
+  // a bulk lowering branches on this flag: instead of stepping lanes
+  // through ThreadCtx it computes whole half-warps via the host SIMD
+  // GF(2^8) region ops and charges the bulk accounting below. A lowering
+  // MUST charge exactly what the interpreted path would — the equivalence
+  // suites hold it to bit-identity on outputs and every KernelMetrics
+  // field. Lowerings with shape preconditions (lane alignment, word
+  // counts) fall back to the interpreted step()s when they do not hold.
+  bool fast_path() const { return fast_; }
+
+  // One barrier per (would-be) step/step_partial.
+  void fast_barriers(std::uint64_t count) { metrics_->barriers += count; }
+
+  // Scalar work, pre-quantized: mirror each conceptual count_alu(x) charge
+  // as KernelMetrics::deciops(x) multiplied by the number of lanes/calls
+  // that would have made it (quantize per call, then multiply — never
+  // quantize the product).
+  void fast_alu_deciops(std::uint64_t deci) { metrics_->alu_deciops += deci; }
+
+  // One half-warp global access step whose lanes touch exactly the byte
+  // range [addr, addr + span_bytes) — a contiguous sweep or a broadcast
+  // (span_bytes = access size). Charges `instrs` memory instructions (one
+  // per participating lane; they occupy issue slots exactly like the
+  // interpreted pending_mem_instrs_ fold) and the given demand bytes;
+  // transactions = distinct 64-byte segments the span overlaps, which for
+  // a contiguous/broadcast group equals the interpreted per-lane dedup.
+  // Strided groups must instead account each contiguous run separately.
+  void fast_global_span(std::uintptr_t addr, std::size_t span_bytes,
+                        std::uint64_t instrs, std::uint64_t load_bytes,
+                        std::uint64_t store_bytes) {
+    const std::uint64_t seg = spec_->coalesce_segment_bytes;
+    metrics_->global_transactions +=
+        (addr % seg + span_bytes + seg - 1) / seg;
+    metrics_->global_load_bytes += load_bytes;
+    metrics_->global_store_bytes += store_bytes;
+    metrics_->alu_deciops += instrs * 10;
+  }
+
+  // One half-warp global access step at arbitrary per-lane addresses, each
+  // access `access_bytes` wide: transactions = distinct 64-byte segments
+  // across the group, deduplicated exactly like record_global. Use this
+  // for strided/scattered groups; fast_global_span is the cheap closed
+  // form for contiguous or broadcast ones.
+  void fast_global_group(const std::uintptr_t* addrs, std::size_t count,
+                         std::size_t access_bytes, std::uint64_t load_bytes,
+                         std::uint64_t store_bytes);
+
+  // One half-warp shared access step at the given 32-bit word indices
+  // (offset / 4, one entry per participating lane). Serialization degree
+  // uses the same distinct-words-per-bank rule as flush_half_warp.
+  void fast_shared_group(const std::uintptr_t* words, std::size_t count);
+
+  // One texture fetch; evolves the per-TPC cache state exactly like
+  // tex1d_* so a later interpreted launch sees the same tags.
+  void fast_texture_fetch(std::uintptr_t addr) {
+    metrics_->texture_fetches += 1;
+    metrics_->alu_deciops += 10;
+    if (!texture_->access(addr)) metrics_->texture_misses += 1;
+  }
+
  private:
   friend class Launcher;
   friend class ThreadCtx;
@@ -209,6 +271,8 @@ class BlockCtx {
   // Sanitizer hook; null on unchecked launches so the hot paths pay one
   // pointer test. Per worker, like the accounting scratch below.
   BlockCheckState* check_ = nullptr;
+  // Set by Launcher::run_blocks: unchecked launch and fast path enabled.
+  bool fast_ = false;
 
   // Half-warp aggregation state (fast path): groups are flat vectors
   // indexed by the per-thread access sequence number — the grouping key —
@@ -225,8 +289,7 @@ class BlockCtx {
     std::array<std::uint64_t, 2 * kGroupLanes> segments;  // distinct 64B ids
   };
   struct SharedGroup {
-    std::uint32_t count = 0;  // live (bank, word) pairs
-    std::array<std::uint32_t, kGroupLanes> banks;
+    std::uint32_t count = 0;  // live word entries
     std::array<std::uintptr_t, kGroupLanes> words;
   };
   std::size_t current_half_warp_ = 0;

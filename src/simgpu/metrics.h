@@ -6,14 +6,32 @@
 // than assumed).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
 namespace extnc::simgpu {
 
 struct KernelMetrics {
-  // Scalar-instruction work charged by kernels via ThreadCtx::count_alu.
-  double alu_ops = 0;
+  // Scalar-instruction work charged by kernels via ThreadCtx::count_alu,
+  // stored exactly in tenths of an op ("deci-ops"). Every per-word /
+  // per-byte / per-iteration cost in gpu/kernel_cost.h is a multiple of
+  // 0.1, so quantizing each individual charge to deci-ops loses nothing —
+  // and integer accumulation is associative, which is what lets the bulk
+  // fast path charge `count * deciops(x)` and still match the interpreted
+  // path's lane-at-a-time accumulation bit-for-bit.
+  std::uint64_t alu_deciops = 0;
+
+  // Quantize one charge exactly as count_alu does. Bulk accounting must
+  // quantize per conceptual call and then multiply by the call count
+  // (never quantize the product) to reproduce the interpreted total.
+  static std::uint64_t deciops(double ops) {
+    return static_cast<std::uint64_t>(std::llround(ops * 10.0));
+  }
+
+  double alu_ops() const { return static_cast<double>(alu_deciops) / 10.0; }
+  void add_alu_ops(double ops) { alu_deciops += deciops(ops); }
+  void set_alu_ops(double ops) { alu_deciops = deciops(ops); }
 
   // Global memory.
   std::uint64_t global_load_bytes = 0;
@@ -43,7 +61,7 @@ struct KernelMetrics {
   std::size_t threads_per_block = 0;
 
   void merge(const KernelMetrics& other) {
-    alu_ops += other.alu_ops;
+    alu_deciops += other.alu_deciops;
     global_load_bytes += other.global_load_bytes;
     global_store_bytes += other.global_store_bytes;
     global_transactions += other.global_transactions;

@@ -48,7 +48,7 @@ void append_event(std::string& out, const LaunchProfile& launch) {
   out += ", \"pid\": 0, \"tid\": 0, \"args\": {";
   append_fmt(out, "\"blocks\": %zu, \"threads_per_block\": %zu",
              launch.blocks, launch.threads_per_block);
-  append_fmt(out, ", \"alu_ops\": %.1f", launch.metrics.alu_ops);
+  append_fmt(out, ", \"alu_ops\": %.1f", launch.metrics.alu_ops());
   append_fmt(out, ", \"global_load_bytes\": %" PRIu64,
              launch.metrics.global_load_bytes);
   append_fmt(out, ", \"global_store_bytes\": %" PRIu64,

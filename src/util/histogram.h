@@ -23,6 +23,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 namespace extnc {
 
@@ -54,6 +55,15 @@ class StreamingHistogram {
   double p50() const { return quantile(0.50); }
   double p90() const { return quantile(0.90); }
   double p99() const { return quantile(0.99); }
+
+  // Like quantile(), but nullopt on an empty histogram: "no samples" and
+  // "all samples were ~0s" are different facts, and reporters that print
+  // the raw 0.0 make a healthy run look like one with a zero-latency tail.
+  // Reporters should omit (or print null for) an empty quantile.
+  std::optional<double> quantile_if_any(double q) const {
+    if (count_ == 0) return std::nullopt;
+    return quantile(q);
+  }
 
   // Exposed for tests (bucket accounting, merge equivalence).
   std::uint64_t bucket_count(std::size_t index) const {

@@ -1,9 +1,11 @@
-// Serial-vs-parallel engine equivalence across every shipped kernel: the
-// serial engine is the oracle, and the parallel engine must reproduce its
-// observable state bit-for-bit — output bytes, KernelMetrics (alu_ops
-// included), modeled clocks, and serialized Chrome traces — in healthy runs
-// and under injected faults. Internal launches all use kAuto, so the
-// engines are pinned process-wide via set_default_engine.
+// Engine and fast-path equivalence across every shipped kernel: the
+// interpreted serial engine is the oracle, and both the warp-batched fast
+// path and the parallel engine must reproduce its observable state
+// bit-for-bit — output bytes, KernelMetrics (deci-op ALU counts included),
+// modeled clocks, and serialized Chrome traces — in healthy runs and under
+// injected faults. Internal launches all use kAuto, so the engines are
+// pinned process-wide via set_default_engine, and the fast path via
+// set_fast_path_enabled.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -21,6 +23,7 @@
 #include "simgpu/fault_injector.h"
 #include "simgpu/profiler.h"
 #include "simgpu/trace_export.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::gpu {
 namespace {
@@ -44,10 +47,23 @@ class ScopedEngine {
   ExecEngine saved_;
 };
 
+// Pin the process-wide fast-path toggle for one scope; restores on exit.
+class ScopedFastPath {
+ public:
+  explicit ScopedFastPath(bool enabled)
+      : saved_(simgpu::fast_path_enabled()) {
+    simgpu::set_fast_path_enabled(enabled);
+  }
+  ~ScopedFastPath() { simgpu::set_fast_path_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
 void expect_metrics_identical(const KernelMetrics& serial,
                               const KernelMetrics& parallel,
                               const std::string& what) {
-  EXPECT_EQ(serial.alu_ops, parallel.alu_ops) << what;  // bitwise
+  EXPECT_EQ(serial.alu_deciops, parallel.alu_deciops) << what;  // bitwise
   EXPECT_EQ(serial.global_load_bytes, parallel.global_load_bytes) << what;
   EXPECT_EQ(serial.global_store_bytes, parallel.global_store_bytes) << what;
   EXPECT_EQ(serial.global_transactions, parallel.global_transactions) << what;
@@ -132,19 +148,32 @@ void expect_runs_identical(const RunResult& serial, const RunResult& parallel,
   EXPECT_EQ(serial.elapsed_s, parallel.elapsed_s) << what;
 }
 
-// Run `op` once per engine with identical inputs and compare.
+// Run `op` once per execution config with identical inputs and compare:
+// the fully interpreted serial run is the oracle, the fast-path serial run
+// must match it bit-for-bit, and the fast-path parallel run must match in
+// turn.
 void compare_engines(const std::function<RunResult(ExecEngine)>& op,
                      const std::string& what) {
-  RunResult serial, parallel;
+  RunResult interpreted, fast_serial, fast_parallel;
   {
+    ScopedFastPath slow(false);
     ScopedEngine pin(ExecEngine::kSerial);
-    serial = op(ExecEngine::kSerial);
+    interpreted = op(ExecEngine::kSerial);
   }
   {
-    ScopedEngine pin(ExecEngine::kParallel);
-    parallel = op(ExecEngine::kParallel);
+    ScopedFastPath fast(true);
+    ScopedEngine pin(ExecEngine::kSerial);
+    fast_serial = op(ExecEngine::kSerial);
   }
-  expect_runs_identical(serial, parallel, what);
+  {
+    ScopedFastPath fast(true);
+    ScopedEngine pin(ExecEngine::kParallel);
+    fast_parallel = op(ExecEngine::kParallel);
+  }
+  expect_runs_identical(interpreted, fast_serial,
+                        what + " [interpreted vs fast-serial]");
+  expect_runs_identical(fast_serial, fast_parallel,
+                        what + " [fast-serial vs fast-parallel]");
 }
 
 TEST(EngineEquivalence, EncoderAllSchemes) {
@@ -313,6 +342,49 @@ TEST(EngineEquivalence, EncoderUnderFaultPlan) {
         },
         std::string("faulted-encoder/") + spec);
   }
+}
+
+// The equivalence tests above would pass vacuously if the bulk lowerings
+// never engaged (fast-path blocks that fail their gates fall back to the
+// interpreted lambda body). Pin the fast path on and check the engagement
+// counter actually moves for the encoder schemes and the multi-segment
+// inverter.
+TEST(EngineEquivalence, FastPathLoweringsEngage) {
+  ScopedFastPath fast(true);
+  ScopedEngine pin(ExecEngine::kSerial);
+  Rng seed_rng(18);
+  const Params params{.n = 16, .k = 256};
+  const Segment segment = Segment::random(params, seed_rng);
+
+  metrics::Registry::instance().reset();
+  {
+    Rng rng(505);
+    GpuEncoder encoder(simgpu::gtx280(), segment, EncodeScheme::kTable5);
+    encoder.encode_batch(8, rng);
+  }
+  const double encoder_lowered =
+      metrics::Registry::instance().value("simgpu.fast.lowered_blocks");
+  EXPECT_GT(encoder_lowered, 0.0);
+
+  {
+    std::vector<CodedBatch> batches;
+    batches.push_back(independent_batch(segment, seed_rng));
+    GpuMultiSegmentDecoder decoder(simgpu::gtx280(), params);
+    decoder.decode_all(batches);
+  }
+  EXPECT_GT(metrics::Registry::instance().value("simgpu.fast.lowered_blocks"),
+            encoder_lowered);
+
+  // And with the toggle off, the same work stays interpreted.
+  metrics::Registry::instance().reset();
+  {
+    ScopedFastPath slow(false);
+    Rng rng(505);
+    GpuEncoder encoder(simgpu::gtx280(), segment, EncodeScheme::kTable5);
+    encoder.encode_batch(8, rng);
+  }
+  EXPECT_EQ(metrics::Registry::instance().value("simgpu.fast.lowered_blocks"),
+            0.0);
 }
 
 TEST(EngineEquivalence, MultiSegmentDecoderUnderFaultPlan) {

@@ -72,8 +72,8 @@ TEST(GpuMultiSegmentDecoder, StageMetricsBothPopulated) {
   batches.push_back(independent_batch(Segment::random(params, rng), rng));
   GpuMultiSegmentDecoder decoder(simgpu::gtx280(), params);
   (void)decoder.decode_all(batches);
-  EXPECT_GT(decoder.stage1_metrics().alu_ops, 0.0);
-  EXPECT_GT(decoder.stage2_metrics().alu_ops, 0.0);
+  EXPECT_GT(decoder.stage1_metrics().alu_ops(), 0.0);
+  EXPECT_GT(decoder.stage2_metrics().alu_ops(), 0.0);
   // Stage 2 is the table-based multiply: it uses shared memory tables.
   EXPECT_GT(decoder.stage2_metrics().shared_accesses, 0u);
 }

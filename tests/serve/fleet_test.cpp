@@ -112,15 +112,15 @@ TEST_F(FleetSchedulerTest, PickDevicePrefersLeastBusyAndHonorsExclusion) {
 }
 
 TEST_F(FleetSchedulerTest, ModeledTimingsOrderSanely) {
-  const double full = fleet_.gpu_segment_s(0, 12, ServiceMode::kFull);
-  const double batched = fleet_.gpu_segment_s(0, 12, ServiceMode::kBatched);
+  const double full = fleet_.gpu_segment_s(0, 12);
   const double cpu = fleet_.cpu_segment_s(12);
   EXPECT_GT(full, 0);
-  EXPECT_LT(batched, full);  // batched dispatch amortizes overhead
   EXPECT_GT(cpu, 0);
   EXPECT_GT(fleet_.nominal_segment_s(12), 0);
-  // Thinned emits fewer blocks, so it must be cheaper than full density.
-  EXPECT_LT(fleet_.gpu_segment_s(0, 9, ServiceMode::kThinned), full);
+  // The modeled GPU attempt is mode-independent now (the batched-dispatch
+  // discount is gone): only the block count moves the modeled time, so
+  // thinned density must be cheaper than full density.
+  EXPECT_LT(fleet_.gpu_segment_s(0, 9), full);
 }
 
 TEST_F(FleetSchedulerTest, FaultedEncodeStaysBitExactAndChargesRetries) {
@@ -138,7 +138,7 @@ TEST_F(FleetSchedulerTest, FaultedEncodeStaysBitExactAndChargesRetries) {
   // The scripted bit-flips forced retries; the modeled service time must
   // charge them (attempts > 1 and backoff included).
   EXPECT_GT(result.report.attempts, 1u);
-  const double clean = faulted.gpu_segment_s(0, 12, ServiceMode::kFull);
+  const double clean = faulted.gpu_segment_s(0, 12);
   EXPECT_GT(result.service_s, clean);
 }
 

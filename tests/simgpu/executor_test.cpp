@@ -221,7 +221,7 @@ TEST(Executor, CountAluAccumulates) {
   launcher.launch({.blocks = 1, .threads_per_block = 10}, [](BlockCtx& block) {
     block.step([](ThreadCtx& t) { t.count_alu(2.5); });
   });
-  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops, 25.0);
+  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops(), 25.0);
 }
 
 }  // namespace

@@ -7,17 +7,17 @@ namespace {
 
 TEST(KernelMetrics, MergeAccumulatesCounters) {
   KernelMetrics a;
-  a.alu_ops = 10;
+  a.set_alu_ops(10);
   a.global_load_bytes = 100;
   a.shared_serialized_cycles = 7;
   a.kernel_launches = 1;
   KernelMetrics b;
-  b.alu_ops = 5;
+  b.set_alu_ops(5);
   b.global_load_bytes = 50;
   b.shared_serialized_cycles = 3;
   b.kernel_launches = 2;
   a.merge(b);
-  EXPECT_DOUBLE_EQ(a.alu_ops, 15.0);
+  EXPECT_DOUBLE_EQ(a.alu_ops(), 15.0);
   EXPECT_EQ(a.global_load_bytes, 150u);
   EXPECT_EQ(a.shared_serialized_cycles, 10u);
   EXPECT_EQ(a.kernel_launches, 3u);
@@ -32,11 +32,11 @@ TEST(KernelMetrics, MergeWithoutLaunchesKeepsGeometry) {
   a.blocks = 30;
   a.threads_per_block = 256;
   KernelMetrics idle;  // e.g. a pipeline stage that never ran
-  idle.alu_ops = 2;
+  idle.set_alu_ops(2);
   a.merge(idle);
   EXPECT_EQ(a.blocks, 30u);
   EXPECT_EQ(a.threads_per_block, 256u);
-  EXPECT_DOUBLE_EQ(a.alu_ops, 2.0);
+  EXPECT_DOUBLE_EQ(a.alu_ops(), 2.0);
   EXPECT_EQ(a.kernel_launches, 1u);
 }
 

@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "simgpu/profiler.h"
 #include "simgpu/trace_export.h"
 #include "util/aligned_buffer.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::simgpu {
 namespace {
@@ -53,6 +57,101 @@ TEST(ExecEngine, DefaultEngineIsSettable) {
 
 TEST(ExecEngine, PoolHasAtLeastOneWorker) {
   EXPECT_GE(engine_pool().num_threads(), 1u);
+}
+
+// Set or clear one environment variable for a scope; restores on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// The process defaults latch these at first use, so the honored contract is
+// tested through the re-reading env readers.
+TEST(ExecEngine, EngineFromEnvHonorsVariable) {
+  { ScopedEnv env("EXTNC_SIMGPU_ENGINE", "serial");
+    EXPECT_EQ(engine_from_env(), ExecEngine::kSerial); }
+  { ScopedEnv env("EXTNC_SIMGPU_ENGINE", "parallel");
+    EXPECT_EQ(engine_from_env(), ExecEngine::kParallel); }
+  { ScopedEnv env("EXTNC_SIMGPU_ENGINE", "auto");
+    EXPECT_EQ(engine_from_env(), ExecEngine::kAuto); }
+  { ScopedEnv env("EXTNC_SIMGPU_ENGINE", "bogus");
+    EXPECT_EQ(engine_from_env(), ExecEngine::kAuto); }
+  { ScopedEnv env("EXTNC_SIMGPU_ENGINE", nullptr);
+    EXPECT_EQ(engine_from_env(), ExecEngine::kAuto); }
+}
+
+TEST(ExecEngine, ThreadsFromEnvHonorsVariable) {
+  { ScopedEnv env("EXTNC_SIMGPU_THREADS", "4");
+    EXPECT_EQ(threads_from_env(), 4u); }
+  { ScopedEnv env("EXTNC_SIMGPU_THREADS", "4x");
+    EXPECT_EQ(threads_from_env(), 0u); }
+  { ScopedEnv env("EXTNC_SIMGPU_THREADS", nullptr);
+    EXPECT_EQ(threads_from_env(), 0u); }
+}
+
+TEST(ExecEngine, FastFromEnvHonorsVariable) {
+  { ScopedEnv env("EXTNC_SIMGPU_FAST", "0"); EXPECT_FALSE(fast_from_env()); }
+  { ScopedEnv env("EXTNC_SIMGPU_FAST", "1"); EXPECT_TRUE(fast_from_env()); }
+  { ScopedEnv env("EXTNC_SIMGPU_FAST", nullptr);
+    EXPECT_TRUE(fast_from_env()); }
+}
+
+// kAuto routes small launches to the serial engine (the pool's dispatch
+// latch costs more than block parallelism wins back there) but still
+// honors an explicit kParallel request of any size. The routing decision
+// surfaces as the simgpu.launch.{serial,parallel} counters.
+TEST(ExecEngine, AutoDispatchKeepsSmallLaunchesSerial) {
+  if (engine_pool().num_threads() <= 1) {
+    GTEST_SKIP() << "single-threaded pool: everything routes serial";
+  }
+  const ExecEngine saved = default_engine();
+  set_default_engine(ExecEngine::kAuto);
+  auto& registry = metrics::Registry::instance();
+  auto route = [&](std::size_t blocks, ExecEngine engine) {
+    const double serial0 = registry.value("simgpu.launch.serial");
+    const double parallel0 = registry.value("simgpu.launch.parallel");
+    Launcher launcher(gtx280());
+    launcher.launch(
+        {.blocks = blocks, .threads_per_block = 8, .engine = engine},
+        [](BlockCtx& block) {
+          block.step([](ThreadCtx& t) { t.count_alu(1); });
+        });
+    const bool went_serial =
+        registry.value("simgpu.launch.serial") == serial0 + 1;
+    const bool went_parallel =
+        registry.value("simgpu.launch.parallel") == parallel0 + 1;
+    EXPECT_NE(went_serial, went_parallel);
+    return went_parallel;
+  };
+  // 8 blocks span several texture units on gtx280 (3 SMs per unit) but sit
+  // under the kAuto dispatch threshold: routed serial.
+  EXPECT_FALSE(route(8, ExecEngine::kAuto));
+  // Enough blocks to amortize dispatch: kAuto goes parallel.
+  EXPECT_TRUE(route(30, ExecEngine::kAuto));
+  // An explicit kParallel forces the pool even for a small launch.
+  EXPECT_TRUE(route(8, ExecEngine::kParallel));
+  // An explicit kSerial always stays on the calling thread.
+  EXPECT_FALSE(route(30, ExecEngine::kSerial));
+  set_default_engine(saved);
 }
 
 TEST(TextureUnits, OnePerTpcAndDivisionMapping) {
@@ -156,7 +255,7 @@ struct SyntheticWorkload {
 };
 
 void expect_metrics_identical(const KernelMetrics& a, const KernelMetrics& b) {
-  EXPECT_EQ(a.alu_ops, b.alu_ops);  // bitwise: merge order is block order
+  EXPECT_EQ(a.alu_deciops, b.alu_deciops);  // bitwise: merge order is block order
   EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
   EXPECT_EQ(a.global_store_bytes, b.global_store_bytes);
   EXPECT_EQ(a.global_transactions, b.global_transactions);
@@ -270,7 +369,7 @@ TEST(ProfilerTickets, TimelineFollowsTicketOrderNotCompletionOrder) {
   metrics.kernel_launches = 1;
   metrics.blocks = 1;
   metrics.threads_per_block = 32;
-  metrics.alu_ops = 1000;
+  metrics.set_alu_ops(1000);
 
   // Reserve three tickets, record them in reverse.
   const std::uint64_t t0 = profiler.begin_ticket();
@@ -297,7 +396,7 @@ TEST(ProfilerTickets, AbandonedTicketClosesTheGap) {
   metrics.kernel_launches = 1;
   metrics.blocks = 1;
   metrics.threads_per_block = 32;
-  metrics.alu_ops = 500;
+  metrics.set_alu_ops(500);
 
   const std::uint64_t t0 = profiler.begin_ticket();
   const std::uint64_t t1 = profiler.begin_ticket();  // will fail
@@ -328,7 +427,7 @@ TEST(ProfilerTickets, ConcurrentRecordingKeepsDeterministicTimeline) {
       metrics.blocks = 1;
       metrics.threads_per_block = 32;
       for (int i = 0; i < kPerThread; ++i) {
-        metrics.alu_ops = 100.0 * (w + 1);
+        metrics.set_alu_ops(100.0 * (w + 1));
         const std::uint64_t ticket = profiler.begin_ticket();
         if ((ticket % 17) == 3) {
           profiler.abandon_ticket(ticket);

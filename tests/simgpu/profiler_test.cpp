@@ -13,7 +13,7 @@ KernelMetrics small_metrics(std::uint64_t conflict_cycles) {
   m.kernel_launches = 1;
   m.blocks = 30;
   m.threads_per_block = 256;
-  m.alu_ops = 1e6;
+  m.set_alu_ops(1e6);
   m.global_load_bytes = 1 << 20;
   m.global_store_bytes = 1 << 18;
   m.global_transactions = 1 << 14;
@@ -107,10 +107,10 @@ TEST(Profiler, LauncherReportsPerLaunchDeltas) {
   EXPECT_EQ(first.blocks, 2u);
   EXPECT_EQ(second.blocks, 4u);
   EXPECT_EQ(first.metrics.kernel_launches, 1u);
-  EXPECT_DOUBLE_EQ(first.metrics.alu_ops, 2.0 * 32);
-  EXPECT_DOUBLE_EQ(second.metrics.alu_ops, 4.0 * 32);
+  EXPECT_DOUBLE_EQ(first.metrics.alu_ops(), 2.0 * 32);
+  EXPECT_DOUBLE_EQ(second.metrics.alu_ops(), 4.0 * 32);
   // Cumulative launcher metrics unchanged by profiling.
-  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops, 6.0 * 32);
+  EXPECT_DOUBLE_EQ(launcher.metrics().alu_ops(), 6.0 * 32);
   EXPECT_EQ(launcher.metrics().kernel_launches, 2u);
   EXPECT_EQ(launcher.metrics().blocks, 4u);  // geometry of the last launch
 }

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "util/metrics_registry.h"
+
 namespace extnc::simgpu {
 namespace {
 
 KernelMetrics base_metrics() {
   KernelMetrics m;
-  m.alu_ops = 1e9;
+  m.set_alu_ops(1e9);
   m.blocks = 300;
   m.threads_per_block = 256;
   m.kernel_launches = 1;
@@ -28,7 +30,7 @@ TEST(DeviceSpec, Gtx280HasTwiceTheComputeOf8800Gt) {
 TEST(Timing, ComputeBoundKernelScalesWithAluOps) {
   KernelMetrics m1 = base_metrics();
   KernelMetrics m2 = base_metrics();
-  m2.alu_ops = 2e9;
+  m2.set_alu_ops(2e9);
   const auto t1 = estimate_time(gtx280(), m1);
   const auto t2 = estimate_time(gtx280(), m2);
   EXPECT_NEAR(t2.compute_s / t1.compute_s, 2.0, 1e-9);
@@ -36,7 +38,7 @@ TEST(Timing, ComputeBoundKernelScalesWithAluOps) {
 
 TEST(Timing, MemoryBoundKernelLimitedByBandwidth) {
   KernelMetrics m = base_metrics();
-  m.alu_ops = 1;  // negligible compute
+  m.set_alu_ops(1);  // negligible compute
   m.global_load_bytes = 1'000'000'000;
   m.global_transactions = 1'000'000'000 / 64;
   const auto t = estimate_time(gtx280(), m);
@@ -47,7 +49,7 @@ TEST(Timing, MemoryBoundKernelLimitedByBandwidth) {
 TEST(Timing, UncoalescedAccessesPayMinimumGranule) {
   // 1M scattered 1-byte loads: 1M transactions x 32 B granule, not 1 MB.
   KernelMetrics m = base_metrics();
-  m.alu_ops = 1;
+  m.set_alu_ops(1);
   m.global_load_bytes = 1'000'000;
   m.global_transactions = 1'000'000;
   const auto t = estimate_time(gtx280(), m);
@@ -68,7 +70,7 @@ TEST(Timing, ConflictCyclesAddToComputeTime) {
 
 TEST(Timing, TextureMissesCostMemoryBandwidth) {
   KernelMetrics m = base_metrics();
-  m.alu_ops = 1;
+  m.set_alu_ops(1);
   m.texture_fetches = 1'000'000;
   m.texture_misses = 1'000'000;
   const auto t_cold = estimate_time(gtx280(), m);
@@ -112,6 +114,47 @@ TEST(Timing, ComputeAndMemoryOverlap) {
   const auto t = estimate_time(gtx280(), m);
   EXPECT_NEAR(t.total_s, std::max(t.compute_s, t.memory_s) + t.launch_s,
               1e-12);
+}
+
+TEST(Timing, MemoizedEstimateIsBitIdenticalAndCounted) {
+  clear_timing_memo();
+  metrics::Registry::instance().reset();
+  KernelMetrics m = base_metrics();
+  m.global_load_bytes = 123'456'768;
+  m.global_transactions = m.global_load_bytes / 64;
+  m.shared_accesses = 77;
+  m.shared_access_events = 11;
+  m.shared_serialized_cycles = 22;
+
+  const auto direct = estimate_time(gtx280(), m);
+  const auto miss = estimate_time_cached(gtx280(), m);
+  const auto hit = estimate_time_cached(gtx280(), m);
+
+  // Cached results are the exact doubles the model produces — a cache hit
+  // must never perturb modeled clocks.
+  EXPECT_EQ(direct.compute_s, miss.compute_s);
+  EXPECT_EQ(direct.memory_s, miss.memory_s);
+  EXPECT_EQ(direct.launch_s, miss.launch_s);
+  EXPECT_EQ(direct.total_s, miss.total_s);
+  EXPECT_EQ(miss.compute_s, hit.compute_s);
+  EXPECT_EQ(miss.memory_s, hit.memory_s);
+  EXPECT_EQ(miss.launch_s, hit.launch_s);
+  EXPECT_EQ(miss.total_s, hit.total_s);
+
+  auto& registry = metrics::Registry::instance();
+  EXPECT_EQ(registry.value("simgpu.timing.memo_hit"), 1.0);
+  EXPECT_EQ(registry.value("simgpu.timing.memo_miss"), 1.0);
+
+  // Different metrics (and different calibration) must not collide.
+  KernelMetrics m2 = m;
+  m2.texture_fetches = 5;
+  const auto other = estimate_time_cached(gtx280(), m2);
+  EXPECT_EQ(other.total_s, estimate_time(gtx280(), m2).total_s);
+  Calibration calib;
+  calib.launch_overhead_s *= 2;
+  const auto recal = estimate_time_cached(gtx280(), m, calib);
+  EXPECT_EQ(recal.launch_s, estimate_time(gtx280(), m, calib).launch_s);
+  EXPECT_NE(recal.launch_s, hit.launch_s);
 }
 
 }  // namespace

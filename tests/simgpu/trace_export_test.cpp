@@ -41,7 +41,7 @@ GoldenProfiler::GoldenProfiler() {
   encode.kernel_launches = 1;
   encode.blocks = 30;
   encode.threads_per_block = 256;
-  encode.alu_ops = 2.5e6;
+  encode.set_alu_ops(2.5e6);
   encode.global_load_bytes = 1 << 20;
   encode.global_store_bytes = 1 << 18;
   encode.global_transactions = 1 << 14;
@@ -55,7 +55,7 @@ GoldenProfiler::GoldenProfiler() {
   tex.kernel_launches = 1;
   tex.blocks = 16;
   tex.threads_per_block = 128;
-  tex.alu_ops = 1e5;
+  tex.set_alu_ops(1e5);
   tex.texture_fetches = 4096;
   tex.texture_misses = 512;
   profiler.record_launch(gtx280(), "golden/tex \"quoted\\path\"", tex);

@@ -26,6 +26,20 @@ TEST(StreamingHistogram, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
 }
 
+TEST(StreamingHistogram, EmptyQuantileIsAbsentNotZero) {
+  // "No samples" must be distinguishable from "all samples were ~0":
+  // reporters use quantile_if_any so an empty phase prints null/omitted
+  // instead of a fake zero-latency tail.
+  StreamingHistogram h;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_FALSE(h.quantile_if_any(q).has_value()) << "q=" << q;
+  }
+  h.observe(0.25);
+  const auto p99 = h.quantile_if_any(0.99);
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_DOUBLE_EQ(*p99, h.quantile(0.99));
+}
+
 TEST(StreamingHistogram, SingleSampleEveryQuantile) {
   StreamingHistogram h;
   h.observe(0.125);
