@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -26,9 +27,31 @@ std::optional<ShedPolicy> parse_shed_policy(std::string_view name) {
   return std::nullopt;
 }
 
-AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(std::move(config)) {
   EXTNC_CHECK(config_.capacity >= 1);
   EXTNC_CHECK(config_.degrade_headroom >= 1.0);
+  if (config_.tenant_weights.empty()) config_.tenant_weights = {1.0};
+  for (const double w : config_.tenant_weights) EXTNC_CHECK(w > 0);
+  weight_sum_ = 0;
+  for (const double w : config_.tenant_weights) weight_sum_ += w;
+  tenant_depth_.assign(config_.tenant_weights.size(), 0);
+}
+
+std::size_t AdmissionQueue::tenant_count() const {
+  return config_.tenant_weights.size();
+}
+
+std::size_t AdmissionQueue::tenant_depth(std::uint16_t tenant) const {
+  EXTNC_CHECK(tenant < tenant_depth_.size());
+  return tenant_depth_[tenant];
+}
+
+std::size_t AdmissionQueue::tenant_cap(std::uint16_t tenant) const {
+  EXTNC_CHECK(tenant < config_.tenant_weights.size());
+  const double share = static_cast<double>(config_.capacity) *
+                       config_.tenant_weights[tenant] / weight_sum_;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(share)));
 }
 
 std::size_t AdmissionQueue::hard_cap() const {
@@ -38,44 +61,145 @@ std::size_t AdmissionQueue::hard_cap() const {
                 config_.degrade_headroom));
 }
 
-AdmissionDecision AdmissionQueue::offer(std::uint64_t session_id) {
+void AdmissionQueue::push(std::uint64_t id, std::uint16_t tenant,
+                          Priority priority) {
+  classes_[static_cast<std::size_t>(priority)].push_back(
+      Waiter{.id = id, .tenant = tenant});
+  ++tenant_depth_[tenant];
+  ++depth_;
+}
+
+void AdmissionQueue::erase(int cls, std::size_t index) {
+  auto& queue = classes_[static_cast<std::size_t>(cls)];
+  --tenant_depth_[queue[index].tenant];
+  --depth_;
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::optional<std::uint64_t> AdmissionQueue::evict_newest_of(
+    std::uint16_t tenant) {
+  // Newest waiter in the tenant's lowest-priority occupied class: the one
+  // with the least invested wait and the least claim to stay.
+  for (int cls = kPriorities - 1; cls >= 0; --cls) {
+    auto& queue = classes_[static_cast<std::size_t>(cls)];
+    for (std::size_t i = queue.size(); i-- > 0;) {
+      if (queue[i].tenant != tenant) continue;
+      const std::uint64_t id = queue[i].id;
+      erase(cls, i);
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> AdmissionQueue::evict_oldest_of(
+    std::uint16_t tenant) {
+  for (int cls = kPriorities - 1; cls >= 0; --cls) {
+    auto& queue = classes_[static_cast<std::size_t>(cls)];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].tenant != tenant) continue;
+      const std::uint64_t id = queue[i].id;
+      erase(cls, i);
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint16_t> AdmissionQueue::most_over_share() const {
+  std::optional<std::uint16_t> worst;
+  std::size_t worst_overage = 0;
+  for (std::uint16_t t = 0; t < tenant_depth_.size(); ++t) {
+    const std::size_t cap = tenant_cap(t);
+    if (tenant_depth_[t] <= cap) continue;
+    const std::size_t overage = tenant_depth_[t] - cap;
+    if (overage > worst_overage) {
+      worst = t;
+      worst_overage = overage;
+    }
+  }
+  return worst;
+}
+
+AdmissionDecision AdmissionQueue::offer(std::uint64_t session_id,
+                                        std::uint16_t tenant,
+                                        Priority priority) {
+  EXTNC_CHECK(tenant < config_.tenant_weights.size());
   AdmissionDecision decision;
-  if (queue_.size() < config_.capacity) {
-    queue_.push_back(session_id);
+  if (depth_ < config_.capacity) {
+    // Work-conserving: free room is granted regardless of shares.
+    push(session_id, tenant, priority);
     decision.admitted = true;
     return decision;
   }
+  // Full. If the arriving tenant is still under its weighted share, the
+  // overage belongs to someone else's burst — that burster's newest
+  // lowest-priority waiter pays, never a tenant within its share.
+  if (tenant_depth_[tenant] < tenant_cap(tenant)) {
+    if (const auto burster = most_over_share()) {
+      decision.evicted = evict_newest_of(*burster);
+      EXTNC_CHECK(decision.evicted.has_value());
+      push(session_id, tenant, priority);
+      decision.admitted = true;
+      return decision;
+    }
+  }
+  // The arriving tenant is at/over its share (or every tenant is exactly
+  // at share): the shed policy plays out WITHIN the arriving tenant.
   switch (config_.policy) {
     case ShedPolicy::kReject:
       return decision;  // tail drop
     case ShedPolicy::kShedOldest:
-      decision.evicted = queue_.front();
-      queue_.pop_front();
-      queue_.push_back(session_id);
+      decision.evicted = evict_oldest_of(tenant);
+      if (!decision.evicted) return decision;  // no own waiter to trade
+      push(session_id, tenant, priority);
       decision.admitted = true;
       return decision;
-    case ShedPolicy::kDegrade:
-      if (queue_.size() >= hard_cap()) return decision;
-      queue_.push_back(session_id);
+    case ShedPolicy::kDegrade: {
+      // Headroom is shared out by the same weights as capacity, so one
+      // tenant's burst cannot consume the whole degraded band either.
+      const auto tenant_headroom = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(tenant_cap(tenant)) *
+                    config_.degrade_headroom));
+      if (depth_ >= hard_cap()) return decision;
+      if (tenant_depth_[tenant] >= tenant_headroom) return decision;
+      push(session_id, tenant, priority);
       decision.admitted = true;
       decision.force_degraded = true;
       return decision;
+    }
   }
   return decision;
 }
 
+void AdmissionQueue::restore(std::uint64_t session_id, std::uint16_t tenant,
+                             Priority priority) {
+  EXTNC_CHECK(tenant < config_.tenant_weights.size());
+  push(session_id, tenant, priority);
+}
+
 std::optional<std::uint64_t> AdmissionQueue::pop() {
-  if (queue_.empty()) return std::nullopt;
-  const std::uint64_t id = queue_.front();
-  queue_.pop_front();
-  return id;
+  for (auto& queue : classes_) {
+    if (queue.empty()) continue;
+    const std::uint64_t id = queue.front().id;
+    --tenant_depth_[queue.front().tenant];
+    --depth_;
+    queue.pop_front();
+    return id;
+  }
+  return std::nullopt;
 }
 
 bool AdmissionQueue::remove(std::uint64_t session_id) {
-  auto it = std::find(queue_.begin(), queue_.end(), session_id);
-  if (it == queue_.end()) return false;
-  queue_.erase(it);
-  return true;
+  for (int cls = 0; cls < kPriorities; ++cls) {
+    auto& queue = classes_[static_cast<std::size_t>(cls)];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].id != session_id) continue;
+      erase(cls, i);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace extnc::serve

@@ -1,6 +1,7 @@
-// Bounded admission queue with load-shedding policies.
+// Bounded admission queue with load-shedding policies, priority ordering
+// and per-tenant weighted-fair occupancy caps.
 //
-// The service admits sessions into a single fleet-wide FIFO; devices pull
+// The service admits sessions into a single fleet-wide queue; devices pull
 // from its head. The queue is the backpressure signal: its fill fraction
 // ("pressure") drives the degradation ladder, and when it is full one of
 // three policies decides who pays:
@@ -15,13 +16,29 @@
 //                mode past capacity, up to a hard cap at
 //                degrade_headroom * capacity; beyond the cap it is
 //                rejected. Trades fidelity for admission.
+//
+// Ordering: pop() serves the highest priority class first (interactive
+// before standard before best-effort), FIFO within a class — a waiting
+// interactive session never queues behind best-effort backlog.
+//
+// Fairness: each tenant owns a weighted share of the capacity. While the
+// queue has room everything is admitted (work-conserving); once it is
+// full, an arrival from a tenant still UNDER its share evicts the newest
+// lowest-priority waiter of the most-over-share tenant — the burster pays
+// for its own burst — while an arrival from a tenant at or over its share
+// faces the shed policy against its own waiters only. One tenant's burst
+// can therefore never shed another tenant's admitted traffic.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>
 #include <string_view>
+#include <vector>
+
+#include "serve/session.h"
 
 namespace extnc::serve {
 
@@ -36,13 +53,17 @@ struct AdmissionConfig {
   ShedPolicy policy = ShedPolicy::kReject;
   // kDegrade only: admissions allowed up to capacity * degrade_headroom.
   double degrade_headroom = 2.0;
+  // Per-tenant admission weights (fair shares of capacity). Empty means
+  // one tenant owning everything — the pre-tenant single-queue behavior.
+  std::vector<double> tenant_weights = {};
 };
 
 struct AdmissionDecision {
   bool admitted = false;
   // kDegrade admitted this session past capacity: serve it thinned.
   bool force_degraded = false;
-  // kShedOldest evicted this waiting session to make room.
+  // A waiting session evicted to make room (shed-oldest within the
+  // arriving tenant, or fairness eviction from an over-share tenant).
   std::optional<std::uint64_t> evicted;
 };
 
@@ -53,31 +74,68 @@ class AdmissionQueue {
   const AdmissionConfig& config() const { return config_; }
 
   // Admission decision for one arriving session. Mutates the queue
-  // (enqueues the arrival and/or evicts) according to the policy.
-  AdmissionDecision offer(std::uint64_t session_id);
+  // (enqueues the arrival and/or evicts) according to priority, tenant
+  // fairness and the shed policy.
+  AdmissionDecision offer(std::uint64_t session_id, std::uint16_t tenant,
+                          Priority priority);
+  // Single-tenant convenience (tenant 0, standard priority).
+  AdmissionDecision offer(std::uint64_t session_id) {
+    return offer(session_id, 0, Priority::kStandard);
+  }
 
-  // Next session to serve (FIFO), if any.
+  // Crash recovery: re-enqueue a journaled admitted session, bypassing
+  // policy (its admission already happened and is on the record) — depth
+  // may legitimately sit past capacity, exactly as it did pre-crash.
+  void restore(std::uint64_t session_id, std::uint16_t tenant,
+               Priority priority);
+
+  // Next session to serve: highest priority class first, FIFO within.
   std::optional<std::uint64_t> pop();
 
   // Remove a waiting session wherever it sits (deadline sheds). Returns
   // false if the id is not queued.
   bool remove(std::uint64_t session_id);
 
-  std::size_t depth() const { return queue_.size(); }
-  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return depth_; }
+  bool empty() const { return depth_ == 0; }
+
+  std::size_t tenant_count() const;
+  // Waiters of one tenant currently queued.
+  std::size_t tenant_depth(std::uint16_t tenant) const;
+  // The tenant's weighted-fair share of capacity (at least 1).
+  std::size_t tenant_cap(std::uint16_t tenant) const;
 
   // Fill fraction of the nominal capacity. Exceeds 1.0 only under the
   // kDegrade policy's headroom band.
   double pressure() const {
-    return static_cast<double>(queue_.size()) /
+    return static_cast<double>(depth_) /
            static_cast<double>(config_.capacity);
   }
 
   std::size_t hard_cap() const;
 
  private:
+  struct Waiter {
+    std::uint64_t id = 0;
+    std::uint16_t tenant = 0;
+  };
+
+  void push(std::uint64_t id, std::uint16_t tenant, Priority priority);
+  void erase(int cls, std::size_t index);
+  // The waiter a fairness eviction removes from `tenant`: its newest,
+  // lowest-priority one. nullopt if the tenant has no waiters.
+  std::optional<std::uint64_t> evict_newest_of(std::uint16_t tenant);
+  // The waiter a shed-oldest eviction removes from `tenant`: the oldest
+  // in its lowest-priority occupied class.
+  std::optional<std::uint64_t> evict_oldest_of(std::uint16_t tenant);
+  // Tenant most over its fair share, if any is over.
+  std::optional<std::uint16_t> most_over_share() const;
+
   AdmissionConfig config_;
-  std::deque<std::uint64_t> queue_;
+  double weight_sum_ = 0;
+  std::array<std::deque<Waiter>, kPriorities> classes_;
+  std::vector<std::size_t> tenant_depth_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace extnc::serve

@@ -1,5 +1,7 @@
 #include "serve/degradation.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace extnc::serve {
@@ -20,6 +22,25 @@ const char* session_state_name(SessionState state) {
       return "failed";
   }
   return "?";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kStandard:
+      return "standard";
+    case Priority::kBestEffort:
+      return "besteffort";
+  }
+  return "?";
+}
+
+std::optional<Priority> parse_priority(std::string_view name) {
+  if (name == "interactive") return Priority::kInteractive;
+  if (name == "standard") return Priority::kStandard;
+  if (name == "besteffort") return Priority::kBestEffort;
+  return std::nullopt;
 }
 
 const char* service_mode_name(ServiceMode mode) {
@@ -62,6 +83,18 @@ ServiceMode DegradationLadder::update(double pressure) {
   }
   ++dwell_[static_cast<std::size_t>(level_)];
   return mode();
+}
+
+ServiceMode DegradationLadder::mode_for(Priority priority) const {
+  const int biased =
+      level_ + config_.class_bias[static_cast<std::size_t>(priority)];
+  return static_cast<ServiceMode>(
+      std::clamp(biased, 0, kServiceModes - 1));
+}
+
+void DegradationLadder::restore_level(int level) {
+  EXTNC_CHECK(level >= 0 && level < kServiceModes);
+  level_ = level;
 }
 
 }  // namespace extnc::serve

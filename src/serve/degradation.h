@@ -21,6 +21,10 @@ struct LadderConfig {
   std::array<double, kServiceModes - 1> enter = {0.5, 0.75, 0.95};
   // Step down a rung only when pressure < enter[rung-1] - hysteresis.
   double hysteresis = 0.15;
+  // Per-priority-class rung bias applied on top of the pressure level:
+  // interactive traffic degrades one rung LATER than the ladder says,
+  // best-effort one rung EARLIER. mode_for() clamps to [kFull, kThinned].
+  std::array<int, kPriorities> class_bias = {-1, 0, +1};
 };
 
 class DegradationLadder {
@@ -33,6 +37,16 @@ class DegradationLadder {
   ServiceMode update(double pressure);
 
   ServiceMode mode() const { return static_cast<ServiceMode>(level_); }
+
+  // The mode a session of `priority` is actually served in: the current
+  // rung shifted by the class bias (best-effort degrades before
+  // interactive), clamped to the ladder.
+  ServiceMode mode_for(Priority priority) const;
+
+  // Crash recovery: jump straight to a journaled rung without counting a
+  // transition (the transition was counted — and journaled — by the
+  // process that made it).
+  void restore_level(int level);
 
   // Mode transitions so far (both directions).
   std::uint64_t transitions() const { return transitions_; }

@@ -11,6 +11,7 @@
 #include "gpu/gpu_model.h"
 #include "util/assert.h"
 #include "util/checksum.h"
+#include "util/metrics_registry.h"
 #include "util/rng.h"
 
 namespace extnc::serve {
@@ -33,6 +34,11 @@ struct FleetScheduler::Slot {
   std::uint64_t segments = 0;
   std::uint64_t gpu_segments = 0;
   std::uint64_t cpu_segments = 0;
+  // Restore ramp (kRampStages == not ramping, i.e. full share).
+  int ramp_stage = kRampStages;
+  int ramp_streak = 0;           // consecutive clean GPU segments
+  std::uint64_t ramp_offered = 0;  // opportunities seen this ramp
+  std::uint64_t ramp_taken = 0;    // opportunities accepted this ramp
 };
 
 FleetScheduler::FleetScheduler(FleetConfig config, std::function<double()> clock)
@@ -45,6 +51,12 @@ FleetScheduler::FleetScheduler(FleetConfig config, std::function<double()> clock
       reference_(content_),
       pool_(config_.threads) {
   EXTNC_CHECK(!config_.devices.empty());
+  EXTNC_CHECK(config_.restore_ramp.advance_after >= 1);
+  for (int s = 0; s < kRampStages; ++s) {
+    const double share = config_.restore_ramp.shares[s];
+    EXTNC_CHECK(share > 0 && share <= 1.0);
+    if (s > 0) EXTNC_CHECK(share >= config_.restore_ramp.shares[s - 1]);
+  }
   cpu_mb_per_s_ = cpu::XeonModel{}.encode_table_mb_per_s(config_.params);
   EXTNC_CHECK(cpu_mb_per_s_ > 0);
   slots_.reserve(config_.devices.size());
@@ -111,6 +123,7 @@ SegmentResult FleetScheduler::encode_segment(std::size_t device,
     result.service_s = cpu_segment_s(blocks);
     ++slot.cpu_segments;
   } else {
+    const bool breaker_was_open = slot.supervisor.breaker_open();
     slot.encoder->encode_into(batch);
     result.report = slot.encoder->last_report();
     const double attempt_s = gpu_segment_s(device, blocks);
@@ -130,19 +143,31 @@ SegmentResult FleetScheduler::encode_segment(std::size_t device,
       ++slot.cpu_segments;
     }
     result.service_s = service;
+    // A successful half-open probe reclosed the breaker inside this
+    // dispatch: the device healed itself. Enter the restore ramp exactly
+    // as a scripted restore would, instead of snapping to full share.
+    if (config_.restore_ramp.enabled && breaker_was_open &&
+        !slot.supervisor.breaker_open() && slot.ramp_stage >= kRampStages) {
+      begin_ramp(device);
+    }
+    note_ramp_outcome(device, result.gpu_path);
   }
   ++slot.segments;
 
   // Full bit-exactness audit against the reference encoder (cheap at
-  // service params; the supervisor's own verify only spot-checks).
+  // service params; the supervisor's own verify only spot-checks), and
+  // the delivered-payload CRC the journal persists.
   std::vector<std::uint8_t> scratch(config_.params.k);
+  std::uint32_t crc_state = crc32c_init();
   for (std::size_t j = 0; j < blocks; ++j) {
+    crc_state = crc32c_update(crc_state, batch.payload(j));
     reference_.encode_with_coefficients(batch.coefficients(j), scratch);
     if (crc32c(scratch) != crc32c(batch.payload(j))) {
       result.bit_exact = false;
       break;
     }
   }
+  result.payload_crc = crc32c_final(crc_state);
   if (out != nullptr) *out = std::move(batch);
   return result;
 }
@@ -166,6 +191,9 @@ void FleetScheduler::kill(std::size_t device) {
   slot.alive = false;
   ++slot.epoch;  // in-flight results of the old incarnation are stale
   slot.supervisor.trip_breaker();
+  // A mid-ramp death voids the ramp; the next restore starts a fresh one.
+  slot.ramp_stage = kRampStages;
+  slot.ramp_streak = 0;
 }
 
 void FleetScheduler::restore(std::size_t device) {
@@ -174,6 +202,69 @@ void FleetScheduler::restore(std::size_t device) {
   if (slot.alive) return;
   slot.alive = true;
   slot.supervisor.reset_breaker();
+  if (config_.restore_ramp.enabled) begin_ramp(device);
+}
+
+void FleetScheduler::record_ramp_stage(std::size_t device, int stage) {
+  ramp_events_.push_back(RampEvent{
+      .at = clock_ ? clock_() : 0.0, .device = device, .stage = stage});
+  metrics::gauge("serve.restore.ramp_stage.dev" + std::to_string(device),
+                 static_cast<double>(stage));
+}
+
+void FleetScheduler::begin_ramp(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  if (!config_.restore_ramp.enabled) return;
+  Slot& slot = *slots_[device];
+  slot.ramp_stage = 0;
+  slot.ramp_streak = 0;
+  slot.ramp_offered = 0;
+  slot.ramp_taken = 0;
+  metrics::count("serve.restore.ramps");
+  record_ramp_stage(device, 0);
+}
+
+bool FleetScheduler::ramp_offer(std::size_t device) {
+  EXTNC_CHECK(device < slots_.size());
+  Slot& slot = *slots_[device];
+  if (slot.ramp_stage >= kRampStages) return true;
+  ++slot.ramp_offered;
+  // Deterministic thinning: accept iff taking this opportunity keeps the
+  // accepted fraction at or below the stage's share.
+  const double allowed = config_.restore_ramp.shares[slot.ramp_stage] *
+                         static_cast<double>(slot.ramp_offered);
+  if (static_cast<double>(slot.ramp_taken) + 1.0 <= allowed + 1e-9) {
+    ++slot.ramp_taken;
+    return true;
+  }
+  return false;
+}
+
+int FleetScheduler::ramp_stage(std::size_t device) const {
+  EXTNC_CHECK(device < slots_.size());
+  return slots_[device]->ramp_stage;
+}
+
+void FleetScheduler::note_ramp_outcome(std::size_t device, bool clean_gpu) {
+  Slot& slot = *slots_[device];
+  if (slot.ramp_stage >= kRampStages) return;
+  if (clean_gpu) {
+    if (++slot.ramp_streak >= config_.restore_ramp.advance_after) {
+      slot.ramp_streak = 0;
+      ++slot.ramp_stage;
+      record_ramp_stage(device, slot.ramp_stage);
+    }
+    return;
+  }
+  // The "healed" device fell back to CPU (or lost itself) mid-ramp: it is
+  // not healed. Collapse to the bottom stage and re-earn the share.
+  ++ramp_collapses_;
+  metrics::count("serve.restore.ramp_collapses");
+  if (slot.ramp_stage != 0 || slot.ramp_streak != 0) {
+    slot.ramp_stage = 0;
+    slot.ramp_streak = 0;
+    record_ramp_stage(device, 0);
+  }
 }
 
 bool FleetScheduler::alive(std::size_t device) const {
@@ -230,6 +321,7 @@ DeviceHealth FleetScheduler::health(std::size_t device) const {
   health.alive = slot.alive;
   health.breaker_open = slot.supervisor.breaker_open();
   health.epoch = slot.epoch;
+  health.ramp_stage = slot.ramp_stage;
   health.busy_until_s = slot.busy_until_s;
   health.segments = slot.segments;
   health.gpu_segments = slot.gpu_segments;

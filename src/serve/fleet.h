@@ -41,6 +41,24 @@
 
 namespace extnc::serve {
 
+// Ramped restore: a healed device (scripted restore, or a breaker reclosed
+// by a successful half-open probe) does not snap back to its full dispatch
+// share — it re-warms through stages, taking share[stage] of the dispatch
+// opportunities it is offered, advancing a stage after `advance_after`
+// consecutive verified GPU segments and collapsing back to the first stage
+// on any failure (CPU fallback or device loss). The retry-storm guard:
+// a device that heals flaky never soaks up the whole queue.
+struct RestoreRampConfig {
+  bool enabled = true;
+  // Dispatch share per stage; the last stage should be 1.0 (full share).
+  // After the last stage the ramp completes and stops gating.
+  std::array<double, 4> shares = {0.125, 0.25, 0.5, 1.0};
+  // Consecutive clean GPU segments to advance one stage.
+  int advance_after = 4;
+};
+
+inline constexpr int kRampStages = 4;
+
 struct FleetConfig {
   coding::Params params{.n = 16, .k = 256};
   std::vector<simgpu::DeviceSpec> devices;  // one slot per entry
@@ -56,6 +74,7 @@ struct FleetConfig {
   // level stands on real behavior instead of a fictional multiplier.
   double dispatch_overhead_s = 2e-4;
   std::uint64_t content_seed = 0x5e55e;
+  RestoreRampConfig restore_ramp;
 };
 
 // What serving one segment cost and produced.
@@ -64,6 +83,10 @@ struct SegmentResult {
   double service_s = 0;         // modeled seconds of device/codec time
   bool gpu_path = false;
   bool bit_exact = true;  // every payload matched the reference encoder
+  // CRC32C over the batch's payloads in block order — a pure function of
+  // (job seed, blocks), so replicas and post-crash re-dispatches agree.
+  // The journal persists it per delivered segment.
+  std::uint32_t payload_crc = 0;
 };
 
 enum class DecodeCheck { kBitExact, kRankShort, kMismatch };
@@ -73,6 +96,8 @@ struct DeviceHealth {
   bool alive = true;
   bool breaker_open = false;
   std::uint64_t epoch = 0;
+  // Restore-ramp stage: kRampStages means not ramping (full share).
+  int ramp_stage = kRampStages;
   double busy_until_s = 0;
   std::uint64_t segments = 0;
   std::uint64_t gpu_segments = 0;
@@ -110,8 +135,30 @@ class FleetScheduler {
   // Scripted device death: trips the breaker, bumps the epoch (results
   // produced by the previous incarnation are stale) and stops dispatch.
   void kill(std::size_t device);
-  // Device returns to service (breaker reset, injector restored).
+  // Device returns to service (breaker reset, injector restored). Enters
+  // the restore ramp when ramping is enabled.
   void restore(std::size_t device);
+
+  // --- ramped restore ----------------------------------------------------
+  // One ramp-stage change observed on a device (begin, advance, collapse,
+  // completion). `stage == kRampStages` marks ramp completion.
+  struct RampEvent {
+    double at = 0;
+    std::size_t device = 0;
+    int stage = 0;
+  };
+
+  // Put a device at the bottom of the restore ramp (restore() and a
+  // breaker reclosed by a successful half-open probe both call this).
+  void begin_ramp(std::size_t device);
+  // Ask the ramp whether this device may take one dispatch opportunity.
+  // Always true for a device not ramping; a ramping device is granted
+  // share[stage] of the opportunities it is offered. Deterministic.
+  bool ramp_offer(std::size_t device);
+  // Current stage; kRampStages when not ramping (full share).
+  int ramp_stage(std::size_t device) const;
+  std::uint64_t ramp_collapses() const { return ramp_collapses_; }
+  const std::vector<RampEvent>& ramp_events() const { return ramp_events_; }
 
   bool alive(std::size_t device) const;
   std::size_t alive_count() const;
@@ -153,12 +200,17 @@ class FleetScheduler {
  private:
   struct Slot;
 
+  void note_ramp_outcome(std::size_t device, bool clean_gpu);
+  void record_ramp_stage(std::size_t device, int stage);
+
   FleetConfig config_;
   std::function<double()> clock_;
   coding::Segment content_;
   coding::Encoder reference_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<RampEvent> ramp_events_;
+  std::uint64_t ramp_collapses_ = 0;
   double cpu_mb_per_s_ = 0;
 };
 

@@ -1,0 +1,250 @@
+#include "serve/journal.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+#include "util/checksum.h"
+
+namespace extnc::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'N', 'C', 'J'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+// Frame overhead around each record payload: type, length, trailer CRC.
+constexpr std::size_t kFrameOverhead = 1 + 1 + 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return data_[pos_++]; }
+
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> encode_payload(const JournalRecord& r) {
+  std::vector<std::uint8_t> p;
+  switch (r.type) {
+    case JournalRecordType::kArrival:
+      put_u64(p, r.session);
+      put_f64(p, r.at);
+      put_f64(p, r.deadline_s);
+      put_u32(p, r.segments);
+      put_u16(p, r.tenant);
+      p.push_back(r.priority);
+      break;
+    case JournalRecordType::kAdmit:
+      put_u64(p, r.session);
+      put_f64(p, r.at);
+      p.push_back(r.force_degraded ? 1 : 0);
+      break;
+    case JournalRecordType::kSegmentDone:
+      put_u64(p, r.session);
+      put_f64(p, r.at);
+      put_u32(p, r.segment);
+      put_u32(p, r.payload_crc);
+      p.push_back(r.degraded ? 1 : 0);
+      p.push_back(r.rank_short ? 1 : 0);
+      break;
+    case JournalRecordType::kRung:
+      put_f64(p, r.at);
+      p.push_back(r.rung);
+      break;
+    case JournalRecordType::kTerminal:
+      put_u64(p, r.session);
+      put_f64(p, r.at);
+      p.push_back(r.state);
+      p.push_back(r.shed_reason);
+      break;
+    case JournalRecordType::kRecovered:
+      put_f64(p, r.at);
+      break;
+  }
+  return p;
+}
+
+// Expected payload length per record type; 0 for unknown types (which a
+// parser from the future may see — it must stop, not guess).
+std::size_t payload_len_for(std::uint8_t type) {
+  switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::kArrival:
+      return 8 + 8 + 8 + 4 + 2 + 1;
+    case JournalRecordType::kAdmit:
+      return 8 + 8 + 1;
+    case JournalRecordType::kSegmentDone:
+      return 8 + 8 + 4 + 4 + 1 + 1;
+    case JournalRecordType::kRung:
+      return 8 + 1;
+    case JournalRecordType::kTerminal:
+      return 8 + 8 + 1 + 1;
+    case JournalRecordType::kRecovered:
+      return 8;
+  }
+  return 0;
+}
+
+std::optional<JournalRecord> decode_payload(std::uint8_t type,
+                                            std::span<const std::uint8_t> p) {
+  JournalRecord r;
+  r.type = static_cast<JournalRecordType>(type);
+  Cursor c(p);
+  switch (r.type) {
+    case JournalRecordType::kArrival:
+      r.session = c.u64();
+      r.at = c.f64();
+      r.deadline_s = c.f64();
+      r.segments = c.u32();
+      r.tenant = c.u16();
+      r.priority = c.u8();
+      return r;
+    case JournalRecordType::kAdmit:
+      r.session = c.u64();
+      r.at = c.f64();
+      r.force_degraded = c.u8() != 0;
+      return r;
+    case JournalRecordType::kSegmentDone:
+      r.session = c.u64();
+      r.at = c.f64();
+      r.segment = c.u32();
+      r.payload_crc = c.u32();
+      r.degraded = c.u8() != 0;
+      r.rank_short = c.u8() != 0;
+      return r;
+    case JournalRecordType::kRung:
+      r.at = c.f64();
+      r.rung = c.u8();
+      return r;
+    case JournalRecordType::kTerminal:
+      r.session = c.u64();
+      r.at = c.f64();
+      r.state = c.u8();
+      r.shed_reason = c.u8();
+      return r;
+    case JournalRecordType::kRecovered:
+      r.at = c.f64();
+      return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Journal::Journal(std::uint64_t fingerprint) : fingerprint_(fingerprint) {
+  bytes_.reserve(256);
+  bytes_.insert(bytes_.end(), kMagic, kMagic + 4);
+  put_u32(bytes_, kVersion);
+  put_u64(bytes_, fingerprint_);
+  put_u32(bytes_, crc32c({bytes_.data(), bytes_.size()}));
+}
+
+void Journal::append(const JournalRecord& record) {
+  const std::vector<std::uint8_t> payload = encode_payload(record);
+  EXTNC_CHECK(payload.size() ==
+              payload_len_for(static_cast<std::uint8_t>(record.type)));
+  EXTNC_CHECK(payload.size() <= 0xff);
+  const std::size_t frame_start = bytes_.size();
+  bytes_.push_back(static_cast<std::uint8_t>(record.type));
+  bytes_.push_back(static_cast<std::uint8_t>(payload.size()));
+  bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  put_u32(bytes_, crc32c({bytes_.data() + frame_start,
+                          bytes_.size() - frame_start}));
+  ++records_;
+}
+
+std::optional<JournalImage> Journal::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderSize) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic, 4) != 0) return std::nullopt;
+  Cursor header(data.subspan(4));
+  if (header.u32() != kVersion) return std::nullopt;
+  JournalImage image;
+  image.fingerprint = header.u64();
+  const std::uint32_t header_crc = header.u32();
+  if (crc32c({data.data(), kHeaderSize - 4}) != header_crc) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < kFrameOverhead) break;  // torn frame header/trailer
+    const std::uint8_t type = data[pos];
+    const std::uint8_t len = data[pos + 1];
+    if (remaining < kFrameOverhead + len) break;  // truncated payload
+    const std::size_t frame = 2 + static_cast<std::size_t>(len);
+    Cursor trailer(data.subspan(pos + frame));
+    if (crc32c({data.data() + pos, frame}) != trailer.u32()) break;
+    // CRC-valid but unparseable (unknown type, wrong length for its
+    // type): a format from a different version — stop here rather than
+    // replaying records we do not understand.
+    if (len != payload_len_for(type)) break;
+    const auto record = decode_payload(type, data.subspan(pos + 2, len));
+    if (!record) break;
+    image.records.push_back(*record);
+    pos += frame + 4;
+  }
+  image.dropped_bytes = data.size() - pos;
+  return image;
+}
+
+}  // namespace extnc::serve

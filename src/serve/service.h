@@ -18,7 +18,18 @@
 //   epoch-guarded failover — a scripted device kill bumps the device's
 //     epoch; in-flight completions from the old incarnation are detected
 //     as stale and the segment re-dispatches (same seed, same bytes) on a
-//     surviving device.
+//     surviving device;
+//   crash recovery — every externally-visible state change is appended to
+//     a CRC-framed Journal; a process killed mid-run (scripted `crash@t`)
+//     is rebuilt by recover(): terminal sessions keep their states,
+//     in-flight sessions re-enter the queue, and the deterministic
+//     arrival/jobs seeds make the recovered run's deliveries
+//     byte-identical to an uncrashed one's;
+//   ramped restore — a healed device re-warms through the FleetScheduler
+//     ramp instead of instantly absorbing its full dispatch share;
+//   tenant fairness — sessions carry {tenant, priority}; admission is
+//     priority-ordered with weighted-fair per-tenant occupancy, and the
+//     ladder degrades best-effort traffic before interactive.
 //
 // Every arrived session ends in exactly one terminal state; the report
 // carries the full accounting plus streaming latency histograms split
@@ -30,6 +41,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -37,9 +50,9 @@
 #include "serve/admission.h"
 #include "serve/degradation.h"
 #include "serve/fleet.h"
+#include "serve/journal.h"
 #include "serve/session.h"
 #include "util/histogram.h"
-#include "util/rng.h"
 
 namespace extnc::serve {
 
@@ -56,21 +69,59 @@ struct FleetEvent {
   bool kill = true;
 };
 
-// The scripted scenario a service run plays: device kills/restores plus
-// an offered-load timeline (the FaultPlan-style grammar for fleets).
+// One scripted tenant burst: from `at` on, the named tenant's arrival
+// weight is multiplied (its fair ADMISSION share is not — that is the
+// point: the burst must not shed other tenants' traffic).
+struct TenantBurst {
+  double at = 0;
+  std::string tenant;
+  double multiplier = 1.0;
+};
+
+// The scripted scenario a service run plays: device kills/restores, an
+// offered-load timeline, service-process crashes/recoveries and tenant
+// bursts (the FaultPlan-style grammar for fleets).
 struct FleetPlan {
   std::vector<FleetEvent> events;
   std::vector<LoadPhase> load;
+  std::vector<double> crashes;   // service process dies at t
+  std::vector<double> recovers;  // and is recovered from the journal at t
+  std::vector<TenantBurst> bursts;
 
-  bool any() const { return !events.empty() || !load.empty(); }
+  bool any() const {
+    return !events.empty() || !load.empty() || !crashes.empty() ||
+           !recovers.empty() || !bursts.empty();
+  }
 
-  // Comma-separated tokens:
-  //   kill@<t>:<device>      device dies at sim time t
-  //   restore@<t>:<device>   device returns at sim time t
-  //   load@<t>:<multiplier>  offered-load multiplier becomes m at time t
+  // Comma-separated tokens (timestamps must be non-decreasing across the
+  // whole spec — a plan is a timeline, not a bag of events):
+  //   kill@<t>:<device>          device dies at sim time t
+  //   restore@<t>:<device>       device returns at sim time t
+  //   load@<t>:<multiplier>      offered-load multiplier becomes m at t
+  //   crash@<t>                  the service process dies at t
+  //   recover@<t>                ...and is recovered from its journal at t
+  //   tenantburst@<t>:<name>:<m> tenant's arrival weight multiplied by m
   // Example: "kill@20:1,load@30:2.0,restore@45:1".
-  // Returns nullopt (no partial state) on any malformed token.
-  static std::optional<FleetPlan> parse(std::string_view spec);
+  // Returns nullopt (no partial state) on any malformed token; when
+  // `error` is non-null it receives a description of the first problem.
+  static std::optional<FleetPlan> parse(std::string_view spec,
+                                        std::string* error = nullptr);
+
+  // Semantic validation against a fleet of `devices` devices: rejects
+  // out-of-range device ids, duplicate events for the same device and
+  // time, kills of dead devices / restores of alive ones, and
+  // crash/recover sequences that do not alternate. Returns a description
+  // of the first problem, or nullopt when the plan is sound.
+  std::optional<std::string> validate(std::size_t devices) const;
+};
+
+// One tenant of the service: its share weight (drives BOTH the arrival
+// mix and the admission queue's weighted-fair occupancy) and the priority
+// class its sessions run at.
+struct TenantSpec {
+  std::string name = "default";
+  double weight = 1.0;
+  Priority priority = Priority::kStandard;
 };
 
 struct ServiceConfig {
@@ -95,6 +146,8 @@ struct ServiceConfig {
   AdmissionConfig admission;
   LadderConfig ladder;
   FleetPlan plan;
+  // Empty means one "default" tenant at standard priority.
+  std::vector<TenantSpec> tenants;
 
   // Auto-scale the supervisor's time constants to the workload: watchdog
   // budget, initial backoff and breaker cool-down become these multiples
@@ -109,6 +162,16 @@ struct ServiceConfig {
   std::uint64_t seed = 1;
   // Decode-verify every served segment against the reference content.
   bool verify_decode = true;
+};
+
+// Per-tenant slice of the accounting.
+struct TenantReport {
+  std::string name;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
 };
 
 struct ServiceReport {
@@ -137,6 +200,24 @@ struct ServiceReport {
   // Degradation.
   std::uint64_t ladder_transitions = 0;
   std::array<std::uint64_t, kServiceModes> mode_dispatches = {};
+  std::array<std::uint64_t, kPriorities> dispatches_by_class = {};
+  // Crash recovery.
+  bool crashed = false;     // this run ended at a scripted crash point
+  bool recovered = false;   // this run started from a journal
+  std::uint64_t recoveries = 0;  // recover() generations behind this report
+  double crash_at_s = 0;
+  double recovered_at_s = 0;
+  std::size_t journal_records = 0;
+  std::size_t journal_dropped_bytes = 0;  // torn tail discarded on recovery
+  // Ramped restore: every stage change, in time order.
+  std::vector<FleetScheduler::RampEvent> ramp_events;
+  std::uint64_t ramp_collapses = 0;
+  // Tenants (one entry per configured tenant, config order).
+  std::vector<TenantReport> tenants;
+  // CRC32C folded over every full-fidelity (kCompleted) session's
+  // delivered payload CRCs in (session, segment) order — byte-identical
+  // deliveries across a crash/recover boundary fold to the same digest.
+  std::uint32_t delivered_digest = 0;
   // Latency (sim seconds). Segment latency = dispatch -> completion;
   // session latency = arrival -> finish (completed/degraded only).
   StreamingHistogram segment_latency_s;
@@ -154,7 +235,8 @@ struct ServiceReport {
     return completed + degraded + shed + failed;
   }
   // The invariant the overload tests pin: every arrival accounted for in
-  // exactly one terminal state.
+  // exactly one terminal state. (A crashed partial report is exempt until
+  // recovery completes the run.)
   bool accounting_exact() const { return terminal_total() == arrivals; }
 };
 
@@ -170,36 +252,111 @@ class CodingService {
   const ServiceConfig& config() const { return config_; }
   FleetScheduler& fleet() { return *fleet_; }
 
-  // Play the whole scenario to completion (one call per service object).
+  // Play the scenario (one call per service object). If the plan crashes
+  // the process mid-run, the returned report is PARTIAL (crashed == true,
+  // accounting not closed) and journal_bytes() holds everything a
+  // recover() needs; otherwise the report is final and exact.
   ServiceReport run();
 
+  // The serialized journal as of now — what a crashed process leaves on
+  // disk. Stable across run()/crash; parseable by Journal::parse.
+  const std::vector<std::uint8_t>& journal_bytes() const;
+  // Fingerprint binding this config to its journals.
+  std::uint64_t config_fingerprint() const { return fingerprint_; }
+
+  // Sessions in id order (tests: cross-run delivery comparison).
+  const std::vector<Session>& sessions() const { return sessions_; }
+
+  // Rebuild a service from a crashed run's journal. The journal's intact
+  // prefix is replayed (torn tail dropped): terminal sessions keep their
+  // states, admitted in-flight sessions re-enter the queue in admission
+  // order, the degradation ladder resumes at its journaled rung, plan
+  // events with at <= the recovery time are applied to the fleet, and the
+  // deterministic arrival sequence is fast-forwarded so post-recovery
+  // arrivals are the exact ones the lost process would have seen.
+  // `recover_at_s` defaults to the last journaled event time. Returns
+  // nullptr when the journal is unusable (bad header or a fingerprint
+  // from a different config).
+  static std::unique_ptr<CodingService> recover(
+      ServiceConfig config, std::span<const std::uint8_t> journal,
+      std::optional<double> recover_at_s = std::nullopt,
+      simgpu::Profiler* profiler = nullptr);
+
  private:
-  void on_arrival();
+  void journal_append(const JournalRecord& record);
+  void restore_from(const JournalImage& image,
+                    std::optional<double> recover_at_s);
+  void schedule_plan();
+  void on_arrival(std::uint64_t index, double nominal_at);
   void schedule_next_arrival();
   void pump();
   void dispatch_segment(std::uint64_t id);
   void on_segment_done(std::uint64_t id, std::size_t segment,
                        std::size_t device, std::uint64_t epoch,
-                       double dispatched_s);
-  void finish(Session& session, SessionState state);
-  double load_multiplier() const;
+                       double dispatched_s, std::uint32_t payload_crc,
+                       bool degraded_mode, bool rank_short_seg);
+  void finish(Session& session, SessionState state,
+              ShedReason reason = ShedReason::kNone);
+  // finish() at an explicit time — recovery closes torn-tail sessions
+  // before the simulator starts, when sim_.now() is not meaningful yet.
+  void finish_at(Session& session, SessionState state, ShedReason reason,
+                 double at);
+  void apply_terminal_counters(const Session& session, SessionState state,
+                               ShedReason reason, bool live);
+  void finalize_report();
+  double load_multiplier_at(double t) const;
+  double tenant_weight_at(std::uint16_t tenant, double t) const;
+  double arrival_rate_at(double t) const;
+  std::uint16_t draw_tenant(std::uint64_t index, double nominal_at) const;
+  double unit_draw(std::uint64_t index, std::uint64_t salt) const;
   std::uint64_t job_seed(std::uint64_t session, std::size_t segment) const;
   std::size_t blocks_for(ServiceMode mode) const;
+  const TenantSpec& tenant_spec(std::uint16_t tenant) const {
+    return tenants_[tenant];
+  }
+
+  // A tenant burst with its name resolved to a tenant index.
+  struct ResolvedBurst {
+    double at = 0;
+    std::uint16_t tenant = 0;
+    double multiplier = 1.0;
+  };
 
   ServiceConfig config_;
   simgpu::Profiler* profiler_;
   net::EventSim sim_;
   std::unique_ptr<FleetScheduler> fleet_;
+  std::vector<TenantSpec> tenants_;  // resolved (non-empty) tenant table
+  std::vector<ResolvedBurst> bursts_;
   AdmissionQueue queue_;
   DegradationLadder ladder_;
-  Rng arrival_rng_;
+  std::uint64_t fingerprint_ = 0;
+  std::unique_ptr<Journal> journal_;
   std::vector<Session> sessions_;
   std::vector<std::size_t> device_load_;  // sessions assigned per device
   ServiceReport report_;
   double base_rate_hz_ = 0;
-  double current_multiplier_ = 1.0;
+  double base_weight_sum_ = 0;
   double hedge_threshold_s_ = 0;
+  // Deterministic arrival regeneration: arrivals are indexed draws on a
+  // NOMINAL timeline (a pure function of seed and plan), so a recovered
+  // process reproduces the exact arrival sequence of the lost one.
+  std::uint64_t next_arrival_index_ = 0;
+  double next_arrival_nominal_s_ = 0;
+  int last_journaled_rung_ = 0;
+  double start_time_ = 0;   // 0, or the recovery point
+  bool recovered_ = false;
+  bool crashed_ = false;
   bool ran_ = false;
 };
+
+// Run the scenario end to end, playing every scripted crash/recover pair
+// in-process: run() until the crash, recover() from the journal bytes,
+// continue — exactly what the process-level `--journal`/`--recover` CLI
+// flow does across real processes. The returned report is the final
+// generation's (its counters span the whole timeline via the journal);
+// ramp events are concatenated across generations.
+ServiceReport run_with_recovery(const ServiceConfig& config,
+                                simgpu::Profiler* profiler = nullptr);
 
 }  // namespace extnc::serve

@@ -18,6 +18,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 namespace extnc::serve {
 
@@ -31,6 +34,31 @@ enum class SessionState {
 };
 
 const char* session_state_name(SessionState state);
+
+// Why a shed session was shed (terminal-state bookkeeping the journal
+// persists so a recovered process reports the same breakdown).
+enum class ShedReason : std::uint8_t {
+  kNone = 0,      // not shed
+  kRejected = 1,  // admission tail drop / over the degrade hard cap
+  kEvicted = 2,   // evicted from the queue to make room for an arrival
+  kDeadline = 3,  // deadline passed before or during service
+};
+
+// Session priority classes, most latency-sensitive first. Priority orders
+// the admission queue (interactive waiters dispatch before best-effort)
+// and biases the degradation ladder: best-effort traffic degrades a rung
+// EARLIER than the ladder's pressure level, interactive a rung later.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBestEffort = 2,
+};
+
+inline constexpr int kPriorities = 3;
+
+const char* priority_name(Priority priority);
+// "interactive" | "standard" | "besteffort"; nullopt on anything else.
+std::optional<Priority> parse_priority(std::string_view name);
 
 inline bool is_terminal(SessionState state) {
   return state == SessionState::kCompleted ||
@@ -72,6 +100,16 @@ struct Session {
   std::size_t segments = 0;
   std::size_t segments_done = 0;
   std::size_t device = SIZE_MAX;  // shard target while kServing
+
+  // Who this session belongs to (index into ServiceConfig::tenants) and
+  // how it ranks against other waiters.
+  std::uint16_t tenant = 0;
+  Priority priority = Priority::kStandard;
+
+  // CRC32C of each delivered segment payload, in segment order (filled as
+  // segments complete; journaled, so a recovered process can prove its
+  // deliveries byte-identical to the lost one's).
+  std::vector<std::uint32_t> segment_crcs;
 
   SessionState state = SessionState::kQueued;
   // Admission (degrade policy) forced this session to thinned service.

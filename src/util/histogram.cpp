@@ -3,26 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/assert.h"
+
 namespace extnc {
 
-std::size_t StreamingHistogram::bucket_index(double value) {
-  if (!(value > kMinValue)) return 0;  // NaN, negatives, zero, tiny
-  // Bucket b (b >= 1) covers (kMinValue * 2^((b-1)/octave),
-  //                           kMinValue * 2^(b/octave)].
-  const double octaves = std::log2(value / kMinValue);
-  const double index = std::ceil(octaves * kBucketsPerOctave);
+StreamingHistogram::StreamingHistogram(std::size_t buckets_per_octave,
+                                       double min_value)
+    : buckets_per_octave_(buckets_per_octave), min_value_(min_value) {
+  EXTNC_CHECK(buckets_per_octave_ >= 1);
+  EXTNC_CHECK(min_value_ > 0);
+}
+
+std::size_t StreamingHistogram::index_of(double value) const {
+  if (!(value > min_value_)) return 0;  // NaN, negatives, zero, tiny
+  // Bucket b (b >= 1) covers (min_value * 2^((b-1)/octave),
+  //                           min_value * 2^(b/octave)].
+  const double octaves = std::log2(value / min_value_);
+  const double index =
+      std::ceil(octaves * static_cast<double>(buckets_per_octave_));
   if (index >= static_cast<double>(kBuckets)) return kBuckets - 1;
   return static_cast<std::size_t>(index);
 }
 
-double StreamingHistogram::bucket_floor(std::size_t index) {
+double StreamingHistogram::floor_of(std::size_t index) const {
   if (index == 0) return 0.0;
-  return kMinValue *
-         std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+  return min_value_ * std::exp2(static_cast<double>(index - 1) /
+                                static_cast<double>(buckets_per_octave_));
+}
+
+std::size_t StreamingHistogram::bucket_index(double value) {
+  return StreamingHistogram{}.index_of(value);
+}
+
+double StreamingHistogram::bucket_floor(std::size_t index) {
+  return StreamingHistogram{}.floor_of(index);
 }
 
 void StreamingHistogram::observe(double value) {
-  ++buckets_[bucket_index(value)];
+  ++buckets_[index_of(value)];
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -35,6 +53,11 @@ void StreamingHistogram::observe(double value) {
 }
 
 void StreamingHistogram::merge(const StreamingHistogram& other) {
+  // Bucket-wise addition is only meaningful when both sides file samples
+  // into the same boundaries; merging across layouts would silently
+  // misreport every quantile, so it is a hard error.
+  EXTNC_CHECK(buckets_per_octave_ == other.buckets_per_octave_);
+  EXTNC_CHECK(min_value_ == other.min_value_);
   if (other.count_ == 0) return;
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   if (count_ == 0) {
@@ -65,10 +88,10 @@ double StreamingHistogram::quantile(double q) const {
   }
   double answer;
   if (bucket == 0) {
-    answer = kMinValue;  // sub-resolution bucket; clamp below does the rest
+    answer = min_value_;  // sub-resolution bucket; clamp below does the rest
   } else {
-    const double lo = bucket_floor(bucket);
-    const double hi = bucket_floor(bucket + 1);
+    const double lo = floor_of(bucket);
+    const double hi = floor_of(bucket + 1);
     answer = std::sqrt(lo * hi);  // geometric midpoint: bounded rel. error
   }
   return std::clamp(answer, min_, max_);

@@ -29,16 +29,29 @@ namespace extnc {
 
 class StreamingHistogram {
  public:
-  // 8 buckets per doubling, spanning kMinValue * 2^(kBuckets/8) ≈ 19
-  // decades above kMinValue — seconds from nanoseconds to decades, or
-  // byte counts from 1 to ~5e17, without configuration.
+  // Default geometry: 8 buckets per doubling, spanning kMinValue *
+  // 2^(kBuckets/8) ≈ 19 decades above kMinValue — seconds from
+  // nanoseconds to decades, or byte counts from 1 to ~5e17, without
+  // configuration.
   static constexpr std::size_t kBucketsPerOctave = 8;
   static constexpr std::size_t kBuckets = 512;
   static constexpr double kMinValue = 1e-9;
 
+  StreamingHistogram() = default;
+  // Custom geometry: trade span for resolution (more buckets per octave
+  // = tighter quantiles over fewer decades). Histograms only merge with
+  // an IDENTICAL geometry — bucket-wise addition across different
+  // layouts silently misfiles every sample, so merge() CHECK-fails on a
+  // mismatch instead.
+  StreamingHistogram(std::size_t buckets_per_octave, double min_value);
+
+  std::size_t buckets_per_octave() const { return buckets_per_octave_; }
+  double min_value() const { return min_value_; }
+
   void observe(double value);
-  // Add `other`'s samples to this histogram (same fixed geometry by
-  // construction, so merging is bucket-wise addition).
+  // Add `other`'s samples to this histogram. Aborts (EXTNC_CHECK) when
+  // the two geometries differ — counts from one layout mean nothing in
+  // the other's buckets.
   void merge(const StreamingHistogram& other);
 
   std::uint64_t count() const { return count_; }
@@ -65,16 +78,22 @@ class StreamingHistogram {
     return quantile(q);
   }
 
-  // Exposed for tests (bucket accounting, merge equivalence).
+  // Exposed for tests (bucket accounting, merge equivalence). The static
+  // forms answer for the DEFAULT geometry.
   std::uint64_t bucket_count(std::size_t index) const {
     return buckets_[index];
   }
   static std::size_t bucket_index(double value);
-  // Lower bound of bucket `index` (kMinValue * 2^(index-1)/octave; bucket
+  // Lower bound of bucket `index` (min_value * 2^(index-1)/octave; bucket
   // 0 reaches down to zero).
   static double bucket_floor(std::size_t index);
 
  private:
+  std::size_t index_of(double value) const;
+  double floor_of(std::size_t index) const;
+
+  std::size_t buckets_per_octave_ = kBucketsPerOctave;
+  double min_value_ = kMinValue;
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0;

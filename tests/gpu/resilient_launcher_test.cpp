@@ -12,6 +12,7 @@
 #include "coding/encoder.h"
 #include "cpu/multi_segment_decoder.h"
 #include "util/checksum.h"
+#include "util/metrics_registry.h"
 
 namespace extnc::gpu {
 namespace {
@@ -261,6 +262,73 @@ TEST(ResilientLauncher, FailedProbeKeepsBreakerOpenAndRestartsCooldown) {
   EXPECT_EQ(supervisor.run(healthy).path, ComputePath::kGpu);
   EXPECT_EQ(gpu_calls, 2);
   EXPECT_FALSE(supervisor.breaker_open());
+}
+
+TEST(ResilientLauncher, HalfOpenProbeIsSingleFlightUnderHedgedRedispatch) {
+  // The fleet race: a hedged re-dispatch lands on a device at the SAME
+  // simulated instant its breaker comes off cool-down. Only the first
+  // operation may probe — probe success closes the breaker before the
+  // second op runs, and probe failure restarts the cool-down from the
+  // same timestamp, so the second op must go straight to the CPU either
+  // way. Two concurrent probes would double the load on a device that
+  // has only proven it can survive one.
+  metrics::Registry::instance().reset();
+  SupervisorConfig config;
+  config.breaker_cooldown_s = 10.0;
+  config.metric_prefix = "test.singleflight";
+  ResilientLauncher supervisor(config);
+  double now = 0.0;
+  supervisor.set_clock([&now] { return now; });
+  supervisor.trip_breaker();
+
+  // Case 1: the probe FAILS at t=10. The hedge replica arriving at the
+  // same t=10 sees a cool-down restarted at 10 and is bypassed — exactly
+  // one half-open probe is counted, one GPU call total.
+  now = 10.0;
+  int gpu_calls = 0;
+  SupervisedOp failing;
+  failing.gpu = [&] {
+    ++gpu_calls;
+    throw simgpu::DeviceError(simgpu::FaultClass::kLaunchFailure, "probe");
+  };
+  failing.cpu = [] {};
+  EXPECT_EQ(supervisor.run(failing).path, ComputePath::kCpuFallback);
+  SupervisedOp hedge;
+  hedge.gpu = [] { FAIL() << "second op at the same instant must not probe"; };
+  bool hedge_on_cpu = false;
+  hedge.cpu = [&] { hedge_on_cpu = true; };
+  const OperationReport raced = supervisor.run(hedge);
+  EXPECT_EQ(raced.path, ComputePath::kCpuFallback);
+  EXPECT_EQ(raced.attempts, 0);
+  EXPECT_TRUE(hedge_on_cpu);
+  EXPECT_TRUE(supervisor.breaker_open());
+  EXPECT_EQ(gpu_calls, 1);
+  EXPECT_DOUBLE_EQ(metrics::Registry::instance().value(
+                       "test.singleflight.breaker_half_open"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(metrics::Registry::instance().value(
+                       "test.singleflight.breaker_probe_failed"),
+                   1.0);
+
+  // Case 2: the probe SUCCEEDS at t=20. The racing op runs on a CLOSED
+  // breaker — a normal dispatch, not a second probe.
+  now = 20.0;
+  SupervisedOp probe;
+  probe.gpu = [&] { ++gpu_calls; };
+  probe.verify = [] { return true; };
+  probe.cpu = [] { FAIL() << "probe succeeded; no fallback"; };
+  EXPECT_EQ(supervisor.run(probe).path, ComputePath::kGpu);
+  EXPECT_FALSE(supervisor.breaker_open());
+  EXPECT_EQ(supervisor.run(probe).path, ComputePath::kGpu);
+  EXPECT_EQ(gpu_calls, 3);
+  // Still exactly two probes ever granted (one per cool-down expiry).
+  EXPECT_DOUBLE_EQ(metrics::Registry::instance().value(
+                       "test.singleflight.breaker_half_open"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(metrics::Registry::instance().value(
+                       "test.singleflight.breaker_reclosed"),
+                   1.0);
+  metrics::Registry::instance().reset();
 }
 
 TEST(ResilientLauncher, BreakerWithoutCooldownOrClockNeverHalfOpens) {

@@ -56,6 +56,141 @@ TEST(AdmissionQueue, PopIsFifoAndRemoveDropsWaiters) {
   EXPECT_EQ(queue.pop(), std::nullopt);
 }
 
+// --- priority ordering -----------------------------------------------------
+
+TEST(AdmissionQueue, PopServesHigherPriorityClassesFirstFifoWithin) {
+  AdmissionQueue queue({.capacity = 8});
+  queue.offer(0, 0, Priority::kBestEffort);
+  queue.offer(1, 0, Priority::kStandard);
+  queue.offer(2, 0, Priority::kInteractive);
+  queue.offer(3, 0, Priority::kInteractive);
+  queue.offer(4, 0, Priority::kBestEffort);
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(3));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(4));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, ShedOldestPrefersTheLowestPriorityVictim) {
+  AdmissionQueue queue({.capacity = 2, .policy = ShedPolicy::kShedOldest});
+  queue.offer(0, 0, Priority::kInteractive);
+  queue.offer(1, 0, Priority::kBestEffort);
+  const AdmissionDecision third = queue.offer(2, 0, Priority::kStandard);
+  EXPECT_TRUE(third.admitted);
+  ASSERT_TRUE(third.evicted.has_value());
+  // The best-effort waiter pays, not the older interactive one.
+  EXPECT_EQ(*third.evicted, 1u);
+}
+
+// --- weighted-fair tenants -------------------------------------------------
+
+TEST(AdmissionQueue, TenantCapsFollowWeights) {
+  AdmissionQueue queue({.capacity = 9,
+                        .policy = ShedPolicy::kReject,
+                        .tenant_weights = {2.0, 1.0}});
+  EXPECT_EQ(queue.tenant_count(), 2u);
+  EXPECT_EQ(queue.tenant_cap(0), 6u);  // ceil(9 * 2/3)
+  EXPECT_EQ(queue.tenant_cap(1), 3u);  // ceil(9 * 1/3)
+}
+
+TEST(AdmissionQueue, WorkConservingUnderCapacity) {
+  // Free room is granted regardless of shares: one tenant may fill the
+  // whole queue while the other is idle.
+  AdmissionQueue queue({.capacity = 4,
+                        .policy = ShedPolicy::kReject,
+                        .tenant_weights = {1.0, 1.0}});
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    EXPECT_TRUE(queue.offer(id, 1, Priority::kStandard).admitted);
+  }
+  EXPECT_EQ(queue.tenant_depth(1), 4u);
+}
+
+TEST(AdmissionQueue, UnderShareArrivalEvictsTheBurstersNewestWaiter) {
+  AdmissionQueue queue({.capacity = 4,
+                        .policy = ShedPolicy::kReject,
+                        .tenant_weights = {1.0, 1.0}});
+  // Tenant 1 bursts past its share of 2 and fills the queue.
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(queue.offer(id, 1, Priority::kStandard).admitted);
+  }
+  // Tenant 0 arrives under its share: admitted, and the BURSTER's newest
+  // waiter pays — even under kReject, which would tail-drop a same-tenant
+  // arrival.
+  const AdmissionDecision fair = queue.offer(100, 0, Priority::kStandard);
+  EXPECT_TRUE(fair.admitted);
+  ASSERT_TRUE(fair.evicted.has_value());
+  EXPECT_EQ(*fair.evicted, 3u);  // newest of tenant 1
+  EXPECT_EQ(queue.tenant_depth(0), 1u);
+  EXPECT_EQ(queue.tenant_depth(1), 3u);
+
+  // The burster's own next arrival gets the policy (tail drop), not an
+  // eviction of the under-share tenant.
+  const AdmissionDecision burst_more = queue.offer(101, 1, Priority::kStandard);
+  EXPECT_FALSE(burst_more.admitted);
+  EXPECT_EQ(queue.tenant_depth(0), 1u);
+}
+
+TEST(AdmissionQueue, EvictionTakesTheBurstersLowestPriorityNewestWaiter) {
+  AdmissionQueue queue({.capacity = 4,
+                        .policy = ShedPolicy::kReject,
+                        .tenant_weights = {1.0, 1.0}});
+  ASSERT_TRUE(queue.offer(0, 1, Priority::kInteractive).admitted);
+  ASSERT_TRUE(queue.offer(1, 1, Priority::kBestEffort).admitted);
+  ASSERT_TRUE(queue.offer(2, 1, Priority::kBestEffort).admitted);
+  ASSERT_TRUE(queue.offer(3, 1, Priority::kInteractive).admitted);
+  const AdmissionDecision fair = queue.offer(100, 0, Priority::kStandard);
+  EXPECT_TRUE(fair.admitted);
+  ASSERT_TRUE(fair.evicted.has_value());
+  EXPECT_EQ(*fair.evicted, 2u);  // newest within the lowest class
+}
+
+TEST(AdmissionQueue, ShedOldestStaysWithinTheArrivingTenant) {
+  AdmissionQueue queue({.capacity = 4,
+                        .policy = ShedPolicy::kShedOldest,
+                        .tenant_weights = {1.0, 1.0}});
+  ASSERT_TRUE(queue.offer(0, 0, Priority::kStandard).admitted);
+  ASSERT_TRUE(queue.offer(1, 0, Priority::kStandard).admitted);
+  ASSERT_TRUE(queue.offer(2, 1, Priority::kStandard).admitted);
+  ASSERT_TRUE(queue.offer(3, 1, Priority::kStandard).admitted);
+  // Both tenants exactly at share: the arriving tenant trades its OWN
+  // oldest waiter, never the other tenant's.
+  const AdmissionDecision next = queue.offer(4, 1, Priority::kStandard);
+  EXPECT_TRUE(next.admitted);
+  ASSERT_TRUE(next.evicted.has_value());
+  EXPECT_EQ(*next.evicted, 2u);  // tenant 1's oldest, not tenant 0's
+  EXPECT_EQ(queue.tenant_depth(0), 2u);
+}
+
+TEST(AdmissionQueue, DegradeHeadroomIsSharedByWeightToo) {
+  AdmissionQueue queue({.capacity = 4,
+                        .policy = ShedPolicy::kDegrade,
+                        .degrade_headroom = 2.0,
+                        .tenant_weights = {1.0, 1.0}});
+  // Tenant 1 fills the queue (work-conserving), then pushes into the
+  // degraded band — but only up to ceil(its cap * headroom) = 4, not the
+  // whole hard cap of 8.
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(queue.offer(id, 1, Priority::kStandard).admitted);
+  }
+  EXPECT_FALSE(queue.offer(4, 1, Priority::kStandard).admitted);
+  // Tenant 0 still has its own headroom available.
+  const AdmissionDecision other = queue.offer(5, 0, Priority::kStandard);
+  EXPECT_TRUE(other.admitted);
+}
+
+TEST(AdmissionQueue, RestoreBypassesPolicyForRecovery) {
+  // Recovery re-enqueues already-admitted sessions: restore() must admit
+  // past capacity without consulting the shed policy.
+  AdmissionQueue queue({.capacity = 2, .policy = ShedPolicy::kReject});
+  queue.offer(0);
+  queue.offer(1);
+  queue.restore(2, 0, Priority::kInteractive);
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(2));  // priority holds
+}
+
 TEST(ShedPolicy, NamesRoundTrip) {
   for (ShedPolicy policy : {ShedPolicy::kReject, ShedPolicy::kShedOldest,
                             ShedPolicy::kDegrade}) {

@@ -61,6 +61,39 @@ TEST(DegradationLadder, DwellCountsUpdatesPerMode) {
   EXPECT_EQ(dwell[static_cast<int>(ServiceMode::kCpuCodec)], 0u);
 }
 
+TEST(DegradationLadder, ClassBiasEntersRungsPerPriority) {
+  DegradationLadder ladder;  // default bias {-1, 0, +1}
+  ladder.update(0.6);
+  ASSERT_EQ(ladder.mode(), ServiceMode::kBatched);
+  // Interactive runs a rung BELOW the pressure level, best-effort a rung
+  // above; both clamp to the ladder's ends.
+  EXPECT_EQ(ladder.mode_for(Priority::kInteractive), ServiceMode::kFull);
+  EXPECT_EQ(ladder.mode_for(Priority::kStandard), ServiceMode::kBatched);
+  EXPECT_EQ(ladder.mode_for(Priority::kBestEffort), ServiceMode::kCpuCodec);
+
+  ladder.update(1.0);
+  ASSERT_EQ(ladder.mode(), ServiceMode::kThinned);
+  EXPECT_EQ(ladder.mode_for(Priority::kInteractive), ServiceMode::kCpuCodec);
+  EXPECT_EQ(ladder.mode_for(Priority::kBestEffort), ServiceMode::kThinned);
+}
+
+TEST(DegradationLadder, RestoreLevelJumpsWithoutCountingATransition) {
+  DegradationLadder ladder;
+  ladder.restore_level(2);
+  EXPECT_EQ(ladder.mode(), ServiceMode::kCpuCodec);
+  EXPECT_EQ(ladder.transitions(), 0u);  // a journal replay, not a change
+}
+
+TEST(PriorityNames, RoundTrip) {
+  for (Priority p : {Priority::kInteractive, Priority::kStandard,
+                     Priority::kBestEffort}) {
+    const auto parsed = parse_priority(priority_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_priority("vip").has_value());
+}
+
 TEST(ServiceNames, StatesAndModesHaveStableNames) {
   EXPECT_STREQ(session_state_name(SessionState::kCompleted), "completed");
   EXPECT_STREQ(session_state_name(SessionState::kShed), "shed");

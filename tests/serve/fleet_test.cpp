@@ -152,5 +152,103 @@ TEST_F(FleetSchedulerTest, FleetHealthReportsPerDeviceCounters) {
   EXPECT_EQ(fleet_.fleet_health().size(), 3u);
 }
 
+// --- restore ramp ----------------------------------------------------------
+
+TEST_F(FleetSchedulerTest, RestoreEntersTheRampAtStageZero) {
+  EXPECT_EQ(fleet_.ramp_stage(0), kRampStages);  // healthy: not ramping
+  fleet_.kill(0);
+  EXPECT_EQ(fleet_.ramp_stage(0), kRampStages);  // dead: ramp voided
+  fleet_.restore(0);
+  EXPECT_EQ(fleet_.ramp_stage(0), 0);
+  EXPECT_EQ(fleet_.health(0).ramp_stage, 0);
+  ASSERT_FALSE(fleet_.ramp_events().empty());
+  EXPECT_EQ(fleet_.ramp_events().back().stage, 0);
+}
+
+TEST_F(FleetSchedulerTest, RampStageZeroTakesExactlyItsShareOfOffers) {
+  fleet_.kill(0);
+  fleet_.restore(0);
+  // Stage 0 share is 1/8: of 16 offered opportunities, exactly 2 are
+  // taken, at deterministic positions (the 8th and 16th offer).
+  int taken = 0;
+  for (int offer = 1; offer <= 16; ++offer) {
+    const bool granted = fleet_.ramp_offer(0);
+    if (granted) ++taken;
+    EXPECT_EQ(granted, offer % 8 == 0) << "offer " << offer;
+  }
+  EXPECT_EQ(taken, 2);
+  // A device that is not ramping is never throttled.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(fleet_.ramp_offer(1));
+}
+
+TEST_F(FleetSchedulerTest, CleanGpuSegmentsClimbTheRampToCompletion) {
+  FleetConfig config = small_fleet(1);
+  config.restore_ramp.advance_after = 2;
+  FleetScheduler fleet(std::move(config), [] { return 0.0; });
+  fleet.kill(0);
+  fleet.restore(0);
+  for (int stage = 0; stage < kRampStages; ++stage) {
+    EXPECT_EQ(fleet.ramp_stage(0), stage);
+    fleet.encode_segment(0, 100 + stage, 12, ServiceMode::kFull);
+    EXPECT_EQ(fleet.ramp_stage(0), stage);  // one clean segment: not yet
+    fleet.encode_segment(0, 200 + stage, 12, ServiceMode::kFull);
+  }
+  EXPECT_EQ(fleet.ramp_stage(0), kRampStages);  // completed: full share
+  EXPECT_TRUE(fleet.ramp_offer(0));
+  EXPECT_EQ(fleet.ramp_collapses(), 0u);
+  // The recorded stage trail is the monotone climb 0,1,2,3,4.
+  ASSERT_EQ(fleet.ramp_events().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fleet.ramp_events()[i].stage, i);
+  }
+}
+
+TEST_F(FleetSchedulerTest, CpuFallbackMidRampCollapsesToStageZero) {
+  FleetConfig config = small_fleet(1);
+  config.restore_ramp.advance_after = 1;
+  FleetScheduler fleet(std::move(config), [] { return 0.0; });
+  fleet.kill(0);
+  fleet.restore(0);
+  fleet.encode_segment(0, 1, 12, ServiceMode::kFull);
+  fleet.encode_segment(0, 2, 12, ServiceMode::kFull);
+  ASSERT_EQ(fleet.ramp_stage(0), 2);
+  // A ladder-forced CPU segment never touched the device: it says nothing
+  // about its health and must NOT collapse the ramp.
+  fleet.encode_segment(0, 3, 12, ServiceMode::kCpuCodec);
+  EXPECT_EQ(fleet.ramp_stage(0), 2);
+  EXPECT_EQ(fleet.ramp_collapses(), 0u);
+  // But a supervised dispatch that falls back (breaker trips mid-ramp)
+  // means the device is not actually healed: back to the bottom.
+  fleet.supervisor(0).trip_breaker();
+  const SegmentResult fallback =
+      fleet.encode_segment(0, 4, 12, ServiceMode::kFull);
+  ASSERT_FALSE(fallback.gpu_path);
+  EXPECT_TRUE(fallback.bit_exact);  // fallback still serves correct bytes
+  EXPECT_EQ(fleet.ramp_stage(0), 0);
+  EXPECT_EQ(fleet.ramp_collapses(), 1u);
+  EXPECT_EQ(fleet.ramp_events().back().stage, 0);
+}
+
+TEST_F(FleetSchedulerTest, KillMidRampVoidsItAndRestoreStartsFresh) {
+  fleet_.kill(2);
+  fleet_.restore(2);
+  ASSERT_EQ(fleet_.ramp_stage(2), 0);
+  fleet_.kill(2);
+  EXPECT_EQ(fleet_.ramp_stage(2), kRampStages);  // dead device: no ramp
+  fleet_.restore(2);
+  EXPECT_EQ(fleet_.ramp_stage(2), 0);  // re-earn the share from scratch
+}
+
+TEST_F(FleetSchedulerTest, DisabledRampRestoresAtFullShare) {
+  FleetConfig config = small_fleet(1);
+  config.restore_ramp.enabled = false;
+  FleetScheduler fleet(std::move(config), [] { return 0.0; });
+  fleet.kill(0);
+  fleet.restore(0);
+  EXPECT_EQ(fleet.ramp_stage(0), kRampStages);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fleet.ramp_offer(0));
+  EXPECT_TRUE(fleet.ramp_events().empty());
+}
+
 }  // namespace
 }  // namespace extnc::serve

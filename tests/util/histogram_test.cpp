@@ -126,6 +126,53 @@ TEST(StreamingHistogram, MergeEqualsObservingTheUnion) {
   }
 }
 
+TEST(StreamingHistogram, CustomGeometryFilesAndAnswersWithinItsResolution) {
+  // 16 buckets/octave halves the relative error; min_value 1e-6 trades
+  // span for it. The instance must file by ITS geometry, not the default.
+  StreamingHistogram h(/*buckets_per_octave=*/16, /*min_value=*/1e-6);
+  EXPECT_EQ(h.buckets_per_octave(), 16u);
+  EXPECT_DOUBLE_EQ(h.min_value(), 1e-6);
+  h.observe(1e-7);  // below min_value: bucket 0
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 1e-3 * std::pow(10.0, 3.0 * rng.next_double());
+    samples.push_back(v);
+    h.observe(v);
+  }
+  const double fine_tol = std::exp2(1.0 / 32.0) - 1;  // half a fine bucket
+  for (double q : {0.50, 0.90, 0.99}) {
+    const double exact = percentile(samples, q);
+    EXPECT_NEAR(h.quantile(q), exact, exact * (2 * fine_tol)) << "q=" << q;
+  }
+}
+
+TEST(StreamingHistogramDeathTest, MergeRejectsMismatchedGeometry) {
+  // Bucket-wise addition across different layouts misfiles every sample;
+  // the merge must abort loudly, not corrupt the quantiles.
+  StreamingHistogram coarse;  // default: 8/octave @ 1e-9
+  StreamingHistogram fine(16, 1e-9);
+  StreamingHistogram shifted(8, 1e-6);
+  coarse.observe(0.5);
+  fine.observe(0.5);
+  shifted.observe(0.5);
+  EXPECT_DEATH(coarse.merge(fine), "EXTNC_CHECK");
+  EXPECT_DEATH(coarse.merge(shifted), "EXTNC_CHECK");
+  EXPECT_DEATH(fine.merge(coarse), "EXTNC_CHECK");
+  // Identical custom geometries still merge fine.
+  StreamingHistogram fine2(16, 1e-9);
+  fine2.observe(2.0);
+  fine.merge(fine2);
+  EXPECT_EQ(fine.count(), 2u);
+}
+
+TEST(StreamingHistogramDeathTest, RejectsDegenerateGeometry) {
+  EXPECT_DEATH(StreamingHistogram(0, 1e-9), "EXTNC_CHECK");
+  EXPECT_DEATH(StreamingHistogram(8, 0.0), "EXTNC_CHECK");
+  EXPECT_DEATH(StreamingHistogram(8, -1.0), "EXTNC_CHECK");
+}
+
 TEST(StreamingHistogram, MergeIntoEmptyAndFromEmpty) {
   StreamingHistogram a, empty;
   a.observe(2.0);

@@ -1,0 +1,89 @@
+# CTest script: cross-process crash recovery for extnc_serve.
+#
+# Three runs of the same scenario:
+#   1. baseline — no crash; record the delivered-payload digest.
+#   2. crash    — the plan kills the service mid-run; the process must
+#                 exit 3 and persist its journal to --journal PATH.
+#   3. recover  — a fresh process rebuilds from that journal and finishes;
+#                 its digest must equal the baseline's (byte-identical
+#                 deliveries across the crash boundary).
+# A corrupted journal must be refused with a nonzero exit, not a crash.
+#
+# Invoked as:
+#   cmake -DTOOL=<path-to-extnc_serve> -DWORK=<scratch-dir> -P chaos_test.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED WORK)
+  message(FATAL_ERROR "pass -DTOOL=... and -DWORK=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK}")
+set(journal "${WORK}/service.xncj")
+set(common
+  --devices 2 --segments 3 --load 0.4 --duration 0.05 --seed 11
+  --deadline-factor 1e6 --json)
+
+# Pull "delivered_digest": "xxxxxxxx" out of a run's JSON report.
+function(extract_digest text out)
+  string(REGEX MATCH "\"delivered_digest\": \"([0-9a-f]+)\"" _ "${text}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "no delivered_digest in report: ${text}")
+  endif()
+  set(${out} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+execute_process(
+  COMMAND "${TOOL}" ${common}
+  RESULT_VARIABLE baseline_result OUTPUT_VARIABLE baseline_out)
+if(NOT baseline_result EQUAL 0)
+  message(FATAL_ERROR "baseline run failed: ${baseline_result}")
+endif()
+extract_digest("${baseline_out}" baseline_digest)
+
+execute_process(
+  COMMAND "${TOOL}" ${common}
+          --plan "crash@0.02,recover@0.025" --journal "${journal}"
+  RESULT_VARIABLE crash_result OUTPUT_VARIABLE crash_out)
+if(NOT crash_result EQUAL 3)
+  message(FATAL_ERROR "crashed run exited ${crash_result}, want 3")
+endif()
+if(NOT EXISTS "${journal}")
+  message(FATAL_ERROR "crashed run left no journal at ${journal}")
+endif()
+
+execute_process(
+  COMMAND "${TOOL}" ${common}
+          --plan "crash@0.02,recover@0.025" --journal "${journal}"
+          --recover --recover-at 0.025
+  RESULT_VARIABLE recover_result OUTPUT_VARIABLE recover_out)
+if(NOT recover_result EQUAL 0)
+  message(FATAL_ERROR "recovered run failed: ${recover_result}")
+endif()
+extract_digest("${recover_out}" recover_digest)
+
+if(NOT recover_digest STREQUAL baseline_digest)
+  message(FATAL_ERROR "recovered digest ${recover_digest} differs from "
+                      "uncrashed baseline ${baseline_digest}")
+endif()
+if(NOT recover_out MATCHES "\"recovered\": true")
+  message(FATAL_ERROR "recovered run does not report recovered=true")
+endif()
+
+# A journal from a different configuration must be refused.
+execute_process(
+  COMMAND "${TOOL}" ${common} --seed 999 --journal "${journal}" --recover
+  RESULT_VARIABLE foreign_result OUTPUT_QUIET ERROR_QUIET)
+if(foreign_result EQUAL 0)
+  message(FATAL_ERROR "recovery from a foreign journal unexpectedly succeeded")
+endif()
+
+# ...and so must a corrupt one.
+file(WRITE "${WORK}/corrupt.xncj" "this is not a journal")
+execute_process(
+  COMMAND "${TOOL}" ${common} --journal "${WORK}/corrupt.xncj" --recover
+  RESULT_VARIABLE corrupt_result OUTPUT_QUIET ERROR_QUIET)
+if(corrupt_result EQUAL 0)
+  message(FATAL_ERROR "recovery from a corrupt journal unexpectedly succeeded")
+endif()
+
+message(STATUS "extnc_serve crash/recover chaos gate OK "
+               "(digest ${baseline_digest})")

@@ -4,27 +4,43 @@
 //               [--n N] [--k K] [--segments N]
 //               [--load X] [--duration S] [--seed S]
 //               [--policy reject|oldest|degrade] [--capacity N]
+//               [--tenants "name:weight:priority,..."]
 //               [--plan SPEC] [--fault-profile SPEC] [--fault-seed N]
 //               [--hedge-factor X] [--deadline-factor X] [--no-verify]
+//               [--journal PATH] [--recover] [--recover-at T]
 //               [--json] [--min-completed N]
 //
 // --plan scripts the fleet scenario (serve::FleetPlan grammar):
-//   kill@<t>:<dev>,restore@<t>:<dev>,load@<t>:<multiplier>
+//   kill@<t>:<dev>,restore@<t>:<dev>,load@<t>:<mult>,
+//   crash@<t>,recover@<t>,tenantburst@<t>:<name>:<mult>
 // --fault-profile scripts per-device faults (simgpu::FaultPlan grammar):
 //   hang@3,flip@7,lost@12,pfail=0.01
 //
+// Crash recovery across processes: a run whose plan crashes (crash@t)
+// persists its journal to --journal PATH and exits 3; a second invocation
+// with the SAME configuration plus --recover [--recover-at T] rebuilds the
+// service from that journal and finishes the scenario. The deterministic
+// seeds make the recovered run's deliveries byte-identical to an
+// uncrashed run (compare "delivered_digest").
+//
 // Prints the service report (volume, terminal-state accounting, shed
-// breakdown, resilience events, p50/p90/p99 latency for the healthy and
-// faulted phases, per-device health). Exit status is the robustness
-// contract, so CI can soak it directly:
+// breakdown, resilience events, crash/ramp/tenant accounting, p50/p90/p99
+// latency for the healthy and faulted phases, per-device health). Exit
+// status is the robustness contract, so CI can soak it directly:
 //   0  every arrival in exactly one terminal state, zero bit-exactness
 //      failures, zero decode mismatches (and --min-completed met);
 //   1  the contract was violated;
-//   2  bad usage.
+//   2  bad usage;
+//   3  the plan crashed the service (partial report; journal persisted
+//      when --journal was given).
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/service.h"
 #include "simgpu/device_spec.h"
@@ -42,12 +58,85 @@ int usage() {
       "  fleet:    --devices N --device gtx280|8800gt|mixed --n N --k K\n"
       "  load:     --load X --duration S --segments N --seed S\n"
       "  admission:--policy reject|oldest|degrade --capacity N\n"
-      "  scenario: --plan \"kill@t:dev,restore@t:dev,load@t:mult\"\n"
+      "            --tenants \"name:weight:priority,...\" (priority: "
+      "interactive|standard|besteffort)\n"
+      "  scenario: --plan \"kill@t:dev,restore@t:dev,load@t:mult,"
+      "crash@t,recover@t,tenantburst@t:name:mult\"\n"
       "            --fault-profile \"hang@3,flip@7,pfail=0.01\" "
       "--fault-seed N\n"
       "  tuning:   --hedge-factor X --deadline-factor X --no-verify\n"
+      "  recovery: --journal PATH (persist journal; crash exits 3)\n"
+      "            --recover [--recover-at T] (rebuild from --journal)\n"
       "  output:   --json --min-completed N\n");
   return 2;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  out->clear();
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    out->insert(out->end(), chunk, chunk + got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), file) ==
+                           bytes.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+// "name:weight:priority,..." -> TenantSpec table; false on any bad field.
+bool parse_tenants(const std::string& spec,
+                   std::vector<serve::TenantSpec>* out, std::string* error) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) {
+      *error = "empty tenant token";
+      return false;
+    }
+    const std::size_t first = token.find(':');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : token.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+      *error = "tenant '" + token + "': want name:weight:priority";
+      return false;
+    }
+    serve::TenantSpec tenant;
+    tenant.name = token.substr(0, first);
+    char* rest = nullptr;
+    const std::string weight = token.substr(first + 1, second - first - 1);
+    tenant.weight = std::strtod(weight.c_str(), &rest);
+    if (tenant.name.empty() || rest == weight.c_str() || *rest != '\0' ||
+        !(tenant.weight > 0)) {
+      *error = "tenant '" + token + "': bad name or weight";
+      return false;
+    }
+    const auto priority = serve::parse_priority(token.substr(second + 1));
+    if (!priority.has_value()) {
+      *error = "tenant '" + token + "': unknown priority '" +
+               token.substr(second + 1) + "'";
+      return false;
+    }
+    tenant.priority = *priority;
+    out->push_back(std::move(tenant));
+    if (end == spec.size()) break;
+  }
+  return !out->empty();
 }
 
 void print_quantiles(const char* label, const StreamingHistogram& histogram) {
@@ -114,6 +203,33 @@ void print_report(const serve::ServiceReport& report, bool json) {
     json_quantiles("segment_latency_faulted",
                    report.segment_latency_faulted_s, ",");
     json_quantiles("session_latency", report.session_latency_s, ",");
+    std::printf("  \"crashed\": %s,\n", report.crashed ? "true" : "false");
+    std::printf("  \"recovered\": %s,\n", report.recovered ? "true" : "false");
+    std::printf("  \"recoveries\": %llu,\n", u(report.recoveries));
+    std::printf("  \"journal_records\": %zu,\n", report.journal_records);
+    std::printf("  \"journal_dropped_bytes\": %zu,\n",
+                report.journal_dropped_bytes);
+    std::printf("  \"delivered_digest\": \"%08x\",\n", report.delivered_digest);
+    std::printf("  \"ramp_collapses\": %llu,\n", u(report.ramp_collapses));
+    std::printf("  \"ramp_events\": [");
+    for (std::size_t i = 0; i < report.ramp_events.size(); ++i) {
+      const auto& e = report.ramp_events[i];
+      std::printf("{\"at_s\": %.6f, \"device\": %zu, \"stage\": %d}%s", e.at,
+                  e.device, e.stage,
+                  i + 1 < report.ramp_events.size() ? ", " : "");
+    }
+    std::printf("],\n");
+    std::printf("  \"tenants\": [");
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+      const serve::TenantReport& t = report.tenants[i];
+      std::printf("{\"name\": \"%s\", \"arrivals\": %llu, "
+                  "\"completed\": %llu, \"degraded\": %llu, "
+                  "\"shed\": %llu, \"failed\": %llu}%s",
+                  t.name.c_str(), u(t.arrivals), u(t.completed),
+                  u(t.degraded), u(t.shed), u(t.failed),
+                  i + 1 < report.tenants.size() ? ", " : "");
+    }
+    std::printf("],\n");
     std::printf("  \"nominal_segment_s\": %.9f,\n", report.nominal_segment_s);
     std::printf("  \"offered_rate_hz\": %.3f,\n", report.offered_rate_hz);
     std::printf("  \"sim_end_s\": %.6f,\n", report.sim_end_s);
@@ -122,12 +238,14 @@ void print_report(const serve::ServiceReport& report, bool json) {
       const serve::DeviceHealth& d = report.devices[i];
       std::printf("    {\"device\": %zu, \"alive\": %s, "
                   "\"breaker_open\": %s, \"epoch\": %llu, "
+                  "\"ramp_stage\": %d, "
                   "\"segments\": %llu, \"gpu\": %llu, \"cpu\": %llu, "
                   "\"retries\": %llu, \"faults\": %llu}%s\n",
                   d.index, d.alive ? "true" : "false",
                   d.breaker_open ? "true" : "false", u(d.epoch),
-                  u(d.segments), u(d.gpu_segments), u(d.cpu_segments),
-                  u(d.totals.retries), u(d.faults.faults()),
+                  d.ramp_stage, u(d.segments), u(d.gpu_segments),
+                  u(d.cpu_segments), u(d.totals.retries),
+                  u(d.faults.faults()),
                   i + 1 < report.devices.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
@@ -163,17 +281,38 @@ void print_report(const serve::ServiceReport& report, bool json) {
                 u(report.mode_dispatches[m]));
   }
   std::printf("\n");
+  if (report.crashed || report.recovered || report.recoveries > 0) {
+    std::printf("  crash recovery        : %s%s%llu recoveries, "
+                "journal %zu records (%zu torn bytes dropped)\n",
+                report.crashed ? "CRASHED (partial report), " : "",
+                report.recovered ? "recovered from journal, " : "",
+                u(report.recoveries), report.journal_records,
+                report.journal_dropped_bytes);
+  }
+  if (!report.ramp_events.empty() || report.ramp_collapses > 0) {
+    std::printf("  restore ramp          : %zu stage events, %llu collapses\n",
+                report.ramp_events.size(), u(report.ramp_collapses));
+  }
+  std::printf("  delivered digest      : %08x\n", report.delivered_digest);
+  for (const serve::TenantReport& t : report.tenants) {
+    std::printf("  tenant %-15s: %llu arrivals, %llu completed, "
+                "%llu degraded, %llu shed, %llu failed\n",
+                t.name.c_str(), u(t.arrivals), u(t.completed), u(t.degraded),
+                u(t.shed), u(t.failed));
+  }
   print_quantiles("segment latency", report.segment_latency_s);
   print_quantiles("  healthy phase", report.segment_latency_healthy_s);
   print_quantiles("  faulted phase", report.segment_latency_faulted_s);
   print_quantiles("session latency", report.session_latency_s);
   for (const serve::DeviceHealth& d : report.devices) {
-    std::printf("  dev%zu: %s%s epoch %llu, %llu segments "
+    std::printf("  dev%zu: %s%s%s epoch %llu, %llu segments "
                 "(%llu gpu, %llu cpu), %llu retries, %llu faults injected\n",
                 d.index, d.alive ? "alive" : "DEAD",
-                d.breaker_open ? " breaker-open" : "", u(d.epoch),
-                u(d.segments), u(d.gpu_segments), u(d.cpu_segments),
-                u(d.totals.retries), u(d.faults.faults()));
+                d.breaker_open ? " breaker-open" : "",
+                d.ramp_stage < serve::kRampStages ? " ramping" : "",
+                u(d.epoch), u(d.segments), u(d.gpu_segments),
+                u(d.cpu_segments), u(d.totals.retries),
+                u(d.faults.faults()));
   }
 }
 
@@ -199,6 +338,10 @@ int main(int argc, char** argv) {
                        {"--hedge-factor", Kind::kNumber},
                        {"--deadline-factor", Kind::kNumber},
                        {"--no-verify", Kind::kBool},
+                       {"--tenants", Kind::kText},
+                       {"--journal", Kind::kText},
+                       {"--recover", Kind::kBool},
+                       {"--recover-at", Kind::kNumber},
                        {"--json", Kind::kBool},
                        {"--min-completed", Kind::kSize}},
                       &error);
@@ -246,19 +389,34 @@ int main(int argc, char** argv) {
   }
   config.admission.policy = *parsed_policy;
 
+  const std::string tenants = args.text("--tenants", "");
+  if (!tenants.empty() &&
+      !parse_tenants(tenants, &config.tenants, &error)) {
+    std::fprintf(stderr, "extnc_serve: bad --tenants: %s\n", error.c_str());
+    return usage();
+  }
+
   const std::string plan = args.text("--plan", "");
   if (!plan.empty()) {
-    const auto parsed_plan = serve::FleetPlan::parse(plan);
+    const auto parsed_plan = serve::FleetPlan::parse(plan, &error);
     if (!parsed_plan.has_value()) {
-      std::fprintf(stderr, "extnc_serve: bad --plan '%s'\n", plan.c_str());
+      std::fprintf(stderr, "extnc_serve: bad --plan: %s\n", error.c_str());
       return usage();
     }
-    for (const serve::FleetEvent& event : parsed_plan->events) {
-      if (event.device >= devices) {
+    if (const auto problem = parsed_plan->validate(devices)) {
+      std::fprintf(stderr, "extnc_serve: bad --plan: %s\n", problem->c_str());
+      return usage();
+    }
+    for (const serve::TenantBurst& burst : parsed_plan->bursts) {
+      bool known = config.tenants.empty() && burst.tenant == "default";
+      for (const serve::TenantSpec& tenant : config.tenants) {
+        known = known || tenant.name == burst.tenant;
+      }
+      if (!known) {
         std::fprintf(stderr,
-                     "extnc_serve: --plan device %zu out of range "
-                     "(fleet has %zu)\n",
-                     event.device, devices);
+                     "extnc_serve: --plan tenantburst names unknown tenant "
+                     "'%s' (declare it with --tenants)\n",
+                     burst.tenant.c_str());
         return usage();
       }
     }
@@ -279,10 +437,51 @@ int main(int argc, char** argv) {
 
   const std::size_t min_completed = args.size("--min-completed", 0);
   const bool json = args.has("--json");
+  const std::string journal_path = args.text("--journal", "");
 
-  serve::CodingService service(std::move(config));
-  const serve::ServiceReport report = service.run();
+  std::unique_ptr<serve::CodingService> service;
+  if (args.has("--recover")) {
+    if (journal_path.empty()) {
+      std::fprintf(stderr, "extnc_serve: --recover needs --journal PATH\n");
+      return usage();
+    }
+    std::vector<std::uint8_t> journal;
+    if (!read_file(journal_path, &journal)) {
+      std::fprintf(stderr, "extnc_serve: cannot read journal '%s'\n",
+                   journal_path.c_str());
+      return usage();
+    }
+    std::optional<double> recover_at;
+    if (args.has("--recover-at")) {
+      recover_at = args.number("--recover-at", 0);
+    }
+    service = serve::CodingService::recover(std::move(config), journal,
+                                            recover_at);
+    if (service == nullptr) {
+      std::fprintf(stderr,
+                   "extnc_serve: journal '%s' is unusable (corrupt header "
+                   "or from a different configuration)\n",
+                   journal_path.c_str());
+      return 1;
+    }
+  } else {
+    service = std::make_unique<serve::CodingService>(std::move(config));
+  }
+
+  const serve::ServiceReport report = service->run();
   print_report(report, json);
+
+  if (!journal_path.empty() &&
+      !write_file(journal_path, service->journal_bytes())) {
+    std::fprintf(stderr, "extnc_serve: cannot write journal '%s'\n",
+                 journal_path.c_str());
+    return 1;
+  }
+
+  // A scripted crash ends the process here: the report is partial (the
+  // accounting is deliberately open) and the journal just persisted is
+  // what a --recover invocation resumes from.
+  if (report.crashed) return 3;
 
   // The robustness contract CI soaks against.
   if (!report.accounting_exact()) return 1;
