@@ -3,6 +3,9 @@
 // operations. google-benchmark binary.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "gf256/gf.h"
 #include "gf256/matrix.h"
 #include "gf256/region.h"
@@ -77,7 +80,75 @@ void BM_MulAddRegion(benchmark::State& state) {
                           static_cast<std::int64_t>(len));
 }
 BENCHMARK(BM_MulAddRegion)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {4096, 65536}});
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {4096, 65536}});
+
+// The encoder shape: n source rows accumulated into one k-byte payload.
+// Fused = one mul_add_regions call; PerRow = n sequential mul_add_region
+// calls. Same bytes out (XOR is order-independent) — the fused kernel's win
+// is destination cache-blocking, visible here as bytes/s over n*k.
+void BM_MulAddRegionsFused(benchmark::State& state) {
+  const auto& backends = available_backends();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= backends.size()) {
+    state.SkipWithError("backend not available on this host");
+    return;
+  }
+  const Ops& ops = *backends[index];
+  state.SetLabel(ops.name);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  Rng rng(8);
+  AlignedBuffer sources(n * k);
+  AlignedBuffer dst(k);
+  for (auto& b : sources.span()) b = rng.next_byte();
+  std::vector<const std::uint8_t*> srcs(n);
+  std::vector<std::uint8_t> coeffs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    srcs[i] = sources.data() + i * k;
+    coeffs[i] = rng.next_nonzero_byte();
+  }
+  for (auto _ : state) {
+    ops.mul_add_regions(dst.data(), srcs.data(), coeffs.data(), n, k);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * k));
+}
+BENCHMARK(BM_MulAddRegionsFused)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {128}, {4096, 65536}});
+
+void BM_MulAddRegionsPerRow(benchmark::State& state) {
+  const auto& backends = available_backends();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= backends.size()) {
+    state.SkipWithError("backend not available on this host");
+    return;
+  }
+  const Ops& ops = *backends[index];
+  state.SetLabel(ops.name);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  Rng rng(8);
+  AlignedBuffer sources(n * k);
+  AlignedBuffer dst(k);
+  for (auto& b : sources.span()) b = rng.next_byte();
+  std::vector<const std::uint8_t*> srcs(n);
+  std::vector<std::uint8_t> coeffs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    srcs[i] = sources.data() + i * k;
+    coeffs[i] = rng.next_nonzero_byte();
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ops.mul_add_region(dst.data(), srcs[i], coeffs[i], k);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * k));
+}
+BENCHMARK(BM_MulAddRegionsPerRow)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {128}, {4096, 65536}});
 
 void BM_MatrixInvert(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

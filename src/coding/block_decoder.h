@@ -31,6 +31,11 @@ class BlockDecoder {
   bool add(const CodedBlock& block);
   bool add(std::span<const std::uint8_t> coefficients,
            std::span<const std::uint8_t> payload);
+  // Zero-copy entry point for wire frames (coding/wire.h parse_view); the
+  // only copy made is into the stored rows when the block is independent.
+  bool add(const CodedBlockView& block) {
+    return add(block.coefficients(), block.payload());
+  }
 
   const Params& params() const { return params_; }
   std::size_t rank() const { return rank_; }

@@ -1,13 +1,22 @@
 // A coded block x_j = sum_i c_ji * b_i together with its coefficient
 // vector [c_j1 .. c_jn] (Eq. 1 of the paper). The coefficients travel with
 // the payload, exactly as they would in a packet header on the wire.
+//
+// Two shapes exist: CodedBlock owns aligned storage; CodedBlockView
+// borrows spans from externally owned memory (typically a validated wire
+// frame still sitting in the receive buffer), so the decode hot path can
+// consume a packet without copying it first. A view is only valid while
+// the buffer it points into is; decoders that retain blocks past the call
+// (e.g. for later verification) must materialize() them.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 #include "coding/params.h"
 #include "util/aligned_buffer.h"
+#include "util/assert.h"
 
 namespace extnc::coding {
 
@@ -38,6 +47,44 @@ class CodedBlock {
   Params params_;
   AlignedBuffer coefficients_;
   AlignedBuffer payload_;
+};
+
+// Borrowed, read-only view of a coded block (see the file comment for the
+// lifetime contract). Construction checks that the spans match the declared
+// shape — a view is only ever built from already-validated frame bytes, so
+// a mismatch is a programming error, not a network one.
+class CodedBlockView {
+ public:
+  CodedBlockView() = default;
+  CodedBlockView(Params params, std::span<const std::uint8_t> coefficients,
+                 std::span<const std::uint8_t> payload)
+      : params_(params), coefficients_(coefficients), payload_(payload) {
+    EXTNC_CHECK(coefficients_.size() == params_.n);
+    EXTNC_CHECK(payload_.size() == params_.k);
+  }
+  // A view of an owning block (shape already guaranteed by CodedBlock).
+  explicit CodedBlockView(const CodedBlock& block)
+      : params_(block.params()),
+        coefficients_(block.coefficients()),
+        payload_(block.payload()) {}
+
+  const Params& params() const { return params_; }
+  std::span<const std::uint8_t> coefficients() const { return coefficients_; }
+  std::span<const std::uint8_t> payload() const { return payload_; }
+
+  // Deep copy into owned, aligned storage — the only way to keep the data
+  // past the lifetime of the buffer this view borrows from.
+  CodedBlock materialize() const {
+    CodedBlock block(params_);
+    std::memcpy(block.coefficients().data(), coefficients_.data(), params_.n);
+    std::memcpy(block.payload().data(), payload_.data(), params_.k);
+    return block;
+  }
+
+ private:
+  Params params_;
+  std::span<const std::uint8_t> coefficients_;
+  std::span<const std::uint8_t> payload_;
 };
 
 }  // namespace extnc::coding

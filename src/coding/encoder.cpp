@@ -1,6 +1,7 @@
 #include "coding/encoder.h"
 
 #include <cstring>
+#include <vector>
 
 #include "gf256/region.h"
 #include "util/assert.h"
@@ -21,11 +22,12 @@ void Encoder::encode_with_coefficients(
   EXTNC_CHECK(coefficients.size() == p.n);
   EXTNC_CHECK(payload.size() == p.k);
   std::memset(payload.data(), 0, payload.size());
-  const gf256::Ops& ops = gf256::ops();
-  for (std::size_t i = 0; i < p.n; ++i) {
-    ops.mul_add_region(payload.data(), segment_->block(i).data(),
-                       coefficients[i], p.k);
-  }
+  // One fused destination-blocked pass over all n sources instead of n
+  // separate sweeps of the payload.
+  std::vector<const std::uint8_t*> sources(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) sources[i] = segment_->block(i).data();
+  gf256::ops().mul_add_regions(payload.data(), sources.data(),
+                               coefficients.data(), p.n, p.k);
 }
 
 void Encoder::draw_coefficients(Rng& rng,

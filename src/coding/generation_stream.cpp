@@ -67,19 +67,24 @@ GenerationDecoder::GenerationDecoder(Params params, std::size_t generations)
 
 GenerationDecoder::Accept GenerationDecoder::add_packet(
     std::span<const std::uint8_t> wire_bytes) {
-  ParseResult result = parse(wire_bytes);
+  // Zero-copy hot path: the decoder reduces the coefficient and payload
+  // regions straight out of the validated frame; nothing is copied unless
+  // the block lands in the RREF basis (which ProgressiveDecoder stores by
+  // value either way).
+  const ParseViewResult result = parse_view(wire_bytes);
   if (!result.ok()) {
     ++rejected_;
     return Accept::kRejected;
   }
-  Packet packet = result.take_packet();
+  const PacketView& packet = result.packet();
   if (packet.generation >= decoders_.size() ||
       !(packet.block.params() == params_)) {
     ++rejected_;
     return Accept::kRejected;
   }
   ProgressiveDecoder& decoder = *decoders_[packet.generation];
-  const auto outcome = decoder.add(packet.block);
+  const auto outcome =
+      decoder.add(packet.block.coefficients(), packet.block.payload());
   switch (outcome) {
     case ProgressiveDecoder::Result::kAccepted:
       if (decoder.is_complete()) {

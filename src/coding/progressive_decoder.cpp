@@ -16,6 +16,8 @@ ProgressiveDecoder::ProgressiveDecoder(Params params)
       scratch_coeffs_(params.n),
       scratch_payload_(params.k) {
   params_.validate();
+  elim_rows_.reserve(params_.n);
+  elim_factors_.reserve(params_.n);
 }
 
 std::uint8_t* ProgressiveDecoder::coeff_row(std::size_t pivot) {
@@ -53,7 +55,6 @@ ProgressiveDecoder::Result ProgressiveDecoder::add(
   std::uint8_t* sc = scratch_coeffs_.data();
   std::uint8_t* sp = scratch_payload_.data();
   std::memcpy(sc, coefficients.data(), n);
-  std::memcpy(sp, payload.data(), k);
 
   // Forward elimination against every stored pivot row. Because stored
   // rows are in full RREF (zero left of their pivot), one left-to-right
@@ -62,14 +63,23 @@ ProgressiveDecoder::Result ProgressiveDecoder::add(
   // but elimination must continue past it — later *present* columns may
   // still be nonzero, and leaving them would break the RREF invariant
   // whenever pivots arrive out of order.
+  //
+  // Only the coefficient side runs inline (each elimination determines the
+  // next factor). The payload side is recorded and replayed below as one
+  // fused pass — stored payload rows are untouched during forward
+  // elimination, so the result is bit-identical, and a linearly dependent
+  // block never pays for payload work at all.
+  elim_rows_.clear();
+  elim_factors_.clear();
   std::size_t pivot = n;
   for (std::size_t col = 0; col < n; ++col) {
     const std::uint8_t value = sc[col];
     if (value == 0) continue;
     if (present_[col]) {
       ops.mul_add_region(sc, coeff_row(col), value, n);
-      ops.mul_add_region(sp, payload_row(col), value, k);
       EXTNC_DASSERT(sc[col] == 0);
+      elim_rows_.push_back(payload_row(col));
+      elim_factors_.push_back(value);
     } else if (pivot == n) {
       pivot = col;
     }
@@ -80,6 +90,10 @@ ProgressiveDecoder::Result ProgressiveDecoder::add(
     ++blocks_discarded_;
     return Result::kLinearlyDependent;
   }
+
+  std::memcpy(sp, payload.data(), k);
+  ops.mul_add_regions(sp, elim_rows_.data(), elim_factors_.data(),
+                      elim_rows_.size(), k);
 
   // Normalize the pivot to 1.
   const std::uint8_t scale = gf256::inv(sc[pivot]);

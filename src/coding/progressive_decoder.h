@@ -62,6 +62,12 @@ class ProgressiveDecoder {
   std::vector<bool> present_;
   AlignedBuffer scratch_coeffs_;
   AlignedBuffer scratch_payload_;
+  // Forward-elimination recording: the coefficient pass is sequential (each
+  // elimination feeds the next factor), but stored payload rows never change
+  // during it, so the payload side is replayed afterwards as one fused
+  // mul_add_regions call over these (row, factor) pairs.
+  std::vector<const std::uint8_t*> elim_rows_;
+  std::vector<std::uint8_t> elim_factors_;
   std::size_t rank_ = 0;
   std::size_t blocks_seen_ = 0;
   std::size_t blocks_discarded_ = 0;

@@ -1,5 +1,7 @@
 #include "coding/recoder.h"
 
+#include <vector>
+
 #include "gf256/region.h"
 #include "util/assert.h"
 
@@ -12,17 +14,31 @@ void Recoder::add(const CodedBlock& block) {
   blocks_.push_back(block);
 }
 
+void Recoder::add(const CodedBlockView& block) {
+  EXTNC_CHECK(block.params() == params_);
+  blocks_.push_back(block.materialize());
+}
+
 CodedBlock Recoder::recode(Rng& rng) const {
   EXTNC_CHECK(!blocks_.empty());
   CodedBlock out(params_);
-  const gf256::Ops& ops = gf256::ops();
-  for (const CodedBlock& block : blocks_) {
-    const std::uint8_t weight = rng.next_nonzero_byte();
-    ops.mul_add_region(out.coefficients().data(), block.coefficients().data(),
-                       weight, params_.n);
-    ops.mul_add_region(out.payload().data(), block.payload().data(), weight,
-                       params_.k);
+  const std::size_t count = blocks_.size();
+  // Weights are drawn up front in block order (the RNG sequence is part of
+  // the observable behaviour), then both the coefficient and payload sides
+  // collapse into one fused destination-blocked pass each.
+  std::vector<std::uint8_t> weights(count);
+  std::vector<const std::uint8_t*> coeff_srcs(count);
+  std::vector<const std::uint8_t*> payload_srcs(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    weights[j] = rng.next_nonzero_byte();
+    coeff_srcs[j] = blocks_[j].coefficients().data();
+    payload_srcs[j] = blocks_[j].payload().data();
   }
+  const gf256::Ops& ops = gf256::ops();
+  ops.mul_add_regions(out.coefficients().data(), coeff_srcs.data(),
+                      weights.data(), count, params_.n);
+  ops.mul_add_regions(out.payload().data(), payload_srcs.data(),
+                      weights.data(), count, params_.k);
   return out;
 }
 

@@ -22,6 +22,10 @@ class Recoder {
   // real relay cannot cheaply know better and they do not hurt: the output
   // span is unchanged).
   void add(const CodedBlock& block);
+  // Zero-copy wire entry point (coding/wire.h parse_view): buffering is the
+  // one copy made — straight from the frame into owned aligned storage,
+  // with no intermediate CodedBlock.
+  void add(const CodedBlockView& block);
 
   std::size_t buffered() const { return blocks_.size(); }
   const Params& params() const { return params_; }

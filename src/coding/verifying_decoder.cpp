@@ -22,10 +22,14 @@ const Segment& VerifyingDecoder::decoded_segment() const {
 }
 
 VerifyingDecoder::Result VerifyingDecoder::add(const CodedBlock& block) {
+  return add(CodedBlockView(block));
+}
+
+VerifyingDecoder::Result VerifyingDecoder::add(const CodedBlockView& block) {
   if (verified_) return Result::kAlreadyVerified;
   EXTNC_CHECK(block.params() == manifest_.params());
   ++blocks_seen_;
-  retained_.push_back(block);
+  retained_.push_back(block.materialize());
 
   if (dirty_complete_) {
     // The inner decoder is complete but failed verification; every new
@@ -34,7 +38,7 @@ VerifyingDecoder::Result VerifyingDecoder::add(const CodedBlock& block) {
     return identify_and_eject();
   }
 
-  switch (decoder_.add(block)) {
+  switch (decoder_.add(block.coefficients(), block.payload())) {
     case ProgressiveDecoder::Result::kAccepted:
       break;
     case ProgressiveDecoder::Result::kLinearlyDependent:

@@ -54,6 +54,10 @@ class VerifyingDecoder {
   explicit VerifyingDecoder(SegmentDigest manifest);
 
   Result add(const CodedBlock& block);
+  // Zero-copy entry point for wire frames (coding/wire.h parse_view): the
+  // inner decoder reduces the borrowed spans directly; the one copy made is
+  // the retention copy group testing requires.
+  Result add(const CodedBlockView& block);
 
   const Params& params() const { return manifest_.params(); }
   const SegmentDigest& manifest() const { return manifest_; }

@@ -74,10 +74,22 @@ ParseResult ParseResult::failure(ParseError error) {
   return result;
 }
 
-ParseResult parse(std::span<const std::uint8_t> data,
-                  const WireLimits& limits) {
+ParseViewResult ParseViewResult::success(PacketView packet) {
+  ParseViewResult result;
+  result.packet_ = packet;
+  return result;
+}
+
+ParseViewResult ParseViewResult::failure(ParseError error) {
+  ParseViewResult result;
+  result.error_ = error;
+  return result;
+}
+
+ParseViewResult parse_view(std::span<const std::uint8_t> data,
+                           const WireLimits& limits) {
   if (data.size() < kWireHeaderBytes) {
-    return ParseResult::failure(ParseError::kTooShort);
+    return ParseViewResult::failure(ParseError::kTooShort);
   }
   const std::uint32_t magic = get_u32(data.data());
   WireFormat format;
@@ -86,31 +98,39 @@ ParseResult parse(std::span<const std::uint8_t> data,
   } else if (magic == kWireMagicV2) {
     format = WireFormat::kV2;
   } else {
-    return ParseResult::failure(ParseError::kBadMagic);
+    return ParseViewResult::failure(ParseError::kBadMagic);
   }
   const std::uint32_t generation = get_u32(data.data() + 4);
   const std::uint32_t n = get_u32(data.data() + 8);
   const std::uint32_t k = get_u32(data.data() + 12);
   if (n == 0 || k == 0 || n > limits.max_n || k > limits.max_k) {
-    return ParseResult::failure(ParseError::kBadShape);
+    return ParseViewResult::failure(ParseError::kBadShape);
   }
   const Params params{.n = n, .k = k};
   if (data.size() != wire_size(params, format)) {
-    return ParseResult::failure(ParseError::kLengthMismatch);
+    return ParseViewResult::failure(ParseError::kLengthMismatch);
   }
   const std::size_t body = kWireHeaderBytes + n + k;
   if (format == WireFormat::kV2 &&
       crc32c(data.first(body)) != get_u32(data.data() + body)) {
-    return ParseResult::failure(ParseError::kBadChecksum);
+    return ParseViewResult::failure(ParseError::kBadChecksum);
   }
-  Packet packet;
+  PacketView packet;
   packet.generation = generation;
   packet.format = format;
-  packet.block = CodedBlock(params);
-  std::memcpy(packet.block.coefficients().data(),
-              data.data() + kWireHeaderBytes, n);
-  std::memcpy(packet.block.payload().data(),
-              data.data() + kWireHeaderBytes + n, k);
+  packet.block = CodedBlockView(params, data.subspan(kWireHeaderBytes, n),
+                                data.subspan(kWireHeaderBytes + n, k));
+  return ParseViewResult::success(packet);
+}
+
+ParseResult parse(std::span<const std::uint8_t> data,
+                  const WireLimits& limits) {
+  const ParseViewResult view = parse_view(data, limits);
+  if (!view.ok()) return ParseResult::failure(view.error());
+  Packet packet;
+  packet.generation = view.packet().generation;
+  packet.format = view.packet().format;
+  packet.block = view.packet().block.materialize();
   return ParseResult::success(std::move(packet));
 }
 

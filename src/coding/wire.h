@@ -60,6 +60,16 @@ struct Packet {
   CodedBlock block;
 };
 
+// Zero-copy parse result: the block borrows the coefficient and payload
+// regions of the validated frame instead of copying them out. Valid only
+// while the buffer passed to parse_view() is; callers that keep the block
+// past that (retention, reordering queues) must block.materialize().
+struct PacketView {
+  std::uint32_t generation = 0;
+  WireFormat format = WireFormat::kV2;  // format the packet arrived in
+  CodedBlockView block;
+};
+
 // Serialized size of a block for the given parameters and format.
 constexpr std::size_t wire_size(const Params& params,
                                 WireFormat format = WireFormat::kV2) {
@@ -116,5 +126,29 @@ class ParseResult {
 
 ParseResult parse(std::span<const std::uint8_t> data,
                   const WireLimits& limits = {});
+
+// Zero-copy counterpart of ParseResult (same check-error()-first shape).
+class ParseViewResult {
+ public:
+  static ParseViewResult success(PacketView packet);
+  static ParseViewResult failure(ParseError error);
+
+  bool ok() const { return !error_.has_value(); }
+  ParseError error() const { return *error_; }
+  const PacketView& packet() const { return packet_; }
+
+ private:
+  ParseViewResult() = default;
+  PacketView packet_;
+  std::optional<ParseError> error_;
+};
+
+// Validate a frame (magic, shape, limits, length, v2 CRC) and return a
+// borrowed view into it. This is the decode hot path: the payload is read
+// straight out of the receive buffer by the codec, and is only copied if
+// the consumer retains it. parse() is this plus an unconditional
+// materialize().
+ParseViewResult parse_view(std::span<const std::uint8_t> data,
+                           const WireLimits& limits = {});
 
 }  // namespace extnc::coding

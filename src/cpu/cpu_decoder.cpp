@@ -41,14 +41,17 @@ CpuDecoder::Result CpuDecoder::add(std::span<const std::uint8_t> coefficients,
   // Coefficient-side forward elimination first (serial, n bytes per op);
   // remember which rows contributed so the payload side can replay them in
   // one parallel sweep without re-deriving factors.
-  std::vector<std::pair<std::size_t, std::uint8_t>> eliminations;
-  eliminations.reserve(n);
+  std::vector<const std::uint8_t*> elim_rows;
+  std::vector<std::uint8_t> elim_factors;
+  elim_rows.reserve(n);
+  elim_factors.reserve(n);
   std::size_t pivot = n;
   for (std::size_t col = 0; col < n; ++col) {
     const std::uint8_t value = sc[col];
     if (value == 0) continue;
     if (present_[col]) {
-      eliminations.emplace_back(col, value);
+      elim_rows.push_back(payload_row(col));
+      elim_factors.push_back(value);
       ops.mul_add_region(sc, coeff_row(col), value, n);
     } else if (pivot == n) {
       pivot = col;
@@ -60,18 +63,19 @@ CpuDecoder::Result CpuDecoder::add(std::span<const std::uint8_t> coefficients,
   ops.scale_region(sc, scale, n);
 
   // Payload-side replay: each worker applies every elimination to its own
-  // slice, one pass over the data (this is where the k-dimension
-  // parallelism lives).
-  auto payloads = payloads_.data();
+  // slice with one fused destination-blocked pass (this is where the
+  // k-dimension parallelism lives).
   pool_->parallel_for_chunks(
-      k, [this, sp, payloads, scale, &eliminations](std::size_t begin,
-                                                    std::size_t end) {
+      k, [sp, scale, &elim_rows, &elim_factors](std::size_t begin,
+                                                std::size_t end) {
         const gf256::Ops& o = gf256::ops();
         const std::size_t len = end - begin;
-        for (const auto& [row, factor] : eliminations) {
-          o.mul_add_region(sp + begin, payloads + row * params_.k + begin,
-                           factor, len);
+        std::vector<const std::uint8_t*> shifted(elim_rows.size());
+        for (std::size_t j = 0; j < elim_rows.size(); ++j) {
+          shifted[j] = elim_rows[j] + begin;
         }
+        o.mul_add_regions(sp + begin, shifted.data(), elim_factors.data(),
+                          shifted.size(), len);
         o.scale_region(sp + begin, scale, len);
       });
 

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "gf256/region.h"
 #include "util/assert.h"
 
 namespace extnc::cpu {
+
+namespace {
+
+// Source-block pointer table shared by every coded block of a batch; the
+// fused mul_add_regions kernel consumes it directly.
+std::vector<const std::uint8_t*> block_pointers(const coding::Segment& segment,
+                                                std::size_t n) {
+  std::vector<const std::uint8_t*> sources(n);
+  for (std::size_t i = 0; i < n; ++i) sources[i] = segment.block(i).data();
+  return sources;
+}
+
+}  // namespace
 
 CpuEncoder::CpuEncoder(const coding::Segment& segment, ThreadPool& pool,
                        EncodePartitioning partitioning)
@@ -35,17 +49,16 @@ void CpuEncoder::encode_full_block(coding::CodedBatch& batch) const {
   // Each worker owns a contiguous range of coded blocks and encodes them
   // start to finish.
   const coding::Params p = params();
-  const coding::Segment& segment = *segment_;
+  const std::vector<const std::uint8_t*> sources =
+      block_pointers(*segment_, p.n);
   pool_->parallel_for_chunks(
-      batch.count(), [&batch, &segment, p](std::size_t begin, std::size_t end) {
+      batch.count(), [&batch, &sources, p](std::size_t begin, std::size_t end) {
         const gf256::Ops& ops = gf256::ops();
         for (std::size_t j = begin; j < end; ++j) {
           std::uint8_t* out = batch.payload(j).data();
-          const std::uint8_t* coeffs = batch.coefficients(j).data();
           std::memset(out, 0, p.k);
-          for (std::size_t i = 0; i < p.n; ++i) {
-            ops.mul_add_region(out, segment.block(i).data(), coeffs[i], p.k);
-          }
+          ops.mul_add_regions(out, sources.data(),
+                              batch.coefficients(j).data(), p.n, p.k);
         }
       });
 }
@@ -55,7 +68,8 @@ void CpuEncoder::encode_partitioned(coding::CodedBatch& batch) const {
   // contiguous byte range of the payload. Ranges are 64-byte aligned so
   // SIMD region ops stay on full vectors.
   const coding::Params p = params();
-  const coding::Segment& segment = *segment_;
+  const std::vector<const std::uint8_t*> sources =
+      block_pointers(*segment_, p.n);
   const std::size_t workers = std::max<std::size_t>(1, pool_->num_threads());
   const std::size_t slice =
       std::max<std::size_t>(64, (p.k + workers - 1) / workers);
@@ -64,17 +78,18 @@ void CpuEncoder::encode_partitioned(coding::CodedBatch& batch) const {
     const std::uint8_t* coeffs = batch.coefficients(j).data();
     pool_->parallel_for_chunks(
         (p.k + slice - 1) / slice,
-        [out, coeffs, &segment, p, slice](std::size_t begin, std::size_t end) {
+        [out, coeffs, &sources, p, slice](std::size_t begin, std::size_t end) {
           const gf256::Ops& ops = gf256::ops();
+          std::vector<const std::uint8_t*> shifted(p.n);
           for (std::size_t s = begin; s < end; ++s) {
             const std::size_t offset = s * slice;
             const std::size_t len = std::min(slice, p.k - offset);
-            std::memset(out + offset, 0, len);
             for (std::size_t i = 0; i < p.n; ++i) {
-              ops.mul_add_region(out + offset,
-                                 segment.block(i).data() + offset, coeffs[i],
-                                 len);
+              shifted[i] = sources[i] + offset;
             }
+            std::memset(out + offset, 0, len);
+            ops.mul_add_regions(out + offset, shifted.data(), coeffs, p.n,
+                                len);
           }
         });
   }

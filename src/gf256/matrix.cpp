@@ -1,6 +1,7 @@
 #include "gf256/matrix.h"
 
 #include <cstring>
+#include <vector>
 
 #include "gf256/gf.h"
 #include "gf256/region.h"
@@ -62,14 +63,15 @@ Matrix Matrix::multiply(const Matrix& other) const {
 void Matrix::multiply_rows(const std::uint8_t* payload,
                            std::size_t payload_cols, std::uint8_t* out) const {
   const Ops& o = ops();
+  std::vector<const std::uint8_t*> sources(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    sources[j] = payload + j * payload_cols;
+  }
   for (std::size_t i = 0; i < rows_; ++i) {
     std::uint8_t* out_row = out + i * payload_cols;
     std::memset(out_row, 0, payload_cols);
-    const std::uint8_t* coeff_row = storage_.data() + i * cols_;
-    for (std::size_t j = 0; j < cols_; ++j) {
-      o.mul_add_region(out_row, payload + j * payload_cols, coeff_row[j],
-                       payload_cols);
-    }
+    o.mul_add_regions(out_row, sources.data(), storage_.data() + i * cols_,
+                      cols_, payload_cols);
   }
 }
 

@@ -1,0 +1,15 @@
+// Internal cross-file hooks of the gf256 backend registry. Each
+// platform-specific translation unit exposes its backend through one of
+// these (returning nullptr when compiled out or unsupported), so the
+// registry in region_simd.cpp stays the single place that orders the
+// dispatch ladder.
+#pragma once
+
+namespace extnc::gf256 {
+
+struct Ops;
+
+// NEON backend (region_neon.cpp); nullptr on non-arm64 builds.
+const Ops* neon_backend();
+
+}  // namespace extnc::gf256

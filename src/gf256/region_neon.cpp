@@ -1,0 +1,147 @@
+// NEON region backend for arm64 (vqtbl1q_u8 nibble-table multiplication,
+// the arm analog of the SSSE3/AVX2 pshufb backends; sparsenc ships the
+// same strategy in its galois_neon kernels).
+//
+// AArch64 guarantees AdvSIMD, so the backend is available whenever this
+// translation unit compiles for arm64 — no runtime feature probe needed.
+// On every other architecture this file contributes only the nullptr
+// registry hook.
+#include "gf256/region_backends.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gf256/gf.h"
+#include "gf256/region.h"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace extnc::gf256 {
+
+#if defined(__aarch64__)
+
+namespace {
+
+// Destination block the fused kernel keeps cache-resident (matches the
+// x86 fused kernels; see region_simd.cpp).
+constexpr std::size_t kFusedBlockBytes = 32 * 1024;
+
+struct NeonNibbleTables {
+  uint8x16_t lo;  // c * i for the low nibble i
+  uint8x16_t hi;  // c * (i << 4) for the high nibble i
+};
+
+NeonNibbleTables make_neon_tables(std::uint8_t c) {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (int i = 0; i < 16; ++i) {
+    lo[i] = row[i];
+    hi[i] = row[i << 4];
+  }
+  return {vld1q_u8(lo), vld1q_u8(hi)};
+}
+
+inline uint8x16_t mul_block_neon(uint8x16_t src, const NeonNibbleTables& t) {
+  const uint8x16_t lo_nib = vandq_u8(src, vdupq_n_u8(0x0f));
+  const uint8x16_t hi_nib = vshrq_n_u8(src, 4);
+  return veorq_u8(vqtbl1q_u8(t.lo, lo_nib), vqtbl1q_u8(t.hi, hi_nib));
+}
+
+void neon_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+void neon_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+              std::size_t len) {
+  if (c == 0) {
+    if (len != 0) std::memset(dst, 0, len);  // empty span may carry nullptr
+    return;
+  }
+  const NeonNibbleTables t = make_neon_tables(c);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    vst1q_u8(dst + i, mul_block_neon(vld1q_u8(src + i), t));
+  }
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void neon_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t len) {
+  if (c == 0) return;
+  const NeonNibbleTables t = make_neon_tables(c);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t d = vld1q_u8(dst + i);
+    vst1q_u8(dst + i, veorq_u8(d, mul_block_neon(vld1q_u8(src + i), t)));
+  }
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void neon_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len) {
+  neon_mul(dst, dst, c, len);
+}
+
+void neon_mul_add_regions(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                          const std::uint8_t* coeffs, std::size_t count,
+                          std::size_t len) {
+  constexpr std::size_t kGroup = 8;
+  const std::uint8_t* group_src[kGroup];
+  const std::uint8_t* group_row[kGroup];
+  NeonNibbleTables group_tables[kGroup];
+  for (std::size_t base = 0; base < len; base += kFusedBlockBytes) {
+    const std::size_t blen = std::min(kFusedBlockBytes, len - base);
+    std::size_t next = 0;
+    while (next < count) {
+      std::size_t m = 0;
+      for (; next < count && m < kGroup; ++next) {
+        const std::uint8_t c = coeffs[next];
+        if (c == 0) continue;
+        group_src[m] = srcs[next] + base;
+        group_row[m] = &tables().mul[static_cast<std::size_t>(c) << 8];
+        group_tables[m] = make_neon_tables(c);
+        ++m;
+      }
+      if (m == 0) continue;  // trailing zero coefficients
+      std::uint8_t* out = dst + base;
+      std::size_t i = 0;
+      for (; i + 16 <= blen; i += 16) {
+        uint8x16_t d = vld1q_u8(out + i);
+        for (std::size_t j = 0; j < m; ++j) {
+          d = veorq_u8(
+              d, mul_block_neon(vld1q_u8(group_src[j] + i), group_tables[j]));
+        }
+        vst1q_u8(out + i, d);
+      }
+      for (; i < blen; ++i) {
+        std::uint8_t d = out[i];
+        for (std::size_t j = 0; j < m; ++j) d ^= group_row[j][group_src[j][i]];
+        out[i] = d;
+      }
+    }
+  }
+}
+
+const Ops kNeonOps{"neon",     neon_add,
+                   neon_mul,   neon_mul_add,
+                   neon_scale, neon_mul_add_regions};
+
+}  // namespace
+
+const Ops* neon_backend() { return &kNeonOps; }
+
+#else  // !defined(__aarch64__)
+
+const Ops* neon_backend() { return nullptr; }
+
+#endif
+
+}  // namespace extnc::gf256

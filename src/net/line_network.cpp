@@ -60,12 +60,12 @@ LineNetworkResult run_line_network(const LineNetworkConfig& config) {
   // `link`: parse (CRC/shape check), drop + count on failure, else feed
   // the relay or the sink.
   auto receive = [&](std::size_t link, std::span<const std::uint8_t> bytes) {
-    const auto parsed = coding::parse(bytes);
+    const auto parsed = coding::parse_view(bytes);
     if (!parsed.ok()) {
       ++result.packets_rejected;
       return;
     }
-    const coding::CodedBlock& block = parsed.packet().block;
+    const coding::CodedBlockView& block = parsed.packet().block;
     if (!(block.params() == params)) {
       ++result.packets_rejected;
       return;
@@ -77,7 +77,7 @@ LineNetworkResult run_line_network(const LineNetworkConfig& config) {
       if (config.recode_at_relays) {
         next.recoder.add(block);
       } else {
-        next.queue.push_back(block);
+        next.queue.push_back(block.materialize());
       }
     }
   };

@@ -96,10 +96,10 @@ MultiGenSwarmResult run_multigen_swarm(const MultiGenSwarmConfig& config) {
       ++result.packets_rejected;
       return;
     }
-    // Parse once more for the relay buffer; cannot fail after the decoder
-    // accepted (a real node would keep the parsed block from the decode
-    // path).
-    const auto parsed = coding::parse(packet);
+    // Re-view the frame for the relay buffer; cannot fail after the decoder
+    // accepted, and costs nothing — the buffer makes the single retention
+    // copy straight from the frame.
+    const auto parsed = coding::parse_view(packet);
     EXTNC_CHECK(parsed.ok());
     const std::uint32_t generation = parsed.packet().generation;
     peer.buffers[generation].add(parsed.packet().block);

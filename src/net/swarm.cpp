@@ -72,11 +72,12 @@ SwarmResult run_swarm(const SwarmConfig& config) {
     }
   }
 
-  auto accept = [&](std::size_t target, const coding::CodedBlock& block) {
+  auto accept = [&](std::size_t target, const coding::CodedBlockView& block) {
     Peer& peer = peers[target];
-    peer.received.push_back(block);
+    peer.received.push_back(block.materialize());
     const bool was_complete = peer.decoder.is_complete();
-    const auto outcome = peer.decoder.add(block);
+    const auto outcome =
+        peer.decoder.add(block.coefficients(), block.payload());
     if (was_complete) {
       ++result.blocks_after_completion;
     } else if (outcome == coding::ProgressiveDecoder::Result::kAccepted) {
@@ -95,7 +96,7 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   // relay buffer sees them: a damaged block is rejected here, at the first
   // honest hop, never recoded onward.
   auto receive = [&](std::size_t target, std::span<const std::uint8_t> bytes) {
-    const auto parsed = coding::parse(bytes);
+    const auto parsed = coding::parse_view(bytes);
     if (!parsed.ok() || !(parsed.packet().block.params() == params)) {
       ++result.blocks_rejected;
       return;
@@ -115,7 +116,7 @@ SwarmResult run_swarm(const SwarmConfig& config) {
         receive(target, arrival);
       }
     } else {
-      accept(target, block);
+      accept(target, coding::CodedBlockView(block));
     }
   };
 

@@ -29,6 +29,55 @@ TEST(Wire, RoundTripPreservesEverything) {
   EXPECT_EQ(result.packet().block, block);
 }
 
+TEST(WireView, ParseViewBorrowsTheFrame) {
+  const Params params{.n = 16, .k = 100};
+  const CodedBlock block = sample_block(params, 1);
+  const std::vector<std::uint8_t> bytes = serialize(77, block);
+  const ParseViewResult result = parse_view(bytes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.packet().generation, 77u);
+  EXPECT_EQ(result.packet().format, WireFormat::kV2);
+  const CodedBlockView& view = result.packet().block;
+  EXPECT_EQ(view.params(), params);
+  // Zero-copy: the spans point into the frame itself.
+  EXPECT_EQ(view.coefficients().data(), bytes.data() + kWireHeaderBytes);
+  EXPECT_EQ(view.payload().data(), bytes.data() + kWireHeaderBytes + params.n);
+  EXPECT_EQ(view.materialize(), block);
+}
+
+TEST(WireView, MaterializeOutlivesTheFrame) {
+  const Params params{.n = 8, .k = 32};
+  const CodedBlock block = sample_block(params, 3);
+  CodedBlock copy;
+  {
+    const std::vector<std::uint8_t> bytes = serialize(9, block);
+    const ParseViewResult result = parse_view(bytes);
+    ASSERT_TRUE(result.ok());
+    copy = result.packet().block.materialize();
+  }  // frame gone; the materialized block must be self-contained
+  EXPECT_EQ(copy, block);
+}
+
+TEST(WireView, RejectsSameErrorsAsParse) {
+  // parse() is implemented on top of parse_view(); both must agree on
+  // every rejection, including the v2 checksum.
+  const Params params{.n = 8, .k = 16};
+  const std::vector<std::uint8_t> good = serialize(5, sample_block(params, 8));
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[i] ^= 0x40;
+    const ParseResult owned = parse(bytes);
+    const ParseViewResult view = parse_view(bytes);
+    ASSERT_EQ(owned.ok(), view.ok()) << "byte " << i;
+    if (!owned.ok()) {
+      ASSERT_EQ(owned.error(), view.error()) << "byte " << i;
+    }
+  }
+  EXPECT_FALSE(parse_view(std::vector<std::uint8_t>(3)).ok());
+  EXPECT_EQ(parse_view(std::vector<std::uint8_t>(3)).error(),
+            ParseError::kTooShort);
+}
+
 TEST(Wire, V1RoundTripStillAccepted) {
   const Params params{.n = 16, .k = 100};
   const CodedBlock block = sample_block(params, 1);

@@ -1,0 +1,64 @@
+// extnc_gf256: inspect the GF(2^8) backend registry of this build.
+//
+//   --list        available backends on this host, one per line, best
+//                 first (what CI iterates when looping the test suite over
+//                 EXTNC_GF256_BACKEND)
+//   --registered  every backend name compiled into the build, one per
+//                 line, whether or not this host supports it
+//   --selected    the backend the process resolved (honours
+//                 EXTNC_GF256_BACKEND; aborts on an unknown name, exactly
+//                 as any coding binary would)
+//
+// With no arguments, prints a human-readable summary of all three.
+#include <cstdio>
+#include <cstring>
+
+#include "gf256/region.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list | --registered | --selected]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using extnc::gf256::available_backends;
+  using extnc::gf256::ops;
+  using extnc::gf256::registered_backend_names;
+
+  if (argc > 2) return usage(argv[0]);
+  if (argc == 2) {
+    if (std::strcmp(argv[1], "--list") == 0) {
+      for (const auto* backend : available_backends()) {
+        std::printf("%s\n", backend->name);
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[1], "--registered") == 0) {
+      for (const auto name : registered_backend_names()) {
+        std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[1], "--selected") == 0) {
+      std::printf("%s\n", ops().name);
+      return 0;
+    }
+    return usage(argv[0]);
+  }
+
+  std::printf("selected:   %s\n", ops().name);
+  std::printf("available:  %s\n",
+              extnc::gf256::available_backend_list().c_str());
+  std::string registered;
+  for (const auto name : registered_backend_names()) {
+    if (!registered.empty()) registered += ", ";
+    registered += name;
+  }
+  std::printf("registered: %s\n", registered.c_str());
+  return 0;
+}
