@@ -11,6 +11,7 @@
 //   simspeed [--engine serial|parallel|fast|both|all]
 //            [--device gtx280|8800gt] [--quick] [--json] [--csv]
 //            [--min-speedup X] [--min-fast-speedup X]
+//            [--min-table-fast-speedup X]
 //
 // --min-speedup X exits non-zero if any workload's parallel engine is
 // slower than X times the serial engine (CI smoke: X < 1 tolerates
@@ -18,6 +19,10 @@
 // serial and parallel dimensions. --min-fast-speedup X is the same floor
 // for the fast path against the interpreted serial engine; the fast path
 // is single-host-thread SIMD, so this floor holds on any runner.
+// --min-table-fast-speedup X applies that floor to the encode/tb*
+// workloads only — the table schemes lean on the cached access-pattern
+// profile (gpu/gpu_encoder.h TableFastProfile), so this is the regression
+// gate for profile-based accounting staying ahead of byte walking.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -98,10 +103,22 @@ std::vector<Workload> build_workloads(const simgpu::DeviceSpec& spec,
 
   std::vector<Workload> workloads;
 
-  // fig4a-style encodes: the loop-based kernel and the best table scheme.
+  // fig4a-style encodes: the loop-based kernel and every table scheme
+  // (tb0-tb5 all ride the cached-profile fast path; each has a distinct
+  // lookup structure, so each gets its own regression row).
   for (const auto& [label, scheme] :
        {std::pair<const char*, EncodeScheme>{"encode/loop",
                                              EncodeScheme::kLoopBased},
+        std::pair<const char*, EncodeScheme>{"encode/tb0",
+                                             EncodeScheme::kTable0},
+        std::pair<const char*, EncodeScheme>{"encode/tb1",
+                                             EncodeScheme::kTable1},
+        std::pair<const char*, EncodeScheme>{"encode/tb2",
+                                             EncodeScheme::kTable2},
+        std::pair<const char*, EncodeScheme>{"encode/tb3",
+                                             EncodeScheme::kTable3},
+        std::pair<const char*, EncodeScheme>{"encode/tb4",
+                                             EncodeScheme::kTable4},
         std::pair<const char*, EncodeScheme>{"encode/tb5",
                                              EncodeScheme::kTable5}}) {
     workloads.push_back(
@@ -195,7 +212,8 @@ void print_json(const std::vector<Row>& rows, const std::string& device,
 
 int run(int argc, char** argv) {
   check_flags(argc, argv,
-              {"--engine", "--device", "--min-speedup", "--min-fast-speedup"},
+              {"--engine", "--device", "--min-speedup", "--min-fast-speedup",
+               "--min-table-fast-speedup"},
               {"--quick", "--json", "--csv"});
   const std::string engine_arg = flag_value(argc, argv, "--engine");
   const std::string device_arg = flag_value(argc, argv, "--device");
@@ -203,6 +221,8 @@ int run(int argc, char** argv) {
       flag_value(argc, argv, "--min-speedup");
   const std::string min_fast_arg =
       flag_value(argc, argv, "--min-fast-speedup");
+  const std::string min_table_fast_arg =
+      flag_value(argc, argv, "--min-table-fast-speedup");
   const bool quick = has_flag(argc, argv, "--quick");
   const bool json = has_flag(argc, argv, "--json");
   const bool csv = has_flag(argc, argv, "--csv");
@@ -233,6 +253,17 @@ int run(int argc, char** argv) {
     min_fast_speedup = std::atof(min_fast_arg.c_str());
     if (min_fast_speedup <= 0) {
       die("--min-fast-speedup must be a positive number");
+    }
+  }
+  double min_table_fast_speedup = 0;
+  if (!min_table_fast_arg.empty()) {
+    if (!run_serial || !run_fast) {
+      die("--min-table-fast-speedup requires the serial and fast "
+          "dimensions");
+    }
+    min_table_fast_speedup = std::atof(min_table_fast_arg.c_str());
+    if (min_table_fast_speedup <= 0) {
+      die("--min-table-fast-speedup must be a positive number");
     }
   }
   const std::string device = device_arg.empty() ? "gtx280" : device_arg;
@@ -297,6 +328,19 @@ int run(int argc, char** argv) {
                      "--min-speedup %.3f (pool=%zu threads)\n",
                      row.workload.c_str(), row.speedup(), min_speedup,
                      simgpu::engine_pool().num_threads());
+        return 1;
+      }
+    }
+  }
+  if (min_table_fast_speedup > 0) {
+    for (const Row& row : rows) {
+      if (row.workload.rfind("encode/tb", 0) != 0) continue;
+      if (row.fast_speedup() < min_table_fast_speedup) {
+        std::fprintf(stderr,
+                     "error: %s: fast/serial speedup %.3f below "
+                     "--min-table-fast-speedup %.3f\n",
+                     row.workload.c_str(), row.fast_speedup(),
+                     min_table_fast_speedup);
         return 1;
       }
     }

@@ -7,6 +7,8 @@
 #include "gf256/region.h"
 #include "gf256/swar.h"
 #include "gpu/kernel_cost.h"
+#include "gpu/table_layout.h"
+#include "simgpu/static_model.h"
 #include "util/assert.h"
 #include "util/metrics_registry.h"
 
@@ -15,16 +17,6 @@ namespace extnc::gpu {
 using simgpu::BlockCtx;
 using simgpu::LaunchConfig;
 using simgpu::ThreadCtx;
-
-namespace {
-
-// Shared-memory layout for the table schemes.
-constexpr std::size_t kExpBytesOffset = 0;    // 512 bytes
-constexpr std::size_t kLogBytesOffset = 512;  // 256 bytes (kTable0)
-constexpr std::size_t kExpTableEntries = 512;
-constexpr std::size_t kReplicatedTables = 8;  // kTable5
-
-}  // namespace
 
 GpuEncoder::GpuEncoder(const simgpu::DeviceSpec& spec,
                        const coding::Segment& segment, EncodeScheme scheme,
@@ -325,11 +317,18 @@ void GpuEncoder::run_loop_based(coding::CodedBatch& batch) {
         // Bulk lowering: one SIMD region op per (half-warp, coded-block-i)
         // pair instead of 16 interpreted lanes, with group accounting that
         // mirrors the lane-at-a-time groups exactly (BlockCtx::fast_path).
-        // Half-warps must not straddle coded blocks and the block must be
-        // whole half-warps; otherwise interpret.
+        // When half-warps straddle coded blocks (or the block is not whole
+        // half-warps) the generic per-lane-group walker lowers instead.
         const std::size_t half = block.spec().half_warp;
-        if (block.fast_path() && words_per_block % half == 0 &&
-            threads % half == 0) {
+        if (block.fast_path() &&
+            (words_per_block % half != 0 || threads % half != 0)) {
+          metrics::count("simgpu.fast.lowered_blocks");
+          metrics::count("simgpu.fast.straddle_blocks");
+          run_loop_based_fast_straddle(block, cost, total_words, threads,
+                                       coeffs, out);
+          return;
+        }
+        if (block.fast_path()) {
           metrics::count("simgpu.fast.lowered_blocks");
           const gf256::Ops& gops = gf256::ops();
           const std::size_t span = half * 4;
@@ -413,11 +412,22 @@ void GpuEncoder::run_table_based(coding::CodedBatch& batch) {
   launcher_.launch(
       {.blocks = blocks, .threads_per_block = threads}, [&](BlockCtx& block) {
         const std::size_t half = block.spec().half_warp;
-        if (block.fast_path() && words_per_block % half == 0 &&
-            threads % half == 0 && half <= 16) {
+        if (block.fast_path() && half <= 16) {
           metrics::count("simgpu.fast.lowered_blocks");
-          run_table_based_fast(block, batch, cost, total_words, threads,
-                               blocks, src, coeffs, out, sentinel);
+          // The profiled lowering needs half-warps that never straddle
+          // coded blocks (and, for kTable5, a lane-position-independent
+          // table interleave); anything else takes the generic walker.
+          if (words_per_block % half == 0 && threads % half == 0 &&
+              (scheme_ != EncodeScheme::kTable5 ||
+               half % kReplicatedTables == 0)) {
+            run_table_based_fast(block, batch, cost, total_words, threads,
+                                 blocks, src, coeffs, out, sentinel);
+          } else {
+            metrics::count("simgpu.fast.straddle_blocks");
+            run_table_based_fast_straddle(block, batch, cost, total_words,
+                                          threads, blocks, src, coeffs, out,
+                                          sentinel);
+          }
           return;
         }
         // --- cooperative table load (coalesced, Sec. 5.1) ---------------
@@ -512,12 +522,180 @@ void GpuEncoder::run_table_based(coding::CodedBatch& batch) {
       });
 }
 
-// Fast-path body for one table-based block. Outputs come from SIMD region
-// multiplies over the natural-domain segment/coefficients (the log-domain
-// round trip is exact GF(2^8) arithmetic, so the bytes are identical);
-// accounting walks the same (half-warp, access-sequence) groups the
-// interpreted step produces, reading the accounting-domain buffers for the
-// sentinel tests so skip patterns match byte for byte.
+// Walk the cooperative table-load step once into local accumulators. The
+// step's accounting is a pure function of the table addresses and the
+// thread count — identical for every block of every launch — so this runs
+// once per encoder and fast_load_tables bulk-charges the result.
+void GpuEncoder::build_table_load_profile(std::size_t threads) {
+  const simgpu::DeviceSpec& spec = launcher_.spec();
+  const std::size_t half = spec.half_warp;
+  const auto banks = static_cast<std::uint32_t>(spec.shared_banks);
+  const std::uint64_t seg_bytes = spec.coalesce_segment_bytes;
+  std::array<std::uintptr_t, 16> words_buf;
+  TableLoadProfile prof;
+  prof.threads = threads;
+  auto charge = [&](std::uintptr_t addr, std::size_t cnt) {
+    prof.transactions += simgpu::span_transactions(addr, cnt * 4, seg_bytes);
+    prof.instrs += cnt;
+    prof.load_bytes += cnt * 4;
+    prof.shared_accesses += cnt;
+    prof.shared_events += 1;
+    prof.shared_cycles +=
+        simgpu::shared_group_degree(words_buf.data(), cnt, banks);
+  };
+  if (scheme_ == EncodeScheme::kTable5) {
+    const std::size_t table_words = kExpTableEntries * kReplicatedTables;
+    for (std::size_t it = 0; it * threads < table_words; ++it) {
+      for (std::size_t l0 = 0;
+           l0 < threads && it * threads + l0 < table_words; l0 += half) {
+        const std::size_t w0 = it * threads + l0;
+        const std::size_t cnt = std::min(half, table_words - w0);
+        for (std::size_t l = 0; l < cnt; ++l) words_buf[l] = w0 + l;
+        charge(reinterpret_cast<std::uintptr_t>(exp_table_words_.data() +
+                                                w0 * 4),
+               cnt);
+      }
+    }
+  } else {
+    const std::size_t exp_words = kExpTableEntries / 4;
+    for (std::size_t l0 = 0; l0 < threads && l0 < exp_words; l0 += half) {
+      const std::size_t cnt = std::min(half, exp_words - l0);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        words_buf[l] = kExpBytesOffset / 4 + l0 + l;
+      }
+      charge(reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data() +
+                                              l0 * 4),
+             cnt);
+    }
+    if (scheme_ == EncodeScheme::kTable0) {
+      const std::size_t log_words = 256 / 4;
+      for (std::size_t l0 = 0; l0 < threads && l0 < log_words; l0 += half) {
+        const std::size_t cnt = std::min(half, log_words - l0);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          words_buf[l] = kLogBytesOffset / 4 + l0 + l;
+        }
+        charge(reinterpret_cast<std::uintptr_t>(log_table_bytes_.data() +
+                                                l0 * 4),
+               cnt);
+      }
+    }
+  }
+  prof.built = true;
+  load_profile_ = prof;
+}
+
+// Cooperative table-load accounting shared by both table-based lowerings
+// (one barrier, like the interpreted load step).
+void GpuEncoder::fast_load_tables(BlockCtx& block, std::size_t threads) {
+  if (scheme_ == EncodeScheme::kTable4) return;  // texture-bound, no load
+  if (!load_profile_.built || load_profile_.threads != threads) {
+    build_table_load_profile(threads);
+  }
+  block.fast_global_bulk(load_profile_.transactions, load_profile_.instrs,
+                         load_profile_.load_bytes, 0);
+  block.fast_shared_bulk(load_profile_.shared_accesses,
+                         load_profile_.shared_events,
+                         load_profile_.shared_cycles);
+  block.fast_barriers(1);
+}
+
+// Evaluate the per-(group, row) access profile once for the encoder's
+// immutable accounting-domain segment. Degrees for the exp lookups are
+// evaluated at the four log_c residues mod 4: adding 4t to log_c shifts
+// every lookup word by t (byte tables) or 8t (kTable5's interleave),
+// which preserves word distinctness and rotates banks uniformly — the
+// serialization degree is invariant (simgpu::shared_group_degree over
+// shifted word sets).
+void GpuEncoder::build_table_fast_profile(const std::uint8_t* src) {
+  const coding::Params& p = params();
+  const simgpu::DeviceSpec& spec = launcher_.spec();
+  const std::size_t half = spec.half_warp;
+  const auto banks = static_cast<std::uint32_t>(spec.shared_banks);
+  const std::size_t groups = (p.k / 4) / half;
+  const bool tb0 = scheme_ == EncodeScheme::kTable0;
+  const bool tb4 = scheme_ == EncodeScheme::kTable4;
+  const bool tb5 = scheme_ == EncodeScheme::kTable5;
+  const bool shifted = scheme_uses_shifted_log(scheme_);
+  const std::uint8_t sentinel = shifted ? 0x00 : gf256::kLogZero;
+  const std::uint8_t* log_table = tb0 ? log_table_bytes_.data() : nullptr;
+
+  TableFastProfile& prof = table_profile_;
+  prof.groups = groups;
+  const std::size_t len = p.n * (groups + 1);
+  prof.src_tx.assign(len, 0);
+  prof.exp_events.assign(len, 0);
+  prof.exp_accesses.assign(len, 0);
+  for (auto& v : prof.exp_cycles) v.assign(len, 0);
+  prof.log_cycles.assign(tb0 ? len : 0, 0);
+  prof.active.assign(tb4 ? len : 0, 0);
+
+  std::array<std::uintptr_t, 16> words;
+  std::array<std::uint8_t, 16> log_s;
+  std::array<std::size_t, 16> lane_of;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const std::size_t row = i * (groups + 1);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::uint8_t* s = src + i * p.k + g * half * 4;
+      std::uint32_t src_tx = static_cast<std::uint32_t>(
+          simgpu::span_transactions(reinterpret_cast<std::uintptr_t>(s),
+                                    half * 4, spec.coalesce_segment_bytes));
+      std::uint32_t events = 0;
+      std::uint32_t accesses = 0;
+      std::uint32_t cycles[4] = {0, 0, 0, 0};
+      std::uint32_t log_cycles = 0;
+      for (int b = 0; b < 4; ++b) {
+        if (tb0) {
+          for (std::size_t l = 0; l < half; ++l) {
+            words[l] = (kLogBytesOffset + s[l * 4 + b]) / 4;
+          }
+          log_cycles += static_cast<std::uint32_t>(
+              simgpu::shared_group_degree(words.data(), half, banks));
+        }
+        std::size_t cnt = 0;
+        for (std::size_t l = 0; l < half; ++l) {
+          std::uint8_t v = s[l * 4 + b];
+          if (tb0) v = log_table[v];
+          if (v == sentinel) continue;
+          log_s[cnt] = v;
+          lane_of[cnt] = l;
+          ++cnt;
+        }
+        if (cnt == 0) continue;
+        events += 1;
+        accesses += static_cast<std::uint32_t>(cnt);
+        if (tb4) continue;  // fetch counts only; no shared lookup
+        for (std::uint32_t cc = 0; cc < 4; ++cc) {
+          for (std::size_t t = 0; t < cnt; ++t) {
+            const std::size_t idx = cc + log_s[t];
+            words[t] = tb5 ? tb5_word_index(idx, lane_of[t])
+                           : (kExpBytesOffset + idx) / 4;
+          }
+          cycles[cc] += static_cast<std::uint32_t>(
+              simgpu::shared_group_degree(words.data(), cnt, banks));
+        }
+      }
+      prof.src_tx[row + g + 1] = prof.src_tx[row + g] + src_tx;
+      prof.exp_events[row + g + 1] = prof.exp_events[row + g] + events;
+      prof.exp_accesses[row + g + 1] = prof.exp_accesses[row + g] + accesses;
+      for (std::uint32_t cc = 0; cc < 4; ++cc) {
+        prof.exp_cycles[cc][row + g + 1] =
+            prof.exp_cycles[cc][row + g] + cycles[cc];
+      }
+      if (tb0) {
+        prof.log_cycles[row + g + 1] = prof.log_cycles[row + g] + log_cycles;
+      }
+      if (tb4) prof.active[row + g + 1] = prof.active[row + g] + accesses;
+    }
+  }
+  prof.built = true;
+}
+
+// Fast-path body for one aligned table-based block. Outputs come from SIMD
+// region multiplies over the natural-domain segment/coefficients (the
+// log-domain round trip is exact GF(2^8) arithmetic, so the bytes are
+// identical); accounting charges whole same-coded-block runs from the
+// cached profile — a handful of prefix-sum subtractions per (run, i) —
+// instead of re-walking every payload byte.
 void GpuEncoder::run_table_based_fast(BlockCtx& block,
                                       coding::CodedBatch& batch,
                                       const EncodeCost& cost,
@@ -530,7 +708,146 @@ void GpuEncoder::run_table_based_fast(BlockCtx& block,
   const coding::Params p = params();
   const std::size_t words_per_block = p.k / 4;
   const std::size_t half = block.spec().half_warp;
-  const std::size_t span = half * 4;
+  const std::size_t stride = blocks * threads;
+  const gf256::Ops& gops = gf256::ops();
+  const std::uint8_t* raw_src = segment_->data();
+  const std::uint8_t* raw_coeffs = batch.coefficients_data();
+  const bool tb0 = scheme_ == EncodeScheme::kTable0;
+  const bool tb4 = scheme_ == EncodeScheme::kTable4;
+  const std::uint8_t* log_table = tb0 ? log_table_bytes_.data() : nullptr;
+
+  fast_load_tables(block, threads);
+  if (!table_profile_.built) build_table_fast_profile(src);
+  const TableFastProfile& prof = table_profile_;
+  const std::size_t g1 = prof.groups + 1;
+
+  const std::uint64_t word_deci =
+      simgpu::KernelMetrics::deciops(cost.per_word);
+  const std::uint64_t byte_deci =
+      simgpu::KernelMetrics::deciops(cost.per_byte);
+  const std::uint64_t seg_bytes = block.spec().coalesce_segment_bytes;
+  std::uint64_t tx = 0, instrs = 0, load = 0, store = 0;
+  std::uint64_t sacc = 0, sev = 0, scyc = 0, alu = 0, fetches = 0;
+
+  for (std::size_t bb = block.block_index() * threads; bb < total_words;
+       bb += stride) {
+    // total_words and threads are half-warp multiples here, so every group
+    // is full and runs split only at coded-block boundaries.
+    const std::size_t wend = bb + std::min(threads, total_words - bb);
+    std::size_t w = bb;
+    while (w < wend) {
+      const std::size_t j = w / words_per_block;
+      const std::size_t word0 = w % words_per_block;
+      const std::size_t run = std::min(words_per_block - word0, wend - w);
+      const std::size_t g0 = word0 / half;
+      const std::uint64_t gc = run / half;
+      const std::uint8_t* coeff_row = coeffs + j * p.n;
+      const std::uint8_t* raw_row = raw_coeffs + j * p.n;
+      std::uint8_t* dst = out + j * p.k + word0 * 4;
+      std::memset(dst, 0, run * 4);
+      // Every store group in the run shares one 64-byte phase (groups step
+      // by half * 4 = a whole number of segments when half >= 16).
+      tx += gc * simgpu::span_transactions(
+                     reinterpret_cast<std::uintptr_t>(dst), half * 4,
+                     seg_bytes);
+      instrs += gc * half;
+      store += run * 4;
+      for (std::size_t i = 0; i < p.n; ++i) {
+        std::uint8_t log_c = coeff_row[i];
+        tx += gc;  // coefficient broadcast: 1-byte span, one segment
+        instrs += 2 * gc * half;  // coeff + src loads
+        load += gc * half * 5;    // 1 coeff byte + 4 src bytes per lane
+        const std::size_t row = i * g1;
+        tx += prof.src_tx[row + g0 + gc] - prof.src_tx[row + g0];
+        alu += gc * half * word_deci;
+        if (tb0) {
+          // Broadcast log lookup: all lanes hit one word, degree 1.
+          sacc += gc * half;
+          sev += gc;
+          scyc += gc;
+          log_c = log_table[log_c];
+        }
+        gops.mul_add_region(dst, raw_src + i * p.k + word0 * 4, raw_row[i],
+                            run * 4);
+        if (log_c == sentinel) continue;
+        alu += gc * half * 4 * byte_deci;
+        if (tb0) {
+          scyc += prof.log_cycles[row + g0 + gc] - prof.log_cycles[row + g0];
+          sev += gc * 4;
+          sacc += gc * half * 4;
+        }
+        if (tb4) {
+          fetches += prof.active[row + g0 + gc] - prof.active[row + g0];
+        } else {
+          const auto& cyc = prof.exp_cycles[log_c % 4];
+          scyc += cyc[row + g0 + gc] - cyc[row + g0];
+          sev += prof.exp_events[row + g0 + gc] - prof.exp_events[row + g0];
+          sacc +=
+              prof.exp_accesses[row + g0 + gc] - prof.exp_accesses[row + g0];
+        }
+      }
+      w += run;
+    }
+  }
+  block.fast_global_bulk(tx, instrs, load, store);
+  block.fast_shared_bulk(sacc, sev, scyc);
+  block.fast_alu_deciops(alu);
+  block.fast_barriers(1);
+
+  // --- kTable4: the table is cache-resident (16 lines, distinct sets), so
+  // once every table line is tagged no later fetch can miss. Replay the
+  // interpreted lane-major order only through that residency window, then
+  // charge the remaining fetches in closed form.
+  if (tb4) {
+    simgpu::TextureCache& cache = block.texture_cache();
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data());
+    const std::size_t line_bytes = cache.line_bytes();
+    const std::uintptr_t first_line = base / line_bytes;
+    const std::uintptr_t last_line =
+        (base + kExpTableEntries - 1) / line_bytes;
+    std::size_t missing = 0;
+    for (std::uintptr_t line = first_line; line <= last_line; ++line) {
+      if (!cache.resident(line * line_bytes)) ++missing;
+    }
+    std::uint64_t replayed = 0;
+    for (std::size_t lane = 0; lane < threads && missing > 0; ++lane) {
+      for (std::size_t w = block.block_index() * threads + lane;
+           w < total_words && missing > 0; w += stride) {
+        const std::size_t j = w / words_per_block;
+        const std::size_t word = w % words_per_block;
+        const std::uint8_t* coeff_row = coeffs + j * p.n;
+        for (std::size_t i = 0; i < p.n && missing > 0; ++i) {
+          const std::uint8_t log_c = coeff_row[i];
+          if (log_c == sentinel) continue;
+          const std::uint8_t* s = src + i * p.k + word * 4;
+          for (int b = 0; b < 4 && missing > 0; ++b) {
+            const std::uint8_t log_s = s[b];
+            if (log_s == sentinel) continue;
+            const std::uintptr_t addr = base + log_c + log_s;
+            if (!cache.resident(addr)) --missing;
+            block.fast_texture_fetch(addr);
+            ++replayed;
+          }
+        }
+      }
+    }
+    block.fast_texture_bulk(fetches - replayed, 0);
+  }
+}
+
+// Generic fast-path body: half-warps may straddle coded blocks (the
+// recoder's aggregate geometry, partial tails), so addresses, sentinel
+// tests and region runs are evaluated per lane. Accounting still goes
+// through the bulk group calls — no interpreted lane stepping.
+void GpuEncoder::run_table_based_fast_straddle(
+    BlockCtx& block, coding::CodedBatch& batch, const EncodeCost& cost,
+    std::size_t total_words, std::size_t threads, std::size_t blocks,
+    const std::uint8_t* src, const std::uint8_t* coeffs, std::uint8_t* out,
+    std::uint8_t sentinel) {
+  const coding::Params p = params();
+  const std::size_t words_per_block = p.k / 4;
+  const std::size_t half = block.spec().half_warp;
   const std::size_t stride = blocks * threads;
   const gf256::Ops& gops = gf256::ops();
   const std::uint8_t* raw_src = segment_->data();
@@ -539,148 +856,214 @@ void GpuEncoder::run_table_based_fast(BlockCtx& block,
   const bool tb4 = scheme_ == EncodeScheme::kTable4;
   const bool tb5 = scheme_ == EncodeScheme::kTable5;
   const std::uint8_t* log_table = tb0 ? log_table_bytes_.data() : nullptr;
-  std::array<std::uintptr_t, 16> words_buf;
-  std::uint64_t alu = 0;
 
-  // --- cooperative table load (one barrier, like the interpreted step) ---
-  if (tb5) {
-    const std::size_t table_words = kExpTableEntries * kReplicatedTables;
-    for (std::size_t it = 0; it * threads < table_words; ++it) {
-      for (std::size_t l0 = 0;
-           l0 < threads && it * threads + l0 < table_words; l0 += half) {
-        const std::size_t w0 = it * threads + l0;
-        const std::size_t cnt = std::min(half, table_words - w0);
-        block.fast_global_span(
-            reinterpret_cast<std::uintptr_t>(exp_table_words_.data() +
-                                             w0 * 4),
-            cnt * 4, cnt, cnt * 4, 0);
-        for (std::size_t l = 0; l < cnt; ++l) words_buf[l] = w0 + l;
-        block.fast_shared_group(words_buf.data(), cnt);
-      }
-    }
-    block.fast_barriers(1);
-  } else if (!tb4) {
-    const std::size_t exp_words = kExpTableEntries / 4;
-    for (std::size_t l0 = 0; l0 < threads && l0 < exp_words; l0 += half) {
-      const std::size_t cnt = std::min(half, exp_words - l0);
-      block.fast_global_span(
-          reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data() + l0 * 4),
-          cnt * 4, cnt, cnt * 4, 0);
-      for (std::size_t l = 0; l < cnt; ++l) {
-        words_buf[l] = kExpBytesOffset / 4 + l0 + l;
-      }
-      block.fast_shared_group(words_buf.data(), cnt);
-    }
-    if (tb0) {
-      const std::size_t log_words = 256 / 4;
-      for (std::size_t l0 = 0; l0 < threads && l0 < log_words; l0 += half) {
-        const std::size_t cnt = std::min(half, log_words - l0);
-        block.fast_global_span(
-            reinterpret_cast<std::uintptr_t>(log_table_bytes_.data() +
-                                             l0 * 4),
-            cnt * 4, cnt, cnt * 4, 0);
-        for (std::size_t l = 0; l < cnt; ++l) {
-          words_buf[l] = kLogBytesOffset / 4 + l0 + l;
-        }
-        block.fast_shared_group(words_buf.data(), cnt);
-      }
-    }
-    block.fast_barriers(1);
-  }
+  fast_load_tables(block, threads);
 
-  // --- encode words, strided (one barrier) -------------------------------
   const std::uint64_t word_deci =
       simgpu::KernelMetrics::deciops(cost.per_word);
   const std::uint64_t byte_deci =
       simgpu::KernelMetrics::deciops(cost.per_byte);
+  std::array<std::uintptr_t, 16> addrs;
+  std::array<std::uintptr_t, 16> words;
+  std::array<std::uint8_t, 16> log_c;
+  std::array<std::size_t, 16> jv;
+  std::array<std::size_t, 16> wv;
+  std::uint64_t alu = 0;
+  std::uint64_t fetches = 0;
+
   for (std::size_t bb = block.block_index() * threads; bb < total_words;
        bb += stride) {
     const std::size_t lanes_end = std::min(threads, total_words - bb);
     for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
-      const std::size_t wb = bb + l0;
-      const std::size_t j = wb / words_per_block;
-      const std::size_t word = wb % words_per_block;
-      const std::uint8_t* coeff_row = coeffs + j * p.n;
-      const std::uint8_t* raw_row = raw_coeffs + j * p.n;
-      std::uint8_t* dst = out + j * p.k + word * 4;
-      std::memset(dst, 0, span);
+      const std::size_t cnt = std::min(half, lanes_end - l0);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        const std::size_t w = bb + l0 + l;
+        jv[l] = w / words_per_block;
+        wv[l] = w % words_per_block;
+      }
+      // Zero the output words, one run per coded block touched.
+      for (std::size_t r0 = 0; r0 < cnt;) {
+        std::size_t r1 = r0 + 1;
+        while (r1 < cnt && jv[r1] == jv[r0]) ++r1;
+        std::memset(out + jv[r0] * p.k + wv[r0] * 4, 0, (r1 - r0) * 4);
+        r0 = r1;
+      }
       for (std::size_t i = 0; i < p.n; ++i) {
-        std::uint8_t log_c = coeff_row[i];
-        block.fast_global_span(
-            reinterpret_cast<std::uintptr_t>(coeff_row + i), 1, half, half,
-            0);
-        if (tb0) {
-          // Broadcast lookup: all lanes hit the same log-table word.
-          const std::uintptr_t lw = (kLogBytesOffset + log_c) / 4;
-          for (std::size_t l = 0; l < half; ++l) words_buf[l] = lw;
-          block.fast_shared_group(words_buf.data(), half);
-          log_c = log_table[log_c];
+        for (std::size_t l = 0; l < cnt; ++l) {
+          addrs[l] =
+              reinterpret_cast<std::uintptr_t>(coeffs + jv[l] * p.n + i);
+          log_c[l] = coeffs[jv[l] * p.n + i];
         }
-        const std::uint8_t* s = src + i * p.k + word * 4;
-        block.fast_global_span(reinterpret_cast<std::uintptr_t>(s), span,
-                               half, span, 0);
-        alu += half * word_deci;
-        gops.mul_add_region(dst, raw_src + i * p.k + word * 4, raw_row[i],
-                            span);
-        if (log_c == sentinel) continue;
+        block.fast_global_group(addrs.data(), cnt, 1, cnt, 0);
+        if (tb0) {
+          // Per-lane log lookup of the (possibly different) raw bytes.
+          for (std::size_t l = 0; l < cnt; ++l) {
+            words[l] = (kLogBytesOffset + log_c[l]) / 4;
+          }
+          block.fast_shared_group(words.data(), cnt);
+          for (std::size_t l = 0; l < cnt; ++l) log_c[l] = log_table[log_c[l]];
+        }
+        for (std::size_t l = 0; l < cnt; ++l) {
+          addrs[l] =
+              reinterpret_cast<std::uintptr_t>(src + i * p.k + wv[l] * 4);
+        }
+        block.fast_global_group(addrs.data(), cnt, 4, cnt * 4, 0);
+        alu += cnt * word_deci;
+        for (std::size_t r0 = 0; r0 < cnt;) {
+          std::size_t r1 = r0 + 1;
+          while (r1 < cnt && jv[r1] == jv[r0]) ++r1;
+          gops.mul_add_region(out + jv[r0] * p.k + wv[r0] * 4,
+                              raw_src + i * p.k + wv[r0] * 4,
+                              raw_coeffs[jv[r0] * p.n + i], (r1 - r0) * 4);
+          r0 = r1;
+        }
+        std::size_t c_active = 0;
+        for (std::size_t l = 0; l < cnt; ++l) {
+          if (log_c[l] != sentinel) ++c_active;
+        }
+        if (c_active == 0) continue;
         for (int b = 0; b < 4; ++b) {
           if (tb0) {
-            for (std::size_t l = 0; l < half; ++l) {
-              words_buf[l] = (kLogBytesOffset + s[l * 4 + b]) / 4;
+            std::size_t k2 = 0;
+            for (std::size_t l = 0; l < cnt; ++l) {
+              if (log_c[l] == sentinel) continue;  // skip_access
+              words[k2++] =
+                  (kLogBytesOffset + src[i * p.k + wv[l] * 4 + b]) / 4;
             }
-            block.fast_shared_group(words_buf.data(), half);
+            block.fast_shared_group(words.data(), k2);
           }
-          alu += half * byte_deci;
-          if (tb4) continue;  // exp fetches replayed lane-major below
-          std::size_t cnt = 0;
-          for (std::size_t l = 0; l < half; ++l) {
-            std::uint8_t log_s = s[l * 4 + b];
+          alu += c_active * byte_deci;
+          std::size_t k2 = 0;
+          for (std::size_t l = 0; l < cnt; ++l) {
+            if (log_c[l] == sentinel) continue;
+            std::uint8_t log_s = src[i * p.k + wv[l] * 4 + b];
             if (tb0) log_s = log_table[log_s];
-            if (log_s == sentinel) continue;  // interpreted skip_access
-            const std::size_t idx = static_cast<std::size_t>(log_c) + log_s;
-            words_buf[cnt++] =
-                tb5 ? idx * kReplicatedTables +
-                          ((l0 + l) % kReplicatedTables)
-                    : kExpBytesOffset / 4 + idx / 4;
+            if (log_s == sentinel) continue;  // skip_access
+            if (tb4) {
+              ++fetches;
+              continue;  // replayed below
+            }
+            const std::size_t idx =
+                static_cast<std::size_t>(log_c[l]) + log_s;
+            words[k2++] = tb5 ? tb5_word_index(idx, l0 + l)
+                              : (kExpBytesOffset + idx) / 4;
           }
-          // An all-sentinel byte position makes no accesses at this
-          // sequence point, hence no group and no event.
-          if (cnt > 0) block.fast_shared_group(words_buf.data(), cnt);
+          if (k2 > 0) block.fast_shared_group(words.data(), k2);
         }
       }
-      block.fast_global_span(reinterpret_cast<std::uintptr_t>(dst), span,
-                             half, 0, span);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        addrs[l] =
+            reinterpret_cast<std::uintptr_t>(out + jv[l] * p.k + wv[l] * 4);
+      }
+      block.fast_global_group(addrs.data(), cnt, 4, 0, cnt * 4);
     }
   }
   block.fast_barriers(1);
   block.fast_alu_deciops(alu);
 
-  // --- kTable4: replay exp fetches lane-major through the texture model.
-  // The cache is stateful and the interpreted step runs lanes to
-  // completion in order, so the evolution (and the miss count) depends on
-  // that order.
+  // kTable4: residency-window replay, as in the aligned lowering.
   if (tb4) {
-    for (std::size_t lane = 0; lane < threads; ++lane) {
+    simgpu::TextureCache& cache = block.texture_cache();
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data());
+    const std::size_t line_bytes = cache.line_bytes();
+    const std::uintptr_t first_line = base / line_bytes;
+    const std::uintptr_t last_line =
+        (base + kExpTableEntries - 1) / line_bytes;
+    std::size_t missing = 0;
+    for (std::uintptr_t line = first_line; line <= last_line; ++line) {
+      if (!cache.resident(line * line_bytes)) ++missing;
+    }
+    std::uint64_t replayed = 0;
+    for (std::size_t lane = 0; lane < threads && missing > 0; ++lane) {
       for (std::size_t w = block.block_index() * threads + lane;
-           w < total_words; w += stride) {
+           w < total_words && missing > 0; w += stride) {
         const std::size_t j = w / words_per_block;
         const std::size_t word = w % words_per_block;
         const std::uint8_t* coeff_row = coeffs + j * p.n;
-        for (std::size_t i = 0; i < p.n; ++i) {
-          const std::uint8_t log_c = coeff_row[i];
-          if (log_c == sentinel) continue;
+        for (std::size_t i = 0; i < p.n && missing > 0; ++i) {
+          const std::uint8_t c = coeff_row[i];
+          if (c == sentinel) continue;
           const std::uint8_t* s = src + i * p.k + word * 4;
-          for (int b = 0; b < 4; ++b) {
+          for (int b = 0; b < 4 && missing > 0; ++b) {
             const std::uint8_t log_s = s[b];
             if (log_s == sentinel) continue;
-            block.fast_texture_fetch(
-                reinterpret_cast<std::uintptr_t>(exp_table_bytes_.data()) +
-                log_c + log_s);
+            const std::uintptr_t addr = base + c + log_s;
+            if (!cache.resident(addr)) --missing;
+            block.fast_texture_fetch(addr);
+            ++replayed;
           }
         }
       }
     }
+    block.fast_texture_bulk(fetches - replayed, 0);
   }
+}
+
+// Generic loop-based lowering for geometries the aligned branch cannot
+// take: per-lane groups, per-lane loop-iteration costs, region runs split
+// at coded-block boundaries.
+void GpuEncoder::run_loop_based_fast_straddle(
+    BlockCtx& block, const EncodeCost& cost, std::size_t total_words,
+    std::size_t threads, const std::uint8_t* coeffs, std::uint8_t* out) {
+  const coding::Params p = params();
+  const std::size_t words_per_block = p.k / 4;
+  const std::size_t half = block.spec().half_warp;
+  const gf256::Ops& gops = gf256::ops();
+  const std::uint8_t* src = segment_->data();
+  const std::uint64_t word_deci =
+      simgpu::KernelMetrics::deciops(cost.per_word);
+  std::array<std::uintptr_t, 16> addrs;
+  std::array<std::size_t, 16> jv;
+  std::array<std::size_t, 16> wv;
+  std::uint64_t alu = 0;
+
+  const std::size_t begin = block.block_index() * threads;
+  const std::size_t end = std::min(begin + threads, total_words);
+  for (std::size_t l0 = begin; l0 < end; l0 += half) {
+    const std::size_t cnt = std::min(half, end - l0);
+    for (std::size_t l = 0; l < cnt; ++l) {
+      jv[l] = (l0 + l) / words_per_block;
+      wv[l] = (l0 + l) % words_per_block;
+    }
+    for (std::size_t r0 = 0; r0 < cnt;) {
+      std::size_t r1 = r0 + 1;
+      while (r1 < cnt && jv[r1] == jv[r0]) ++r1;
+      std::memset(out + jv[r0] * p.k + wv[r0] * 4, 0, (r1 - r0) * 4);
+      r0 = r1;
+    }
+    for (std::size_t i = 0; i < p.n; ++i) {
+      for (std::size_t l = 0; l < cnt; ++l) {
+        addrs[l] =
+            reinterpret_cast<std::uintptr_t>(coeffs + jv[l] * p.n + i);
+        alu += simgpu::KernelMetrics::deciops(
+            cost.per_iteration *
+            gf256::loop_iterations(coeffs[jv[l] * p.n + i]));
+      }
+      block.fast_global_group(addrs.data(), cnt, 1, cnt, 0);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        addrs[l] =
+            reinterpret_cast<std::uintptr_t>(src + i * p.k + wv[l] * 4);
+      }
+      block.fast_global_group(addrs.data(), cnt, 4, cnt * 4, 0);
+      for (std::size_t r0 = 0; r0 < cnt;) {
+        std::size_t r1 = r0 + 1;
+        while (r1 < cnt && jv[r1] == jv[r0]) ++r1;
+        gops.mul_add_region(out + jv[r0] * p.k + wv[r0] * 4,
+                            src + i * p.k + wv[r0] * 4,
+                            coeffs[jv[r0] * p.n + i], (r1 - r0) * 4);
+        r0 = r1;
+      }
+    }
+    alu += cnt * word_deci;
+    for (std::size_t l = 0; l < cnt; ++l) {
+      addrs[l] =
+          reinterpret_cast<std::uintptr_t>(out + jv[l] * p.k + wv[l] * 4);
+    }
+    block.fast_global_group(addrs.data(), cnt, 4, 0, cnt * 4);
+  }
+  block.fast_barriers(1);
+  block.fast_alu_deciops(alu);
 }
 
 }  // namespace extnc::gpu

@@ -15,8 +15,10 @@
 // streaming-server scenario does.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "coding/batch.h"
 #include "coding/segment.h"
@@ -83,6 +85,44 @@ class GpuEncoder {
   void reset_metrics();
 
  private:
+  // Cached access-pattern profile for the aligned table-scheme fast path.
+  // The per-byte costs of a table block — shared-bank serialization degrees
+  // of the exp/log lookups, source-span coalescing — are functions of
+  // (word-group g within a coded block, coefficient row i) and, for the
+  // lookup degrees, of log_c mod 4 only (shifting log_c by a word multiple
+  // shifts every lookup word uniformly, preserving distinctness and bank
+  // spread; see static_model.h). The segment is immutable for the encoder's
+  // lifetime, so these are evaluated once and stored as prefix sums over g
+  // (index [i * (groups + 1) + g]), letting the steady-state encode loop
+  // charge a whole j-run with a handful of subtractions instead of
+  // re-deduplicating every byte.
+  struct TableFastProfile {
+    std::size_t groups = 0;  // words_per_block / half_warp
+    bool built = false;
+    std::vector<std::uint32_t> src_tx;        // source-load span transactions
+    std::array<std::vector<std::uint32_t>, 4> exp_cycles;  // by log_c % 4
+    std::vector<std::uint32_t> exp_events;    // byte positions with a lookup
+    std::vector<std::uint32_t> exp_accesses;  // active lanes over 4 bytes
+    std::vector<std::uint32_t> log_cycles;    // kTable0 log-group degrees
+    std::vector<std::uint32_t> active;        // kTable4 texture fetches
+  };
+
+  // Bulk accounting for the cooperative shared-table load step, which is
+  // identical for every block of every launch (table addresses and the
+  // thread count never change): walked once, then charged with three bulk
+  // calls per block. kTable5's 4096-word interleaved load is the reason —
+  // re-walking it per block would dominate the fast-path encode.
+  struct TableLoadProfile {
+    bool built = false;
+    std::size_t threads = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t load_bytes = 0;
+    std::uint64_t shared_accesses = 0;
+    std::uint64_t shared_events = 0;
+    std::uint64_t shared_cycles = 0;
+  };
+
   void preprocess_segment();
   void preprocess_coefficients(const coding::CodedBatch& batch);
   void run_loop_based(coding::CodedBatch& batch);
@@ -93,13 +133,34 @@ class GpuEncoder {
   // that is bit-identical to the interpreted lane stepping. `src`/`coeffs`
   // are the accounting-domain pointers (log domain for preprocessed
   // schemes); kTable4 replays its exp fetches lane-major through the
-  // texture-cache model in a second pass.
+  // texture-cache model only until every table line is resident, then
+  // charges the rest in closed form (fast_texture_bulk).
   void run_table_based_fast(simgpu::BlockCtx& block, coding::CodedBatch& batch,
                             const EncodeCost& cost, std::size_t total_words,
                             std::size_t threads, std::size_t blocks,
                             const std::uint8_t* src,
                             const std::uint8_t* coeffs, std::uint8_t* out,
                             std::uint8_t sentinel);
+  // Generic lowering for geometries where half-warps straddle coded blocks
+  // (words_per_block not a half-warp multiple — the recoder's aggregate
+  // pseudo-segment, odd tails): per-lane group accounting, region math
+  // split into same-j runs. No profile; still no interpreted lane stepping.
+  void run_table_based_fast_straddle(
+      simgpu::BlockCtx& block, coding::CodedBatch& batch,
+      const EncodeCost& cost, std::size_t total_words, std::size_t threads,
+      std::size_t blocks, const std::uint8_t* src, const std::uint8_t* coeffs,
+      std::uint8_t* out, std::uint8_t sentinel);
+  void run_loop_based_fast_straddle(simgpu::BlockCtx& block,
+                                    const EncodeCost& cost,
+                                    std::size_t total_words,
+                                    std::size_t threads,
+                                    const std::uint8_t* coeffs,
+                                    std::uint8_t* out);
+  // Cooperative shared-table load accounting shared by both table-based
+  // lowerings (one barrier, like the interpreted load step).
+  void fast_load_tables(simgpu::BlockCtx& block, std::size_t threads);
+  void build_table_load_profile(std::size_t threads);
+  void build_table_fast_profile(const std::uint8_t* src);
   void set_launch_label(const char* kernel);
   void unwatch_all();
 
@@ -117,6 +178,11 @@ class GpuEncoder {
   AlignedBuffer exp_table_bytes_;  // 512-entry exp (plain or shifted)
   AlignedBuffer log_table_bytes_;  // 256-entry log (kTable0 only)
   AlignedBuffer exp_table_words_;  // 8 interleaved word tables (kTable5)
+
+  // Lazily built at the first aligned fast-path encode; valid for the
+  // encoder's lifetime (the accounting-domain segment never changes).
+  TableFastProfile table_profile_;
+  TableLoadProfile load_profile_;
 };
 
 }  // namespace extnc::gpu

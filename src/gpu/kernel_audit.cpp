@@ -1,0 +1,936 @@
+#include "gpu/kernel_audit.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <sstream>
+
+#include "gf256/gf.h"
+#include "gf256/swar.h"
+#include "gpu/kernel_cost.h"
+#include "gpu/table_layout.h"
+#include "util/assert.h"
+#include "util/metrics_registry.h"
+
+namespace extnc::gpu {
+
+using simgpu::KernelMetrics;
+using simgpu::SegmentBuilder;
+using simgpu::SegmentModel;
+using simgpu::StaticKernelModel;
+
+namespace {
+
+// ------------------------------------------------------------------------
+// Payload classes.
+
+// The uniform value must survive every scheme's accounting map; assert the
+// documented [1, 254] envelope once per entry point.
+void check_assumptions(const ModelAssumptions& a) {
+  EXTNC_CHECK(a.payload_value >= 1 && a.payload_value <= 254);
+  EXTNC_CHECK(a.coeff_value >= 1 && a.coeff_value <= 254);
+}
+
+}  // namespace
+
+int payload_class_byte(PayloadClass cls, const ModelAssumptions& assume,
+                       std::size_t pos) {
+  switch (cls) {
+    case PayloadClass::kUniform:
+      return assume.payload_value;
+    case PayloadClass::kStride64:
+      // 1 + 64 * (word % 4): all four values in [1, 193], 64 apart.
+      return 1 + 64 * static_cast<int>((pos / 4) % 4);
+    case PayloadClass::kSparse:
+      return pos % 3 == 0 ? -1 : assume.payload_value;
+  }
+  return -1;
+}
+
+int coeff_class_byte(const ModelAssumptions& assume, std::size_t i) {
+  if (assume.coeff_zero_every != 0 &&
+      i % assume.coeff_zero_every == assume.coeff_zero_every - 1) {
+    return -1;
+  }
+  return assume.coeff_value;
+}
+
+namespace {
+
+// Natural-domain byte whose accounting image under `scheme` is the class
+// byte `v` (-1 = zero). Inverts the per-scheme preprocessing map.
+std::uint8_t natural_from_class(EncodeScheme scheme, int v) {
+  if (v < 0) return 0;
+  const gf256::Tables& t = gf256::tables();
+  if (!scheme_is_preprocessed(scheme)) {
+    // loop / tb0: the kernel reads natural bytes directly.
+    return static_cast<std::uint8_t>(v);
+  }
+  if (scheme_uses_shifted_log(scheme)) {
+    // log_shifted[x] == v  =>  x == exp[v - 1]  (v in [1, 255]).
+    EXTNC_CHECK(v >= 1);
+    return t.exp[v - 1];
+  }
+  // log[x] == v  =>  x == exp[v]  (v in [0, 254]).
+  EXTNC_CHECK(v <= 254);
+  return t.exp[v];
+}
+
+// ------------------------------------------------------------------------
+// Shared walker scaffolding.
+
+struct EncodeGeometry {
+  std::size_t wpb = 0;          // words per coded block (k / 4)
+  std::size_t total_words = 0;  // count * wpb
+  std::size_t threads = 0;
+  std::size_t blocks = 0;
+  std::size_t half = 0;
+};
+
+EncodeGeometry encode_geometry(const simgpu::DeviceSpec& spec,
+                               EncodeScheme scheme, const coding::Params& p,
+                               std::size_t count) {
+  EXTNC_CHECK(p.k % 4 == 0);
+  EXTNC_CHECK(count >= 1);
+  EncodeGeometry g;
+  g.wpb = p.k / 4;
+  g.total_words = count * g.wpb;
+  g.half = static_cast<std::size_t>(spec.half_warp);
+  EXTNC_CHECK(g.half >= 1 && g.half <= 16);
+  if (scheme == EncodeScheme::kLoopBased) {
+    g.threads = std::min<std::size_t>(256, g.total_words);
+    g.blocks = (g.total_words + g.threads - 1) / g.threads;
+  } else {
+    g.threads = 256;
+    g.blocks = std::min<std::size_t>(
+        static_cast<std::size_t>(spec.num_sms),
+        (g.total_words + g.threads - 1) / g.threads);
+  }
+  return g;
+}
+
+// Tracks the modeled byte extent of each global region while the walker
+// runs, so footprints are derived, never asserted.
+struct Extent {
+  std::size_t end = 0;
+  void touch(std::uintptr_t addr, std::size_t bytes) {
+    end = std::max(end, static_cast<std::size_t>(addr) + bytes);
+  }
+};
+
+// The cooperative table-load step shared by tb0-tb3 and tb5 (tb4 binds the
+// exp table as a texture instead). `lane_blocked` is the seeded
+// conflict-regression variant: each lane sweeps a contiguous chunk instead
+// of the interleaved walk, turning every store group into a single-bank
+// pileup.
+SegmentModel table_load_segment(const simgpu::DeviceSpec& spec,
+                                EncodeScheme scheme,
+                                const EncodeGeometry& g, Extent& exp_extent,
+                                Extent& log_extent, bool lane_blocked) {
+  SegmentBuilder load(spec, "table_load");
+  const bool tb5 = scheme == EncodeScheme::kTable5;
+  std::array<std::uintptr_t, 16> words{};
+  // (table word count, shared base word, extent) per cooperative loop.
+  struct TableSweep {
+    std::size_t table_words;
+    std::size_t base_word;
+    Extent* extent;
+  };
+  std::vector<TableSweep> sweeps;
+  if (tb5) {
+    sweeps.push_back({kExpTableEntries * kReplicatedTables, 0, &exp_extent});
+  } else {
+    sweeps.push_back({kExpTableEntries / 4, kExpBytesOffset / 4,
+                      &exp_extent});
+    if (scheme == EncodeScheme::kTable0) {
+      sweeps.push_back({256 / 4, kLogBytesOffset / 4, &log_extent});
+    }
+  }
+  for (const TableSweep& sweep : sweeps) {
+    if (lane_blocked && sweep.table_words >= g.threads) {
+      // Seeded regression: lane l loads words [l * chunk, (l + 1) * chunk).
+      const std::size_t chunk = sweep.table_words / g.threads;
+      for (std::size_t it = 0; it < chunk; ++it) {
+        for (std::size_t l0 = 0; l0 < g.threads; l0 += g.half) {
+          const std::size_t cnt = std::min(g.half, g.threads - l0);
+          for (std::size_t l = 0; l < cnt; ++l) {
+            words[l] = sweep.base_word + (l0 + l) * chunk + it;
+          }
+          // One 4-byte load per lane, chunk * 4 bytes apart: still one
+          // transaction dedup per distinct 64-byte segment.
+          std::array<std::uintptr_t, 16> addrs{};
+          for (std::size_t l = 0; l < cnt; ++l) {
+            addrs[l] = ((l0 + l) * chunk + it) * 4;
+          }
+          load.add_global_group(addrs.data(), cnt, 4, cnt * 4, 0, g.blocks);
+          load.add_shared_group(words.data(), cnt, g.blocks);
+          sweep.extent->touch((sweep.table_words - 1) * 4, 4);
+        }
+      }
+      continue;
+    }
+    for (std::size_t it = 0; it * g.threads < sweep.table_words; ++it) {
+      const std::size_t base = it * g.threads;
+      const std::size_t lanes_end =
+          std::min(g.threads, sweep.table_words - base);
+      for (std::size_t l0 = 0; l0 < lanes_end; l0 += g.half) {
+        const std::size_t w0 = base + l0;
+        const std::size_t cnt = std::min(g.half, sweep.table_words - w0);
+        load.add_global_span(w0 * 4, cnt * 4, cnt, cnt * 4, 0, g.blocks);
+        sweep.extent->touch(w0 * 4, cnt * 4);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          words[l] = sweep.base_word + w0 + l;
+        }
+        load.add_shared_group(words.data(), cnt, g.blocks);
+      }
+    }
+  }
+  // One step per block.
+  return load.finish(g.threads, g.blocks);
+}
+
+}  // namespace
+
+coding::Segment synthesize_segment(EncodeScheme scheme,
+                                   const coding::Params& params,
+                                   const ModelAssumptions& assume) {
+  check_assumptions(assume);
+  coding::Segment segment(params);
+  std::uint8_t* data = segment.data();
+  const std::size_t bytes = params.segment_bytes();
+  for (std::size_t pos = 0; pos < bytes; ++pos) {
+    data[pos] = natural_from_class(
+        scheme, payload_class_byte(assume.payload_class, assume, pos));
+  }
+  return segment;
+}
+
+coding::CodedBatch synthesize_batch(EncodeScheme scheme,
+                                    const coding::Params& params,
+                                    std::size_t count,
+                                    const ModelAssumptions& assume) {
+  check_assumptions(assume);
+  coding::CodedBatch batch(params, count);
+  for (std::size_t j = 0; j < count; ++j) {
+    auto row = batch.coefficients(j);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      row[i] = natural_from_class(scheme, coeff_class_byte(assume, i));
+    }
+  }
+  return batch;
+}
+
+std::vector<std::uint8_t> synthesize_invertible_matrix(std::size_t n) {
+  EXTNC_CHECK(n >= 1 && n <= 255);
+  const gf256::Tables& t = gf256::tables();
+  std::vector<std::uint8_t> m(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint8_t x = t.exp[r];  // distinct nonzero points
+    std::uint8_t power = 1;
+    for (std::size_t c = 0; c < n; ++c) {
+      m[r * n + c] = power;
+      power = gf256::mul(power, x);
+    }
+  }
+  return m;
+}
+
+// ------------------------------------------------------------------------
+// Encode model.
+
+namespace {
+
+StaticKernelModel encode_model_impl(const simgpu::DeviceSpec& spec,
+                                    EncodeScheme scheme,
+                                    const coding::Params& p,
+                                    std::size_t count,
+                                    const ModelAssumptions& assume,
+                                    bool seed_oob_tail,
+                                    bool seed_lane_blocked_load) {
+  check_assumptions(assume);
+  const EncodeGeometry g = encode_geometry(spec, scheme, p, count);
+  const EncodeCost cost = encode_cost(scheme);
+  const gf256::Tables& t = gf256::tables();
+  const bool loop = scheme == EncodeScheme::kLoopBased;
+  const bool tb0 = scheme == EncodeScheme::kTable0;
+  const bool tb4 = scheme == EncodeScheme::kTable4;
+  const bool tb5 = scheme == EncodeScheme::kTable5;
+  const bool shifted = scheme_uses_shifted_log(scheme);
+  const std::uint8_t sentinel = shifted ? 0x00 : gf256::kLogZero;
+
+  StaticKernelModel model;
+  model.kernel = std::string("encode/") + scheme_label(scheme) + "/" +
+                 (loop ? "mul_loop" : tb4 ? "exp_tex" : "exp_smem");
+  model.blocks = g.blocks;
+  model.threads_per_block = g.threads;
+  model.shared_bytes = loop || tb4 ? 0
+                       : tb5       ? table_shared_bytes_tb5()
+                                   : table_shared_bytes_byte(tb0);
+
+  Extent src_extent;
+  Extent coeff_extent;
+  Extent out_extent;
+  Extent exp_extent;
+  Extent log_extent;
+
+  if (!loop && !tb4) {
+    model.segments.push_back(table_load_segment(spec, scheme, g, exp_extent,
+                                                log_extent,
+                                                seed_lane_blocked_load));
+  }
+
+  // Accounting-domain coefficient byte for row i as the kernel's sentinel
+  // test sees it (for tb0 this is the value AFTER the shared log lookup).
+  auto acct_coeff = [&](std::size_t i) -> std::uint8_t {
+    const int v = coeff_class_byte(assume, i);
+    if (tb0 || loop) {
+      const std::uint8_t nat = v < 0 ? 0 : static_cast<std::uint8_t>(v);
+      return tb0 ? t.log[nat] : nat;
+    }
+    return v < 0 ? sentinel : static_cast<std::uint8_t>(v);
+  };
+  // Same for payload byte at accounting position `pos`.
+  auto acct_src = [&](std::size_t pos) -> std::uint8_t {
+    const int v = payload_class_byte(assume.payload_class, assume, pos);
+    if (tb0) {
+      return t.log[v < 0 ? 0 : static_cast<std::uint8_t>(v)];
+    }
+    return v < 0 ? sentinel : static_cast<std::uint8_t>(v);
+  };
+  // Natural byte (tb0's shared log table is indexed by it).
+  auto natural_src = [&](std::size_t pos) -> std::uint8_t {
+    const int v = payload_class_byte(assume.payload_class, assume, pos);
+    return v < 0 ? 0 : static_cast<std::uint8_t>(v);
+  };
+
+  const std::uint64_t word_deci = KernelMetrics::deciops(cost.per_word);
+  const std::uint64_t byte_deci = KernelMetrics::deciops(cost.per_byte);
+
+  SegmentBuilder enc(spec, "encode");
+  std::array<std::uintptr_t, 16> jv{};
+  std::array<std::uintptr_t, 16> wv{};
+  std::array<std::uintptr_t, 16> addrs{};
+  std::array<std::uintptr_t, 16> words{};
+  const std::size_t stride = g.blocks * g.threads;
+  // Per texture unit: distinct exp-table cache lines touched (tb4 only).
+  const std::size_t line_bytes =
+      std::max<std::size_t>(1, spec.texture_cache_line_bytes);
+  const std::size_t unit_div =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::max(1, spec.sms_per_texture_cache)));
+  std::vector<std::set<std::uintptr_t>> unit_lines(
+      (static_cast<std::size_t>(spec.num_sms) + unit_div - 1) / unit_div);
+  std::uint64_t tex_fetches = 0;
+
+  for (std::size_t b = 0; b < g.blocks; ++b) {
+    const std::size_t unit = (b % static_cast<std::size_t>(spec.num_sms)) /
+                             unit_div;
+    // The loop kernel makes one pass (blocks cover every word); the table
+    // kernels stride. Both reduce to this strided loop since the loop
+    // kernel's stride covers the index space exactly once.
+    for (std::size_t base = b * g.threads; base < g.total_words;
+         base += stride) {
+      const std::size_t lanes_end =
+          std::min(g.threads, g.total_words - base);
+      const std::size_t guarded_end =
+          seed_oob_tail && lanes_end < g.threads
+              ? g.threads  // tail guard dropped: full thread count stores
+              : lanes_end;
+      for (std::size_t l0 = 0; l0 < lanes_end; l0 += g.half) {
+        const std::size_t wb = base + l0;
+        const std::size_t cnt = std::min(g.half, lanes_end - l0);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          jv[l] = (wb + l) / g.wpb;
+          wv[l] = (wb + l) % g.wpb;
+        }
+        for (std::size_t i = 0; i < p.n; ++i) {
+          // Coefficient load: one byte per lane, scattered across rows
+          // when the half-warp straddles coded blocks.
+          for (std::size_t l = 0; l < cnt; ++l) {
+            addrs[l] = jv[l] * p.n + i;
+            coeff_extent.touch(addrs[l], 1);
+          }
+          enc.add_global_group(addrs.data(), cnt, 1, cnt, 0);
+          const std::uint8_t log_c = acct_coeff(i);
+          if (tb0) {
+            // Broadcast log lookup: every lane hits the word holding the
+            // (uniform) natural coefficient byte.
+            const int v = coeff_class_byte(assume, i);
+            const std::uintptr_t lw =
+                (kLogBytesOffset +
+                 (v < 0 ? 0 : static_cast<std::size_t>(v))) /
+                4;
+            for (std::size_t l = 0; l < cnt; ++l) words[l] = lw;
+            enc.add_shared_group(words.data(), cnt);
+          }
+          // Source load: 4 bytes per lane; contiguous within a coded
+          // block, discontinuous across the straddle.
+          for (std::size_t l = 0; l < cnt; ++l) {
+            addrs[l] = i * p.k + wv[l] * 4;
+            src_extent.touch(addrs[l], 4);
+          }
+          enc.add_global_group(addrs.data(), cnt, 4, cnt * 4, 0);
+          if (loop) {
+            const int v = coeff_class_byte(assume, i);
+            const std::uint8_t c = v < 0 ? 0 : static_cast<std::uint8_t>(v);
+            enc.add_alu_deciops(cnt *
+                                KernelMetrics::deciops(
+                                    cost.per_iteration *
+                                    gf256::loop_iterations(c)));
+            continue;
+          }
+          enc.add_alu_deciops(cnt * word_deci);
+          if (log_c == sentinel) continue;
+          for (int bb = 0; bb < 4; ++bb) {
+            if (tb0) {
+              for (std::size_t l = 0; l < cnt; ++l) {
+                const std::size_t pos = i * p.k + wv[l] * 4 + bb;
+                words[l] = (kLogBytesOffset + natural_src(pos)) / 4;
+              }
+              enc.add_shared_group(words.data(), cnt);
+            }
+            enc.add_alu_deciops(cnt * byte_deci);
+            std::size_t active = 0;
+            for (std::size_t l = 0; l < cnt; ++l) {
+              const std::size_t pos = i * p.k + wv[l] * 4 + bb;
+              const std::uint8_t log_s = acct_src(pos);
+              if (log_s == sentinel) continue;
+              const std::size_t idx =
+                  static_cast<std::size_t>(log_c) + log_s;
+              if (tb4) {
+                unit_lines[unit].insert(idx / line_bytes);
+                ++tex_fetches;
+                ++active;
+                exp_extent.touch(idx, 1);
+                continue;
+              }
+              words[active++] =
+                  tb5 ? tb5_word_index(idx, l0 + l)
+                      : kExpBytesOffset / 4 + idx / 4;
+              exp_extent.touch(tb5 ? tb5_word_index(idx, l0 + l) * 4
+                                   : idx,
+                               tb5 ? 4 : 1);
+            }
+            if (!tb4 && active > 0) {
+              enc.add_shared_group(words.data(), active);
+            }
+          }
+        }
+        if (loop) enc.add_alu_deciops(cnt * word_deci);
+        // Output store.
+        for (std::size_t l = 0; l < cnt; ++l) {
+          addrs[l] = jv[l] * p.k + wv[l] * 4;
+          out_extent.touch(addrs[l], 4);
+        }
+        enc.add_global_group(addrs.data(), cnt, 4, 0, cnt * 4);
+      }
+      for (std::size_t l = lanes_end; l < guarded_end; ++l) {
+        // Seeded OOB: the unguarded store tail writes word indices past
+        // total_words, landing beyond the registered payload buffer.
+        const std::size_t w = base + l;
+        out_extent.touch((w / g.wpb) * p.k + (w % g.wpb) * 4, 4);
+      }
+    }
+  }
+  if (tb4) {
+    std::uint64_t misses = 0;
+    if (assume.cold_texture) {
+      for (const auto& lines : unit_lines) misses += lines.size();
+    }
+    enc.add_texture_fetches(tex_fetches, misses);
+  }
+  model.segments.push_back(enc.finish(g.threads, g.blocks));
+
+  // Registered buffer sizes come from the geometry; needed extents from
+  // the walk above.
+  const bool preprocessed = scheme_is_preprocessed(scheme);
+  model.footprint.push_back({preprocessed ? "log_segment" : "segment",
+                             src_extent.end, p.segment_bytes(), false});
+  model.footprint.push_back(
+      {preprocessed ? "log_coefficients" : "batch.coefficients",
+       coeff_extent.end, count * p.n, false});
+  model.footprint.push_back(
+      {"batch.payloads", out_extent.end, count * p.k, true});
+  if (!loop) {
+    if (tb5) {
+      model.footprint.push_back({"exp_table_words", exp_extent.end,
+                                 kExpTableEntries * kReplicatedTables * 4,
+                                 false});
+    } else {
+      model.footprint.push_back(
+          {"exp_table", exp_extent.end, kExpTableEntries, false});
+    }
+    if (tb0) {
+      model.footprint.push_back({"log_table", log_extent.end, 256, false});
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+StaticKernelModel encode_kernel_model(const simgpu::DeviceSpec& spec,
+                                      EncodeScheme scheme,
+                                      const coding::Params& params,
+                                      std::size_t count,
+                                      const ModelAssumptions& assume) {
+  return encode_model_impl(spec, scheme, params, count, assume, false,
+                           false);
+}
+
+StaticKernelModel recode_kernel_model(const simgpu::DeviceSpec& spec,
+                                      EncodeScheme scheme,
+                                      const coding::Params& params,
+                                      std::size_t received,
+                                      std::size_t produced,
+                                      const ModelAssumptions& assume) {
+  EXTNC_CHECK((params.n + params.k) % 4 == 0);
+  const coding::Params aggregate{.n = received, .k = params.n + params.k};
+  StaticKernelModel model =
+      encode_model_impl(spec, scheme, aggregate, produced, assume, false,
+                        false);
+  model.kernel = std::string("recode/") + scheme_label(scheme) + "/" +
+                 (scheme == EncodeScheme::kLoopBased ? "mul_loop"
+                  : scheme == EncodeScheme::kTable4 ? "exp_tex"
+                                                    : "exp_smem");
+  return model;
+}
+
+// ------------------------------------------------------------------------
+// Preprocess models (payload-free: the access structure is a pure function
+// of the element count).
+
+namespace {
+
+StaticKernelModel preprocess_model(const simgpu::DeviceSpec& spec,
+                                   const char* kernel, std::size_t elements,
+                                   std::size_t element_bytes,
+                                   const char* src_name,
+                                   const char* dst_name) {
+  const std::size_t threads = 256;
+  const std::size_t blocks = std::min<std::size_t>(
+      static_cast<std::size_t>(spec.num_sms),
+      (elements + threads - 1) / threads);
+  const std::size_t half = static_cast<std::size_t>(spec.half_warp);
+  const std::size_t stride = blocks * threads;
+  const std::uint64_t byte_deci = KernelMetrics::deciops(kPreprocessPerByte);
+
+  StaticKernelModel model;
+  model.kernel = kernel;
+  model.blocks = blocks;
+  model.threads_per_block = threads;
+  Extent extent;
+  SegmentBuilder seg(spec, "transform");
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t base = b * threads; base < elements; base += stride) {
+      const std::size_t lanes_end = std::min(threads, elements - base);
+      for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
+        const std::size_t e0 = base + l0;
+        const std::size_t cnt = std::min(half, elements - e0);
+        seg.add_global_span(e0 * element_bytes, cnt * element_bytes, cnt,
+                            cnt * element_bytes, 0);
+        seg.add_alu_deciops(cnt * (element_bytes)*byte_deci);
+        seg.add_global_span(e0 * element_bytes, cnt * element_bytes, cnt, 0,
+                            cnt * element_bytes);
+        extent.touch(e0 * element_bytes, cnt * element_bytes);
+      }
+    }
+  }
+  model.segments.push_back(seg.finish(threads, blocks));
+  const std::size_t bytes = elements * element_bytes;
+  model.footprint.push_back({src_name, extent.end, bytes, false});
+  model.footprint.push_back({dst_name, extent.end, bytes, true});
+  return model;
+}
+
+}  // namespace
+
+StaticKernelModel preprocess_segment_model(const simgpu::DeviceSpec& spec,
+                                           const coding::Params& params) {
+  EXTNC_CHECK(params.k % 4 == 0);
+  return preprocess_model(spec, "encode/preprocess_segment",
+                          params.segment_bytes() / 4, 4, "segment",
+                          "log_segment");
+}
+
+StaticKernelModel preprocess_coefficients_model(
+    const simgpu::DeviceSpec& spec, const coding::Params& params,
+    std::size_t count) {
+  return preprocess_model(spec, "encode/preprocess_coeffs",
+                          count * params.n, 1, "batch.coefficients",
+                          "log_coefficients");
+}
+
+// ------------------------------------------------------------------------
+// Inverter model: simulate the Gauss-Jordan elimination on the coefficient
+// matrix (n x 2n working copy — matrix work, never payload work) and
+// charge the exact group structure of the invert kernel.
+
+namespace {
+
+// Multiply every counter of a one-block segment model by the block count.
+void scale_segment(SegmentModel& seg, std::uint64_t times) {
+  KernelMetrics& m = seg.counters;
+  m.alu_deciops *= times;
+  m.global_load_bytes *= times;
+  m.global_store_bytes *= times;
+  m.global_transactions *= times;
+  m.shared_accesses *= times;
+  m.shared_access_events *= times;
+  m.shared_serialized_cycles *= times;
+  m.texture_fetches *= times;
+  m.texture_misses *= times;
+  m.atomic_ops *= times;
+  m.barriers *= times;
+  for (auto& d : seg.degree_events) d *= times;
+}
+
+}  // namespace
+
+StaticKernelModel invert_kernel_model(const simgpu::DeviceSpec& spec,
+                                      const coding::Params& params,
+                                      std::size_t segments,
+                                      const std::vector<std::uint8_t>& matrix) {
+  const std::size_t n = params.n;
+  EXTNC_CHECK(segments >= 1);
+  EXTNC_CHECK(matrix.size() == n * n);
+  const std::size_t row_bytes = 2 * n;
+  const std::size_t row_words = row_bytes / 4;
+  const std::size_t threads = std::min<std::size_t>(
+      n * row_words, static_cast<std::size_t>(spec.max_threads_per_block));
+  const std::size_t half = static_cast<std::size_t>(spec.half_warp);
+
+  // Augmented working copy [C | I], as invert_stage builds it.
+  std::vector<std::uint8_t> aug(n * row_bytes, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(matrix.begin() + r * n, matrix.begin() + (r + 1) * n,
+              aug.begin() + r * row_bytes);
+    aug[r * row_bytes + n + r] = 1;
+  }
+  auto row = [&](std::size_t r) { return aug.data() + r * row_bytes; };
+  auto addr_of = [&](std::size_t r, std::size_t w) -> std::uintptr_t {
+    return r * row_bytes + w * 4;
+  };
+
+  std::array<std::uint64_t, 256> mul_deci{};
+  for (std::size_t c = 0; c < 256; ++c) {
+    mul_deci[c] = KernelMetrics::deciops(
+        kDecodeCost.per_iteration *
+            gf256::loop_iterations(static_cast<std::uint8_t>(c)) +
+        kDecodeCost.per_word);
+  }
+  const std::uint64_t scan_deci =
+      KernelMetrics::deciops(kDecodeCost.pivot_search_per_byte);
+
+  SegmentBuilder pivot_seg(spec, "pivot_search");
+  SegmentBuilder rows_seg(spec, "row_ops");
+  std::uint64_t row_barriers = 0;
+  std::vector<std::uint8_t> factors(n);
+  std::array<std::uintptr_t, 16> addrs{};
+  std::array<std::uintptr_t, 16> col_addrs{};
+  std::array<std::uintptr_t, 16> words{};
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot scan, one lane.
+    std::size_t pivot = n;
+    std::uint64_t scanned = 0;
+    for (std::size_t r = col; r < n; ++r) {
+      ++scanned;
+      if (row(r)[col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    EXTNC_CHECK(pivot != n);  // the matrix must be invertible
+    pivot_seg.add_alu_deciops(scanned * scan_deci);
+
+    if (pivot != col) {
+      for (std::size_t w0 = 0; w0 < row_words; w0 += half) {
+        const std::size_t cnt = std::min(half, row_words - w0);
+        rows_seg.add_global_span(addr_of(col, w0), cnt * 4, cnt, cnt * 4, 0);
+        rows_seg.add_global_span(addr_of(pivot, w0), cnt * 4, cnt, cnt * 4,
+                                 0);
+        rows_seg.add_global_span(addr_of(col, w0), cnt * 4, cnt, 0, cnt * 4);
+        rows_seg.add_global_span(addr_of(pivot, w0), cnt * 4, cnt, 0,
+                                 cnt * 4);
+      }
+      std::swap_ranges(row(col), row(col) + row_bytes, row(pivot));
+      ++row_barriers;
+    }
+
+    const std::uint8_t scale = gf256::inv(row(col)[col]);
+    for (std::size_t w0 = 0; w0 < row_words; w0 += half) {
+      const std::size_t cnt = std::min(half, row_words - w0);
+      rows_seg.add_global_span(addr_of(col, w0), cnt * 4, cnt, cnt * 4, 0);
+      rows_seg.add_alu_deciops(cnt * mul_deci[scale]);
+      rows_seg.add_global_span(addr_of(col, w0), cnt * 4, cnt, 0, cnt * 4);
+    }
+    for (std::size_t x = 0; x < row_bytes; ++x) {
+      row(col)[x] = gf256::mul(scale, row(col)[x]);
+    }
+    ++row_barriers;
+
+    // Factor snapshot: lane `col` skips its load without advancing its
+    // sequence, so its shared store lands one sequence point early — a
+    // separate single-access group (see invert_block_fast).
+    for (std::size_t r0 = 0; r0 < n; r0 += half) {
+      const std::size_t cnt = std::min(half, n - r0);
+      std::size_t loads = 0;
+      std::size_t stores = 0;
+      for (std::size_t l = 0; l < cnt; ++l) {
+        const std::size_t r = r0 + l;
+        factors[r] = r == col ? 0 : row(r)[col];
+        if (r == col) continue;
+        addrs[loads++] = addr_of(r, 0) + col;
+        words[stores++] = r / 4;
+      }
+      if (loads > 0) {
+        rows_seg.add_global_group(addrs.data(), loads, 1, loads, 0);
+      }
+      if (cnt != stores) {
+        const std::uintptr_t col_word = col / 4;
+        rows_seg.add_shared_group(&col_word, 1);
+      }
+      if (stores > 0) rows_seg.add_shared_group(words.data(), stores);
+    }
+    ++row_barriers;
+
+    // Eliminate.
+    const std::size_t items = n * row_words;
+    for (std::size_t base = 0; base < items; base += threads) {
+      const std::size_t lanes_end = std::min(threads, items - base);
+      for (std::size_t l0 = 0; l0 < lanes_end; l0 += half) {
+        const std::size_t item0 = base + l0;
+        const std::size_t cnt = std::min(half, items - item0);
+        std::uint64_t alu = 0;
+        std::size_t active = 0;
+        for (std::size_t l = 0; l < cnt; ++l) {
+          words[l] = ((item0 + l) / row_words) / 4;
+        }
+        rows_seg.add_shared_group(words.data(), cnt);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          const std::size_t item = item0 + l;
+          const std::size_t r = item / row_words;
+          const std::size_t w = item % row_words;
+          const std::uint8_t factor = factors[r];
+          if (factor == 0) continue;
+          addrs[active] = addr_of(r, w);
+          col_addrs[active] = addr_of(col, w);
+          ++active;
+          alu += mul_deci[factor];
+        }
+        if (active > 0) {
+          rows_seg.add_global_group(addrs.data(), active, 4, active * 4, 0);
+          rows_seg.add_global_group(col_addrs.data(), active, 4, active * 4,
+                                    0);
+          rows_seg.add_global_group(addrs.data(), active, 4, 0, active * 4);
+          rows_seg.add_alu_deciops(alu);
+        }
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (factors[r] == 0) continue;
+      for (std::size_t x = 0; x < row_bytes; ++x) {
+        row(r)[x] ^= gf256::mul(factors[r], row(col)[x]);
+      }
+    }
+    ++row_barriers;
+  }
+
+  StaticKernelModel model;
+  model.kernel = "decode/multiseg/invert";
+  model.blocks = segments;
+  model.threads_per_block = threads;
+  model.shared_bytes = n;  // staged elimination factors
+  SegmentModel pivot_model = pivot_seg.finish(1, n);
+  SegmentModel rows_model = rows_seg.finish(threads, row_barriers);
+  scale_segment(pivot_model, segments);
+  scale_segment(rows_model, segments);
+  model.segments.push_back(std::move(pivot_model));
+  model.segments.push_back(std::move(rows_model));
+  model.footprint.push_back(
+      {"invert_work", n * row_bytes, n * row_bytes, true});
+  return model;
+}
+
+// ------------------------------------------------------------------------
+// Audit.
+
+const char* audit_kind_name(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kGeometry: return "geometry";
+    case AuditKind::kSharedFootprint: return "shared-footprint";
+    case AuditKind::kGlobalFootprint: return "global-footprint";
+    case AuditKind::kBarrierDivergence: return "barrier-divergence";
+    case AuditKind::kBankConflictLint: return "bank-conflict-lint";
+    case AuditKind::kUncoalescedLint: return "uncoalesced-lint";
+  }
+  return "?";
+}
+
+const char* audit_seed_bug_name(AuditSeedBug bug) {
+  switch (bug) {
+    case AuditSeedBug::kOobTail: return "oob-tail";
+    case AuditSeedBug::kDivergentBarrier: return "divergent-barrier";
+    case AuditSeedBug::kConflictRegression: return "conflict-regression";
+  }
+  return "?";
+}
+
+namespace {
+
+void audit_model(const simgpu::DeviceSpec& spec, const AuditOptions& options,
+                 const StaticKernelModel& model,
+                 const std::vector<std::size_t>& declared_partial,
+                 std::vector<AuditFinding>& findings) {
+  auto add = [&](AuditKind kind, bool advisory, std::string detail) {
+    findings.push_back(
+        {kind, advisory, model.kernel, std::move(detail)});
+  };
+  std::ostringstream os;
+  if (model.blocks < 1 || model.threads_per_block < 1 ||
+      model.threads_per_block >
+          static_cast<std::size_t>(spec.max_threads_per_block)) {
+    os << model.blocks << " blocks x " << model.threads_per_block
+       << " threads vs max " << spec.max_threads_per_block;
+    add(AuditKind::kGeometry, false, os.str());
+  }
+  if (model.shared_bytes > spec.shared_mem_per_sm) {
+    os.str("");
+    os << model.shared_bytes << " shared bytes vs " << spec.shared_mem_per_sm
+       << " per SM";
+    add(AuditKind::kSharedFootprint, false, os.str());
+  }
+  for (const simgpu::FootprintRegion& region : model.footprint) {
+    if (region.bytes_needed > region.bytes_registered) {
+      os.str("");
+      os << region.name << (region.written ? " written" : " read") << " to "
+         << region.bytes_needed << " bytes, registered "
+         << region.bytes_registered;
+      add(AuditKind::kGlobalFootprint, false, os.str());
+    }
+  }
+  for (const SegmentModel& seg : model.segments) {
+    const bool full = seg.step_width == model.threads_per_block;
+    const bool declared =
+        std::find(declared_partial.begin(), declared_partial.end(),
+                  seg.step_width) != declared_partial.end();
+    if (!full && !declared) {
+      os.str("");
+      os << "segment '" << seg.name << "' steps " << seg.step_width
+         << " lanes, declared shape allows full steps";
+      for (const std::size_t c : declared_partial) os << " or " << c;
+      add(AuditKind::kBarrierDivergence, false, os.str());
+    }
+    if (seg.max_conflict_degree() >= options.bank_conflict_threshold) {
+      os.str("");
+      os << "segment '" << seg.name << "' worst bank serialization degree "
+         << seg.max_conflict_degree();
+      add(AuditKind::kBankConflictLint, true, os.str());
+    }
+    if (seg.max_group_transactions >= options.uncoalesced_threshold) {
+      os.str("");
+      os << "segment '" << seg.name << "' worst half-warp spans "
+         << seg.max_group_transactions << " transactions";
+      add(AuditKind::kUncoalescedLint, true, os.str());
+    }
+  }
+}
+
+AuditReport finish_report(std::vector<AuditCase> cases) {
+  AuditReport report;
+  report.cases = std::move(cases);
+  for (const AuditCase& c : report.cases) {
+    metrics::count("simgpu.audit.cases");
+    for (const AuditFinding& f : c.findings) {
+      if (f.advisory) {
+        ++report.advisory_count;
+        metrics::count("simgpu.audit.advisories");
+      } else {
+        ++report.error_count;
+        metrics::count("simgpu.audit.errors");
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<AuditCase> build_clean_cases(const simgpu::DeviceSpec& spec,
+                                         const AuditOptions& options) {
+  const coding::Params& p = options.params;
+  std::vector<AuditCase> cases;
+  auto push = [&](StaticKernelModel model,
+                  std::vector<std::size_t> declared = {}) {
+    AuditCase c;
+    c.kernel = model.kernel;
+    c.model = std::move(model);
+    audit_model(spec, options, c.model, declared, c.findings);
+    cases.push_back(std::move(c));
+  };
+  const EncodeScheme schemes[] = {
+      EncodeScheme::kLoopBased, EncodeScheme::kTable0, EncodeScheme::kTable1,
+      EncodeScheme::kTable2,    EncodeScheme::kTable3, EncodeScheme::kTable4,
+      EncodeScheme::kTable5};
+  for (const EncodeScheme scheme : schemes) {
+    push(encode_kernel_model(spec, scheme, p, options.batch_blocks,
+                             options.assume));
+  }
+  push(preprocess_segment_model(spec, p));
+  push(preprocess_coefficients_model(spec, p, options.batch_blocks));
+  push(invert_kernel_model(spec, p, options.batch_blocks,
+                           synthesize_invertible_matrix(p.n)),
+       {1});
+  push(recode_kernel_model(spec, EncodeScheme::kTable5, p, p.n,
+                           options.batch_blocks, options.assume));
+  return cases;
+}
+
+}  // namespace
+
+AuditReport run_kernel_audit(const simgpu::DeviceSpec& spec,
+                             const AuditOptions& options) {
+  return finish_report(build_clean_cases(spec, options));
+}
+
+AuditReport run_seeded_audit(const simgpu::DeviceSpec& spec,
+                             const AuditOptions& options, AuditSeedBug bug) {
+  const coding::Params& p = options.params;
+  std::vector<AuditCase> cases;
+  AuditCase c;
+  switch (bug) {
+    case AuditSeedBug::kOobTail: {
+      // Pick a batch size whose word count is not a thread multiple so the
+      // dropped tail guard actually reaches past the buffer.
+      std::size_t count = options.batch_blocks;
+      while ((count * (p.k / 4)) % 256 == 0) ++count;
+      c.model = encode_model_impl(spec, EncodeScheme::kTable3, p, count,
+                                  options.assume, true, false);
+      break;
+    }
+    case AuditSeedBug::kDivergentBarrier: {
+      c.model = invert_kernel_model(spec, p, options.batch_blocks,
+                                    synthesize_invertible_matrix(p.n));
+      // The pivot scan modeled as "scan lane plus neighbor": width 2 is
+      // outside the declared shape {1}.
+      for (SegmentModel& seg : c.model.segments) {
+        if (seg.step_width == 1) seg.step_width = 2;
+      }
+      break;
+    }
+    case AuditSeedBug::kConflictRegression: {
+      c.model = encode_model_impl(spec, EncodeScheme::kTable5, p,
+                                  options.batch_blocks, options.assume,
+                                  false, true);
+      break;
+    }
+  }
+  c.kernel = c.model.kernel;
+  const std::vector<std::size_t> declared =
+      bug == AuditSeedBug::kDivergentBarrier ? std::vector<std::size_t>{1}
+                                             : std::vector<std::size_t>{};
+  audit_model(spec, options, c.model, declared, c.findings);
+  cases.push_back(std::move(c));
+  return finish_report(std::move(cases));
+}
+
+}  // namespace extnc::gpu

@@ -6,6 +6,7 @@
 #include "simgpu/exec_engine.h"
 #include "simgpu/fault_injector.h"
 #include "simgpu/profiler.h"
+#include "simgpu/static_model.h"
 #include "simgpu/timing.h"
 #include "util/metrics_registry.h"
 
@@ -27,6 +28,11 @@ bool TextureCache::access(std::uintptr_t address) {
   if (tags_[set] == tag) return true;
   tags_[set] = tag;
   return false;
+}
+
+bool TextureCache::resident(std::uintptr_t address) const {
+  const std::uintptr_t line = address / line_bytes_;
+  return tags_[line % num_lines_] == line + 1;
 }
 
 void TextureCache::invalidate() {
@@ -165,34 +171,10 @@ void ThreadCtx::count_alu(double ops) {
 
 // ---------------------------------------------------------------- BlockCtx
 
-namespace {
-
-// Serialized cycles for one half-warp shared access step: the worst bank
-// must serve one cycle per *distinct word* addressed in it (lanes reading
-// the same word are satisfied by one broadcast). At most kGroupLanes
-// entries per group, so the quadratic dedup stays allocation-free and
-// cheap. Shared by the interpreted flush and the fast-path bulk groups so
-// the two paths can never disagree.
-std::uint64_t shared_group_degree(const std::uintptr_t* words,
-                                  std::size_t count, std::uint32_t banks) {
-  std::array<std::uint32_t, 32> bank_words{};
-  std::uint64_t degree = 1;
-  for (std::size_t i = 0; i < count; ++i) {
-    bool seen = false;
-    for (std::size_t j = 0; j < i; ++j) {
-      if (words[j] == words[i]) {
-        seen = true;
-        break;
-      }
-    }
-    if (seen) continue;
-    const std::uint32_t in_bank = ++bank_words[(words[i] % banks) % 32];
-    degree = std::max<std::uint64_t>(degree, in_bank);
-  }
-  return degree;
-}
-
-}  // namespace
+// The serialization-degree rule lives in static_model.{h,cpp}
+// (simgpu::shared_group_degree): the interpreted flush, the fast-path bulk
+// groups and the static kernel models all call the one definition, so the
+// three accounting paths can never disagree.
 
 void BlockCtx::fast_global_group(const std::uintptr_t* addrs,
                                  std::size_t count, std::size_t access_bytes,

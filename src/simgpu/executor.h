@@ -118,7 +118,14 @@ class TextureCache {
 
   // Returns true on hit; records the line on miss.
   bool access(std::uintptr_t address);
+  // Non-mutating residency probe: would `access` hit right now? Used by
+  // closed-form texture accounting (static models / fast-path lowerings)
+  // to seed a residency window without perturbing the cache.
+  bool resident(std::uintptr_t address) const;
   void invalidate();
+
+  std::size_t num_lines() const { return num_lines_; }
+  std::size_t line_bytes() const { return line_bytes_; }
 
  private:
   std::size_t num_lines_;
@@ -245,6 +252,31 @@ class BlockCtx {
   // uses the same distinct-words-per-bank rule as flush_half_warp.
   void fast_shared_group(const std::uintptr_t* words, std::size_t count);
 
+  // Closed-form bulk accounting for profiled shared access steps: `events`
+  // groups totalling `accesses` lane accesses and `cycles` serialized
+  // cycles, with the degrees pre-evaluated per group class (the table-
+  // scheme conflict profiles, gpu/kernel_audit.h derivation). Each access
+  // is one memory instruction, as in fast_shared_group.
+  void fast_shared_bulk(std::uint64_t accesses, std::uint64_t events,
+                        std::uint64_t cycles) {
+    metrics_->shared_accesses += accesses;
+    metrics_->shared_access_events += events;
+    metrics_->shared_serialized_cycles += cycles;
+    metrics_->alu_deciops += accesses * 10;
+  }
+
+  // Closed-form bulk accounting for profiled global access steps:
+  // `transactions` pre-deduplicated coalescing transactions across `instrs`
+  // memory instructions. Only valid when the caller evaluated the span /
+  // group dedup itself (cached per group class or via the static models).
+  void fast_global_bulk(std::uint64_t transactions, std::uint64_t instrs,
+                        std::uint64_t load_bytes, std::uint64_t store_bytes) {
+    metrics_->global_transactions += transactions;
+    metrics_->global_load_bytes += load_bytes;
+    metrics_->global_store_bytes += store_bytes;
+    metrics_->alu_deciops += instrs * 10;
+  }
+
   // One texture fetch; evolves the per-TPC cache state exactly like
   // tex1d_* so a later interpreted launch sees the same tags.
   void fast_texture_fetch(std::uintptr_t addr) {
@@ -252,6 +284,19 @@ class BlockCtx {
     metrics_->alu_deciops += 10;
     if (!texture_->access(addr)) metrics_->texture_misses += 1;
   }
+
+  // Closed-form texture accounting: charge `fetches` fetch instructions
+  // and `misses` misses in bulk. Only valid when the miss count is
+  // order-independent (a kResident table, see static_model.h); the caller
+  // must then evolve texture_cache() to the exact post-step tag state by
+  // access()ing each newly-resident line once.
+  void fast_texture_bulk(std::uint64_t fetches, std::uint64_t misses) {
+    metrics_->texture_fetches += fetches;
+    metrics_->texture_misses += misses;
+    metrics_->alu_deciops += fetches * 10;
+  }
+  // This block's texture-cache unit (stateful across launches).
+  TextureCache& texture_cache() { return *texture_; }
 
  private:
   friend class Launcher;

@@ -1,0 +1,188 @@
+#include "simgpu/static_model.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace extnc::simgpu {
+
+std::uint64_t shared_group_degree(const std::uintptr_t* words,
+                                  std::size_t count, std::uint32_t banks) {
+  // At most kGroupLanes entries per group, so the quadratic dedup stays
+  // allocation-free and cheap.
+  std::array<std::uint32_t, 32> bank_words{};
+  std::uint64_t degree = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (words[j] == words[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const std::uint32_t in_bank = ++bank_words[(words[i] % banks) % 32];
+    degree = std::max<std::uint64_t>(degree, in_bank);
+  }
+  return degree;
+}
+
+std::uint64_t span_transactions(std::uintptr_t addr, std::size_t span_bytes,
+                                std::uint64_t segment_bytes) {
+  return (addr % segment_bytes + span_bytes + segment_bytes - 1) /
+         segment_bytes;
+}
+
+std::uint64_t group_transactions(const std::uintptr_t* addrs,
+                                 std::size_t count, std::size_t access_bytes,
+                                 std::uint64_t segment_bytes) {
+  // Mirror record_global: dedup distinct segments across the group. Groups
+  // hold at most 16 lanes x 2 segments, so flat dedup is cheap.
+  std::array<std::uint64_t, 64> segments;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t first = addrs[i] / segment_bytes;
+    const std::uint64_t last = (addrs[i] + access_bytes - 1) / segment_bytes;
+    for (std::uint64_t seg = first; seg <= last; ++seg) {
+      bool seen = false;
+      for (std::size_t j = 0; j < live; ++j) {
+        if (segments[j] == seg) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        EXTNC_DASSERT(live < segments.size());
+        segments[live++] = seg;
+      }
+    }
+  }
+  return live;
+}
+
+TextureTableModel texture_table_model(std::uintptr_t base, std::size_t bytes,
+                                      const DeviceSpec& spec) {
+  TextureTableModel model;
+  const std::size_t line_bytes =
+      std::max<std::size_t>(1, spec.texture_cache_line_bytes);
+  const std::size_t num_lines = std::max<std::size_t>(
+      1, spec.texture_cache_bytes / line_bytes);
+  if (bytes == 0) return model;
+  const std::uintptr_t first = base / line_bytes;
+  const std::uintptr_t last = (base + bytes - 1) / line_bytes;
+  model.lines = last - first + 1;
+  // Consecutive lines map to consecutive sets (set = line % num_lines), so
+  // the table is self-eviction-free exactly when it spans at most num_lines
+  // lines — every touched line then owns a distinct set.
+  model.locality = model.lines <= num_lines ? TextureLocality::kResident
+                                            : TextureLocality::kStreaming;
+  return model;
+}
+
+// ------------------------------------------------------------------------
+
+KernelMetrics StaticKernelModel::totals() const {
+  KernelMetrics m;
+  for (const SegmentModel& segment : segments) m.merge(segment.counters);
+  m.kernel_launches = 1;
+  m.blocks = blocks;
+  m.threads_per_block = threads_per_block;
+  return m;
+}
+
+std::uint64_t StaticKernelModel::max_conflict_degree() const {
+  std::uint64_t worst = 1;
+  for (const SegmentModel& segment : segments) {
+    worst = std::max(worst, segment.max_conflict_degree());
+  }
+  return worst;
+}
+
+std::uint64_t StaticKernelModel::max_group_transactions() const {
+  std::uint64_t worst = 0;
+  for (const SegmentModel& segment : segments) {
+    worst = std::max(worst, segment.max_group_transactions);
+  }
+  return worst;
+}
+
+// ------------------------------------------------------------------------
+
+void SegmentBuilder::add_shared_group(const std::uintptr_t* words,
+                                      std::size_t count,
+                                      std::uint64_t times) {
+  add_shared_group_degree(
+      shared_group_degree(words, count,
+                          static_cast<std::uint32_t>(spec_->shared_banks)),
+      count, times);
+}
+
+void SegmentBuilder::add_shared_group_degree(std::uint64_t degree,
+                                             std::size_t count,
+                                             std::uint64_t times) {
+  EXTNC_DASSERT(degree >= 1 && degree <= kMaxConflictDegree);
+  model_.counters.shared_accesses += count * times;
+  model_.counters.shared_access_events += times;
+  model_.counters.shared_serialized_cycles += degree * times;
+  // One memory instruction per participating lane, 10 deci-ops each
+  // (fast_shared_group / the interpreted pending_mem_instrs_ fold).
+  model_.counters.alu_deciops +=
+      static_cast<std::uint64_t>(count) * 10 * times;
+  model_.degree_events[degree] += times;
+}
+
+void SegmentBuilder::add_global_span(std::uintptr_t addr,
+                                     std::size_t span_bytes,
+                                     std::uint64_t instrs,
+                                     std::uint64_t load_bytes,
+                                     std::uint64_t store_bytes,
+                                     std::uint64_t times) {
+  add_global_transactions(
+      span_transactions(addr, span_bytes, spec_->coalesce_segment_bytes),
+      instrs, load_bytes, store_bytes, times);
+}
+
+void SegmentBuilder::add_global_group(const std::uintptr_t* addrs,
+                                      std::size_t count,
+                                      std::size_t access_bytes,
+                                      std::uint64_t load_bytes,
+                                      std::uint64_t store_bytes,
+                                      std::uint64_t times) {
+  add_global_transactions(
+      group_transactions(addrs, count, access_bytes,
+                         spec_->coalesce_segment_bytes),
+      count, load_bytes, store_bytes, times);
+}
+
+void SegmentBuilder::add_global_transactions(std::uint64_t transactions,
+                                             std::uint64_t instrs,
+                                             std::uint64_t load_bytes,
+                                             std::uint64_t store_bytes,
+                                             std::uint64_t times) {
+  model_.counters.global_transactions += transactions * times;
+  model_.counters.global_load_bytes += load_bytes * times;
+  model_.counters.global_store_bytes += store_bytes * times;
+  model_.counters.alu_deciops += instrs * 10 * times;
+  model_.max_group_transactions =
+      std::max(model_.max_group_transactions, transactions);
+}
+
+void SegmentBuilder::add_texture_fetches(std::uint64_t fetches,
+                                         std::uint64_t misses) {
+  model_.counters.texture_fetches += fetches;
+  model_.counters.texture_misses += misses;
+  model_.counters.alu_deciops += fetches * 10;
+}
+
+void SegmentBuilder::add_atomics(std::uint64_t ops) {
+  model_.counters.atomic_ops += ops;
+}
+
+SegmentModel SegmentBuilder::finish(std::size_t step_width,
+                                    std::uint64_t barriers) {
+  model_.step_width = step_width;
+  model_.counters.barriers += barriers;
+  return std::move(model_);
+}
+
+}  // namespace extnc::simgpu

@@ -288,6 +288,35 @@ TEST(EngineEquivalence, Recoder) {
       "recoder");
 }
 
+// Unaligned geometries: words-per-block is not a half-warp multiple and
+// the batch leaves a ragged tail block, so the straddle lowerings (rather
+// than the aligned profile path) carry the fast-path accounting for every
+// scheme.
+TEST(EngineEquivalence, EncoderUnalignedGeometries) {
+  constexpr EncodeScheme kAllSchemes[] = {
+      EncodeScheme::kLoopBased, EncodeScheme::kTable0, EncodeScheme::kTable1,
+      EncodeScheme::kTable2,    EncodeScheme::kTable3, EncodeScheme::kTable4,
+      EncodeScheme::kTable5,
+  };
+  Rng seed_rng(19);
+  const Params params{.n = 12, .k = 200};  // 50 words/block straddles halves
+  const Segment segment = Segment::random(params, seed_rng);
+  for (EncodeScheme scheme : kAllSchemes) {
+    compare_engines(
+        [&](ExecEngine) {
+          Rng rng(606);
+          GpuEncoder encoder(simgpu::gtx280(), segment, scheme);
+          RunResult result;
+          result.batches.push_back(encoder.encode_batch(7, rng));
+          result.metrics = encoder.encode_metrics();
+          result.metrics2 = encoder.preprocess_metrics();
+          result.elapsed_s = encoder.launcher().elapsed_seconds();
+          return result;
+        },
+        std::string("unaligned-encoder/") + scheme_name(scheme));
+  }
+}
+
 TEST(EngineEquivalence, HybridEncoder) {
   Rng seed_rng(15);
   const Params params{.n = 32, .k = 256};
@@ -374,6 +403,19 @@ TEST(EngineEquivalence, FastPathLoweringsEngage) {
   }
   EXPECT_GT(metrics::Registry::instance().value("simgpu.fast.lowered_blocks"),
             encoder_lowered);
+
+  // The recoder's aggregate pseudo-segment (n + k bytes per row) is not a
+  // half-warp multiple here, so it must land on the straddle lowering
+  // specifically, not fall back to interpreted stepping.
+  metrics::Registry::instance().reset();
+  {
+    Rng rng(507);
+    const CodedBatch received = independent_batch(segment, seed_rng);
+    gpu_recode(simgpu::gtx280(), received, 8, rng, EncodeScheme::kTable5);
+  }
+  EXPECT_GT(
+      metrics::Registry::instance().value("simgpu.fast.straddle_blocks"),
+      0.0);
 
   // And with the toggle off, the same work stays interpreted.
   metrics::Registry::instance().reset();
